@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harness.
+ *
+ * Every binary in bench/ regenerates one table or figure of the
+ * paper's evaluation section (see DESIGN.md §3) and prints the same
+ * rows/series the paper reports, plus the paper's published values
+ * for comparison where applicable.
+ */
+
+#ifndef GCC3D_BENCH_BENCH_UTIL_H
+#define GCC3D_BENCH_BENCH_UTIL_H
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scene/scene_presets.h"
+
+namespace gcc3d::bench {
+
+/** Geometric mean of a series. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+/** Print the standard harness banner for a figure/table binary. */
+inline void
+banner(const std::string &id, const std::string &what, float scale)
+{
+    std::printf("==================================================="
+                "=============\n");
+    std::printf("%s — %s\n", id.c_str(), what.c_str());
+    std::printf("scene population scale: %.2f of paper-scale "
+                "(GCC3D_SCALE to change)\n", scale);
+    std::printf("==================================================="
+                "=============\n");
+}
+
+/** Horizontal separator. */
+inline void
+rule()
+{
+    std::printf("-----------------------------------------------------"
+                "-----------\n");
+}
+
+} // namespace gcc3d::bench
+
+#endif // GCC3D_BENCH_BENCH_UTIL_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Fig. 10: area-normalized speedup (a) and energy
+ * efficiency (b) of GCC over GSCore on the six evaluation scenes.
+ *
+ * Paper: speedups 5.69/6.22/5.91/5.00/4.27/4.64 (geomean 5.24x);
+ * energy efficiency 3.51/3.17/3.17/3.05/3.51/3.72 (geomean 3.35x).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/accelerator.h"
+#include "gscore/gscore_sim.h"
+#include "scene/scene_generator.h"
+
+int
+main()
+{
+    using namespace gcc3d;
+    float scale = benchScale();
+    bench::banner("Figure 10",
+                  "area-normalized speedup & energy efficiency, GCC vs "
+                  "GSCore", scale);
+
+    const double paper_speedup[] = {5.69, 6.22, 5.91, 5.00, 4.27, 4.64};
+    const double paper_ee[] = {3.51, 3.17, 3.17, 3.05, 3.51, 3.72};
+
+    GscoreSim gscore;
+    GccAccelerator gcc;
+    double a_ratio = gscore.chip().totalArea() / gcc.areaMm2();
+
+    std::printf("area: GSCore %.2f mm^2, GCC %.2f mm^2 (ratio %.2f)\n\n",
+                gscore.chip().totalArea(), gcc.areaMm2(), a_ratio);
+    std::printf("%-10s %10s %10s | %9s %9s | %9s %9s\n", "scene",
+                "GSCoreFPS", "GCC FPS", "speedup", "paper", "energyEff",
+                "paper");
+    bench::rule();
+
+    std::vector<double> speedups, ees;
+    int i = 0;
+    for (SceneId id : allScenes()) {
+        SceneSpec spec = scenePreset(id);
+        GaussianCloud cloud = generateScene(spec, scale);
+        Camera cam = makeCamera(spec);
+
+        GscoreFrameResult base = gscore.renderFrame(cloud, cam);
+        GccFrameResult ours = gcc.render(cloud, cam);
+
+        double speedup = ours.fps / base.fps * a_ratio;
+        double ee = base.energy.total() / ours.energy.total() * a_ratio;
+        speedups.push_back(speedup);
+        ees.push_back(ee);
+
+        std::printf("%-10s %10.1f %10.1f | %8.2fx %8.2fx | %8.2fx "
+                    "%8.2fx\n",
+                    spec.name.c_str(), base.fps, ours.fps, speedup,
+                    paper_speedup[i], ee, paper_ee[i]);
+        ++i;
+    }
+    bench::rule();
+    std::printf("%-10s %10s %10s | %8.2fx %8.2fx | %8.2fx %8.2fx\n",
+                "geomean", "", "", bench::geomean(speedups), 5.24,
+                bench::geomean(ees), 3.35);
+    return 0;
+}

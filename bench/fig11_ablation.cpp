@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Fig. 11: breakdown/ablation analysis on Palace, Train,
+ * Drjohnson.
+ *
+ * (a) Speedup of GW (Gaussian-wise rendering only) and GW+CC (full
+ *     GCC) over the standard-dataflow baseline (GSCore).
+ * (b) DRAM accesses normalized to baseline, split into 3D Gaussian
+ *     attributes, 2D projected splats, and tile KV mappings: GW
+ *     removes the 2D refetches and KV traffic; CC shrinks the 3D
+ *     stream.
+ * (c) Rendering computations (alpha + blend operations) normalized
+ *     to baseline: the alpha-based identifier cuts them in every
+ *     scene type.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/accelerator.h"
+#include "gscore/gscore_sim.h"
+#include "scene/scene_generator.h"
+
+int
+main()
+{
+    using namespace gcc3d;
+    float scale = benchScale();
+    bench::banner("Figure 11", "ablation: Baseline vs GW vs GW+CC",
+                  scale);
+
+    const std::vector<SceneId> scenes = {SceneId::Palace, SceneId::Train,
+                                         SceneId::Drjohnson};
+
+    std::printf("%-10s | %8s %8s | %22s | %10s\n", "", "speedup",
+                "speedup", "DRAM (3D/2D/KV, norm.)", "render ops");
+    std::printf("%-10s | %8s %8s | %22s | %10s\n", "scene", "GW",
+                "GW+CC", "base -> GW -> GW+CC", "GCC/base");
+    bench::rule();
+
+    for (SceneId id : scenes) {
+        SceneSpec spec = scenePreset(id);
+        GaussianCloud cloud = generateScene(spec, scale);
+        Camera cam = makeCamera(spec);
+
+        GscoreSim gscore;
+        GscoreFrameResult base = gscore.renderFrame(cloud, cam);
+
+        GccConfig gw_cfg;
+        gw_cfg.mode = GccMode::GaussianWise;
+        GccSim gw_sim(gw_cfg);
+        GccFrameResult gw = gw_sim.renderFrame(cloud, cam);
+
+        GccAccelerator full;
+        GccFrameResult cc = full.render(cloud, cam);
+
+        double base_bytes =
+            static_cast<double>(base.dram_bytes_total);
+        auto norm = [&](std::uint64_t b) {
+            return static_cast<double>(b) / base_bytes;
+        };
+        // Rendering computation = pixels actually processed by the
+        // arrays: GSCore's VRUs rasterize whole 8x8 subtiles in
+        // lockstep; GCC's Alpha Unit evaluates only the blocks the
+        // runtime identifier dispatches.
+        double base_ops =
+            static_cast<double>(base.flow.subtile_passes) * 64.0 +
+            static_cast<double>(base.flow.blend_ops);
+        double cc_ops = static_cast<double>(cc.flow.alpha_evals +
+                                            cc.flow.blend_ops);
+
+        std::printf("%-10s | %7.2fx %7.2fx | 1.00 -> %.2f -> %.2f | "
+                    "%9.2fx\n",
+                    spec.name.c_str(), gw.fps / base.fps,
+                    cc.fps / base.fps,
+                    norm(gw.dram_bytes_total + gw.dram_bytes_meta * 0),
+                    norm(cc.dram_bytes_total), base_ops / cc_ops);
+
+        std::printf("%-10s |   DRAM detail (MB): base 3D=%.1f 2D=%.1f "
+                    "KV=%.1f | GW 3D=%.1f | GW+CC 3D=%.1f\n", "",
+                    static_cast<double>(base.dram_bytes_3d) / 1e6,
+                    static_cast<double>(base.dram_bytes_2d) / 1e6,
+                    static_cast<double>(base.dram_bytes_kv) / 1e6,
+                    static_cast<double>(gw.dram_bytes_3d) / 1e6,
+                    static_cast<double>(cc.dram_bytes_3d) / 1e6);
+    }
+    std::printf("\npaper: GW ~1.5-2.5x, GW+CC ~3-4x raw speedup; KV and "
+                "duplicated 2D traffic vanish under GW; CC cuts the 3D "
+                "stream; rendering computations drop ~3-4x.\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot kernels:
+ * projection (Eq. 1), SH evaluation (Eq. 2), EXP LUT (Sec. 4.4),
+ * alpha-based boundary identification (Algorithm 1), and the bitonic
+ * sorting network.  These back the per-operation cost assumptions of
+ * the cycle models and catch performance regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "core/sort_unit.h"
+#include "gsmath/exp_lut.h"
+#include "gsmath/sh.h"
+#include "render/boundary.h"
+#include "render/preprocess.h"
+#include "scene/scene_generator.h"
+#include "scene/scene_presets.h"
+
+namespace {
+
+using namespace gcc3d;
+
+SceneSpec
+microSpec()
+{
+    SceneSpec spec = scenePreset(SceneId::Lego);
+    spec.gaussian_count = 20000;
+    return spec;
+}
+
+void
+BM_ProjectGaussian(benchmark::State &state)
+{
+    SceneSpec spec = microSpec();
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Camera cam = makeCamera(spec);
+    std::uint32_t i = 0;
+    for (auto _ : state) {
+        auto s = projectGaussian(cloud[i], i, cam, nullptr);
+        benchmark::DoNotOptimize(s);
+        i = (i + 1) % static_cast<std::uint32_t>(cloud.size());
+    }
+}
+BENCHMARK(BM_ProjectGaussian);
+
+void
+BM_ShColor(benchmark::State &state)
+{
+    SceneSpec spec = microSpec();
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Camera cam = makeCamera(spec);
+    std::uint32_t i = 0;
+    for (auto _ : state) {
+        Vec3 c = shColorFor(cloud[i], cam);
+        benchmark::DoNotOptimize(c);
+        i = (i + 1) % static_cast<std::uint32_t>(cloud.size());
+    }
+}
+BENCHMARK(BM_ShColor);
+
+void
+BM_ExpLut(benchmark::State &state)
+{
+    ExpLut lut;
+    float x = -0.01f;
+    for (auto _ : state) {
+        float y = lut.eval(x);
+        benchmark::DoNotOptimize(y);
+        x -= 0.001f;
+        if (x < -5.5f)
+            x = -0.01f;
+    }
+}
+BENCHMARK(BM_ExpLut);
+
+void
+BM_BoundaryBlockTraversal(benchmark::State &state)
+{
+    const int radius = static_cast<int>(state.range(0));
+    float var = static_cast<float>(radius * radius) / 9.0f;
+    Ellipse e = Ellipse::fromCovariance(
+        Vec2(256, 256), Mat2(var, 0.3f * var, 0.3f * var, var));
+    BlockTraversal traversal(8, 512, 512);
+    for (auto _ : state) {
+        BoundaryStats bs =
+            traversal.traverse(e, 0.8f, nullptr, nullptr);
+        benchmark::DoNotOptimize(bs);
+    }
+    state.counters["pixels"] = static_cast<double>(
+        traversal
+            .traverse(e, 0.8f, nullptr, nullptr)
+            .influence_pixels);
+}
+BENCHMARK(BM_BoundaryBlockTraversal)->Arg(8)->Arg(32)->Arg(96);
+
+void
+BM_BitonicSort(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<float> u(0.0f, 100.0f);
+    std::vector<std::pair<float, std::uint32_t>> base(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        base[i] = {u(rng), i};
+    for (auto _ : state) {
+        auto keys = base;
+        SortUnit::bitonicSort(keys);
+        benchmark::DoNotOptimize(keys);
+    }
+}
+BENCHMARK(BM_BitonicSort)->Arg(16)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Table 4: the GCC area and power breakdown per compute
+ * module and on-chip buffer, plus the GSCore aggregates.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/area_model.h"
+
+int
+main()
+{
+    using namespace gcc3d;
+    bench::banner("Table 4", "GCC area & power breakdown (28 nm, 1 GHz)",
+                  1.0f);
+
+    ChipModel gcc = gccChipModel();
+    std::printf("%-16s %12s %12s   %s\n", "component", "area (mm^2)",
+                "power (mW)", "configuration");
+    bench::rule();
+    for (const ModuleSpec &m : gcc.compute)
+        std::printf("%-16s %12.3f %12.0f   %s\n", m.name.c_str(),
+                    m.area_mm2, m.power_mw, m.configuration.c_str());
+    std::printf("%-16s %12.3f %12.0f\n", "compute total",
+                gcc.computeArea(), gcc.computePowerMw());
+    bench::rule();
+    for (const SramConfig &b : gcc.buffers)
+        std::printf("%-16s %12.3f %12.0f   %.0f KB, %d banks\n",
+                    b.name.c_str(), b.area_mm2, b.leakage_mw,
+                    b.capacity_kb, b.banks);
+    std::printf("%-16s %12.3f %12.0f   %.0f KB total\n", "buffer total",
+                gcc.bufferArea(), gcc.bufferLeakageMw(),
+                gcc.bufferCapacityKb());
+    bench::rule();
+    std::printf("%-16s %12.3f\n", "GCC total", gcc.totalArea());
+    std::printf("paper: compute 1.675 mm^2 / 739 mW; buffers 1.036 mm^2 "
+                "/ 51 mW / 190 KB; total 2.711 mm^2\n\n");
+
+    ChipModel gscore = gscoreChipModel();
+    std::printf("GSCore: compute %.2f mm^2 / %.0f mW; buffers %.2f "
+                "mm^2 / %.0f KB; total %.2f mm^2\n",
+                gscore.computeArea(), gscore.computePowerMw(),
+                gscore.bufferArea(), gscore.bufferCapacityKb(),
+                gscore.totalArea());
+    std::printf("paper: compute 2.70 mm^2 / 830 mW; buffers 1.25 mm^2 / "
+                "272 KB; total 3.95 mm^2\n");
+    return 0;
+}

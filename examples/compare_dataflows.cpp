@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Side-by-side comparison of the GSCore baseline (standard dataflow)
+ * and GCC (Gaussian-wise + cross-stage conditional) on one scene:
+ * speed, area-normalized speedup, DRAM traffic, energy, and image
+ * agreement.
+ *
+ * Usage: compare_dataflows [scene] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/accelerator.h"
+#include "gscore/gscore_sim.h"
+#include "render/metrics.h"
+#include "scene/scene_presets.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gcc3d;
+
+    std::string scene_name = argc > 1 ? argv[1] : "Train";
+    float scale = argc > 2 ? std::strtof(argv[2], nullptr) : 0.1f;
+
+    SceneSpec spec = scenePreset(sceneFromName(scene_name));
+    GaussianCloud scene = generateScene(spec, scale);
+    Camera cam = makeCamera(spec);
+    std::printf("Scene %s: %zu Gaussians, %dx%d\n", spec.name.c_str(),
+                scene.size(), cam.width(), cam.height());
+
+    GscoreSim gscore;
+    GscoreFrameResult base = gscore.renderFrame(scene, cam);
+
+    GccAccelerator gcc;
+    GccFrameResult ours = gcc.render(scene, cam);
+
+    double area_gscore = gscore.chip().totalArea();
+    double area_gcc = gcc.areaMm2();
+    double speedup = ours.fps / base.fps;
+    double area_norm_speedup = speedup * area_gscore / area_gcc;
+    double ee = base.energy.total() / ours.energy.total();
+    double area_norm_ee = ee * area_gscore / area_gcc;
+
+    std::printf("\n%-28s %14s %14s\n", "", "GSCore", "GCC");
+    std::printf("%-28s %14.1f %14.1f\n", "FPS @ 1 GHz", base.fps,
+                ours.fps);
+    std::printf("%-28s %14.2f %14.2f\n", "area (mm^2)", area_gscore,
+                area_gcc);
+    std::printf("%-28s %14.2f %14.2f\n", "energy (mJ/frame)",
+                base.energy.total(), ours.energy.total());
+    std::printf("%-28s %14.1f %14.1f\n", "DRAM traffic (MB)",
+                static_cast<double>(base.dram_bytes_total) / 1e6,
+                static_cast<double>(ours.dram_bytes_total) / 1e6);
+
+    std::printf("\nGCC vs GSCore:\n");
+    std::printf("  raw speedup              : %.2fx\n", speedup);
+    std::printf("  area-normalized speedup  : %.2fx\n", area_norm_speedup);
+    std::printf("  energy efficiency        : %.2fx\n", ee);
+    std::printf("  area-normalized energy   : %.2fx\n", area_norm_ee);
+    std::printf("  DRAM traffic reduction   : %.1f%%\n",
+                100.0 * (1.0 - static_cast<double>(
+                                   ours.dram_bytes_total) /
+                                   static_cast<double>(
+                                       base.dram_bytes_total)));
+    std::printf("  image agreement          : PSNR %.2f dB, SSIM %.4f\n",
+                psnr(base.image, ours.image), ssim(base.image, ours.image));
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Public facade of the GCC accelerator library.
+ *
+ * Typical use:
+ * @code
+ *   gcc3d::SceneSpec spec = gcc3d::scenePreset(gcc3d::SceneId::Lego);
+ *   gcc3d::GaussianCloud scene = gcc3d::generateScene(spec);
+ *   gcc3d::Camera cam = gcc3d::makeCamera(spec);
+ *
+ *   gcc3d::GccAccelerator acc;                 // paper's design point
+ *   gcc3d::GccFrameResult f = acc.render(scene, cam);
+ *   // f.image, f.fps, f.energy, f.dram_bytes_total, ...
+ * @endcode
+ */
+
+#ifndef GCC3D_CORE_ACCELERATOR_H
+#define GCC3D_CORE_ACCELERATOR_H
+
+#include "core/gcc_config.h"
+#include "core/gcc_sim.h"
+#include "sim/area_model.h"
+
+namespace gcc3d {
+
+/** User-facing wrapper tying the simulator to its chip model. */
+class GccAccelerator
+{
+  public:
+    explicit GccAccelerator(GccConfig config = {}) : sim_(config) {}
+
+    /** Simulate one frame: image + performance + energy. */
+    GccFrameResult
+    render(const GaussianCloud &scene, const Camera &cam) const
+    {
+        return sim_.renderFrame(scene, cam);
+    }
+
+    const GccConfig &config() const { return sim_.config(); }
+    const ChipModel &chip() const { return sim_.chip(); }
+    const GccSim &sim() const { return sim_; }
+
+    /** Total silicon area at this design point (mm^2, 28 nm). */
+    double areaMm2() const { return sim_.chip().totalArea(); }
+
+  private:
+    GccSim sim_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_CORE_ACCELERATOR_H

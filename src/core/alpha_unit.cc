@@ -1,0 +1,38 @@
+#include "core/alpha_unit.h"
+
+#include <algorithm>
+
+namespace gcc3d {
+
+AlphaCost
+AlphaUnit::batch(std::uint64_t gaussians, std::uint64_t blocks) const
+{
+    AlphaCost c;
+    std::uint64_t pes =
+        static_cast<std::uint64_t>(config_->alpha_pes);
+    std::uint64_t per_block =
+        static_cast<std::uint64_t>(config_->block_size) *
+        static_cast<std::uint64_t>(config_->block_size);
+
+    // One dispatched block occupies the array for ceil(block/PEs)
+    // cycles (one cycle at the nominal 64-PE / 8x8 configuration; a
+    // down-scaled array in the Fig. 13b DSE takes proportionally
+    // longer).
+    std::uint64_t cycles_per_block =
+        std::max<std::uint64_t>(1, per_block / std::max<std::uint64_t>(
+                                                   1, pes));
+    c.cycles = blocks * cycles_per_block;
+
+    // Per-Gaussian restart: the 16-deep status-map preload hides the
+    // 14-cycle latency while at least one block per Gaussian is in
+    // flight; charge one dispatch cycle per Gaussian for the queue
+    // handoff.
+    c.cycles += gaussians;
+    c.latency = static_cast<std::uint64_t>(config_->gaussian_latency);
+
+    c.exp_ops = blocks * per_block;
+    c.fma_ops = blocks * per_block * kFmaPerPixel;
+    return c;
+}
+
+} // namespace gcc3d

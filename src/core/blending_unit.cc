@@ -1,0 +1,34 @@
+#include "core/blending_unit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcc3d {
+
+BlendCost
+BlendingUnit::batch(std::uint64_t blocks, std::uint64_t blend_pixels) const
+{
+    BlendCost c;
+    std::uint64_t pes = static_cast<std::uint64_t>(config_->blend_pes);
+    std::uint64_t per_block =
+        static_cast<std::uint64_t>(config_->block_size) *
+        static_cast<std::uint64_t>(config_->block_size);
+
+    std::uint64_t cycles_per_block = std::max<std::uint64_t>(
+        1, per_block / std::max<std::uint64_t>(1, pes));
+    c.cycles = blocks * cycles_per_block;
+
+    // Ordering hazards: consecutive Gaussians frequently overlap near
+    // the depth-sorted front, so a fraction of block dispatches wait
+    // for the predecessor's writeback.
+    c.stall_cycles = static_cast<std::uint64_t>(
+        static_cast<double>(c.cycles) * config_->blend_stall_fraction +
+        0.5);
+    c.cycles += c.stall_cycles;
+
+    c.latency = 4;  // read-modify-write of the image buffer
+    c.fma_ops = blend_pixels * kFmaPerPixel;
+    return c;
+}
+
+} // namespace gcc3d

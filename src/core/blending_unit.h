@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Stage IV hardware model: the Blending Unit (Sec. 4.5).
+ *
+ * An n x n FMA array updates transmittance and accumulates RGB for a
+ * whole pixel block in parallel (T' = T(1-alpha); C += T alpha c).
+ * Back-to-front ordering is enforced at block granularity: a later
+ * Gaussian touching a block whose predecessor has not retired stalls
+ * the pipeline.  The transmittance mask (T-mask) removes exhausted
+ * blocks from all future alpha computation.
+ */
+
+#ifndef GCC3D_CORE_BLENDING_UNIT_H
+#define GCC3D_CORE_BLENDING_UNIT_H
+
+#include <cstdint>
+
+#include "core/gcc_config.h"
+
+namespace gcc3d {
+
+/** Cycle/op cost of the blending stage. */
+struct BlendCost
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t latency = 0;
+    std::uint64_t fma_ops = 0;
+    std::uint64_t stall_cycles = 0;  ///< ordering-hazard stalls
+};
+
+/** Stage IV blending cycle model. */
+class BlendingUnit
+{
+  public:
+    explicit BlendingUnit(const GccConfig &config) : config_(&config) {}
+
+    /** FMAs per blended pixel: T update + 3 channel accumulates. */
+    static constexpr std::uint64_t kFmaPerPixel = 4;
+
+    /**
+     * Cost of blending @p blocks dispatched blocks of which
+     * @p blend_pixels pixels actually blended.
+     */
+    BlendCost batch(std::uint64_t blocks,
+                    std::uint64_t blend_pixels) const;
+
+  private:
+    const GccConfig *config_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_CORE_BLENDING_UNIT_H

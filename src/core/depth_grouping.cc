@@ -1,0 +1,132 @@
+#include "core/depth_grouping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/pipeline.h"
+
+namespace gcc3d {
+
+namespace {
+
+/** Recursively subdivide one bin until it fits the group capacity. */
+void
+subdivide(std::vector<std::uint32_t> &&members,
+          std::vector<float> &&depths, std::size_t cap,
+          std::vector<DepthGroup> &out)
+{
+    if (members.size() <= cap) {
+        if (members.empty())
+            return;
+        DepthGroup g;
+        g.depth_lo = *std::min_element(depths.begin(), depths.end());
+        g.depth_hi = *std::max_element(depths.begin(), depths.end());
+        g.members = std::move(members);
+        out.push_back(std::move(g));
+        return;
+    }
+
+    // Median split on depth (the RCA's recursive pivot refinement).
+    std::vector<std::size_t> order(members.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::size_t mid = order.size() / 2;
+    std::nth_element(order.begin(), order.begin() + mid, order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         if (depths[a] != depths[b])
+                             return depths[a] < depths[b];
+                         return members[a] < members[b];
+                     });
+
+    std::vector<std::uint32_t> lo_m, hi_m;
+    std::vector<float> lo_d, hi_d;
+    lo_m.reserve(mid);
+    hi_m.reserve(order.size() - mid);
+    lo_d.reserve(mid);
+    hi_d.reserve(order.size() - mid);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        std::size_t i = order[k];
+        if (k < mid) {
+            lo_m.push_back(members[i]);
+            lo_d.push_back(depths[i]);
+        } else {
+            hi_m.push_back(members[i]);
+            hi_d.push_back(depths[i]);
+        }
+    }
+    subdivide(std::move(lo_m), std::move(lo_d), cap, out);
+    subdivide(std::move(hi_m), std::move(hi_d), cap, out);
+}
+
+} // namespace
+
+std::vector<DepthGroup>
+hierarchicalGroups(const std::vector<float> &depths,
+                   const std::vector<std::uint32_t> &ids,
+                   int group_capacity, int coarse_bins)
+{
+    std::vector<DepthGroup> groups;
+    if (ids.empty())
+        return groups;
+
+    float d_min = *std::min_element(depths.begin(), depths.end());
+    float d_max = *std::max_element(depths.begin(), depths.end());
+    float span = std::max(d_max - d_min, 1e-6f);
+
+    // Coarse pass: uniform bins across the depth range.
+    std::vector<std::vector<std::uint32_t>> bin_members(
+        static_cast<std::size_t>(coarse_bins));
+    std::vector<std::vector<float>> bin_depths(
+        static_cast<std::size_t>(coarse_bins));
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        int b = static_cast<int>((depths[i] - d_min) / span *
+                                 static_cast<float>(coarse_bins));
+        b = std::clamp(b, 0, coarse_bins - 1);
+        bin_members[static_cast<std::size_t>(b)].push_back(ids[i]);
+        bin_depths[static_cast<std::size_t>(b)].push_back(depths[i]);
+    }
+
+    // Accurate pass: subdivide over-full bins.
+    std::size_t cap = static_cast<std::size_t>(group_capacity);
+    for (int b = 0; b < coarse_bins; ++b) {
+        subdivide(std::move(bin_members[static_cast<std::size_t>(b)]),
+                  std::move(bin_depths[static_cast<std::size_t>(b)]),
+                  cap, groups);
+    }
+    return groups;
+}
+
+StageICost
+DepthGroupingUnit::cost(std::uint64_t total_gaussians,
+                        std::uint64_t survivors,
+                        double bytes_per_cycle) const
+{
+    StageICost c;
+
+    // Four parallel MVMs compute one depth per cycle each.
+    c.mvm_cycles = ceilDiv(
+        total_gaussians, static_cast<std::uint64_t>(config_->mvm_units));
+
+    // The RCA compares rca_units depths per cycle per pass (coarse
+    // binning, then accurate subdivision).
+    c.rca_cycles = ceilDiv(total_gaussians *
+                               static_cast<std::uint64_t>(
+                                   config_->rca_passes),
+                           static_cast<std::uint64_t>(config_->rca_units));
+
+    // Traffic: read every mean; spill and re-read (id, depth) records
+    // of the survivors via the shared buffer.
+    c.mem_bytes =
+        total_gaussians * static_cast<std::uint64_t>(config_->mean_bytes) +
+        2 * survivors * static_cast<std::uint64_t>(config_->id_depth_bytes);
+    c.mem_cycles = static_cast<std::uint64_t>(
+        static_cast<double>(c.mem_bytes) / bytes_per_cycle + 0.5);
+
+    // Depth compute and binning overlap with the streaming reads; the
+    // frame cannot proceed until all three complete (global barrier).
+    c.total_cycles =
+        std::max({c.mvm_cycles, c.rca_cycles, c.mem_cycles});
+    return c;
+}
+
+} // namespace gcc3d

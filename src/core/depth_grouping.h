@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Stage I: Gaussian grouping by depth (Sec. 3 Stage I, Sec. 4.2).
+ *
+ * At the start of every frame the depth of ALL Gaussians must be
+ * known (rendering order is global).  The hardware reuses the
+ * Projection Unit's shared MVMs to batch-compute depths and the
+ * Reconfigurable Comparator Array (RCA) to bin them: a coarse pass
+ * compares depths against pivot values through a cascaded
+ * comparator/adder tree, then bins holding more than N Gaussians are
+ * recursively subdivided until every group holds at most N (N = 256).
+ * Gaussians with depth below the z-pivot (0.2) are culled here.
+ *
+ * This module provides both the functional hierarchical grouping
+ * (bins + recursive subdivision, used to validate the equivalence of
+ * the renderer's sort-and-chunk shortcut) and the Stage I cycle/
+ * traffic model.
+ */
+
+#ifndef GCC3D_CORE_DEPTH_GROUPING_H
+#define GCC3D_CORE_DEPTH_GROUPING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gcc_config.h"
+#include "render/gaussian_wise_renderer.h"
+#include "scene/camera.h"
+#include "scene/gaussian_cloud.h"
+
+namespace gcc3d {
+
+/** Cycle/traffic cost of Stage I for one frame. */
+struct StageICost
+{
+    std::uint64_t mvm_cycles = 0;   ///< depth computation
+    std::uint64_t rca_cycles = 0;   ///< comparator binning passes
+    std::uint64_t mem_bytes = 0;    ///< DRAM traffic (means + id/depth)
+    std::uint64_t mem_cycles = 0;   ///< bus occupancy of that traffic
+    std::uint64_t total_cycles = 0; ///< composed Stage I latency
+};
+
+/**
+ * Functional hierarchical grouping: coarse uniform depth bins over
+ * [pivot, max_depth] followed by recursive median subdivision of
+ * over-full bins.  Produces depth-ordered groups with at most
+ * @p group_capacity members — the same partition family the
+ * renderer's sort-and-chunk produces.
+ *
+ * @param depths        view-space depth per candidate
+ * @param ids           Gaussian ids, parallel to depths
+ * @param group_capacity N
+ * @param coarse_bins   number of first-pass bins
+ */
+std::vector<DepthGroup> hierarchicalGroups(
+    const std::vector<float> &depths,
+    const std::vector<std::uint32_t> &ids, int group_capacity,
+    int coarse_bins = 1024);
+
+/** Stage I hardware model. */
+class DepthGroupingUnit
+{
+  public:
+    explicit DepthGroupingUnit(const GccConfig &config)
+        : config_(&config) {}
+
+    /**
+     * Cost of grouping a frame.
+     *
+     * @param total_gaussians  model size (all means are read)
+     * @param survivors        Gaussians past the z-pivot (id/depth
+     *                         records spilled and re-read)
+     * @param bytes_per_cycle  effective DRAM bytes per cycle
+     */
+    StageICost cost(std::uint64_t total_gaussians,
+                    std::uint64_t survivors,
+                    double bytes_per_cycle) const;
+
+  private:
+    const GccConfig *config_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_CORE_DEPTH_GROUPING_H

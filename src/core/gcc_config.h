@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Architectural parameters of the GCC accelerator (Sec. 4, Table 4).
+ */
+
+#ifndef GCC3D_CORE_GCC_CONFIG_H
+#define GCC3D_CORE_GCC_CONFIG_H
+
+#include "sim/area_model.h"
+#include "sim/dram.h"
+
+namespace gcc3d {
+
+/** Dataflow ablation points (Fig. 11). */
+enum class GccMode
+{
+    GaussianWise,    ///< GW only: no cross-stage conditional skipping
+    GaussianWiseCC,  ///< GW + CC: the full GCC dataflow
+};
+
+/** Configuration of the GCC cycle model. */
+struct GccConfig
+{
+    double clock_ghz = 1.0;
+    GccMode mode = GccMode::GaussianWiseCC;
+
+    // ---- Stage I: grouping. ----
+    int group_capacity = 256;      ///< N, max Gaussians per depth group
+    float depth_pivot = 0.2f;      ///< Z-axis cull pivot
+    int mvm_units = 4;             ///< parallel MVMs for depth compute
+    int rca_units = 4;             ///< comparator array width
+    int rca_passes = 2;            ///< coarse + accurate grouping passes
+
+    // ---- Stage II: projection. ----
+    int projection_ways = 2;       ///< PPU+RU+SCU instances
+    int divsqrt_latency = 4;       ///< iterative fused div/sqrt unit
+
+    // ---- Stage III: color + sort. ----
+    int sh_ways = 1;               ///< SHE triples (RGB per way)
+    int sorter_width = 16;         ///< bitonic network width
+
+    // ---- Stage IV: alpha + blending. ----
+    int block_size = 8;            ///< n: PE array is n x n
+    int alpha_pes = 64;            ///< 8 x 8
+    int blend_pes = 64;
+    int gaussian_latency = 14;     ///< per-Gaussian Alpha Unit latency
+    int preload_depth = 16;        ///< status maps/queues kept on chip
+    float termination_t = 1e-4f;   ///< per-pixel termination threshold
+    /** Fraction of Alpha Unit cycles lost to blend-ordering stalls. */
+    double blend_stall_fraction = 0.05;
+
+    // ---- Memory system. ----
+    double image_buffer_kb = 128.0; ///< on-chip image buffer capacity
+    int subview_size = 0;          ///< Cmode sub-view side; 0 = auto
+    DramConfig dram = DramConfig::lpddr4_3200();
+
+    /** Bytes loaded per Gaussian for Stage I depth (mean only). */
+    int mean_bytes = 12;
+    /** Bytes loaded per Gaussian for Stage II (geometry, 11 floats). */
+    int geom_bytes = 44;
+    /** Bytes loaded per Gaussian for Stage III (48 SH floats). */
+    int sh_bytes = 192;
+    /** Bytes per (id, depth) record spilled after grouping. */
+    int id_depth_bytes = 8;
+
+    /** Design-point view used by the area/power model. */
+    GccDesignPoint
+    designPoint() const
+    {
+        GccDesignPoint dp;
+        dp.alpha_pes = alpha_pes;
+        dp.blend_pes = blend_pes;
+        dp.projection_ways = projection_ways;
+        dp.sh_ways = sh_ways;
+        dp.rca_units = rca_units;
+        dp.image_buffer_kb = image_buffer_kb;
+        return dp;
+    }
+
+    /**
+     * Pixels the on-chip image buffer can hold (8 bytes per pixel:
+     * fp16 RGB accumulators + fp16 transmittance), matching the
+     * paper's 128 KB buffer <-> 128x128 sub-view pairing.
+     */
+    std::int64_t
+    imageBufferPixels() const
+    {
+        return static_cast<std::int64_t>(image_buffer_kb * 1024.0 / 8.0);
+    }
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_CORE_GCC_CONFIG_H

@@ -1,0 +1,226 @@
+#include "core/gcc_sim.h"
+
+#include <algorithm>
+
+#include "core/alpha_unit.h"
+#include "core/blending_unit.h"
+#include "core/depth_grouping.h"
+#include "core/projection_unit.h"
+#include "core/sh_unit.h"
+#include "core/sort_unit.h"
+#include "sim/pipeline.h"
+#include "sim/sram.h"
+
+namespace gcc3d {
+
+GccSim::GccSim(GccConfig config)
+    : config_(std::move(config)), chip_(gccChipModel(config_.designPoint()))
+{
+}
+
+GccFrameResult
+GccSim::renderFrame(const GaussianCloud &cloud, const Camera &cam) const
+{
+    stats_.reset();
+    GccFrameResult r;
+
+    // ---- Compatibility Mode decision (Sec. 4.6). ----
+    std::int64_t frame_pixels =
+        static_cast<std::int64_t>(cam.width()) * cam.height();
+    int subview = config_.subview_size;
+    if (subview <= 0 && frame_pixels > config_.imageBufferPixels()) {
+        // Largest power-of-two square that fits the buffer (128 at
+        // the paper's 128 KB design point).
+        subview = 8;
+        while (std::int64_t{4} * subview * subview <=
+               config_.imageBufferPixels())
+            subview *= 2;
+    }
+    r.cmode = subview > 0 && (subview < cam.width() ||
+                              subview < cam.height());
+    r.subview_size = r.cmode ? subview : 0;
+
+    // ---- Functional execution with per-group activity trace. ----
+    GaussianWiseConfig gwc;
+    gwc.group_capacity = config_.group_capacity;
+    gwc.block_size = config_.block_size;
+    gwc.termination_t = config_.termination_t;
+    gwc.depth_pivot = config_.depth_pivot;
+    gwc.conditional = config_.mode == GccMode::GaussianWiseCC;
+    gwc.subview_size = r.cmode ? subview : 0;
+    GaussianWiseRenderer renderer(gwc);
+    r.image = renderer.render(cloud, cam, r.flow);
+
+    Dram dram(config_.dram, config_.clock_ghz);
+    EnergyIntegrator energy(chip_, config_.clock_ghz);
+
+    const bool cc = config_.mode == GccMode::GaussianWiseCC;
+    const std::uint64_t n_total = static_cast<std::uint64_t>(r.flow.total);
+    const std::uint64_t survivors =
+        n_total > static_cast<std::uint64_t>(r.flow.depth_culled)
+            ? n_total - static_cast<std::uint64_t>(r.flow.depth_culled)
+            : 0;
+
+    // =====================================================================
+    // Stage I: frame-global depth grouping barrier.
+    // =====================================================================
+    DepthGroupingUnit grouping(config_);
+    StageICost s1 = grouping.cost(n_total, survivors, dram.bytesPerCycle());
+    dram.access(TrafficClass::Gaussian3D,
+                n_total * static_cast<std::uint64_t>(config_.mean_bytes));
+    dram.access(TrafficClass::Meta,
+                2 * survivors *
+                    static_cast<std::uint64_t>(config_.id_depth_bytes));
+    if (r.cmode) {
+        // 2D spatial binning: per-(Gaussian, sub-view) id records.
+        dram.access(TrafficClass::Meta,
+                    static_cast<std::uint64_t>(r.flow.projected) *
+                        static_cast<std::uint64_t>(config_.id_depth_bytes));
+    }
+    r.stage1_cycles = s1.total_cycles;
+    energy.busy("RCA", s1.rca_cycles);
+    energy.busy("ProjectionUnit", s1.mvm_cycles);
+
+    // =====================================================================
+    // Stages II-IV: pipelined group stream.
+    // =====================================================================
+    ProjectionUnit proj(config_);
+    ShUnit sh(config_);
+    SortUnit sort(config_);
+    AlphaUnit alpha(config_);
+    BlendingUnit blend(config_);
+
+    std::uint64_t main_cycles = 0;
+    std::uint64_t proj_busy = 0, sh_busy = 0, sort_busy = 0;
+    std::uint64_t alpha_busy = 0, blend_busy = 0;
+    std::uint64_t bytes_3d_main = 0;
+
+    for (const GroupActivity &g : r.flow.group_trace) {
+        if (g.skipped)
+            continue;  // never loaded: zero cycles, zero traffic
+
+        std::uint64_t members = static_cast<std::uint64_t>(g.members);
+        std::uint64_t n_sh = static_cast<std::uint64_t>(g.sh_evals);
+        std::uint64_t n_sur = static_cast<std::uint64_t>(g.survivors);
+        std::uint64_t blocks =
+            static_cast<std::uint64_t>(g.visited_blocks);
+        std::uint64_t active =
+            static_cast<std::uint64_t>(g.active_blocks);
+        std::uint64_t blends = static_cast<std::uint64_t>(g.blend_ops);
+
+        // Conditional loading (CC): geometry for the group, SH only
+        // for Gaussians that survive to color mapping.  Without CC
+        // the full 59-float record streams for every group member,
+        // exactly like the standard dataflow's preprocessing loads.
+        std::uint64_t bytes =
+            cc ? members * static_cast<std::uint64_t>(config_.geom_bytes) +
+                     n_sh * static_cast<std::uint64_t>(config_.sh_bytes)
+               : members * Gaussian::kTotalBytes;
+        bytes_3d_main += bytes;
+
+        ProjectionCost pc =
+            proj.batch(static_cast<std::uint64_t>(g.projected));
+        ShCost sc = sh.batch(n_sh);
+        SortCost oc = sort.group(n_sur);
+        AlphaCost ac = alpha.batch(n_sh, blocks);
+        BlendCost bc = blend.batch(active, blends);
+        std::uint64_t mem = dram.cyclesFor(bytes);
+
+        // Units pipeline across groups; per group the slowest unit
+        // bounds progress.
+        main_cycles += std::max({mem, pc.cycles, sc.cycles, oc.cycles,
+                                 ac.cycles, bc.cycles});
+
+        proj_busy += pc.cycles;
+        sh_busy += sc.cycles;
+        sort_busy += oc.cycles;
+        alpha_busy += ac.cycles;
+        blend_busy += bc.cycles;
+    }
+    dram.access(TrafficClass::Gaussian3D, bytes_3d_main);
+
+    // One-time pipeline fill across the stage chain.
+    main_cycles += proj.batch(1).latency + sh.batch(1).latency +
+                   alpha.batch(1, 1).latency + blend.batch(1, 1).latency;
+    r.main_cycles = main_cycles;
+
+    energy.busy("ProjectionUnit", proj_busy);
+    energy.busy("SHUnit", sh_busy);
+    energy.busy("SortUnit", sort_busy);
+    energy.busy("AlphaUnit", alpha_busy);
+    energy.busy("BlendingUnit", blend_busy);
+
+    // =====================================================================
+    // Image writeback (12 bytes RGB per pixel).  Finished sub-views
+    // (or, in full-view mode, retired T-masked regions) stream out of
+    // the image buffer while later groups are still rendering, so
+    // only the final sub-view's drain is serial.
+    // =====================================================================
+    std::uint64_t image_bytes =
+        static_cast<std::uint64_t>(frame_pixels) * 12;
+    dram.access(TrafficClass::Meta, image_bytes);
+    std::uint64_t drain_pixels =
+        r.cmode ? static_cast<std::uint64_t>(subview) * subview
+                : static_cast<std::uint64_t>(frame_pixels);
+    r.output_cycles = dram.cyclesFor(drain_pixels * 12);
+    // The overlapped portion still occupies the bus alongside the
+    // main loop; charge it to the main loop's memory time.
+    r.main_cycles += dram.cyclesFor(image_bytes - drain_pixels * 12) / 4;
+
+    r.total_cycles = r.stage1_cycles + r.main_cycles + r.output_cycles;
+    r.fps = config_.clock_ghz * 1e9 / static_cast<double>(r.total_cycles);
+
+    // ---- On-chip buffer traffic. ----
+    Sram shared_buf(chip_.buffer("SharedBuffer"));
+    std::uint64_t geom_bytes_staged =
+        static_cast<std::uint64_t>(r.flow.projected) *
+        static_cast<std::uint64_t>(config_.geom_bytes);
+    shared_buf.write(geom_bytes_staged);
+    shared_buf.read(geom_bytes_staged);
+
+    Sram sh_buf(chip_.buffer("SHBuffer"));
+    std::uint64_t sh_bytes_staged =
+        static_cast<std::uint64_t>(r.flow.sh_evaluated) *
+        static_cast<std::uint64_t>(config_.sh_bytes);
+    sh_buf.write(sh_bytes_staged);
+    sh_buf.read(sh_bytes_staged);
+
+    Sram sorted_buf(chip_.buffer("SortedBuffer"));
+    sorted_buf.write(static_cast<std::uint64_t>(r.flow.survived_cull) * 8);
+    sorted_buf.read(static_cast<std::uint64_t>(r.flow.survived_cull) * 8);
+
+    // Intensive Blending Unit <-> Image Buffer exchange (Sec. 5.3):
+    // T reads during alpha, RGBT read-modify-write during blending.
+    Sram image_buf(chip_.buffer("ImageBuffer"));
+    image_buf.read(static_cast<std::uint64_t>(r.flow.alpha_evals) * 4);
+    image_buf.read(static_cast<std::uint64_t>(r.flow.blend_ops) * 16);
+    image_buf.write(static_cast<std::uint64_t>(r.flow.blend_ops) * 16);
+
+    energy.addSramMj(shared_buf.energyMj() + sh_buf.energyMj() +
+                     sorted_buf.energyMj() + image_buf.energyMj());
+
+    r.energy = energy.breakdown(r.total_cycles, dram);
+
+    r.dram_bytes_3d = dram.bytes(TrafficClass::Gaussian3D);
+    r.dram_bytes_meta = dram.bytes(TrafficClass::Meta);
+    r.dram_bytes_total = dram.totalBytes();
+
+    // ---- Named stats. ----
+    stats_.counter("frame.cycles").set(static_cast<double>(r.total_cycles));
+    stats_.counter("frame.fps").set(r.fps);
+    stats_.counter("stage1.cycles")
+        .set(static_cast<double>(r.stage1_cycles));
+    stats_.counter("main.cycles").set(static_cast<double>(r.main_cycles));
+    stats_.counter("busy.projection").set(static_cast<double>(proj_busy));
+    stats_.counter("busy.sh").set(static_cast<double>(sh_busy));
+    stats_.counter("busy.sort").set(static_cast<double>(sort_busy));
+    stats_.counter("busy.alpha").set(static_cast<double>(alpha_busy));
+    stats_.counter("busy.blend").set(static_cast<double>(blend_busy));
+    stats_.counter("dram.total_bytes")
+        .set(static_cast<double>(r.dram_bytes_total));
+    stats_.counter("energy.total_mj").set(r.energy.total());
+    stats_.counter("cmode.enabled").set(r.cmode ? 1.0 : 0.0);
+    return r;
+}
+
+} // namespace gcc3d

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cycle-level simulator of the GCC accelerator (Sec. 4).
+ *
+ * Execution per frame:
+ *   - Stage I runs as a frame-global barrier: depths for ALL
+ *     Gaussians (shared MVMs), hierarchical binning (RCA), id/depth
+ *     spill.  In Compatibility Mode, Gaussians are additionally
+ *     binned by screen position into sub-views.
+ *   - Stages II-IV then stream depth groups through the pipelined
+ *     Projection / Sort / SH / Alpha / Blending units.  Per group,
+ *     the slowest of {DRAM, projection, sorting, SH, alpha, blending}
+ *     bounds progress; groups skipped by cross-stage conditional
+ *     termination cost nothing.
+ *
+ * The functional behaviour (the image and the exact per-group
+ * activity) comes from GaussianWiseRenderer; this class turns the
+ * activity trace into cycles, DRAM traffic and energy using the
+ * architecture parameters of GccConfig and the Table 4 chip model.
+ */
+
+#ifndef GCC3D_CORE_GCC_SIM_H
+#define GCC3D_CORE_GCC_SIM_H
+
+#include <cstdint>
+
+#include "core/gcc_config.h"
+#include "render/gaussian_wise_renderer.h"
+#include "render/image.h"
+#include "sim/dram.h"
+#include "sim/energy_model.h"
+#include "sim/stats.h"
+#include "scene/camera.h"
+#include "scene/gaussian_cloud.h"
+
+namespace gcc3d {
+
+/** Result of simulating one frame on GCC. */
+struct GccFrameResult
+{
+    Image image;                ///< rendered frame (functional)
+    GaussianWiseStats flow;     ///< dataflow counters + group trace
+
+    std::uint64_t stage1_cycles = 0;  ///< grouping barrier
+    std::uint64_t main_cycles = 0;    ///< Stages II-IV
+    std::uint64_t output_cycles = 0;  ///< final image writeback
+    std::uint64_t total_cycles = 0;
+
+    double fps = 0.0;
+    EnergyBreakdown energy;
+
+    std::uint64_t dram_bytes_3d = 0;  ///< Gaussian parameter traffic
+    std::uint64_t dram_bytes_meta = 0; ///< id/depth lists, image out
+    std::uint64_t dram_bytes_total = 0;
+
+    bool cmode = false;         ///< Compatibility Mode engaged
+    int subview_size = 0;       ///< sub-view side used (0 = full view)
+};
+
+/** The GCC accelerator simulator. */
+class GccSim
+{
+  public:
+    explicit GccSim(GccConfig config = {});
+
+    const GccConfig &config() const { return config_; }
+    const ChipModel &chip() const { return chip_; }
+
+    /** Simulate rendering one frame of @p cloud from @p cam. */
+    GccFrameResult renderFrame(const GaussianCloud &cloud,
+                               const Camera &cam) const;
+
+    /** Detailed named stats of the last simulated frame. */
+    const StatSet &lastStats() const { return stats_; }
+
+  private:
+    GccConfig config_;
+    ChipModel chip_;
+    mutable StatSet stats_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_CORE_GCC_SIM_H

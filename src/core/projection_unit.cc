@@ -1,0 +1,24 @@
+#include "core/projection_unit.h"
+
+#include "sim/pipeline.h"
+
+namespace gcc3d {
+
+ProjectionCost
+ProjectionUnit::batch(std::uint64_t gaussians) const
+{
+    ProjectionCost c;
+    // One Gaussian per cycle per way in steady state: the four
+    // interleaved div/sqrt units hide their 4-cycle latency.
+    c.cycles = ceilDiv(gaussians,
+                       static_cast<std::uint64_t>(
+                           config_->projection_ways));
+    // Fill: MVM cascade (3 chained multiplies) + div/sqrt chain.
+    c.latency = static_cast<std::uint64_t>(3 * 4 +
+                                           config_->divsqrt_latency * 2);
+    c.fma_ops = gaussians * kFmaPerGaussian;
+    c.divsqrt_ops = gaussians * 3;  // 1/z, 1/z^2 path, radius sqrt
+    return c;
+}
+
+} // namespace gcc3d

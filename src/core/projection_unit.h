@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Stage II hardware model: the Projection Unit (Sec. 4.3).
+ *
+ * Three cooperating blocks per way:
+ *  - PPU (Position Projection Unit): view transform of the mean via
+ *    three parallel MVM lanes, then NDC/pixel conversion through a
+ *    4-cycle iterative fused divide/sqrt unit; four such units are
+ *    interleaved so one Gaussian completes per cycle per way.
+ *  - RU (Reconstruction Unit): decodes (s, q) into the 3D covariance
+ *    and builds the Jacobian; feeds the shared MVM for
+ *    Sigma' = J W Sigma W^T J^T.
+ *  - SCU (Screen Culling Unit): applies the omega-sigma law (Eq. 8)
+ *    and prunes off-screen Gaussians.
+ *
+ * Throughput: projection_ways Gaussians per cycle, sustained; the
+ * per-way latency is the div/sqrt chain plus the MVM cascade.
+ */
+
+#ifndef GCC3D_CORE_PROJECTION_UNIT_H
+#define GCC3D_CORE_PROJECTION_UNIT_H
+
+#include <cstdint>
+
+#include "core/gcc_config.h"
+
+namespace gcc3d {
+
+/** Cycle/op cost of projecting a batch of Gaussians. */
+struct ProjectionCost
+{
+    std::uint64_t cycles = 0;    ///< occupancy for the batch
+    std::uint64_t latency = 0;   ///< fill latency of the unit
+    std::uint64_t fma_ops = 0;   ///< FMA operations issued
+    std::uint64_t divsqrt_ops = 0;
+};
+
+/** Stage II cycle model. */
+class ProjectionUnit
+{
+  public:
+    explicit ProjectionUnit(const GccConfig &config) : config_(&config) {}
+
+    /** Per-Gaussian FMA work of Eq. 1 (reconstruction + projection). */
+    static constexpr std::uint64_t kFmaPerGaussian =
+        9 +   // quaternion decode -> R
+        27 +  // R * S and (RS)(RS)^T upper triangle
+        6 +   // Jacobian terms
+        45 +  // J W Sigma W^T J^T cascade
+        12 +  // view transform + pixel conversion
+        8;    // omega-sigma radius / screen test
+
+    /**
+     * Cost of projecting @p gaussians Gaussians.
+     */
+    ProjectionCost batch(std::uint64_t gaussians) const;
+
+  private:
+    const GccConfig *config_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_CORE_PROJECTION_UNIT_H

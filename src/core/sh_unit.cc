@@ -1,0 +1,19 @@
+#include "core/sh_unit.h"
+
+#include "sim/pipeline.h"
+
+namespace gcc3d {
+
+ShCost
+ShUnit::batch(std::uint64_t gaussians) const
+{
+    ShCost c;
+    c.cycles =
+        ceilDiv(gaussians, static_cast<std::uint64_t>(config_->sh_ways));
+    // Normalization div/sqrt + adder-tree depth.
+    c.latency = static_cast<std::uint64_t>(config_->divsqrt_latency + 6);
+    c.mac_ops = gaussians * kMacPerGaussian;
+    return c;
+}
+
+} // namespace gcc3d

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Stage III hardware model: the Spherical Harmonics Unit.
+ *
+ * One SHE (SH Element) per color channel; each way evaluates the
+ * 16-term SH dot product for all three channels of one Gaussian per
+ * cycle (48 MACs in a tree).  View-direction normalization reuses the
+ * Projection Unit's iterative div/sqrt design.  GCC provisions a
+ * single way (vs GSCore's four) because cross-stage conditional
+ * processing shrinks the population needing color (Sec. 5.3).
+ */
+
+#ifndef GCC3D_CORE_SH_UNIT_H
+#define GCC3D_CORE_SH_UNIT_H
+
+#include <cstdint>
+
+#include "core/gcc_config.h"
+
+namespace gcc3d {
+
+/** Cycle/op cost of shading a batch of Gaussians. */
+struct ShCost
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t latency = 0;
+    std::uint64_t mac_ops = 0;
+};
+
+/** Stage III SH cycle model. */
+class ShUnit
+{
+  public:
+    explicit ShUnit(const GccConfig &config) : config_(&config) {}
+
+    /** MACs per Gaussian: 16 coefficients x 3 channels + basis. */
+    static constexpr std::uint64_t kMacPerGaussian = 48 + 15;
+
+    ShCost batch(std::uint64_t gaussians) const;
+
+  private:
+    const GccConfig *config_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_CORE_SH_UNIT_H

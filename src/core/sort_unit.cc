@@ -1,0 +1,79 @@
+#include "core/sort_unit.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "sim/pipeline.h"
+
+namespace gcc3d {
+
+SortCost
+SortUnit::group(std::uint64_t n) const
+{
+    SortCost c;
+    if (n <= 1)
+        return c;
+
+    const std::uint64_t w =
+        static_cast<std::uint64_t>(config_->sorter_width);
+
+    // Phase 1: sort ceil(n/w) chunks of w keys.  A w-wide bitonic
+    // network has log2(w)*(log2(w)+1)/2 compare stages; fully
+    // pipelined, a chunk enters per cycle after fill.
+    std::uint64_t chunks = ceilDiv(n, w);
+    std::uint64_t lg_w = static_cast<std::uint64_t>(std::bit_width(w) - 1);
+    std::uint64_t net_stages = lg_w * (lg_w + 1) / 2;
+    std::uint64_t phase1 = chunks + net_stages;
+
+    // Phase 2: merge passes; each pass streams all n keys through the
+    // network at w keys per cycle.
+    std::uint64_t merge_passes =
+        chunks > 1
+            ? static_cast<std::uint64_t>(std::bit_width(chunks - 1))
+            : 0;
+    std::uint64_t phase2 = merge_passes * ceilDiv(n, w);
+
+    c.cycles = phase1 + phase2;
+    c.compare_ops = n * net_stages / 2 + merge_passes * n;
+    return c;
+}
+
+void
+SortUnit::bitonicSort(std::vector<std::pair<float, std::uint32_t>> &keys)
+{
+    std::size_t n = keys.size();
+    if (n <= 1)
+        return;
+
+    // Pad to a power of two with +inf sentinels.
+    std::size_t m = std::bit_ceil(n);
+    keys.resize(m, {std::numeric_limits<float>::infinity(),
+                    std::numeric_limits<std::uint32_t>::max()});
+
+    auto less = [](const std::pair<float, std::uint32_t> &a,
+                   const std::pair<float, std::uint32_t> &b) {
+        if (a.first != b.first)
+            return a.first < b.first;
+        return a.second < b.second;
+    };
+
+    // Canonical iterative bitonic schedule: for each sub-sequence
+    // size k, compare-exchange at strides j = k/2 .. 1.
+    for (std::size_t k = 2; k <= m; k <<= 1) {
+        for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+            for (std::size_t i = 0; i < m; ++i) {
+                std::size_t partner = i ^ j;
+                if (partner <= i)
+                    continue;
+                bool ascending = (i & k) == 0;
+                if (less(keys[partner], keys[i]) == ascending)
+                    std::swap(keys[i], keys[partner]);
+            }
+        }
+    }
+    keys.resize(n);
+}
+
+} // namespace gcc3d

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Stage III hardware model: the Sort Unit.
+ *
+ * A 16-element bitonic sorting network (the same building block
+ * GSCore uses) sorts each depth group front-to-back.  Chunks of 16
+ * pass through the network once; larger groups are merged with
+ * log2(n/16) additional merge passes.  Because GCC sorts only within
+ * groups of at most N = 256 (global order comes from Stage I), the
+ * sorter is tiny (Table 4: 0.010 mm^2).
+ *
+ * The functional network itself is implemented bit-exactly (compare-
+ * exchange schedule of the bitonic sort) so tests can validate the
+ * hardware algorithm, not just std::sort.
+ */
+
+#ifndef GCC3D_CORE_SORT_UNIT_H
+#define GCC3D_CORE_SORT_UNIT_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/gcc_config.h"
+
+namespace gcc3d {
+
+/** Cycle cost of sorting one depth group. */
+struct SortCost
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t compare_ops = 0;
+};
+
+/** Stage III sorting model + functional bitonic network. */
+class SortUnit
+{
+  public:
+    explicit SortUnit(const GccConfig &config) : config_(&config) {}
+
+    /** Cost of sorting a group of @p n keys. */
+    SortCost group(std::uint64_t n) const;
+
+    /**
+     * Functional bitonic sort of (depth, id) keys, ascending by depth
+     * with id tie-break — the exact order the hardware produces.
+     * Works for any n (padded internally to a power of two).
+     */
+    static void bitonicSort(std::vector<std::pair<float, std::uint32_t>> &keys);
+
+  private:
+    const GccConfig *config_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_CORE_SORT_UNIT_H

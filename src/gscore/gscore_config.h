@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Architectural parameters of the GSCore baseline simulator.
+ *
+ * GSCore (ASPLOS'24) is the state-of-the-art 3DGS inference
+ * accelerator the paper compares against: a two-stage
+ * preprocess-then-render design with tile-wise rendering, 4-way
+ * culling/conversion units, a 16-wide bitonic sorting unit and
+ * OBB+subtile volume rendering units; 272 KB SRAM, 3.95 mm^2, 870 mW
+ * at 1 GHz / 28 nm (Tables 3-4).  The GCC authors rebuilt GSCore in
+ * simulation from its paper ("less than 3% performance deviation");
+ * we do the same.
+ */
+
+#ifndef GCC3D_GSCORE_GSCORE_CONFIG_H
+#define GCC3D_GSCORE_GSCORE_CONFIG_H
+
+#include "render/tile_renderer.h"
+#include "sim/dram.h"
+
+namespace gcc3d {
+
+/** Configuration of the GSCore cycle model. */
+struct GscoreConfig
+{
+    double clock_ghz = 1.0;
+
+    /** Culling/Conversion Units: projection throughput, Gaussians/cycle. */
+    int ccu_units = 4;
+    /** SH evaluation parallelism (Gaussians/cycle). */
+    int sh_ways = 4;
+    /** Width of the bitonic sorting network. */
+    int sorter_width = 16;
+    /** Volume Rendering Units x pixels per VRU per cycle. */
+    int vru_pixels_per_cycle = 128;
+    /**
+     * Per tile-Gaussian fetch pipeline overhead (cycles): loading the
+     * splat's conic/color/opacity into the VRU lanes before its first
+     * subtile pass.
+     */
+    int tile_fetch_overhead = 2;
+
+    /** Rendering tile side in pixels. */
+    int tile_size = 16;
+    /** Bounding method for tile binning (GSCore uses OBBs). */
+    BoundingMode bounding = BoundingMode::Obb3Sigma;
+
+    /** Bytes of a projected 2D splat record spilled to DRAM. */
+    int splat2d_bytes = 48;
+    /** Bytes of a Gaussian-tile key-value pair. */
+    int kv_bytes = 8;
+
+    DramConfig dram = DramConfig::lpddr4_3200();
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_GSCORE_GSCORE_CONFIG_H

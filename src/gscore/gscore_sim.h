@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cycle-level simulator of the GSCore baseline accelerator.
+ *
+ * The simulator executes the standard dataflow functionally (via
+ * TileRenderer, which produces both the image and exact activity
+ * counts) and converts the activity into cycles, DRAM traffic and
+ * energy using GSCore's architectural parameters.  The three frame
+ * phases are serialized, as the decoupled two-stage dataflow
+ * requires:
+ *
+ *   1. Preprocess: stream all 59-float Gaussians from DRAM, project
+ *      4-wide, evaluate SH 4-wide, spill 2D splats back to DRAM.
+ *   2. Sort: build Gaussian-tile KV pairs and depth-sort them with
+ *      the 16-wide bitonic merge network.
+ *   3. Render: tile by tile, refetch every overlapping 2D splat
+ *      (the duplicated loading of Fig. 2b) and alpha-blend through
+ *      the VRUs with per-pixel early termination.
+ */
+
+#ifndef GCC3D_GSCORE_GSCORE_SIM_H
+#define GCC3D_GSCORE_GSCORE_SIM_H
+
+#include <cstdint>
+
+#include "gscore/gscore_config.h"
+#include "render/image.h"
+#include "render/render_stats.h"
+#include "sim/dram.h"
+#include "sim/energy_model.h"
+#include "sim/stats.h"
+#include "scene/camera.h"
+#include "scene/gaussian_cloud.h"
+
+namespace gcc3d {
+
+/** Result of simulating one frame on GSCore. */
+struct GscoreFrameResult
+{
+    Image image;                 ///< rendered frame (functional)
+    StandardFlowStats flow;      ///< dataflow counters
+
+    std::uint64_t preprocess_cycles = 0;
+    std::uint64_t sort_cycles = 0;
+    std::uint64_t render_cycles = 0;
+    std::uint64_t total_cycles = 0;
+
+    double fps = 0.0;            ///< frames/s at the configured clock
+    EnergyBreakdown energy;      ///< per-frame energy (mJ)
+
+    std::uint64_t dram_bytes_3d = 0;
+    std::uint64_t dram_bytes_2d = 0;
+    std::uint64_t dram_bytes_kv = 0;
+    std::uint64_t dram_bytes_total = 0;
+};
+
+/** GSCore accelerator simulator. */
+class GscoreSim
+{
+  public:
+    explicit GscoreSim(GscoreConfig config = {});
+
+    const GscoreConfig &config() const { return config_; }
+    const ChipModel &chip() const { return chip_; }
+
+    /** Simulate rendering one frame of @p cloud from @p cam. */
+    GscoreFrameResult renderFrame(const GaussianCloud &cloud,
+                                  const Camera &cam) const;
+
+    /** Detailed named stats of the last simulated frame. */
+    const StatSet &lastStats() const { return stats_; }
+
+  private:
+    GscoreConfig config_;
+    ChipModel chip_;
+    mutable StatSet stats_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_GSCORE_GSCORE_SIM_H

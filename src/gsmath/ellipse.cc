@@ -1,0 +1,149 @@
+#include "gsmath/ellipse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcc3d {
+
+Eigen2
+symmetricEigen2(const Mat2 &sigma)
+{
+    float a = sigma(0, 0);
+    float b = 0.5f * (sigma(0, 1) + sigma(1, 0));
+    float c = sigma(1, 1);
+
+    float mid = 0.5f * (a + c);
+    float disc = std::sqrt(std::max(0.0f, mid * mid - (a * c - b * b)));
+
+    Eigen2 e;
+    e.l1 = std::max(0.0f, mid + disc);
+    e.l2 = std::max(0.0f, mid - disc);
+    // Major-axis direction; for (near-)isotropic matrices any angle works.
+    e.angle = 0.5f * std::atan2(2.0f * b, a - c);
+    return e;
+}
+
+PixelRect
+PixelRect::clipped(int w, int h) const
+{
+    PixelRect r;
+    r.x0 = std::max(x0, 0);
+    r.y0 = std::max(y0, 0);
+    r.x1 = std::min(x1, w - 1);
+    r.y1 = std::min(y1, h - 1);
+    return r;
+}
+
+Ellipse
+Ellipse::fromCovariance(const Vec2 &center, const Mat2 &cov)
+{
+    Ellipse e;
+    e.center = center;
+    e.cov = cov;
+    // Guard against degenerate covariances: the reference rasterizer
+    // adds a small diagonal dilation (0.3) during projection, so the
+    // determinant is positive in practice; clamp defensively anyway.
+    Mat2 c = cov;
+    if (c.determinant() <= 1e-12f) {
+        c(0, 0) += 1e-4f;
+        c(1, 1) += 1e-4f;
+    }
+    e.conic = c.inverse();
+    e.eig = symmetricEigen2(c);
+    return e;
+}
+
+int
+radius3Sigma(const Eigen2 &eig)
+{
+    return static_cast<int>(std::ceil(3.0f * std::sqrt(eig.l1)));
+}
+
+int
+radiusOmegaSigma(const Eigen2 &eig, float omega)
+{
+    if (omega <= kAlphaMin)
+        return 0;
+    float k2 = 2.0f * std::log(255.0f * omega);
+    if (k2 <= 0.0f)
+        return 0;
+    return static_cast<int>(std::ceil(std::sqrt(k2 * eig.l1)));
+}
+
+PixelRect
+aabbFromRadius(const Vec2 &center, int radius)
+{
+    PixelRect r;
+    r.x0 = static_cast<int>(std::floor(center.x)) - radius;
+    r.y0 = static_cast<int>(std::floor(center.y)) - radius;
+    r.x1 = static_cast<int>(std::ceil(center.x)) + radius;
+    r.y1 = static_cast<int>(std::ceil(center.y)) + radius;
+    return r;
+}
+
+PixelRect
+aabbFromCovariance(const Vec2 &center, const Mat2 &cov, float kappa2)
+{
+    float ex = std::sqrt(std::max(0.0f, kappa2 * cov(0, 0)));
+    float ey = std::sqrt(std::max(0.0f, kappa2 * cov(1, 1)));
+    PixelRect r;
+    r.x0 = static_cast<int>(std::floor(center.x - ex));
+    r.y0 = static_cast<int>(std::floor(center.y - ey));
+    r.x1 = static_cast<int>(std::ceil(center.x + ex));
+    r.y1 = static_cast<int>(std::ceil(center.y + ey));
+    return r;
+}
+
+std::int64_t
+obbPixelCount(const Ellipse &e, float kappa, int width, int height)
+{
+    // Side half-lengths of the oriented box.
+    float ha = kappa * std::sqrt(e.eig.l1);
+    float hb = kappa * std::sqrt(e.eig.l2);
+    if (ha <= 0.0f || hb <= 0.0f)
+        return 0;
+
+    // Estimate on-screen fraction via the OBB's axis-aligned extent.
+    float ca = std::fabs(std::cos(e.eig.angle));
+    float sa = std::fabs(std::sin(e.eig.angle));
+    float ex = ha * ca + hb * sa;
+    float ey = ha * sa + hb * ca;
+
+    float x0 = std::max(0.0f, e.center.x - ex);
+    float x1 = std::min(static_cast<float>(width), e.center.x + ex);
+    float y0 = std::max(0.0f, e.center.y - ey);
+    float y1 = std::min(static_cast<float>(height), e.center.y + ey);
+    if (x1 <= x0 || y1 <= y0)
+        return 0;
+
+    float full = 4.0f * ex * ey;
+    float vis = (x1 - x0) * (y1 - y0);
+    float frac = full > 0.0f ? vis / full : 0.0f;
+
+    double obb_area = 4.0 * static_cast<double>(ha) * hb;
+    return static_cast<std::int64_t>(obb_area * frac + 0.5);
+}
+
+std::int64_t
+effectivePixelCount(const Ellipse &e, float omega, int width, int height)
+{
+    int r = radiusOmegaSigma(e.eig, omega);
+    if (r == 0)
+        return 0;
+    PixelRect box = aabbFromRadius(e.center, r).clipped(width, height);
+    if (box.empty())
+        return 0;
+
+    std::int64_t count = 0;
+    for (int y = box.y0; y <= box.y1; ++y) {
+        for (int x = box.x0; x <= box.x1; ++x) {
+            Vec2 p(static_cast<float>(x) + 0.5f,
+                   static_cast<float>(y) + 0.5f);
+            if (e.alphaAt(p, omega) >= kAlphaMin)
+                ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace gcc3d

@@ -1,0 +1,97 @@
+#include "gsmath/exp_lut.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcc3d {
+
+ExpLut::ExpLut()
+{
+    // Uniform segmentation of [kLowerBound, 0).  Each segment stores a
+    // chord (secant) fit shifted down by half the chord's maximum
+    // deviation — the equioscillating (minimax) linear fit of exp on
+    // the segment — which keeps the maximum relative error under 1%
+    // with 16 segments, as the paper requires.
+    seg_width_ = -kLowerBound / static_cast<float>(kSegments);
+    for (int i = 0; i < kSegments; ++i) {
+        float x0 = kLowerBound + seg_width_ * static_cast<float>(i);
+        float x1 = x0 + seg_width_;
+        float y0 = std::exp(x0);
+        float y1 = std::exp(x1);
+        float a = (y1 - y0) / (x1 - x0);
+        float b = y0 - a * x0;
+        // The chord over-estimates most at x* = ln(a); split the error.
+        float x_star = std::log(a);
+        float dev = (a * x_star + b) - std::exp(x_star);
+        b -= 0.5f * dev;
+        // Balance the *relative* error (the paper's metric): scale the
+        // segment so the largest over- and under-estimates match.
+        float max_rel = 0.0f, min_rel = 0.0f;
+        for (int k = 0; k <= 64; ++k) {
+            float x = x0 + seg_width_ * static_cast<float>(k) / 64.0f;
+            float rel = (a * x + b) / std::exp(x) - 1.0f;
+            max_rel = std::max(max_rel, rel);
+            min_rel = std::min(min_rel, rel);
+        }
+        float gain = 1.0f / (1.0f + 0.5f * (max_rel + min_rel));
+        a *= gain;
+        b *= gain;
+        float c = a * x0 + b;  // segment-local intercept
+        segs_[i] = {x0, AlphaFixed::fromFloat(a), AlphaFixed::fromFloat(c)};
+    }
+}
+
+int
+ExpLut::segmentIndex(float x) const
+{
+    int idx = static_cast<int>((x - kLowerBound) / seg_width_);
+    return std::clamp(idx, 0, kSegments - 1);
+}
+
+float
+ExpLut::eval(float x) const
+{
+    if (x < kLowerBound)
+        return 0.0f;
+    if (x >= 0.0f)
+        return 1.0f;
+    const Segment &s = segs_[segmentIndex(x)];
+    AlphaFixed dx = AlphaFixed::fromFloat(x - s.x0);
+    AlphaFixed y = s.a * dx + s.c;
+    return std::clamp(y.toFloat(), 0.0f, 1.0f);
+}
+
+AlphaFixed
+ExpLut::evalFixed(AlphaFixed x) const
+{
+    float xf = x.toFloat();
+    if (xf < kLowerBound)
+        return AlphaFixed::fromFloat(0.0f);
+    if (xf >= 0.0f)
+        return AlphaFixed::fromFloat(1.0f);
+    const Segment &s = segs_[segmentIndex(xf)];
+    AlphaFixed dx = x - AlphaFixed::fromFloat(s.x0);
+    AlphaFixed y = s.a * dx + s.c;
+    if (y < AlphaFixed::fromFloat(0.0f))
+        return AlphaFixed::fromFloat(0.0f);
+    if (y > AlphaFixed::fromFloat(1.0f))
+        return AlphaFixed::fromFloat(1.0f);
+    return y;
+}
+
+float
+ExpLut::maxRelativeError(int samples) const
+{
+    float max_err = 0.0f;
+    for (int i = 0; i < samples; ++i) {
+        float x = kLowerBound +
+                  (-kLowerBound) * (static_cast<float>(i) + 0.5f) /
+                      static_cast<float>(samples);
+        float exact = std::exp(x);
+        float approx = eval(x);
+        max_err = std::max(max_err, std::fabs(approx - exact) / exact);
+    }
+    return max_err;
+}
+
+} // namespace gcc3d

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Lookup-table EXP unit with piecewise-linear approximation (Sec. 4.4).
+ *
+ * The Alpha Unit computes alpha = exp(ln_omega - q/2).  Meaningful
+ * alpha values lie in [1/255, 1), so the exponent input is constrained
+ * to [-5.54, 0).  The hardware covers only this interval with 16
+ * linear segments (a_i * x + b_i) evaluated in fixed point:
+ *   - inputs below -5.54 clamp to alpha = 0,
+ *   - inputs >= 0 saturate to alpha = 1 (then min(0.99, .) downstream),
+ *   - approximation error is below 1% across the interval.
+ */
+
+#ifndef GCC3D_GSMATH_EXP_LUT_H
+#define GCC3D_GSMATH_EXP_LUT_H
+
+#include <array>
+
+#include "gsmath/fixed_point.h"
+
+namespace gcc3d {
+
+/**
+ * Piecewise-linear exponential approximator over [-5.54, 0) using a
+ * fully fixed-point datapath, modeling the GCC Alpha Unit EXP stage.
+ */
+class ExpLut
+{
+  public:
+    /** Number of linear segments in the LUT. */
+    static constexpr int kSegments = 16;
+    /** Lower bound of the covered exponent interval: ln(1/255). */
+    static constexpr float kLowerBound = -5.5412635f;
+
+    ExpLut();
+
+    /**
+     * Approximate exp(x).
+     *
+     * @param x exponent; clamped to 0 below kLowerBound, saturated to
+     *          1 at or above zero.
+     * @return approximation of exp(x) in [0, 1].
+     */
+    float eval(float x) const;
+
+    /**
+     * Fixed-point evaluation used by the cycle-accurate Alpha Unit
+     * model; quantizes input/coefficients/output to the Q5.16 datapath.
+     */
+    AlphaFixed evalFixed(AlphaFixed x) const;
+
+    /** Maximum relative error across the covered interval (for tests). */
+    float maxRelativeError(int samples = 4096) const;
+
+  private:
+    /**
+     * One linear segment, evaluated in segment-local coordinates
+     * (y = a * (x - x0) + c): keeping the multiplicand small avoids
+     * amplifying the slope's quantization error by |x|.
+     */
+    struct Segment
+    {
+        float x0;       ///< segment start (inclusive)
+        AlphaFixed a;   ///< slope
+        AlphaFixed c;   ///< value at x0
+    };
+
+    int segmentIndex(float x) const;
+
+    std::array<Segment, kSegments> segs_;
+    float seg_width_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_GSMATH_EXP_LUT_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Minimal signed fixed-point arithmetic type.
+ *
+ * The GCC Alpha Unit performs its EXP approximation in fully
+ * fixed-point arithmetic to avoid the FP16 overflow issues the paper
+ * reports for GSCore (Sec. 4.4).  FixedPoint<IntBits, FracBits> models
+ * that datapath: conversions quantize to 2^-FracBits steps and
+ * arithmetic saturates at the representable range, exactly as a
+ * hardware accumulator would.
+ */
+
+#ifndef GCC3D_GSMATH_FIXED_POINT_H
+#define GCC3D_GSMATH_FIXED_POINT_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace gcc3d {
+
+/**
+ * Signed fixed-point number with IntBits integer bits (including sign)
+ * and FracBits fractional bits, stored in 32-bit raw form.
+ */
+template <int IntBits, int FracBits>
+class FixedPoint
+{
+  public:
+    static_assert(IntBits + FracBits <= 31,
+                  "raw value must fit a signed 32-bit container");
+
+    static constexpr std::int32_t kOne = std::int32_t{1} << FracBits;
+    static constexpr std::int32_t kMaxRaw =
+        (std::int32_t{1} << (IntBits + FracBits - 1)) - 1;
+    static constexpr std::int32_t kMinRaw = -kMaxRaw - 1;
+
+    constexpr FixedPoint() = default;
+
+    /** Quantize a float, saturating to the representable range. */
+    static constexpr FixedPoint
+    fromFloat(float v)
+    {
+        float scaled = v * static_cast<float>(kOne);
+        // round-to-nearest-even is overkill for the LUT datapath;
+        // round-half-away matches the RTL's simple rounder.
+        float r = scaled >= 0.0f ? scaled + 0.5f : scaled - 0.5f;
+        std::int64_t raw = static_cast<std::int64_t>(r);
+        raw = std::clamp<std::int64_t>(raw, kMinRaw, kMaxRaw);
+        return fromRaw(static_cast<std::int32_t>(raw));
+    }
+
+    static constexpr FixedPoint
+    fromRaw(std::int32_t raw)
+    {
+        FixedPoint f;
+        f.raw_ = raw;
+        return f;
+    }
+
+    constexpr std::int32_t raw() const { return raw_; }
+    constexpr float
+    toFloat() const
+    {
+        return static_cast<float>(raw_) / static_cast<float>(kOne);
+    }
+
+    constexpr FixedPoint
+    operator+(FixedPoint o) const
+    {
+        return saturate(static_cast<std::int64_t>(raw_) + o.raw_);
+    }
+
+    constexpr FixedPoint
+    operator-(FixedPoint o) const
+    {
+        return saturate(static_cast<std::int64_t>(raw_) - o.raw_);
+    }
+
+    /** Full-precision multiply then renormalize (hardware MUL+shift). */
+    constexpr FixedPoint
+    operator*(FixedPoint o) const
+    {
+        std::int64_t p = static_cast<std::int64_t>(raw_) * o.raw_;
+        return saturate(p >> FracBits);
+    }
+
+    constexpr bool operator==(const FixedPoint &o) const = default;
+    constexpr bool operator<(const FixedPoint &o) const
+    { return raw_ < o.raw_; }
+    constexpr bool operator<=(const FixedPoint &o) const
+    { return raw_ <= o.raw_; }
+    constexpr bool operator>(const FixedPoint &o) const
+    { return raw_ > o.raw_; }
+    constexpr bool operator>=(const FixedPoint &o) const
+    { return raw_ >= o.raw_; }
+
+  private:
+    static constexpr FixedPoint
+    saturate(std::int64_t raw)
+    {
+        raw = std::clamp<std::int64_t>(raw, kMinRaw, kMaxRaw);
+        return fromRaw(static_cast<std::int32_t>(raw));
+    }
+
+    std::int32_t raw_ = 0;
+};
+
+/**
+ * Datapath format used by the Alpha Unit's EXP stage: Q4.20 (24-bit
+ * words).  Four integer bits cover the exponent range [-5.54, 0]
+ * with saturation headroom; twenty fractional bits keep the LUT's
+ * quantization error well below the 1% budget.
+ */
+using AlphaFixed = FixedPoint<4, 20>;
+
+} // namespace gcc3d
+
+#endif // GCC3D_GSMATH_FIXED_POINT_H

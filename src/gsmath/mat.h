@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Small fixed-size matrix types for the 3DGS projection pipeline.
+ *
+ * The preprocessing stage of 3DGS is dominated by small dense matrix
+ * products (Eq. 1 in the paper): covariance reconstruction
+ * Sigma = R S S^T R^T and the EWA projection Sigma' = J W Sigma W^T J^T.
+ * Mat2 / Mat3 / Mat4 provide exactly the operations those equations
+ * require, in row-major storage.
+ */
+
+#ifndef GCC3D_GSMATH_MAT_H
+#define GCC3D_GSMATH_MAT_H
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "gsmath/vec.h"
+
+namespace gcc3d {
+
+/** A 2x2 row-major matrix (projected 2D covariances and conics). */
+struct Mat2
+{
+    // m[r][c]
+    std::array<std::array<float, 2>, 2> m{{{0, 0}, {0, 0}}};
+
+    constexpr Mat2() = default;
+    constexpr Mat2(float a, float b, float c, float d)
+        : m{{{a, b}, {c, d}}} {}
+
+    static constexpr Mat2
+    identity()
+    {
+        return Mat2(1, 0, 0, 1);
+    }
+
+    constexpr float operator()(size_t r, size_t c) const { return m[r][c]; }
+    constexpr float &operator()(size_t r, size_t c) { return m[r][c]; }
+
+    constexpr Mat2
+    operator+(const Mat2 &o) const
+    {
+        return Mat2(m[0][0] + o.m[0][0], m[0][1] + o.m[0][1],
+                    m[1][0] + o.m[1][0], m[1][1] + o.m[1][1]);
+    }
+
+    constexpr Mat2
+    operator*(const Mat2 &o) const
+    {
+        Mat2 r;
+        for (size_t i = 0; i < 2; ++i)
+            for (size_t j = 0; j < 2; ++j)
+                r.m[i][j] = m[i][0] * o.m[0][j] + m[i][1] * o.m[1][j];
+        return r;
+    }
+
+    constexpr Vec2
+    operator*(const Vec2 &v) const
+    {
+        return {m[0][0] * v.x + m[0][1] * v.y,
+                m[1][0] * v.x + m[1][1] * v.y};
+    }
+
+    constexpr Mat2 operator*(float s) const
+    { return Mat2(m[0][0] * s, m[0][1] * s, m[1][0] * s, m[1][1] * s); }
+
+    constexpr Mat2
+    transposed() const
+    {
+        return Mat2(m[0][0], m[1][0], m[0][1], m[1][1]);
+    }
+
+    constexpr float
+    determinant() const
+    {
+        return m[0][0] * m[1][1] - m[0][1] * m[1][0];
+    }
+
+    /**
+     * Inverse of a (well-conditioned) 2x2 matrix.  Callers must check
+     * determinant() against zero first; covariances in the pipeline are
+     * regularized so this never degenerates in practice.
+     */
+    constexpr Mat2
+    inverse() const
+    {
+        float det = determinant();
+        float inv = 1.0f / det;
+        return Mat2(m[1][1] * inv, -m[0][1] * inv,
+                    -m[1][0] * inv, m[0][0] * inv);
+    }
+
+    constexpr float trace() const { return m[0][0] + m[1][1]; }
+};
+
+/** A 3x3 row-major matrix (rotations, world covariances, Jacobians). */
+struct Mat3
+{
+    std::array<std::array<float, 3>, 3> m{};
+
+    constexpr Mat3() = default;
+    constexpr Mat3(float a00, float a01, float a02,
+                   float a10, float a11, float a12,
+                   float a20, float a21, float a22)
+        : m{{{a00, a01, a02}, {a10, a11, a12}, {a20, a21, a22}}} {}
+
+    static constexpr Mat3
+    identity()
+    {
+        return Mat3(1, 0, 0, 0, 1, 0, 0, 0, 1);
+    }
+
+    /** Diagonal matrix from a vector (scale matrices S). */
+    static constexpr Mat3
+    diagonal(const Vec3 &d)
+    {
+        return Mat3(d.x, 0, 0, 0, d.y, 0, 0, 0, d.z);
+    }
+
+    constexpr float operator()(size_t r, size_t c) const { return m[r][c]; }
+    constexpr float &operator()(size_t r, size_t c) { return m[r][c]; }
+
+    constexpr Mat3
+    operator+(const Mat3 &o) const
+    {
+        Mat3 r;
+        for (size_t i = 0; i < 3; ++i)
+            for (size_t j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][j] + o.m[i][j];
+        return r;
+    }
+
+    constexpr Mat3
+    operator*(const Mat3 &o) const
+    {
+        Mat3 r;
+        for (size_t i = 0; i < 3; ++i)
+            for (size_t j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][0] * o.m[0][j] + m[i][1] * o.m[1][j] +
+                            m[i][2] * o.m[2][j];
+        return r;
+    }
+
+    constexpr Vec3
+    operator*(const Vec3 &v) const
+    {
+        return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+                m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+                m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+    }
+
+    constexpr Mat3
+    operator*(float s) const
+    {
+        Mat3 r;
+        for (size_t i = 0; i < 3; ++i)
+            for (size_t j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][j] * s;
+        return r;
+    }
+
+    constexpr Mat3
+    transposed() const
+    {
+        return Mat3(m[0][0], m[1][0], m[2][0],
+                    m[0][1], m[1][1], m[2][1],
+                    m[0][2], m[1][2], m[2][2]);
+    }
+
+    constexpr float
+    determinant() const
+    {
+        return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+               m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+               m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    }
+
+    /** Extract the upper-left 2x2 block (EWA covariance projection). */
+    constexpr Mat2
+    topLeft2x2() const
+    {
+        return Mat2(m[0][0], m[0][1], m[1][0], m[1][1]);
+    }
+};
+
+/** A 4x4 row-major matrix (view and projection transforms). */
+struct Mat4
+{
+    std::array<std::array<float, 4>, 4> m{};
+
+    constexpr Mat4() = default;
+
+    static constexpr Mat4
+    identity()
+    {
+        Mat4 r;
+        for (size_t i = 0; i < 4; ++i)
+            r.m[i][i] = 1.0f;
+        return r;
+    }
+
+    /** Build from a rotation block and a translation column. */
+    static constexpr Mat4
+    fromRotationTranslation(const Mat3 &rot, const Vec3 &t)
+    {
+        Mat4 r = identity();
+        for (size_t i = 0; i < 3; ++i)
+            for (size_t j = 0; j < 3; ++j)
+                r.m[i][j] = rot(i, j);
+        r.m[0][3] = t.x;
+        r.m[1][3] = t.y;
+        r.m[2][3] = t.z;
+        return r;
+    }
+
+    constexpr float operator()(size_t r, size_t c) const { return m[r][c]; }
+    constexpr float &operator()(size_t r, size_t c) { return m[r][c]; }
+
+    constexpr Mat4
+    operator*(const Mat4 &o) const
+    {
+        Mat4 r;
+        for (size_t i = 0; i < 4; ++i)
+            for (size_t j = 0; j < 4; ++j) {
+                float acc = 0.0f;
+                for (size_t k = 0; k < 4; ++k)
+                    acc += m[i][k] * o.m[k][j];
+                r.m[i][j] = acc;
+            }
+        return r;
+    }
+
+    constexpr Vec4
+    operator*(const Vec4 &v) const
+    {
+        return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z + m[0][3] * v.w,
+                m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z + m[1][3] * v.w,
+                m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z + m[2][3] * v.w,
+                m[3][0] * v.x + m[3][1] * v.y + m[3][2] * v.z + m[3][3] * v.w};
+    }
+
+    /** Transform a point (w=1 implied). */
+    constexpr Vec3
+    transformPoint(const Vec3 &p) const
+    {
+        Vec4 r = (*this) * Vec4(p, 1.0f);
+        return r.xyz();
+    }
+
+    /** Transform a direction (w=0 implied, translation ignored). */
+    constexpr Vec3
+    transformDirection(const Vec3 &d) const
+    {
+        Vec4 r = (*this) * Vec4(d, 0.0f);
+        return r.xyz();
+    }
+
+    /** Upper-left 3x3 rotation/linear block. */
+    constexpr Mat3
+    topLeft3x3() const
+    {
+        return Mat3(m[0][0], m[0][1], m[0][2],
+                    m[1][0], m[1][1], m[1][2],
+                    m[2][0], m[2][1], m[2][2]);
+    }
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_GSMATH_MAT_H

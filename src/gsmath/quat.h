@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Quaternion support for 3DGS rotation factors.
+ *
+ * Each Gaussian stores its orientation as a unit quaternion q; the
+ * Reconstruction Unit (RU) in the Projection Unit decodes q into the
+ * rotation matrix R used in Sigma = R S S^T R^T (Eq. 1).
+ */
+
+#ifndef GCC3D_GSMATH_QUAT_H
+#define GCC3D_GSMATH_QUAT_H
+
+#include <cmath>
+
+#include "gsmath/mat.h"
+#include "gsmath/vec.h"
+
+namespace gcc3d {
+
+/** A quaternion (w, x, y, z) representing a 3D rotation. */
+struct Quat
+{
+    float w = 1.0f;
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Quat() = default;
+    constexpr Quat(float w_, float x_, float y_, float z_)
+        : w(w_), x(x_), y(y_), z(z_) {}
+
+    /** Rotation of @p angle radians about (unit) @p axis. */
+    static Quat
+    fromAxisAngle(const Vec3 &axis, float angle)
+    {
+        Vec3 a = axis.normalized();
+        float h = 0.5f * angle;
+        float s = std::sin(h);
+        return {std::cos(h), a.x * s, a.y * s, a.z * s};
+    }
+
+    float norm() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+
+    /** Unit-length copy; identity when degenerate. */
+    Quat
+    normalized() const
+    {
+        float n = norm();
+        if (n <= 0.0f)
+            return Quat();
+        return {w / n, x / n, y / n, z / n};
+    }
+
+    /** Hamilton product (composition of rotations). */
+    constexpr Quat
+    operator*(const Quat &o) const
+    {
+        return {w * o.w - x * o.x - y * o.y - z * o.z,
+                w * o.x + x * o.w + y * o.z - z * o.y,
+                w * o.y - x * o.z + y * o.w + z * o.x,
+                w * o.z + x * o.y - y * o.x + z * o.w};
+    }
+
+    /**
+     * Convert to a 3x3 rotation matrix.  This mirrors exactly the
+     * decode performed by the RU hardware module: 9 outputs from
+     * products of quaternion components (the quaternion is normalized
+     * first, as in the reference 3DGS rasterizer).
+     */
+    Mat3
+    toMatrix() const
+    {
+        Quat q = normalized();
+        float ww = q.w * q.w, xx = q.x * q.x;
+        float yy = q.y * q.y, zz = q.z * q.z;
+        float xy = q.x * q.y, xz = q.x * q.z, yz = q.y * q.z;
+        float wx = q.w * q.x, wy = q.w * q.y, wz = q.w * q.z;
+        return Mat3(ww + xx - yy - zz, 2 * (xy - wz),      2 * (xz + wy),
+                    2 * (xy + wz),     ww - xx + yy - zz,  2 * (yz - wx),
+                    2 * (xz - wy),     2 * (yz + wx),      ww - xx - yy + zz);
+    }
+
+    /** Rotate a vector by this quaternion. */
+    Vec3 rotate(const Vec3 &v) const { return toMatrix() * v; }
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_GSMATH_QUAT_H

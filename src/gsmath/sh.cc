@@ -1,0 +1,92 @@
+#include "gsmath/sh.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcc3d {
+
+namespace {
+
+// Real spherical harmonics constants (matching the 3DGS reference
+// rasterizer's SH_C0..SH_C3 tables).
+constexpr float kC0 = 0.28209479177387814f;
+constexpr float kC1 = 0.4886025119029199f;
+constexpr float kC2[5] = {
+    1.0925484305920792f,
+    -1.0925484305920792f,
+    0.31539156525252005f,
+    -1.0925484305920792f,
+    0.5462742152960396f,
+};
+constexpr float kC3[7] = {
+    -0.5900435899266435f,
+    2.890611442640554f,
+    -0.4570457994644658f,
+    0.3731763325901154f,
+    -0.4570457994644658f,
+    1.445305721320277f,
+    -0.5900435899266435f,
+};
+
+} // namespace
+
+ShBasis
+shBasis(const Vec3 &dir)
+{
+    Vec3 d = dir.normalized();
+    float x = d.x, y = d.y, z = d.z;
+    float xx = x * x, yy = y * y, zz = z * z;
+    float xy = x * y, yz = y * z, xz = x * z;
+
+    ShBasis b{};
+    b[0] = kC0;
+    // degree 1
+    b[1] = -kC1 * y;
+    b[2] = kC1 * z;
+    b[3] = -kC1 * x;
+    // degree 2
+    b[4] = kC2[0] * xy;
+    b[5] = kC2[1] * yz;
+    b[6] = kC2[2] * (2.0f * zz - xx - yy);
+    b[7] = kC2[3] * xz;
+    b[8] = kC2[4] * (xx - yy);
+    // degree 3
+    b[9] = kC3[0] * y * (3.0f * xx - yy);
+    b[10] = kC3[1] * xy * z;
+    b[11] = kC3[2] * y * (4.0f * zz - xx - yy);
+    b[12] = kC3[3] * z * (2.0f * zz - 3.0f * xx - 3.0f * yy);
+    b[13] = kC3[4] * x * (4.0f * zz - xx - yy);
+    b[14] = kC3[5] * z * (xx - yy);
+    b[15] = kC3[6] * x * (xx - 3.0f * yy);
+    return b;
+}
+
+Vec3
+evalShColorDegree(const std::array<float, kShCoeffsTotal> &sh,
+                  const Vec3 &dir, int degree)
+{
+    ShBasis b = shBasis(dir);
+    int n = (degree + 1) * (degree + 1);
+    n = std::clamp(n, 1, kShCoeffsPerChannel);
+
+    Vec3 c;
+    for (int i = 0; i < n; ++i) {
+        c.x += sh[0 * kShCoeffsPerChannel + i] * b[i];
+        c.y += sh[1 * kShCoeffsPerChannel + i] * b[i];
+        c.z += sh[2 * kShCoeffsPerChannel + i] * b[i];
+    }
+    // Reference rasterizer adds 0.5 and clamps negatives to zero.
+    c += Vec3(0.5f, 0.5f, 0.5f);
+    c.x = std::max(0.0f, c.x);
+    c.y = std::max(0.0f, c.y);
+    c.z = std::max(0.0f, c.z);
+    return c;
+}
+
+Vec3
+evalShColor(const std::array<float, kShCoeffsTotal> &sh, const Vec3 &dir)
+{
+    return evalShColorDegree(sh, dir, kShDegree);
+}
+
+} // namespace gcc3d

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Alpha-based Gaussian Boundary Identification (paper Algorithm 1).
+ *
+ * Given a projected splat, find the minimal set of pixels whose alpha
+ * contribution meets the 1/255 threshold, without rasterizing a full
+ * bounding box.  Two granularities are provided:
+ *
+ *  - pixelBoundary(): the literal Algorithm 1 — a breadth-first pixel
+ *    traversal from the projected center, expanding only through
+ *    pixels that satisfy the elliptical alpha condition E(p).  Used
+ *    by tests as the ground-truth region and by Table 1.
+ *
+ *  - BlockTraversal: the hardware realization (Sec. 4.4) — the screen
+ *    is divided into n x n pixel blocks matching the Alpha Unit's PE
+ *    array; traversal proceeds block-by-block from the center block,
+ *    evaluating all n^2 alphas of a visited block in parallel and
+ *    expanding only through blocks that contain passing pixels
+ *    (directional early termination falls out of the convexity of the
+ *    elliptical footprint).
+ */
+
+#ifndef GCC3D_RENDER_BOUNDARY_H
+#define GCC3D_RENDER_BOUNDARY_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gsmath/ellipse.h"
+
+namespace gcc3d {
+
+/** Counters describing one boundary-identification traversal. */
+struct BoundaryStats
+{
+    std::int64_t alpha_evals = 0;      ///< alpha condition evaluations
+    std::int64_t influence_pixels = 0; ///< pixels meeting the threshold
+    std::int64_t visited_blocks = 0;   ///< blocks streamed (block mode)
+    std::int64_t active_blocks = 0;    ///< blocks with >=1 passing pixel
+};
+
+/**
+ * Visitor invoked for every influence pixel.
+ * @param x,y    pixel coordinates
+ * @param alpha  alpha contribution at the pixel (>= 1/255)
+ */
+using PixelVisitor = std::function<void(int x, int y, float alpha)>;
+
+/**
+ * Pixel-level Algorithm 1: BFS from the projected center (or nearest
+ * in-bounds pixel), expanding through pixels passing E(p).
+ *
+ * @param e       projected ellipse
+ * @param omega   Gaussian opacity
+ * @param width   image width
+ * @param height  image height
+ * @param visit   called once per influence pixel (may be null)
+ */
+BoundaryStats pixelBoundary(const Ellipse &e, float omega, int width,
+                            int height, const PixelVisitor &visit);
+
+/**
+ * Block-level traversal used by the Alpha Unit.  Blocks are n x n
+ * pixels; a visited block evaluates all of its pixel alphas (one PE
+ * per pixel).  A block mask lets the caller exclude blocks whose
+ * transmittance is exhausted (the T-mask of Sec. 4.5).
+ */
+class BlockTraversal
+{
+  public:
+    /**
+     * @param block_size  n (paper: 8)
+     * @param width       image width in pixels
+     * @param height      image height in pixels
+     */
+    BlockTraversal(int block_size, int width, int height);
+
+    int blocksX() const { return blocks_x_; }
+    int blocksY() const { return blocks_y_; }
+    int blockSize() const { return block_size_; }
+
+    /**
+     * Visitor invoked once per visited block that contains at least
+     * one passing pixel.  @param bx,by block coordinates.
+     */
+    using BlockVisitor = std::function<void(int bx, int by)>;
+
+    /**
+     * Run the traversal for one splat.
+     *
+     * @param e          projected ellipse
+     * @param omega      opacity
+     * @param t_mask     optional per-block skip mask (true = skip);
+     *                   size blocksX()*blocksY(); may be null
+     * @param visit      called per pixel whose alpha passes and whose
+     *                   block is not masked (may be null)
+     * @param block_visit called per active (passing, unmasked) block
+     *                    before its pixels are visited (may be null)
+     */
+    BoundaryStats traverse(const Ellipse &e, float omega,
+                           const std::vector<std::uint8_t> *t_mask,
+                           const PixelVisitor &visit,
+                           const BlockVisitor &block_visit = nullptr) const;
+
+    /**
+     * Whether block (bx, by) can intersect the effective (alpha >=
+     * 1/255) footprint of the splat — the same test the traversal's
+     * directional pruning uses.  Exposed so the conditional-loading
+     * check can skip a Gaussian exactly when every block the
+     * traversal would evaluate is T-masked.
+     */
+    bool blockReachable(const Ellipse &e, float omega, int bx,
+                        int by) const;
+
+  private:
+    int block_size_;
+    int width_;
+    int height_;
+    int blocks_x_;
+    int blocks_y_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_RENDER_BOUNDARY_H

@@ -1,0 +1,285 @@
+#include "render/gaussian_wise_renderer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gcc3d {
+
+std::vector<DepthGroup>
+groupByDepth(const std::vector<float> &depths,
+             const std::vector<std::uint32_t> &ids, int group_capacity)
+{
+    std::vector<std::uint32_t> order(ids.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (depths[a] != depths[b])
+                      return depths[a] < depths[b];
+                  return ids[a] < ids[b];
+              });
+
+    std::vector<DepthGroup> groups;
+    std::size_t n = order.size();
+    std::size_t cap = static_cast<std::size_t>(group_capacity);
+    groups.reserve((n + cap - 1) / std::max<std::size_t>(cap, 1));
+    for (std::size_t start = 0; start < n; start += cap) {
+        DepthGroup g;
+        std::size_t end = std::min(start + cap, n);
+        g.members.reserve(end - start);
+        for (std::size_t k = start; k < end; ++k)
+            g.members.push_back(ids[order[k]]);
+        g.depth_lo = depths[order[start]];
+        g.depth_hi = depths[order[end - 1]];
+        groups.push_back(std::move(g));
+    }
+    return groups;
+}
+
+void
+GaussianWiseRenderer::renderView(const GaussianCloud &cloud,
+                                 const Camera &cam,
+                                 const std::vector<std::uint32_t> &candidates,
+                                 int view_x0, int view_y0, int view_w,
+                                 int view_h, Image &image,
+                                 GaussianWiseStats &stats) const
+{
+    // ---- Stage I: depth computation, pivot cull, grouping. ----
+    std::vector<float> depths;
+    std::vector<std::uint32_t> ids;
+    depths.reserve(candidates.size());
+    ids.reserve(candidates.size());
+    for (std::uint32_t id : candidates) {
+        float d = cam.worldToView(cloud[id].mean).z;
+        if (d < config_.depth_pivot) {
+            ++stats.depth_culled;
+            continue;
+        }
+        depths.push_back(d);
+        ids.push_back(id);
+    }
+    std::vector<DepthGroup> groups =
+        groupByDepth(depths, ids, config_.group_capacity);
+    stats.groups += static_cast<std::int64_t>(groups.size());
+
+    // ---- Per-(sub)view pixel and block state. ----
+    BlockTraversal traversal(config_.block_size, view_w, view_h);
+    const int bx_n = traversal.blocksX();
+    const int by_n = traversal.blocksY();
+    std::vector<float> transmittance(
+        static_cast<std::size_t>(view_w) * view_h, 1.0f);
+    std::vector<std::uint8_t> t_mask(
+        static_cast<std::size_t>(bx_n) * by_n, 0);
+    std::vector<int> block_live(t_mask.size(), 0);
+    for (int by = 0; by < by_n; ++by) {
+        for (int bx = 0; bx < bx_n; ++bx) {
+            int w = std::min(config_.block_size,
+                             view_w - bx * config_.block_size);
+            int h = std::min(config_.block_size,
+                             view_h - by * config_.block_size);
+            block_live[static_cast<std::size_t>(by) * bx_n + bx] = w * h;
+        }
+    }
+    std::int64_t live = static_cast<std::int64_t>(view_w) * view_h;
+
+    // ---- Stages II-IV, group by group, near to far. ----
+    struct GroupSplat
+    {
+        Splat splat;
+        std::uint32_t id;
+    };
+    std::vector<GroupSplat> gsplats;
+
+    bool terminated = false;
+    for (const DepthGroup &group : groups) {
+        GroupActivity activity;
+        activity.members = static_cast<std::int32_t>(group.members.size());
+        if (terminated && config_.conditional) {
+            // Cross-stage conditional processing: this group (and all
+            // deeper ones) is never loaded from DRAM, projected or
+            // shaded.
+            stats.skipped_by_termination +=
+                static_cast<std::int64_t>(group.members.size());
+            activity.skipped = true;
+            stats.group_trace.push_back(activity);
+            continue;
+        }
+        ++stats.groups_processed;
+
+        // Stage II: position/shape projection and omega-sigma culling.
+        gsplats.clear();
+        for (std::uint32_t id : group.members) {
+            ++stats.projected;
+            ++activity.projected;
+            auto s = projectGaussian(cloud[id], id, cam, nullptr);
+            if (!s)
+                continue;
+            ++stats.survived_cull;
+            ++activity.survivors;
+            gsplats.push_back({*s, id});
+        }
+
+        // Stage III: intra-group front-to-back sort (bitonic network
+        // in hardware) and SH color for survivors only.
+        std::sort(gsplats.begin(), gsplats.end(),
+                  [](const GroupSplat &a, const GroupSplat &b) {
+                      if (a.splat.depth != b.splat.depth)
+                          return a.splat.depth < b.splat.depth;
+                      return a.id < b.id;
+                  });
+
+        // Stage IV: alpha-based boundary identification + blending.
+        for (GroupSplat &gs : gsplats) {
+            if (live == 0) {
+                terminated = true;
+                break;
+            }
+
+            // Work in sub-view-local coordinates.
+            Ellipse local = gs.splat.ellipse;
+            local.center = local.center -
+                           Vec2(static_cast<float>(view_x0),
+                                static_cast<float>(view_y0));
+
+            // Per-Gaussian conditional loading (the CC half of the
+            // dataflow, Fig. 1): if every block the footprint can
+            // touch has exhausted transmittance, the 48 SH floats are
+            // never fetched and the Gaussian never enters the Alpha
+            // Unit.
+            if (config_.conditional) {
+                int r = gs.splat.radius_omega;
+                int bx0 = std::max(
+                    0, (static_cast<int>(local.center.x) - r) /
+                           config_.block_size);
+                int by0 = std::max(
+                    0, (static_cast<int>(local.center.y) - r) /
+                           config_.block_size);
+                int bx1 = std::min(
+                    bx_n - 1, (static_cast<int>(local.center.x) + r) /
+                                  config_.block_size);
+                int by1 = std::min(
+                    by_n - 1, (static_cast<int>(local.center.y) + r) /
+                                  config_.block_size);
+                bool all_masked = bx0 <= bx1 && by0 <= by1;
+                for (int by = by0; by <= by1 && all_masked; ++by) {
+                    for (int bx = bx0; bx <= bx1; ++bx) {
+                        if (t_mask[static_cast<std::size_t>(by) * bx_n +
+                                   bx])
+                            continue;
+                        // Unmasked corner blocks the elliptical
+                        // footprint cannot reach don't block the skip:
+                        // the traversal would never evaluate them.
+                        if (!traversal.blockReachable(
+                                local, gs.splat.opacity, bx, by))
+                            continue;
+                        all_masked = false;
+                        break;
+                    }
+                }
+                if (all_masked) {
+                    ++stats.sh_skipped;
+                    ++activity.sh_skipped;
+                    continue;
+                }
+            }
+
+            ++stats.sh_evaluated;
+            ++activity.sh_evals;
+            gs.splat.color = shColorFor(cloud[gs.id], cam);
+
+            bool contributed = false;
+            BoundaryStats bs = traversal.traverse(
+                local, gs.splat.opacity, &t_mask,
+                [&](int x, int y, float a) {
+                    float &t =
+                        transmittance[static_cast<std::size_t>(y) *
+                                          view_w + x];
+                    if (t < config_.termination_t)
+                        return;
+                    ++stats.blend_ops;
+                    ++activity.blend_ops;
+                    contributed = true;
+                    image.at(view_x0 + x, view_y0 + y) +=
+                        gs.splat.color * (a * t);
+                    t *= 1.0f - a;
+                    if (t < config_.termination_t) {
+                        --live;
+                        std::size_t bi =
+                            static_cast<std::size_t>(
+                                y / config_.block_size) * bx_n +
+                            (x / config_.block_size);
+                        if (--block_live[bi] == 0)
+                            t_mask[bi] = 1;
+                    }
+                });
+            stats.alpha_evals += bs.alpha_evals;
+            stats.visited_blocks += bs.visited_blocks;
+            stats.influence_pixels += bs.influence_pixels;
+            activity.visited_blocks += bs.visited_blocks;
+            activity.active_blocks += bs.active_blocks;
+            activity.alpha_evals += bs.alpha_evals;
+            if (contributed) {
+                ++stats.rendered_gaussians;
+                ++activity.rendered;
+            }
+        }
+        if (live == 0)
+            terminated = true;
+        stats.group_trace.push_back(activity);
+    }
+}
+
+Image
+GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
+                             GaussianWiseStats &stats) const
+{
+    stats.total = static_cast<std::int64_t>(cloud.size());
+    Image image(cam.width(), cam.height());
+
+    if (config_.subview_size <= 0 ||
+        (config_.subview_size >= cam.width() &&
+         config_.subview_size >= cam.height())) {
+        std::vector<std::uint32_t> all(cloud.size());
+        std::iota(all.begin(), all.end(), 0u);
+        renderView(cloud, cam, all, 0, 0, cam.width(), cam.height(),
+                   image, stats);
+        return image;
+    }
+
+    // ---- Compatibility Mode: 2D spatial binning into sub-views. ----
+    const int sub = config_.subview_size;
+    const int sx = (cam.width() + sub - 1) / sub;
+    const int sy = (cam.height() + sub - 1) / sub;
+    std::vector<std::vector<std::uint32_t>> bins(
+        static_cast<std::size_t>(sx) * sy);
+
+    for (std::uint32_t id = 0; id < cloud.size(); ++id) {
+        auto s = projectGaussian(cloud[id], id, cam, nullptr);
+        if (!s)
+            continue;
+        PixelRect box = aabbFromRadius(s->ellipse.center, s->radius_omega)
+                            .clipped(cam.width(), cam.height());
+        if (box.empty())
+            continue;
+        for (int by = box.y0 / sub; by <= box.y1 / sub; ++by)
+            for (int bx = box.x0 / sub; bx <= box.x1 / sub; ++bx)
+                bins[static_cast<std::size_t>(by) * sx + bx].push_back(id);
+    }
+
+    for (int by = 0; by < sy; ++by) {
+        for (int bx = 0; bx < sx; ++bx) {
+            const auto &bin =
+                bins[static_cast<std::size_t>(by) * sx + bx];
+            if (bin.empty())
+                continue;
+            int x0 = bx * sub;
+            int y0 = by * sub;
+            int w = std::min(sub, cam.width() - x0);
+            int h = std::min(sub, cam.height() - y0);
+            renderView(cloud, cam, bin, x0, y0, w, h, image, stats);
+        }
+    }
+    return image;
+}
+
+} // namespace gcc3d

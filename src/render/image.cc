@@ -1,0 +1,57 @@
+#include "render/image.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+namespace gcc3d {
+
+Image::Image(int width, int height, const Vec3 &fill)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width) * height, fill)
+{
+}
+
+void
+Image::fill(const Vec3 &value)
+{
+    std::fill(pixels_.begin(), pixels_.end(), value);
+}
+
+bool
+Image::writePpm(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f << "P6\n" << width_ << " " << height_ << "\n255\n";
+    auto to8 = [](float v) {
+        float c = std::clamp(v, 0.0f, 1.0f);
+        return static_cast<std::uint8_t>(c * 255.0f + 0.5f);
+    };
+    std::vector<std::uint8_t> row(static_cast<std::size_t>(width_) * 3);
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            const Vec3 &p = at(x, y);
+            row[3 * x + 0] = to8(p.x);
+            row[3 * x + 1] = to8(p.y);
+            row[3 * x + 2] = to8(p.z);
+        }
+        f.write(reinterpret_cast<const char *>(row.data()),
+                static_cast<std::streamsize>(row.size()));
+    }
+    return static_cast<bool>(f);
+}
+
+float
+Image::meanIntensity() const
+{
+    if (pixels_.empty())
+        return 0.0f;
+    double acc = 0.0;
+    for (const Vec3 &p : pixels_)
+        acc += (p.x + p.y + p.z) / 3.0;
+    return static_cast<float>(acc / static_cast<double>(pixels_.size()));
+}
+
+} // namespace gcc3d

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Float RGB framebuffer with PPM export.
+ */
+
+#ifndef GCC3D_RENDER_IMAGE_H
+#define GCC3D_RENDER_IMAGE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gsmath/vec.h"
+
+namespace gcc3d {
+
+/** A dense RGB image with float channels in [0, 1]. */
+class Image
+{
+  public:
+    Image() = default;
+    Image(int width, int height, const Vec3 &fill = Vec3(0, 0, 0));
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    std::size_t pixelCount() const
+    { return static_cast<std::size_t>(width_) * height_; }
+
+    const Vec3 &
+    at(int x, int y) const
+    {
+        return pixels_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    Vec3 &
+    at(int x, int y)
+    {
+        return pixels_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    const std::vector<Vec3> &pixels() const { return pixels_; }
+    std::vector<Vec3> &pixels() { return pixels_; }
+
+    /** Fill every pixel with @p value. */
+    void fill(const Vec3 &value);
+
+    /** Write as binary PPM (P6), 8 bits per channel, clamped. */
+    bool writePpm(const std::string &path) const;
+
+    /** Mean over all pixels of the mean channel intensity. */
+    float meanIntensity() const;
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<Vec3> pixels_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_RENDER_IMAGE_H

@@ -1,0 +1,100 @@
+#include "render/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace gcc3d {
+
+namespace {
+
+float
+luma(const Vec3 &c)
+{
+    return 0.299f * c.x + 0.587f * c.y + 0.114f * c.z;
+}
+
+void
+requireSameShape(const Image &a, const Image &b)
+{
+    if (a.width() != b.width() || a.height() != b.height())
+        throw std::invalid_argument("metrics: image shapes differ");
+}
+
+} // namespace
+
+double
+mse(const Image &a, const Image &b)
+{
+    requireSameShape(a, b);
+    if (a.pixelCount() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+        Vec3 d = a.pixels()[i] - b.pixels()[i];
+        acc += static_cast<double>(d.x) * d.x +
+               static_cast<double>(d.y) * d.y +
+               static_cast<double>(d.z) * d.z;
+    }
+    return acc / (3.0 * static_cast<double>(a.pixelCount()));
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    double m = mse(a, b);
+    if (m <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(1.0 / m);
+}
+
+double
+ssim(const Image &a, const Image &b)
+{
+    requireSameShape(a, b);
+    constexpr int kWin = 8;
+    constexpr double kC1 = 0.01 * 0.01;
+    constexpr double kC2 = 0.03 * 0.03;
+
+    const int wx = a.width() / kWin;
+    const int wy = a.height() / kWin;
+    if (wx == 0 || wy == 0)
+        return 1.0;
+
+    double acc = 0.0;
+    int windows = 0;
+    for (int by = 0; by < wy; ++by) {
+        for (int bx = 0; bx < wx; ++bx) {
+            double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0,
+                   sum_ab = 0;
+            for (int y = 0; y < kWin; ++y) {
+                for (int x = 0; x < kWin; ++x) {
+                    double va = luma(a.at(bx * kWin + x, by * kWin + y));
+                    double vb = luma(b.at(bx * kWin + x, by * kWin + y));
+                    sum_a += va;
+                    sum_b += vb;
+                    sum_aa += va * va;
+                    sum_bb += vb * vb;
+                    sum_ab += va * vb;
+                }
+            }
+            constexpr double kN = kWin * kWin;
+            double mu_a = sum_a / kN;
+            double mu_b = sum_b / kN;
+            double var_a = std::max(0.0, sum_aa / kN - mu_a * mu_a);
+            double var_b = std::max(0.0, sum_bb / kN - mu_b * mu_b);
+            double cov = sum_ab / kN - mu_a * mu_b;
+
+            double s = ((2 * mu_a * mu_b + kC1) * (2 * cov + kC2)) /
+                       ((mu_a * mu_a + mu_b * mu_b + kC1) *
+                        (var_a + var_b + kC2));
+            acc += s;
+            ++windows;
+        }
+    }
+    return acc / static_cast<double>(windows);
+}
+
+} // namespace gcc3d

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Image quality metrics: PSNR and SSIM.
+ *
+ * The paper reports PSNR and LPIPS (Table 2).  LPIPS requires a
+ * pretrained CNN, which is unavailable offline; SSIM serves the same
+ * purpose here — a perceptual(ish) similarity score that detects any
+ * structural divergence between pipelines (DESIGN.md §1).
+ */
+
+#ifndef GCC3D_RENDER_METRICS_H
+#define GCC3D_RENDER_METRICS_H
+
+#include "render/image.h"
+
+namespace gcc3d {
+
+/** Mean squared error over all pixels and channels. */
+double mse(const Image &a, const Image &b);
+
+/**
+ * Peak signal-to-noise ratio in dB (peak = 1.0).  Identical images
+ * return +infinity.
+ */
+double psnr(const Image &a, const Image &b);
+
+/**
+ * Mean SSIM over 8x8 luma windows with the standard constants
+ * (k1 = 0.01, k2 = 0.03, L = 1).  1.0 means identical.
+ */
+double ssim(const Image &a, const Image &b);
+
+} // namespace gcc3d
+
+#endif // GCC3D_RENDER_METRICS_H

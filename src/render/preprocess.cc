@@ -1,0 +1,82 @@
+#include "render/preprocess.h"
+
+namespace gcc3d {
+
+std::optional<Splat>
+projectGaussian(const Gaussian &g, std::uint32_t id, const Camera &cam,
+                PreprocessStats *stats)
+{
+    Vec3 v = cam.worldToView(g.mean);
+    if (v.z < cam.nearPlane()) {
+        if (stats != nullptr)
+            ++stats->near_culled;
+        return std::nullopt;
+    }
+    if (!cam.inFrustum(v)) {
+        if (stats != nullptr)
+            ++stats->near_culled;
+        return std::nullopt;
+    }
+    if (stats != nullptr)
+        ++stats->in_frustum;
+
+    // Sigma' = J W Sigma W^T J^T (Eq. 1).
+    Mat3 w = cam.viewMatrix().topLeft3x3();
+    Mat3 jac = cam.projectionJacobian(v);
+    Mat3 jw = jac * w;
+    Mat3 cov3 = g.covariance3d();
+    Mat3 cov2_full = jw * cov3 * jw.transposed();
+    Mat2 cov2 = cov2_full.topLeft2x2();
+    // Reference rasterizer's low-pass dilation: every splat is at
+    // least ~one pixel wide, which also keeps the conic well-posed.
+    cov2(0, 0) += 0.3f;
+    cov2(1, 1) += 0.3f;
+
+    Splat s;
+    s.id = id;
+    s.depth = v.z;
+    s.ellipse = Ellipse::fromCovariance(cam.viewToPixel(v), cov2);
+    s.opacity = g.opacity;
+    s.radius_omega = radiusOmegaSigma(s.ellipse.eig, g.opacity);
+    s.radius_3sigma = radius3Sigma(s.ellipse.eig);
+
+    // Screen cull: a splat whose omega-sigma footprint cannot touch
+    // the image contributes nothing.
+    PixelRect box = aabbFromRadius(s.ellipse.center, s.radius_omega)
+                        .clipped(cam.width(), cam.height());
+    if (s.radius_omega == 0 || box.empty()) {
+        if (stats != nullptr)
+            ++stats->screen_culled;
+        return std::nullopt;
+    }
+
+    if (stats != nullptr)
+        ++stats->projected;
+    return s;
+}
+
+Vec3
+shColorFor(const Gaussian &g, const Camera &cam)
+{
+    return evalShColor(g.sh, g.mean - cam.position());
+}
+
+std::vector<Splat>
+preprocessAll(const GaussianCloud &cloud, const Camera &cam,
+              PreprocessStats &stats)
+{
+    std::vector<Splat> splats;
+    splats.reserve(cloud.size() / 2);
+    stats.total = cloud.size();
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        auto s = projectGaussian(cloud[i], static_cast<std::uint32_t>(i),
+                                 cam, &stats);
+        if (!s)
+            continue;
+        s->color = shColorFor(cloud[i], cam);
+        splats.push_back(*s);
+    }
+    return splats;
+}
+
+} // namespace gcc3d

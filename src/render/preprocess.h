@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared 3DGS preprocessing: projection of 3D Gaussians to 2D splats.
+ *
+ * Both pipelines (standard tile-wise and GCC Gaussian-wise) share the
+ * same mathematical preprocessing (Eq. 1): view transform, near-plane
+ * cull, EWA covariance projection via the Jacobian, and (optionally)
+ * SH color evaluation.  They differ in *when* these steps run and for
+ * *which* Gaussians — that scheduling lives in the renderers and the
+ * hardware simulators, not here.
+ */
+
+#ifndef GCC3D_RENDER_PREPROCESS_H
+#define GCC3D_RENDER_PREPROCESS_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gsmath/ellipse.h"
+#include "scene/camera.h"
+#include "scene/gaussian_cloud.h"
+
+namespace gcc3d {
+
+/** A Gaussian projected into screen space (a 2D splat). */
+struct Splat
+{
+    std::uint32_t id = 0;   ///< index into the source cloud
+    float depth = 0.0f;     ///< view-space z'
+    Ellipse ellipse;        ///< center mu', covariance, conic, eigen
+    float opacity = 0.0f;   ///< omega
+    Vec3 color;             ///< SH-evaluated RGB (when requested)
+    int radius_omega = 0;   ///< omega-sigma law radius (Eq. 8)
+    int radius_3sigma = 0;  ///< static 3-sigma radius (Eq. 6)
+};
+
+/** Counters produced while preprocessing a frame. */
+struct PreprocessStats
+{
+    std::size_t total = 0;        ///< Gaussians in the model
+    std::size_t near_culled = 0;  ///< culled by depth < near plane
+    std::size_t in_frustum = 0;   ///< survived frustum test
+    std::size_t screen_culled = 0; ///< projected footprint off-screen
+    std::size_t projected = 0;    ///< splats produced
+};
+
+/**
+ * Project a single Gaussian for @p cam.
+ *
+ * Performs the near-plane cull, the frustum test, the EWA covariance
+ * projection with the reference rasterizer's 0.3-pixel dilation, and
+ * the screen-bounds cull using the omega-sigma radius.  Color is NOT
+ * evaluated here (the pipelines schedule SH independently).
+ *
+ * @return the splat, or nullopt if the Gaussian was culled.
+ */
+std::optional<Splat> projectGaussian(const Gaussian &g, std::uint32_t id,
+                                     const Camera &cam,
+                                     PreprocessStats *stats = nullptr);
+
+/** Evaluate the SH color of @p g as seen from @p cam (Eq. 2). */
+Vec3 shColorFor(const Gaussian &g, const Camera &cam);
+
+/**
+ * Standard-dataflow preprocessing: project every Gaussian in the
+ * cloud and evaluate SH for every survivor (the "preprocess-then-
+ * render" first stage).
+ */
+std::vector<Splat> preprocessAll(const GaussianCloud &cloud,
+                                 const Camera &cam,
+                                 PreprocessStats &stats);
+
+} // namespace gcc3d
+
+#endif // GCC3D_RENDER_PREPROCESS_H

@@ -1,0 +1,267 @@
+#include "render/tile_renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcc3d {
+
+namespace {
+
+/** Tile range [bx0,bx1] x [by0,by1] a splat maps to, or empty. */
+struct TileRange
+{
+    int bx0 = 0, by0 = 0, bx1 = -1, by1 = -1;
+    bool empty() const { return bx1 < bx0 || by1 < by0; }
+    int count() const
+    { return empty() ? 0 : (bx1 - bx0 + 1) * (by1 - by0 + 1); }
+};
+
+PixelRect
+splatBounds(const Splat &s, BoundingMode mode)
+{
+    switch (mode) {
+      case BoundingMode::Aabb3Sigma:
+        return aabbFromRadius(s.ellipse.center, s.radius_3sigma);
+      case BoundingMode::Obb3Sigma:
+        // The OBB itself is oriented; its tile coverage is bounded by
+        // the axis-aligned extent of the oriented box.
+        return aabbFromCovariance(s.ellipse.center, s.ellipse.cov, 9.0f);
+      case BoundingMode::OmegaSigma:
+        return aabbFromRadius(s.ellipse.center, s.radius_omega);
+      case BoundingMode::Conservative: {
+        int r = std::max(s.radius_3sigma, s.radius_omega);
+        return aabbFromRadius(s.ellipse.center, (r * 5 + 3) / 4);
+      }
+    }
+    return {};
+}
+
+/**
+ * Exact-ish OBB vs tile overlap test (separating axes of the oriented
+ * box): used in Obb3Sigma mode to drop corner tiles the axis-aligned
+ * sweep would include.
+ */
+bool
+obbOverlapsTile(const Splat &s, float tx0, float ty0, float tx1, float ty1)
+{
+    float ca = std::cos(s.ellipse.eig.angle);
+    float sa = std::sin(s.ellipse.eig.angle);
+    float ha = 3.0f * std::sqrt(s.ellipse.eig.l1);
+    float hb = 3.0f * std::sqrt(s.ellipse.eig.l2);
+
+    // Tile corners relative to the splat center, projected onto the
+    // box axes; the tile misses the box iff all corners fall beyond
+    // one face (separating axis among the box axes).  The image-axis
+    // separation is already handled by the AABB sweep.
+    float min_u = 1e30f, max_u = -1e30f;
+    float min_v = 1e30f, max_v = -1e30f;
+    const float xs[2] = {tx0, tx1};
+    const float ys[2] = {ty0, ty1};
+    for (float x : xs) {
+        for (float y : ys) {
+            float dx = x - s.ellipse.center.x;
+            float dy = y - s.ellipse.center.y;
+            float u = dx * ca + dy * sa;
+            float v = -dx * sa + dy * ca;
+            min_u = std::min(min_u, u);
+            max_u = std::max(max_u, u);
+            min_v = std::min(min_v, v);
+            max_v = std::max(max_v, v);
+        }
+    }
+    return min_u <= ha && max_u >= -ha && min_v <= hb && max_v >= -hb;
+}
+
+TileRange
+tileRangeFor(const Splat &s, BoundingMode mode, int tile, int width,
+             int height)
+{
+    PixelRect box = splatBounds(s, mode).clipped(width, height);
+    TileRange r;
+    if (box.empty())
+        return r;
+    r.bx0 = box.x0 / tile;
+    r.by0 = box.y0 / tile;
+    r.bx1 = box.x1 / tile;
+    r.by1 = box.y1 / tile;
+    return r;
+}
+
+} // namespace
+
+std::vector<int>
+TileRenderer::tilesPerSplat(const std::vector<Splat> &splats,
+                            const Camera &cam) const
+{
+    std::vector<int> counts;
+    counts.reserve(splats.size());
+    for (const Splat &s : splats) {
+        TileRange r = tileRangeFor(s, config_.bounding, config_.tile_size,
+                                   cam.width(), cam.height());
+        if (config_.bounding == BoundingMode::Obb3Sigma && !r.empty()) {
+            int n = 0;
+            for (int by = r.by0; by <= r.by1; ++by) {
+                for (int bx = r.bx0; bx <= r.bx1; ++bx) {
+                    float tx0 = static_cast<float>(bx * config_.tile_size);
+                    float ty0 = static_cast<float>(by * config_.tile_size);
+                    if (obbOverlapsTile(s, tx0, ty0,
+                                        tx0 + config_.tile_size,
+                                        ty0 + config_.tile_size))
+                        ++n;
+                }
+            }
+            counts.push_back(n);
+        } else {
+            counts.push_back(r.count());
+        }
+    }
+    return counts;
+}
+
+Image
+TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
+                     StandardFlowStats &stats) const
+{
+    const int width = cam.width();
+    const int height = cam.height();
+    const int tile = config_.tile_size;
+    const int tiles_x = (width + tile - 1) / tile;
+    const int tiles_y = (height + tile - 1) / tile;
+
+    // ---- Stage 1: preprocess every Gaussian (decoupled). ----
+    std::vector<Splat> splats = preprocessAll(cloud, cam, stats.pre);
+
+    // ---- Tile binning: build Gaussian-tile KV pairs. ----
+    std::vector<std::vector<std::uint32_t>> tile_lists(
+        static_cast<std::size_t>(tiles_x) * tiles_y);
+    for (std::uint32_t si = 0; si < splats.size(); ++si) {
+        const Splat &s = splats[si];
+        TileRange r =
+            tileRangeFor(s, config_.bounding, tile, width, height);
+        for (int by = r.by0; by <= r.by1; ++by) {
+            for (int bx = r.bx0; bx <= r.bx1; ++bx) {
+                if (config_.bounding == BoundingMode::Obb3Sigma) {
+                    float tx0 = static_cast<float>(bx * tile);
+                    float ty0 = static_cast<float>(by * tile);
+                    if (!obbOverlapsTile(s, tx0, ty0, tx0 + tile,
+                                         ty0 + tile))
+                        continue;
+                }
+                tile_lists[static_cast<std::size_t>(by) * tiles_x + bx]
+                    .push_back(si);
+                ++stats.kv_pairs;
+            }
+        }
+    }
+
+    // ---- Stage 2: render tile by tile in scanline order. ----
+    Image image(width, height);
+    std::vector<float> tile_t(static_cast<std::size_t>(tile) * tile);
+    std::vector<std::uint8_t> contributed(splats.size(), 0);
+    std::vector<std::uint8_t> fetched(splats.size(), 0);
+
+    for (int by = 0; by < tiles_y; ++by) {
+        for (int bx = 0; bx < tiles_x; ++bx) {
+            auto &list =
+                tile_lists[static_cast<std::size_t>(by) * tiles_x + bx];
+            if (list.empty())
+                continue;
+
+            // Per-tile depth sort (radix sort on the GPU, bitonic
+            // network in GSCore; functionally a stable sort by depth).
+            std::stable_sort(list.begin(), list.end(),
+                             [&](std::uint32_t a, std::uint32_t b) {
+                                 return splats[a].depth < splats[b].depth;
+                             });
+            stats.sorted_keys += static_cast<std::int64_t>(list.size());
+            // 16-wide bitonic merge sort: chunks of 16 sort in one
+            // pass; merging ceil(n/16) chunks takes log2 more passes.
+            std::int64_t chunks =
+                static_cast<std::int64_t>((list.size() + 15) / 16);
+            std::int64_t passes = 1;
+            while ((std::int64_t{1} << (passes - 1)) < chunks)
+                ++passes;
+            stats.sort_pass_keys +=
+                static_cast<std::int64_t>(list.size()) * passes;
+
+            int x0 = bx * tile;
+            int y0 = by * tile;
+            int x1 = std::min(x0 + tile, width);
+            int y1 = std::min(y0 + tile, height);
+            int live = (x1 - x0) * (y1 - y0);
+            std::fill(tile_t.begin(), tile_t.end(), 1.0f);
+
+            // Per-subtile live-pixel counts (8x8 granularity): the
+            // VRU processes one subtile per array pass in lockstep.
+            constexpr int kSub = 8;
+            const int sub_n = (tile + kSub - 1) / kSub;
+            int sub_live[16] = {};
+            for (int y = y0; y < y1; ++y)
+                for (int x = x0; x < x1; ++x)
+                    ++sub_live[((y - y0) / kSub) * sub_n +
+                               (x - x0) / kSub];
+
+            for (std::uint32_t si : list) {
+                if (live == 0)
+                    break;  // whole tile terminated: skip the rest
+                ++stats.tile_fetches;
+                if (!fetched[si]) {
+                    fetched[si] = 1;
+                    ++stats.fetched_gaussians;
+                }
+                const Splat &s = splats[si];
+
+                // Array passes: live subtiles the splat's bounds reach.
+                PixelRect sb =
+                    aabbFromRadius(s.ellipse.center,
+                                   std::max(s.radius_3sigma,
+                                            s.radius_omega))
+                        .clipped(width, height);
+                for (int sy = 0; sy < sub_n; ++sy) {
+                    for (int sx = 0; sx < sub_n; ++sx) {
+                        if (sub_live[sy * sub_n + sx] == 0)
+                            continue;
+                        int rx0 = x0 + sx * kSub;
+                        int ry0 = y0 + sy * kSub;
+                        if (sb.x1 < rx0 || sb.x0 > rx0 + kSub - 1 ||
+                            sb.y1 < ry0 || sb.y0 > ry0 + kSub - 1)
+                            continue;
+                        ++stats.subtile_passes;
+                    }
+                }
+
+                for (int y = y0; y < y1; ++y) {
+                    for (int x = x0; x < x1; ++x) {
+                        float &t =
+                            tile_t[static_cast<std::size_t>(y - y0) *
+                                       tile + (x - x0)];
+                        if (t < config_.termination_t)
+                            continue;
+                        ++stats.alpha_evals;
+                        ++stats.pixels_touched;
+                        Vec2 p(static_cast<float>(x) + 0.5f,
+                               static_cast<float>(y) + 0.5f);
+                        float a = s.ellipse.alphaAt(p, s.opacity);
+                        if (a < config_.alpha_cutoff)
+                            continue;
+                        ++stats.blend_ops;
+                        if (!contributed[si]) {
+                            contributed[si] = 1;
+                            ++stats.rendered_gaussians;
+                        }
+                        image.at(x, y) += s.color * (a * t);
+                        t *= 1.0f - a;
+                        if (t < config_.termination_t) {
+                            --live;
+                            --sub_live[((y - y0) / kSub) * sub_n +
+                                       (x - x0) / kSub];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return image;
+}
+
+} // namespace gcc3d

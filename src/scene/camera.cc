@@ -1,0 +1,43 @@
+#include "scene/camera.h"
+
+#include <cmath>
+
+namespace gcc3d {
+
+Camera::Camera(int width, int height, float fov_x)
+    : width_(width), height_(height)
+{
+    focal_x_ = 0.5f * static_cast<float>(width) / std::tan(0.5f * fov_x);
+    // Square pixels: same focal length in both axes.
+    focal_y_ = focal_x_;
+}
+
+void
+Camera::lookAt(const Vec3 &eye, const Vec3 &target, const Vec3 &up)
+{
+    position_ = eye;
+    Vec3 fwd = (target - eye).normalized();      // +z in view space
+    Vec3 right = fwd.cross(up).normalized();     // +x
+    Vec3 cam_up = fwd.cross(right);              // +y (image-down consistent)
+
+    // Rows of the rotation block are the camera basis vectors; the
+    // translation column brings the eye to the origin.
+    Mat3 rot(right.x, right.y, right.z,
+             cam_up.x, cam_up.y, cam_up.z,
+             fwd.x, fwd.y, fwd.z);
+    Vec3 t = rot * (-eye);
+    view_ = Mat4::fromRotationTranslation(rot, t);
+}
+
+Mat3
+Camera::projectionJacobian(const Vec3 &v) const
+{
+    float inv_z = 1.0f / v.z;
+    float inv_z2 = inv_z * inv_z;
+    // d(pixel)/d(view): standard EWA Jacobian; third row unused.
+    return Mat3(focal_x_ * inv_z, 0.0f, -focal_x_ * v.x * inv_z2,
+                0.0f, focal_y_ * inv_z, -focal_y_ * v.y * inv_z2,
+                0.0f, 0.0f, 0.0f);
+}
+
+} // namespace gcc3d

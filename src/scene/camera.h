@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Pinhole camera model for 3DGS rendering.
+ *
+ * Provides the per-viewpoint data the preprocessing stage consumes:
+ * the world-to-camera view matrix W, the focal lengths used by the
+ * EWA Jacobian, and the projection to pixel coordinates.  Convention:
+ * camera looks down +z in view space (view-space depth = z'), pixel
+ * origin at the top-left corner.
+ */
+
+#ifndef GCC3D_SCENE_CAMERA_H
+#define GCC3D_SCENE_CAMERA_H
+
+#include "gsmath/mat.h"
+#include "gsmath/vec.h"
+
+namespace gcc3d {
+
+/** A pinhole camera: intrinsics + world-to-camera extrinsics. */
+class Camera
+{
+  public:
+    Camera() = default;
+
+    /**
+     * Construct from viewport and horizontal field of view.
+     *
+     * @param width   image width in pixels
+     * @param height  image height in pixels
+     * @param fov_x   horizontal field of view, radians
+     */
+    Camera(int width, int height, float fov_x);
+
+    /** Place the camera at @p eye looking at @p target (up = +y). */
+    void lookAt(const Vec3 &eye, const Vec3 &target,
+                const Vec3 &up = Vec3(0, 1, 0));
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    float focalX() const { return focal_x_; }
+    float focalY() const { return focal_y_; }
+    const Mat4 &viewMatrix() const { return view_; }
+    const Vec3 &position() const { return position_; }
+
+    /** Near-plane depth below which Gaussians are culled (paper: 0.2). */
+    float nearPlane() const { return near_; }
+    void setNearPlane(float near) { near_ = near; }
+
+    /** World point -> camera/view space (z = depth). */
+    Vec3
+    worldToView(const Vec3 &p) const
+    {
+        return view_.transformPoint(p);
+    }
+
+    /**
+     * View-space point -> pixel coordinates.  Callers must ensure
+     * v.z > 0 (in front of the camera).
+     */
+    Vec2
+    viewToPixel(const Vec3 &v) const
+    {
+        return {focal_x_ * v.x / v.z + 0.5f * static_cast<float>(width_),
+                focal_y_ * v.y / v.z + 0.5f * static_cast<float>(height_)};
+    }
+
+    /** World point -> pixel coordinates (must be in front of camera). */
+    Vec2
+    worldToPixel(const Vec3 &p) const
+    {
+        return viewToPixel(worldToView(p));
+    }
+
+    /**
+     * Jacobian J of the perspective projection at view-space point v
+     * (the 2x3 EWA Jacobian padded to 3x3 with a zero row), used in
+     * Sigma' = J W Sigma W^T J^T (Eq. 1, right).
+     */
+    Mat3 projectionJacobian(const Vec3 &v) const;
+
+    /**
+     * Generous in-frustum test in view space with a guard-band factor
+     * (projected Gaussians slightly off-screen can still contribute).
+     */
+    bool
+    inFrustum(const Vec3 &v, float guard_band = 1.3f) const
+    {
+        if (v.z < near_)
+            return false;
+        float lim_x = guard_band * 0.5f * static_cast<float>(width_) *
+                      v.z / focal_x_;
+        float lim_y = guard_band * 0.5f * static_cast<float>(height_) *
+                      v.z / focal_y_;
+        return v.x > -lim_x && v.x < lim_x && v.y > -lim_y && v.y < lim_y;
+    }
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    float focal_x_ = 1.0f;
+    float focal_y_ = 1.0f;
+    float near_ = 0.2f;
+    Mat4 view_ = Mat4::identity();
+    Vec3 position_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_SCENE_CAMERA_H

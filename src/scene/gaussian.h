@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The trained 3D Gaussian primitive.
+ *
+ * Each Gaussian carries the 59 floating-point parameters the paper
+ * enumerates (Sec. 2.2): 3 position + 3 scale + 4 rotation quaternion
+ * + 1 opacity + 48 spherical-harmonic color coefficients.  The
+ * accelerator's DRAM traffic accounting is expressed in terms of this
+ * layout: the 11 "geometry" floats are needed by projection/culling,
+ * while the 48 SH floats are only needed by Gaussians that survive to
+ * color evaluation — the asymmetry cross-stage conditional processing
+ * exploits.
+ */
+
+#ifndef GCC3D_SCENE_GAUSSIAN_H
+#define GCC3D_SCENE_GAUSSIAN_H
+
+#include <array>
+#include <cstddef>
+
+#include "gsmath/quat.h"
+#include "gsmath/sh.h"
+#include "gsmath/vec.h"
+
+namespace gcc3d {
+
+/** A single trained 3D Gaussian (59 float parameters). */
+struct Gaussian
+{
+    Vec3 mean;                               ///< world-space center mu
+    Vec3 scale;                              ///< per-axis std-dev s
+    Quat rotation;                           ///< orientation q
+    float opacity = 1.0f;                    ///< omega in (0, 1]
+    std::array<float, kShCoeffsTotal> sh{};  ///< 48 SH color coefficients
+
+    /** Geometry-only parameter count (loaded before SH is needed). */
+    static constexpr std::size_t kGeomFloats = 11;
+    /** SH parameter count. */
+    static constexpr std::size_t kShFloats = kShCoeffsTotal;
+    /** Total per-Gaussian parameter count (59). */
+    static constexpr std::size_t kTotalFloats = kGeomFloats + kShFloats;
+
+    /** Bytes of the geometry portion (fp32). */
+    static constexpr std::size_t kGeomBytes = kGeomFloats * sizeof(float);
+    /** Bytes of the SH portion (fp32). */
+    static constexpr std::size_t kShBytes = kShFloats * sizeof(float);
+    /** Bytes of the full parameter record (fp32). */
+    static constexpr std::size_t kTotalBytes = kTotalFloats * sizeof(float);
+
+    /** Set the DC (degree-0) SH term so the base color is roughly rgb. */
+    void
+    setBaseColor(const Vec3 &rgb)
+    {
+        // Inverse of the +0.5 offset and Y00 scaling in evalShColor.
+        constexpr float kInvC0 = 1.0f / 0.28209479177387814f;
+        sh[0 * kShCoeffsPerChannel] = (rgb.x - 0.5f) * kInvC0;
+        sh[1 * kShCoeffsPerChannel] = (rgb.y - 0.5f) * kInvC0;
+        sh[2 * kShCoeffsPerChannel] = (rgb.z - 0.5f) * kInvC0;
+    }
+
+    /** World-space 3x3 covariance Sigma = R S S^T R^T (Eq. 1, left). */
+    Mat3
+    covariance3d() const
+    {
+        Mat3 r = rotation.toMatrix();
+        Mat3 s = Mat3::diagonal(scale);
+        Mat3 rs = r * s;
+        return rs * rs.transposed();
+    }
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_SCENE_GAUSSIAN_H

@@ -1,0 +1,215 @@
+#include "scene/scene_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace gcc3d {
+
+namespace {
+
+/** Per-cluster sampling context. */
+struct Cluster
+{
+    Vec3 center;
+    float sigma;
+    Vec3 palette;  ///< base albedo of the cluster
+};
+
+Vec3
+randomUnitVec(std::mt19937_64 &rng)
+{
+    std::normal_distribution<float> n(0.0f, 1.0f);
+    Vec3 v(n(rng), n(rng), n(rng));
+    return v.norm() > 0 ? v.normalized() : Vec3(1, 0, 0);
+}
+
+Vec3
+randomPalette(std::mt19937_64 &rng)
+{
+    std::uniform_real_distribution<float> u(0.15f, 0.9f);
+    return {u(rng), u(rng), u(rng)};
+}
+
+/**
+ * Place cluster centers according to the layout archetype.  The three
+ * archetypes reproduce the qualitative distributions the paper calls
+ * out in Sec. 5.2: Palace-like scenes cluster near the camera center,
+ * Drjohnson-like scenes are sparse and deep.
+ */
+std::vector<Cluster>
+makeClusters(const SceneSpec &spec, std::mt19937_64 &rng)
+{
+    std::vector<Cluster> clusters;
+    clusters.reserve(static_cast<std::size_t>(spec.cluster_count));
+    std::uniform_real_distribution<float> u01(0.0f, 1.0f);
+    std::normal_distribution<float> n(0.0f, 1.0f);
+    float e = spec.extent;
+
+    for (int i = 0; i < spec.cluster_count; ++i) {
+        Cluster c;
+        c.sigma = spec.cluster_sigma *
+                  (0.5f + 1.0f * u01(rng));  // heterogeneous cluster sizes
+        c.palette = randomPalette(rng);
+        switch (spec.layout) {
+          case SceneLayout::Object: {
+            // Blobby object: clusters inside a sphere of radius extent,
+            // biased toward a shell (surface detail).
+            Vec3 dir = randomUnitVec(rng);
+            // Surface-shell bias: trained object captures (Lego,
+            // Palace) concentrate Gaussians on opaque surfaces.
+            float r = e * (0.75f + 0.25f * std::sqrt(u01(rng)));
+            c.center = dir * r;
+            break;
+          }
+          case SceneLayout::Street: {
+            // Corridor along x: content on both sides and on the ground,
+            // stretching several extents forward.
+            float x = e * (4.0f * u01(rng) - 0.5f);
+            float side = u01(rng) < 0.5f ? -1.0f : 1.0f;
+            float y = e * (0.05f + 0.45f * u01(rng));
+            float z = side * e * (0.25f + 0.75f * u01(rng));
+            // A third of clusters form the road/ground plane.
+            if (u01(rng) < 0.33f) {
+                y = 0.03f * e;
+                z = e * (u01(rng) - 0.5f);
+            }
+            c.center = Vec3(x, y, z);
+            break;
+          }
+          case SceneLayout::Room: {
+            // Indoor box: clusters on the walls and furniture inside.
+            float which = u01(rng);
+            if (which < 0.55f) {
+                // wall/ceiling/floor shells
+                int face = static_cast<int>(u01(rng) * 6.0f) % 6;
+                Vec3 p(e * (2.0f * u01(rng) - 1.0f),
+                       e * u01(rng) * 0.8f,
+                       e * (2.0f * u01(rng) - 1.0f));
+                switch (face) {
+                  case 0: p.x = -e; break;
+                  case 1: p.x = e; break;
+                  case 2: p.z = -e; break;
+                  case 3: p.z = e; break;
+                  case 4: p.y = 0.0f; break;
+                  default: p.y = 0.8f * e; break;
+                }
+                c.center = p;
+            } else {
+                // furniture in the interior
+                c.center = Vec3(e * 1.4f * (u01(rng) - 0.5f),
+                                e * 0.35f * u01(rng),
+                                e * 1.4f * (u01(rng) - 0.5f));
+            }
+            break;
+          }
+        }
+        clusters.push_back(c);
+    }
+    return clusters;
+}
+
+} // namespace
+
+GaussianCloud
+generateScene(const SceneSpec &spec, float scale)
+{
+    GaussianCloud cloud(spec.name);
+    std::mt19937_64 rng(spec.seed);
+
+    std::size_t count = static_cast<std::size_t>(
+        static_cast<double>(spec.gaussian_count) * scale);
+    count = std::max<std::size_t>(count, 16);
+    cloud.reserve(count);
+
+    std::vector<Cluster> clusters = makeClusters(spec, rng);
+
+    std::uniform_real_distribution<float> u01(0.0f, 1.0f);
+    std::normal_distribution<float> n01(0.0f, 1.0f);
+    std::lognormal_distribution<float> scale_dist(spec.log_scale_mean,
+                                                  spec.log_scale_sigma);
+    std::uniform_int_distribution<std::size_t> pick(0, clusters.size() - 1);
+
+    // Footprint compensation for reduced populations: at scale < 1 the
+    // per-Gaussian footprint grows by scale^-1/2 (capped) so that total
+    // screen coverage — and with it the occlusion/early-termination
+    // statistics the paper profiles — is preserved.  At scale 1.0 this
+    // is a no-op.
+    float compensation =
+        std::min(3.0f, 1.0f / std::sqrt(std::max(scale, 1e-3f)));
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const Cluster &c = clusters[pick(rng)];
+
+        Gaussian g;
+        g.mean = c.center + Vec3(n01(rng), n01(rng), n01(rng)) * c.sigma;
+        if (spec.layout != SceneLayout::Object)
+            g.mean.y = std::max(g.mean.y, 0.0f);
+
+        // Log-normal base scale with per-axis anisotropy; world scale
+        // is proportional to the scene extent so that footprints keep
+        // their pixel size across scene archetypes.
+        float base = scale_dist(rng) * spec.extent * compensation;
+        auto axis = [&]() {
+            return base * std::exp(spec.anisotropy * n01(rng));
+        };
+        g.scale = Vec3(axis(), axis(), axis());
+
+        g.rotation = Quat(n01(rng), n01(rng), n01(rng), n01(rng)).normalized();
+
+        // Bimodal opacity: trained 3DGS models keep a high-opacity core
+        // population (after pruning) plus a translucent detail tail.
+        if (u01(rng) < spec.high_opacity_fraction)
+            g.opacity = spec.high_opacity_min +
+                        (0.99f - spec.high_opacity_min) * u01(rng);
+        else
+            g.opacity = 0.02f + 0.6f * u01(rng);
+
+        // Color: cluster palette + jitter in the DC term, small random
+        // higher-order coefficients that shrink with band index.
+        Vec3 albedo = c.palette + Vec3(n01(rng), n01(rng), n01(rng)) * 0.08f;
+        albedo.x = std::clamp(albedo.x, 0.02f, 0.98f);
+        albedo.y = std::clamp(albedo.y, 0.02f, 0.98f);
+        albedo.z = std::clamp(albedo.z, 0.02f, 0.98f);
+        g.setBaseColor(albedo);
+        for (int ch = 0; ch < 3; ++ch) {
+            for (int k = 1; k < kShCoeffsPerChannel; ++k) {
+                int band = k < 4 ? 1 : (k < 9 ? 2 : 3);
+                float s = spec.sh_detail / static_cast<float>(band);
+                g.sh[ch * kShCoeffsPerChannel + k] = s * n01(rng);
+            }
+        }
+
+        cloud.add(g);
+    }
+    return cloud;
+}
+
+Camera
+makeCamera(const SceneSpec &spec)
+{
+    Camera cam(spec.image_width, spec.image_height, spec.fov_x);
+    float e = spec.extent;
+    switch (spec.layout) {
+      case SceneLayout::Object:
+        cam.lookAt(Vec3(spec.camera_distance * e,
+                        spec.camera_height * e,
+                        spec.camera_distance * e * 0.8f),
+                   Vec3(0, 0, 0));
+        break;
+      case SceneLayout::Street:
+        // Inside the corridor looking down its axis.
+        cam.lookAt(Vec3(-0.6f * e, spec.camera_height * e, 0.0f),
+                   Vec3(3.0f * e, 0.25f * e, 0.0f));
+        break;
+      case SceneLayout::Room:
+        // Inside the room, near one corner, looking across.
+        cam.lookAt(Vec3(-0.7f * e, 0.4f * e, -0.7f * e),
+                   Vec3(0.6f * e, 0.3f * e, 0.6f * e));
+        break;
+    }
+    return cam;
+}
+
+} // namespace gcc3d

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Procedural 3DGS scene generation.
+ *
+ * The paper evaluates on pre-trained Gaussian models (Lego, Palace,
+ * Train, Truck, Playroom, Drjohnson).  Those assets are not available
+ * offline, so we synthesize statistically equivalent scenes: the
+ * accelerator's behaviour depends on *population statistics* — how
+ * many Gaussians fall in the frustum, how many survive to blending,
+ * footprint sizes (tile overlap), opacity distribution (omega-sigma
+ * culling, early termination) — not on what the scene depicts.
+ * DESIGN.md §1 documents this substitution.
+ *
+ * A SceneSpec describes a scene as a set of clustered Gaussian
+ * populations with log-normal footprints and a bimodal opacity mix;
+ * generation is fully deterministic given the spec's seed.
+ */
+
+#ifndef GCC3D_SCENE_SCENE_GENERATOR_H
+#define GCC3D_SCENE_SCENE_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "scene/camera.h"
+#include "scene/gaussian_cloud.h"
+
+namespace gcc3d {
+
+/** Spatial layout archetypes for the synthetic scenes. */
+enum class SceneLayout
+{
+    Object,  ///< bounded object at the origin, orbit camera (Lego, Palace)
+    Street,  ///< elongated outdoor corridor, camera inside (Train, Truck)
+    Room,    ///< indoor box with furniture clusters, camera inside
+             ///< (Playroom, Drjohnson)
+};
+
+/** Full description of a synthetic scene and its evaluation camera. */
+struct SceneSpec
+{
+    std::string name;
+    SceneLayout layout = SceneLayout::Object;
+    std::uint64_t seed = 1;
+
+    /** Gaussian count at scale 1.0 (the paper-scale population). */
+    std::size_t gaussian_count = 100000;
+
+    /** Number of spatial clusters the population is drawn from. */
+    int cluster_count = 64;
+
+    /** Overall scene half-extent in world units. */
+    float extent = 4.0f;
+
+    /** Within-cluster standard deviation (world units). */
+    float cluster_sigma = 0.35f;
+
+    /** Log-normal parameters of per-axis Gaussian scales (world units). */
+    float log_scale_mean = -4.2f;
+    float log_scale_sigma = 0.75f;
+
+    /** Anisotropy: per-axis jitter applied on top of the base scale. */
+    float anisotropy = 0.6f;
+
+    /** Fraction of Gaussians drawn from the high-opacity mode. */
+    float high_opacity_fraction = 0.55f;
+
+    /**
+     * Lower bound of the high-opacity mode (upper bound 0.99).
+     * Trained synthetic-object models (Lego) have near-opaque
+     * surfaces; real captures keep more translucency.
+     */
+    float high_opacity_min = 0.65f;
+
+    /** Std-dev of higher-order SH coefficients (view dependence). */
+    float sh_detail = 0.15f;
+
+    // Evaluation viewpoint.
+    int image_width = 800;
+    int image_height = 800;
+    float fov_x = 0.87f;            ///< horizontal FOV, radians
+    float camera_distance = 2.4f;   ///< eye distance as multiple of extent
+    float camera_height = 0.35f;    ///< eye height as multiple of extent
+};
+
+/**
+ * Generate the Gaussian cloud for @p spec.
+ *
+ * @param spec  scene description
+ * @param scale population scale factor in (0, 1]; the count is
+ *              multiplied by it (unit tests use small scales, benches
+ *              run at 1.0).
+ */
+GaussianCloud generateScene(const SceneSpec &spec, float scale = 1.0f);
+
+/** Build the evaluation camera for @p spec. */
+Camera makeCamera(const SceneSpec &spec);
+
+} // namespace gcc3d
+
+#endif // GCC3D_SCENE_SCENE_GENERATOR_H

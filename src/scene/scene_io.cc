@@ -1,0 +1,119 @@
+#include "scene/scene_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gcc3d {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'S', 'C', '1'};
+
+void
+packGaussian(const Gaussian &g, float *out)
+{
+    out[0] = g.mean.x;
+    out[1] = g.mean.y;
+    out[2] = g.mean.z;
+    out[3] = g.scale.x;
+    out[4] = g.scale.y;
+    out[5] = g.scale.z;
+    out[6] = g.rotation.w;
+    out[7] = g.rotation.x;
+    out[8] = g.rotation.y;
+    out[9] = g.rotation.z;
+    out[10] = g.opacity;
+    std::memcpy(out + 11, g.sh.data(), sizeof(float) * kShCoeffsTotal);
+}
+
+Gaussian
+unpackGaussian(const float *in)
+{
+    Gaussian g;
+    g.mean = Vec3(in[0], in[1], in[2]);
+    g.scale = Vec3(in[3], in[4], in[5]);
+    g.rotation = Quat(in[6], in[7], in[8], in[9]);
+    g.opacity = in[10];
+    std::memcpy(g.sh.data(), in + 11, sizeof(float) * kShCoeffsTotal);
+    return g;
+}
+
+} // namespace
+
+bool
+saveCloud(const GaussianCloud &cloud, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    std::uint32_t name_len =
+        static_cast<std::uint32_t>(cloud.name().size());
+    std::uint64_t count = cloud.size();
+    os.write(reinterpret_cast<const char *>(&name_len), sizeof(name_len));
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    os.write(cloud.name().data(), name_len);
+
+    std::vector<float> rec(Gaussian::kTotalFloats);
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        packGaussian(cloud[i], rec.data());
+        os.write(reinterpret_cast<const char *>(rec.data()),
+                 static_cast<std::streamsize>(rec.size() * sizeof(float)));
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+saveCloudFile(const GaussianCloud &cloud, const std::string &path)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    return saveCloud(cloud, f);
+}
+
+GaussianCloud
+loadCloud(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("scene_io: bad magic");
+
+    std::uint32_t name_len = 0;
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char *>(&name_len), sizeof(name_len));
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is)
+        throw std::runtime_error("scene_io: truncated header");
+    if (name_len > 4096)
+        throw std::runtime_error("scene_io: implausible name length");
+
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (!is)
+        throw std::runtime_error("scene_io: truncated name");
+
+    GaussianCloud cloud(name);
+    cloud.reserve(count);
+    std::vector<float> rec(Gaussian::kTotalFloats);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        is.read(reinterpret_cast<char *>(rec.data()),
+                static_cast<std::streamsize>(rec.size() * sizeof(float)));
+        if (!is)
+            throw std::runtime_error("scene_io: truncated record");
+        cloud.add(unpackGaussian(rec.data()));
+    }
+    return cloud;
+}
+
+GaussianCloud
+loadCloudFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("scene_io: cannot open " + path);
+    return loadCloud(f);
+}
+
+} // namespace gcc3d

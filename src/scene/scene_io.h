@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Binary serialization of Gaussian clouds (.gsc format).
+ *
+ * A tiny self-describing container so that generated scenes can be
+ * cached between runs and exchanged with external tools.  Layout:
+ * 16-byte header (magic "GSC1", u32 name length, u64 count), the
+ * UTF-8 name, then count records of 59 little-endian fp32 values in
+ * the canonical parameter order (mean, scale, quat, opacity, sh).
+ */
+
+#ifndef GCC3D_SCENE_SCENE_IO_H
+#define GCC3D_SCENE_SCENE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "scene/gaussian_cloud.h"
+
+namespace gcc3d {
+
+/** Write @p cloud to @p os in .gsc format. @return false on I/O error. */
+bool saveCloud(const GaussianCloud &cloud, std::ostream &os);
+
+/** Write @p cloud to @p path. @return false on I/O error. */
+bool saveCloudFile(const GaussianCloud &cloud, const std::string &path);
+
+/**
+ * Read a cloud from @p is.
+ * @throws std::runtime_error on malformed input.
+ */
+GaussianCloud loadCloud(std::istream &is);
+
+/** Read a cloud from @p path. @throws std::runtime_error on error. */
+GaussianCloud loadCloudFile(const std::string &path);
+
+} // namespace gcc3d
+
+#endif // GCC3D_SCENE_SCENE_IO_H

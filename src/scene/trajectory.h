@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Camera trajectories for multi-frame evaluation.
+ *
+ * The paper's motivating use case is sustained immersive rendering
+ * (>= 90 FPS on AR headsets, Sec. 1).  Single-frame results hide the
+ * frame-to-frame variance that conditional processing introduces —
+ * how much work is skipped depends on the viewpoint.  This module
+ * provides deterministic camera paths (orbits around objects, dolly
+ * paths through scenes) so examples and benches can evaluate
+ * sustained throughput.
+ */
+
+#ifndef GCC3D_SCENE_TRAJECTORY_H
+#define GCC3D_SCENE_TRAJECTORY_H
+
+#include <vector>
+
+#include "scene/camera.h"
+#include "scene/scene_generator.h"
+
+namespace gcc3d {
+
+/** A sequence of camera poses sharing one intrinsic model. */
+class Trajectory
+{
+  public:
+    Trajectory() = default;
+
+    std::size_t frameCount() const { return cameras_.size(); }
+    bool empty() const { return cameras_.empty(); }
+    const Camera &frame(std::size_t i) const { return cameras_[i]; }
+    const std::vector<Camera> &frames() const { return cameras_; }
+    void add(const Camera &cam) { cameras_.push_back(cam); }
+
+    /**
+     * Circular orbit around @p center at the given radius/height,
+     * covering a full revolution in @p frames steps.
+     *
+     * @param proto  camera carrying the intrinsics (width/height/fov)
+     */
+    static Trajectory orbit(const Camera &proto, const Vec3 &center,
+                            float radius, float height, int frames);
+
+    /**
+     * Linear dolly from @p from to @p to, always looking at
+     * @p look_at, in @p frames steps.
+     */
+    static Trajectory dolly(const Camera &proto, const Vec3 &from,
+                            const Vec3 &to, const Vec3 &look_at,
+                            int frames);
+
+    /** Natural path for a scene archetype (orbit for objects, dolly
+     *  for streets/rooms), derived from the spec's geometry. */
+    static Trajectory forScene(const SceneSpec &spec, int frames);
+
+  private:
+    std::vector<Camera> cameras_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_SCENE_TRAJECTORY_H

@@ -1,0 +1,140 @@
+#include "sim/area_model.h"
+
+#include <stdexcept>
+
+namespace gcc3d {
+
+double
+ChipModel::computeArea() const
+{
+    double a = 0.0;
+    for (const ModuleSpec &m : compute)
+        a += m.area_mm2;
+    return a;
+}
+
+double
+ChipModel::computePowerMw() const
+{
+    double p = 0.0;
+    for (const ModuleSpec &m : compute)
+        p += m.power_mw;
+    return p;
+}
+
+double
+ChipModel::bufferArea() const
+{
+    double a = 0.0;
+    for (const SramConfig &b : buffers)
+        a += b.area_mm2;
+    return a;
+}
+
+double
+ChipModel::bufferLeakageMw() const
+{
+    double p = 0.0;
+    for (const SramConfig &b : buffers)
+        p += b.leakage_mw;
+    return p;
+}
+
+double
+ChipModel::bufferCapacityKb() const
+{
+    double c = 0.0;
+    for (const SramConfig &b : buffers)
+        c += b.capacity_kb;
+    return c;
+}
+
+const ModuleSpec &
+ChipModel::module(const std::string &name) const
+{
+    for (const ModuleSpec &m : compute)
+        if (m.name == name)
+            return m;
+    throw std::invalid_argument("ChipModel: no module " + name);
+}
+
+const SramConfig &
+ChipModel::buffer(const std::string &name) const
+{
+    for (const SramConfig &b : buffers)
+        if (b.name == name)
+            return b;
+    throw std::invalid_argument("ChipModel: no buffer " + name);
+}
+
+ChipModel
+gccChipModel(const GccDesignPoint &dp)
+{
+    ChipModel chip;
+    chip.name = "GCC";
+
+    auto scale = [](double base, double num, double den) {
+        return base * num / den;
+    };
+
+    // Compute modules: Table 4 base points, linear scaling in the
+    // array/way dimension.
+    chip.compute = {
+        {"RCA", scale(0.010, dp.rca_units, 4),
+         scale(2.0, dp.rca_units, 4),
+         std::to_string(dp.rca_units) + " units"},
+        {"ProjectionUnit", scale(0.358, dp.projection_ways, 2),
+         scale(147.0, dp.projection_ways, 2),
+         std::to_string(dp.projection_ways) + " units"},
+        {"SHUnit", scale(0.339, dp.sh_ways, 1),
+         scale(141.0, dp.sh_ways, 1),
+         std::to_string(dp.sh_ways) + " units"},
+        {"SortUnit", 0.010, 11.0, "1 unit (16-wide bitonic)"},
+        {"AlphaUnit", scale(0.576, dp.alpha_pes, 64),
+         scale(266.0, dp.alpha_pes, 64),
+         std::to_string(dp.alpha_pes) + " PEs"},
+        {"BlendingUnit", scale(0.382, dp.blend_pes, 64),
+         scale(172.0, dp.blend_pes, 64),
+         std::to_string(dp.blend_pes) + " PEs"},
+    };
+
+    // Buffers: Table 4 base points, scaled to the design point's
+    // capacities (energies are per-32B-access CACTI-style values).
+    SramConfig shared{"SharedBuffer", 12.0, 2, 3.5, 4.0, 0.019, 3.0};
+    SramConfig sh{"SHBuffer", 48.0, 6, 4.5, 5.2, 0.116, 10.0};
+    SramConfig sorted{"SortedBuffer", 2.0, 2, 2.0, 2.4, 0.029, 1.0};
+    SramConfig image{"ImageBuffer", 128.0, 4, 6.0, 7.0, 0.872, 37.0};
+
+    chip.buffers = {
+        shared.scaledTo(dp.shared_buffer_kb),
+        sh.scaledTo(dp.sh_buffer_kb),
+        sorted.scaledTo(dp.sorted_buffer_kb),
+        image.scaledTo(dp.image_buffer_kb),
+    };
+    return chip;
+}
+
+ChipModel
+gscoreChipModel()
+{
+    ChipModel chip;
+    chip.name = "GSCore";
+
+    // GSCore publishes totals (2.70 mm^2 compute / 830 mW, 1.25 mm^2
+    // buffers / 40 mW, 272 KB).  The compute split below follows its
+    // architecture: 4-way culling/conversion (projection + SH),
+    // hierarchical sorting, and two volume-rendering units.
+    chip.compute = {
+        {"CCU", 0.72, 300.0, "4 units (projection + SH)"},
+        {"GSU", 0.18, 50.0, "bitonic merge sort"},
+        {"VRU", 1.80, 480.0, "2 units (alpha + blending)"},
+    };
+    chip.buffers = {
+        {"GaussianBuffer", 112.0, 4, 5.5, 6.4, 0.50, 16.0},
+        {"TileBuffer", 96.0, 4, 5.0, 6.0, 0.45, 14.0},
+        {"SortBuffer", 64.0, 2, 4.5, 5.4, 0.30, 10.0},
+    };
+    return chip;
+}
+
+} // namespace gcc3d

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * 28 nm area/power model of the GCC and GSCore chips.
+ *
+ * Encodes the synthesized module characteristics the paper publishes
+ * (Table 4 for GCC; aggregate numbers for GSCore from Table 3/4) and
+ * provides the scaling rules used by the design-space exploration of
+ * Fig. 13: compute-array area/power scale with PE count, buffer area
+ * with capacity.
+ */
+
+#ifndef GCC3D_SIM_AREA_MODEL_H
+#define GCC3D_SIM_AREA_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "sim/sram.h"
+
+namespace gcc3d {
+
+/** One synthesized compute module: area, power, configuration. */
+struct ModuleSpec
+{
+    std::string name;
+    double area_mm2 = 0.0;
+    double power_mw = 0.0;     ///< dynamic power at full activity, 1 GHz
+    std::string configuration; ///< human-readable ("64 PEs", ...)
+};
+
+/** Area/power description of a full accelerator. */
+struct ChipModel
+{
+    std::string name;
+    std::vector<ModuleSpec> compute;
+    std::vector<SramConfig> buffers;
+
+    double computeArea() const;
+    double computePowerMw() const;
+    double bufferArea() const;
+    double bufferLeakageMw() const;
+    double bufferCapacityKb() const;
+    double totalArea() const { return computeArea() + bufferArea(); }
+
+    const ModuleSpec &module(const std::string &name) const;
+    const SramConfig &buffer(const std::string &name) const;
+};
+
+/** Knobs of the GCC design point (defaults = the paper's chip). */
+struct GccDesignPoint
+{
+    int alpha_pes = 64;          ///< Alpha Unit PE count (8x8)
+    int blend_pes = 64;          ///< Blending Unit FMA count
+    int projection_ways = 2;     ///< Projection Unit parallelism
+    int sh_ways = 1;             ///< SH Unit parallelism
+    int rca_units = 4;           ///< comparator array width
+    double image_buffer_kb = 128.0;
+    double shared_buffer_kb = 12.0;   ///< 2 x 1 x 6 KB
+    double sh_buffer_kb = 48.0;       ///< 2 x 3 x 8 KB
+    double sorted_buffer_kb = 2.0;    ///< 2 x 1 x 1 KB
+};
+
+/**
+ * Build the GCC chip model for a design point.  At the default point
+ * this reproduces Table 4 exactly (2.711 mm^2 total, 190 KB SRAM,
+ * 790 mW); other points scale per-module.
+ */
+ChipModel gccChipModel(const GccDesignPoint &dp = {});
+
+/**
+ * GSCore chip model from its published aggregates: 3.95 mm^2 total
+ * (2.70 compute + 1.25 buffer), 272 KB SRAM, 870 mW.  The compute
+ * breakdown mirrors its 4-way preprocessing / tile-rendering design.
+ */
+ChipModel gscoreChipModel();
+
+} // namespace gcc3d
+
+#endif // GCC3D_SIM_AREA_MODEL_H

@@ -1,0 +1,80 @@
+#include "sim/dram.h"
+
+#include <algorithm>
+
+namespace gcc3d {
+
+DramConfig
+DramConfig::lpddr4_3200()
+{
+    return {"LPDDR4-3200", 51.2, 0.80, 30.0, 60.0};
+}
+
+DramConfig
+DramConfig::lpddr4x_4266()
+{
+    return {"LPDDR4X-4266", 68.3, 0.80, 26.0, 55.0};
+}
+
+DramConfig
+DramConfig::lpddr5_6400()
+{
+    return {"LPDDR5-6400", 102.4, 0.80, 23.0, 50.0};
+}
+
+DramConfig
+DramConfig::lpddr5x_8533()
+{
+    return {"LPDDR5X-8533", 136.5, 0.80, 21.0, 48.0};
+}
+
+DramConfig
+DramConfig::lpddr6_14400()
+{
+    return {"LPDDR6-14400", 230.4, 0.80, 18.0, 45.0};
+}
+
+std::vector<DramConfig>
+DramConfig::sweep()
+{
+    return {lpddr4_3200(), lpddr4x_4266(), lpddr5_6400(), lpddr5x_8533(),
+            lpddr6_14400()};
+}
+
+DramConfig
+DramConfig::withBandwidth(double gbps) const
+{
+    DramConfig c = *this;
+    c.peak_gbps = gbps;
+    return c;
+}
+
+std::uint64_t
+Dram::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t b : bytes_)
+        total += b;
+    return total;
+}
+
+std::uint64_t
+Dram::busCycles() const
+{
+    return cyclesFor(totalBytes());
+}
+
+double
+Dram::energyMj() const
+{
+    return static_cast<double>(totalBytes()) *
+           config_.energy_pj_per_byte * 1e-9;
+}
+
+void
+Dram::reset()
+{
+    std::fill(std::begin(bytes_), std::end(bytes_), 0);
+}
+
+} // namespace gcc3d

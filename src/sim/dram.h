@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Off-chip DRAM model.
+ *
+ * The accelerators are evaluated against an LPDDR4-3200 part with a
+ * peak bandwidth of 51.2 GB/s (Sec. 5.1); Fig. 14 sweeps the memory
+ * technology up to LPDDR6.  Both simulators account traffic by
+ * category (3D Gaussian attributes, 2D projected splats, key-value
+ * tile mappings — Fig. 11b), and the model converts bytes into
+ * occupancy cycles at the accelerator clock and into energy.
+ */
+
+#ifndef GCC3D_SIM_DRAM_H
+#define GCC3D_SIM_DRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcc3d {
+
+/** Traffic categories tracked for Fig. 11b. */
+enum class TrafficClass
+{
+    Gaussian3D,  ///< 59-float trained parameters (and partial loads)
+    Splat2D,     ///< projected 2D attributes spilled/refetched
+    KeyValue,    ///< Gaussian-tile index pairs
+    Meta,        ///< depth/ID lists, camera data, misc
+    NumClasses,
+};
+
+/** Static description of a DRAM technology point. */
+struct DramConfig
+{
+    std::string name = "LPDDR4-3200";
+    double peak_gbps = 51.2;        ///< peak bandwidth, GB/s
+    double efficiency = 0.80;       ///< achievable fraction of peak
+    double energy_pj_per_byte = 30.0; ///< access energy incl. PHY
+    double latency_ns = 60.0;       ///< first-word latency
+
+    /** Named presets used by Fig. 14. */
+    static DramConfig lpddr4_3200();
+    static DramConfig lpddr4x_4266();
+    static DramConfig lpddr5_6400();
+    static DramConfig lpddr5x_8533();
+    static DramConfig lpddr6_14400();
+
+    /** All presets in ascending bandwidth order. */
+    static std::vector<DramConfig> sweep();
+
+    /** A copy of this config with peak bandwidth @p gbps. */
+    DramConfig withBandwidth(double gbps) const;
+};
+
+/** Per-frame DRAM accounting: bytes by class, cycles, energy. */
+class Dram
+{
+  public:
+    explicit Dram(DramConfig config = {}, double clock_ghz = 1.0)
+        : config_(std::move(config)), clock_ghz_(clock_ghz) {}
+
+    const DramConfig &config() const { return config_; }
+
+    /** Record @p bytes of traffic of class @p cls. */
+    void
+    access(TrafficClass cls, std::uint64_t bytes)
+    {
+        bytes_[static_cast<int>(cls)] += bytes;
+    }
+
+    std::uint64_t
+    bytes(TrafficClass cls) const
+    {
+        return bytes_[static_cast<int>(cls)];
+    }
+
+    std::uint64_t totalBytes() const;
+
+    /** Effective bandwidth in bytes per accelerator cycle. */
+    double
+    bytesPerCycle() const
+    {
+        return config_.peak_gbps * config_.efficiency / clock_ghz_;
+    }
+
+    /** Cycles the recorded traffic occupies the memory interface. */
+    std::uint64_t busCycles() const;
+
+    /** Cycles a burst of @p bytes occupies (without recording it). */
+    std::uint64_t
+    cyclesFor(std::uint64_t bytes) const
+    {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(bytes) / bytesPerCycle() + 0.5);
+    }
+
+    /** Energy of the recorded traffic in millijoule. */
+    double energyMj() const;
+
+    void reset();
+
+  private:
+    DramConfig config_;
+    double clock_ghz_;
+    std::uint64_t bytes_[static_cast<int>(TrafficClass::NumClasses)] = {};
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_SIM_DRAM_H

@@ -1,0 +1,42 @@
+#include "sim/energy_model.h"
+
+namespace gcc3d {
+
+EnergyBreakdown
+EnergyIntegrator::breakdown(std::uint64_t frame_cycles,
+                            const Dram &dram) const
+{
+    EnergyBreakdown e;
+
+    // Dynamic compute energy: busy cycles at the module's synthesized
+    // power.  power[mW] * time[ns] = pJ; 1e-9 converts pJ to mJ.
+    double cycle_ns = 1.0 / clock_ghz_;
+    for (const ModuleSpec &m : chip_->compute) {
+        auto it = busy_cycles_.find(m.name);
+        if (it == busy_cycles_.end())
+            continue;
+        e.compute_mj += static_cast<double>(it->second) * cycle_ns *
+                        m.power_mw * 1e-9;
+    }
+
+    // Idle modules still clock: charge 8% of dynamic power for the
+    // remaining frame cycles (clock tree + enables).
+    constexpr double kIdleFraction = 0.08;
+    for (const ModuleSpec &m : chip_->compute) {
+        std::uint64_t busy = busyCycles(m.name);
+        std::uint64_t idle =
+            frame_cycles > busy ? frame_cycles - busy : 0;
+        e.leakage_mj += static_cast<double>(idle) * cycle_ns *
+                        m.power_mw * kIdleFraction * 1e-9;
+    }
+
+    // Buffer leakage over the frame.
+    e.leakage_mj += chip_->bufferLeakageMw() *
+                    static_cast<double>(frame_cycles) * cycle_ns * 1e-9;
+
+    e.sram_mj = sram_mj_;
+    e.dram_mj = dram.energyMj();
+    return e;
+}
+
+} // namespace gcc3d

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Energy integration for the accelerator simulators.
+ *
+ * Per-frame energy = sum over compute modules of (busy_cycles x
+ * module dynamic power) + SRAM access energy + DRAM access energy
+ * (+ leakage over the frame).  Module powers come from the ChipModel
+ * (Table 4); the integrator produces the on-chip / off-chip /
+ * computation decomposition of Fig. 12.
+ */
+
+#ifndef GCC3D_SIM_ENERGY_MODEL_H
+#define GCC3D_SIM_ENERGY_MODEL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/area_model.h"
+#include "sim/dram.h"
+
+namespace gcc3d {
+
+/** Per-frame energy decomposition in millijoule (Fig. 12 categories). */
+struct EnergyBreakdown
+{
+    double compute_mj = 0.0;  ///< datapath dynamic energy
+    double sram_mj = 0.0;     ///< on-chip memory access energy
+    double dram_mj = 0.0;     ///< off-chip memory access energy
+    double leakage_mj = 0.0;  ///< static energy over the frame
+
+    double
+    total() const
+    {
+        return compute_mj + sram_mj + dram_mj + leakage_mj;
+    }
+};
+
+/** Accumulates module activity and converts it to energy. */
+class EnergyIntegrator
+{
+  public:
+    /**
+     * @param chip       the chip whose module powers apply
+     * @param clock_ghz  accelerator clock (1 GHz in the paper)
+     */
+    explicit EnergyIntegrator(const ChipModel &chip,
+                              double clock_ghz = 1.0)
+        : chip_(&chip), clock_ghz_(clock_ghz) {}
+
+    /** Record @p cycles of full-activity operation of @p module. */
+    void
+    busy(const std::string &module, std::uint64_t cycles)
+    {
+        busy_cycles_[module] += cycles;
+    }
+
+    /** Record SRAM access energy (from Sram::energyMj). */
+    void addSramMj(double mj) { sram_mj_ += mj; }
+
+    std::uint64_t
+    busyCycles(const std::string &module) const
+    {
+        auto it = busy_cycles_.find(module);
+        return it == busy_cycles_.end() ? 0 : it->second;
+    }
+
+    /**
+     * Produce the frame energy breakdown.
+     *
+     * @param frame_cycles  total frame latency (for leakage)
+     * @param dram          DRAM accounting for the frame
+     */
+    EnergyBreakdown breakdown(std::uint64_t frame_cycles,
+                              const Dram &dram) const;
+
+  private:
+    const ChipModel *chip_;
+    double clock_ghz_;
+    std::map<std::string, std::uint64_t> busy_cycles_;
+    double sram_mj_ = 0.0;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_SIM_ENERGY_MODEL_H

@@ -1,0 +1,21 @@
+#include "sim/pipeline.h"
+
+namespace gcc3d {
+
+PipelineResult
+composePipeline(const std::vector<StageCost> &stages)
+{
+    PipelineResult r;
+    std::uint64_t fill = 0;
+    for (const StageCost &s : stages) {
+        if (s.busy_cycles > r.bottleneck_cycles) {
+            r.bottleneck_cycles = s.busy_cycles;
+            r.bottleneck = s.name;
+        }
+        fill += s.latency;
+    }
+    r.cycles = r.bottleneck_cycles + fill;
+    return r;
+}
+
+} // namespace gcc3d

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Pipeline composition helpers for the cycle models.
+ *
+ * Both accelerators are deep pipelines of heterogeneous units.  For a
+ * batch of work flowing through a pipeline, the steady-state cost is
+ * governed by the bottleneck stage; fill/drain adds the sum of stage
+ * latencies once.  Frame phases that are serialized (e.g., GCC's
+ * Stage I grouping barrier, GSCore's preprocess-then-render split)
+ * are summed explicitly by the simulators.
+ */
+
+#ifndef GCC3D_SIM_PIPELINE_H
+#define GCC3D_SIM_PIPELINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcc3d {
+
+/** Occupancy of one pipeline stage for a batch of work. */
+struct StageCost
+{
+    std::string name;
+    std::uint64_t busy_cycles = 0;  ///< cycles the stage is occupied
+    std::uint64_t latency = 0;      ///< per-item latency (fill cost)
+};
+
+/** Result of composing a batch through a pipeline. */
+struct PipelineResult
+{
+    std::uint64_t cycles = 0;       ///< end-to-end cycles
+    std::string bottleneck;         ///< stage with max occupancy
+    std::uint64_t bottleneck_cycles = 0;
+};
+
+/**
+ * Compose overlapping stages: total = max(busy) + sum(latencies).
+ * An empty stage list yields zero cycles.
+ */
+PipelineResult composePipeline(const std::vector<StageCost> &stages);
+
+/** Integer ceiling division helper used by the throughput models. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0 : (num + den - 1) / den;
+}
+
+} // namespace gcc3d
+
+#endif // GCC3D_SIM_PIPELINE_H

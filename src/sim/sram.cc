@@ -1,0 +1,31 @@
+#include "sim/sram.h"
+
+#include <cmath>
+
+namespace gcc3d {
+
+SramConfig
+SramConfig::scaledTo(double new_kb) const
+{
+    SramConfig c = *this;
+    double ratio = new_kb / capacity_kb;
+    c.capacity_kb = new_kb;
+    c.area_mm2 = area_mm2 * std::pow(ratio, 0.95);
+    c.read_energy_pj = read_energy_pj * std::sqrt(ratio);
+    c.write_energy_pj = write_energy_pj * std::sqrt(ratio);
+    c.leakage_mw = leakage_mw * ratio;
+    return c;
+}
+
+double
+Sram::energyMj() const
+{
+    constexpr double kAccessBytes = 32.0;
+    double reads = static_cast<double>(read_bytes_) / kAccessBytes;
+    double writes = static_cast<double>(write_bytes_) / kAccessBytes;
+    return (reads * config_.read_energy_pj +
+            writes * config_.write_energy_pj) *
+           1e-9;
+}
+
+} // namespace gcc3d

@@ -1,0 +1,67 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace gcc3d {
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), buckets_(static_cast<std::size_t>(buckets), 0.0)
+{
+}
+
+void
+Histogram::sample(double v, double weight)
+{
+    double t = (v - lo_) / (hi_ - lo_);
+    int n = static_cast<int>(buckets_.size());
+    int idx = static_cast<int>(t * n);
+    idx = std::clamp(idx, 0, n - 1);
+    buckets_[static_cast<std::size_t>(idx)] += weight;
+    ++count_;
+    sum_ += v * weight;
+}
+
+double
+Histogram::mean() const
+{
+    double total = 0.0;
+    for (double b : buckets_)
+        total += b;
+    return total > 0.0 ? sum_ / total : 0.0;
+}
+
+double
+Histogram::bucketLo(int i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(buckets_.size());
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0.0);
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+void
+StatSet::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[name, c] : counters_) {
+        os << prefix << std::left << std::setw(40) << name << " "
+           << std::right << std::setw(16) << c.value() << "\n";
+    }
+}
+
+void
+StatSet::reset()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, h] : histograms_)
+        h.reset();
+}
+
+} // namespace gcc3d

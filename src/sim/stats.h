@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Lightweight statistics registry for the hardware simulators.
+ *
+ * Modeled on gem5's stats package at a much smaller scale: named
+ * scalar counters and histograms that modules update during
+ * simulation and that the harness dumps after each frame.
+ */
+
+#ifndef GCC3D_SIM_STATS_H
+#define GCC3D_SIM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gcc3d {
+
+/** A named scalar accumulator. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(double v = 1.0) { value_ += v; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** A fixed-bucket histogram over [lo, hi). */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(0.0, 1.0, 10) {}
+    Histogram(double lo, double hi, int buckets);
+
+    void sample(double v, double weight = 1.0);
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double bucketLo(int i) const;
+    const std::vector<double> &buckets() const { return buckets_; }
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<double> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A registry of named counters and histograms.  Lookup creates on
+ * first use, so modules can record stats without registration
+ * boilerplate.
+ */
+class StatSet
+{
+  public:
+    /** Get (creating if needed) the counter called @p name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Read a counter's value; 0 if it was never touched. */
+    double
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0.0 : it->second.value();
+    }
+
+    /** Get (creating if needed) the histogram called @p name. */
+    Histogram &
+    histogram(const std::string &name, double lo = 0.0, double hi = 1.0,
+              int buckets = 10)
+    {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end())
+            it = histograms_.emplace(name, Histogram(lo, hi, buckets))
+                     .first;
+        return it->second;
+    }
+
+    const std::map<std::string, Counter> &counters() const
+    { return counters_; }
+
+    /** Pretty-print all stats, one per line, prefixed by @p prefix. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    void reset();
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_SIM_STATS_H

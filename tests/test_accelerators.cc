@@ -1,0 +1,194 @@
+/** @file Tests for the GSCore and GCC accelerator simulators. */
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.h"
+#include "gscore/gscore_sim.h"
+#include "test_util.h"
+
+namespace gcc3d {
+namespace {
+
+struct Workload
+{
+    GaussianCloud cloud;
+    Camera cam;
+};
+
+Workload
+roomWorkload()
+{
+    SceneSpec spec = test::tinyRoomSpec(31, 5000);
+    return {generateScene(spec, 1.0f), makeCamera(spec)};
+}
+
+TEST(GscoreSim, FrameResultSane)
+{
+    Workload w = roomWorkload();
+    GscoreSim sim;
+    GscoreFrameResult r = sim.renderFrame(w.cloud, w.cam);
+
+    EXPECT_GT(r.total_cycles, 0u);
+    EXPECT_EQ(r.total_cycles,
+              r.preprocess_cycles + r.sort_cycles + r.render_cycles);
+    EXPECT_NEAR(r.fps, 1e9 / static_cast<double>(r.total_cycles), 1e-6);
+    EXPECT_GT(r.energy.total(), 0.0);
+    EXPECT_GT(r.energy.dram_mj, 0.0);
+
+    // The 3D stream is all 59 floats of every Gaussian.
+    EXPECT_EQ(r.dram_bytes_3d,
+              w.cloud.size() * Gaussian::kTotalBytes);
+    // Tile-wise rendering refetches 2D splats and moves KV pairs.
+    EXPECT_GT(r.dram_bytes_2d, 0u);
+    EXPECT_GT(r.dram_bytes_kv, 0u);
+    EXPECT_EQ(r.dram_bytes_total,
+              r.dram_bytes_3d + r.dram_bytes_2d + r.dram_bytes_kv +
+                  static_cast<std::uint64_t>(w.cam.width()) *
+                      w.cam.height() * 12);
+}
+
+TEST(GscoreSim, StatsExported)
+{
+    Workload w = roomWorkload();
+    GscoreSim sim;
+    GscoreFrameResult r = sim.renderFrame(w.cloud, w.cam);
+    EXPECT_DOUBLE_EQ(sim.lastStats().get("frame.cycles"),
+                     static_cast<double>(r.total_cycles));
+    EXPECT_GT(sim.lastStats().get("phase.preprocess_cycles"), 0.0);
+}
+
+TEST(GscoreSim, MoreBandwidthNeverSlower)
+{
+    Workload w = roomWorkload();
+    double prev_fps = 0.0;
+    for (const DramConfig &d : DramConfig::sweep()) {
+        GscoreConfig cfg;
+        cfg.dram = d;
+        GscoreSim sim(cfg);
+        double fps = sim.renderFrame(w.cloud, w.cam).fps;
+        EXPECT_GE(fps, prev_fps) << d.name;
+        prev_fps = fps;
+    }
+}
+
+TEST(GccSim, FrameResultSane)
+{
+    Workload w = roomWorkload();
+    GccAccelerator acc;
+    GccFrameResult r = acc.render(w.cloud, w.cam);
+
+    EXPECT_GT(r.total_cycles, 0u);
+    EXPECT_EQ(r.total_cycles,
+              r.stage1_cycles + r.main_cycles + r.output_cycles);
+    EXPECT_GT(r.fps, 0.0);
+    EXPECT_GT(r.energy.total(), 0.0);
+    EXPECT_GT(r.dram_bytes_3d, 0u);
+    // Gaussian-wise rendering has no 2D-splat or KV traffic at all;
+    // total = 3D + metadata (id/depth lists, image out).
+    EXPECT_EQ(r.dram_bytes_total, r.dram_bytes_3d + r.dram_bytes_meta);
+    EXPECT_NEAR(acc.areaMm2(), 2.711, 0.02);
+}
+
+TEST(GccSim, CmodeEngagesWhenFrameExceedsBuffer)
+{
+    Workload w = roomWorkload();  // 192x160 > 128 KB / 8 B per pixel?
+    GccConfig small;
+    small.image_buffer_kb = 16.0;  // forces Cmode
+    GccSim sim_small(small);
+    GccFrameResult r1 = sim_small.renderFrame(w.cloud, w.cam);
+    EXPECT_TRUE(r1.cmode);
+
+    GccConfig big;
+    big.image_buffer_kb = 8192.0;  // whole frame fits
+    GccSim sim_big(big);
+    GccFrameResult r2 = sim_big.renderFrame(w.cloud, w.cam);
+    EXPECT_FALSE(r2.cmode);
+    EXPECT_EQ(r2.subview_size, 0);
+}
+
+TEST(GccSim, AblationOrdering)
+{
+    // On an occluded scene, the full dataflow (GW+CC) must move less
+    // DRAM and run at least as fast as GW alone.
+    Workload w = roomWorkload();
+
+    GccConfig gw_cfg;
+    gw_cfg.mode = GccMode::GaussianWise;
+    GccSim gw(gw_cfg);
+    GccFrameResult r_gw = gw.renderFrame(w.cloud, w.cam);
+
+    GccConfig cc_cfg;
+    cc_cfg.mode = GccMode::GaussianWiseCC;
+    GccSim cc(cc_cfg);
+    GccFrameResult r_cc = cc.renderFrame(w.cloud, w.cam);
+
+    EXPECT_LT(r_cc.dram_bytes_3d, r_gw.dram_bytes_3d);
+    EXPECT_GE(r_cc.fps, r_gw.fps * 0.99);
+    // Both produce the same picture.
+    EXPECT_EQ(r_cc.image.pixels().size(), r_gw.image.pixels().size());
+}
+
+TEST(GccSim, SkippedGroupsCostNothing)
+{
+    Workload w = roomWorkload();
+    GccAccelerator acc;
+    GccFrameResult r = acc.render(w.cloud, w.cam);
+    if (r.flow.skipped_by_termination == 0)
+        GTEST_SKIP() << "scene did not trigger group-level skip";
+    // 3D traffic must be below the full-load upper bound.
+    EXPECT_LT(r.dram_bytes_3d,
+              w.cloud.size() * Gaussian::kTotalBytes +
+                  w.cloud.size() * 12);
+}
+
+TEST(GccSim, MoreBandwidthNeverSlowerAndSaturates)
+{
+    Workload w = roomWorkload();
+    std::vector<double> fps;
+    for (double gbps : {51.2, 102.4, 204.8, 409.6, 819.2}) {
+        GccConfig cfg;
+        cfg.dram = DramConfig::lpddr4_3200().withBandwidth(gbps);
+        GccSim sim(cfg);
+        fps.push_back(sim.renderFrame(w.cloud, w.cam).fps);
+    }
+    for (std::size_t i = 1; i < fps.size(); ++i)
+        EXPECT_GE(fps[i], fps[i - 1] * 0.999);
+    // Compute-bound tail: the last doubling gains less than the first.
+    double first_gain = fps[1] / fps[0];
+    double last_gain = fps[4] / fps[3];
+    EXPECT_LT(last_gain, first_gain);
+}
+
+TEST(GccSim, StatsExported)
+{
+    Workload w = roomWorkload();
+    GccAccelerator acc;
+    GccFrameResult r = acc.render(w.cloud, w.cam);
+    EXPECT_DOUBLE_EQ(acc.sim().lastStats().get("frame.cycles"),
+                     static_cast<double>(r.total_cycles));
+    EXPECT_GT(acc.sim().lastStats().get("busy.alpha"), 0.0);
+}
+
+class AlphaArraySweep : public ::testing::TestWithParam<int>
+{
+};
+
+/** Smaller PE arrays are never faster (Fig. 13b direction). */
+TEST_P(AlphaArraySweep, ThroughputMonotonicInArraySize)
+{
+    Workload w = roomWorkload();
+    GccConfig small_cfg;
+    small_cfg.alpha_pes = GetParam();
+    small_cfg.blend_pes = GetParam();
+    GccSim small(small_cfg);
+    GccConfig full_cfg;
+    GccSim full(full_cfg);
+    EXPECT_LE(small.renderFrame(w.cloud, w.cam).fps * 0.999,
+              full.renderFrame(w.cloud, w.cam).fps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AlphaArraySweep,
+                         ::testing::Values(4, 16, 32));
+
+} // namespace
+} // namespace gcc3d

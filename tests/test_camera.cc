@@ -1,0 +1,108 @@
+/** @file Tests for the pinhole camera and the EWA Jacobian. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scene/camera.h"
+
+namespace gcc3d {
+namespace {
+
+TEST(Camera, LookAtPlacesTargetAtImageCenter)
+{
+    Camera cam(640, 480, 0.9f);
+    cam.lookAt(Vec3(1, 2, -5), Vec3(0, 0, 0));
+    Vec2 px = cam.worldToPixel(Vec3(0, 0, 0));
+    EXPECT_NEAR(px.x, 320.0f, 1e-2f);
+    EXPECT_NEAR(px.y, 240.0f, 1e-2f);
+}
+
+TEST(Camera, DepthIsDistanceAlongViewAxis)
+{
+    Camera cam(640, 480, 0.9f);
+    cam.lookAt(Vec3(0, 0, -5), Vec3(0, 0, 0));
+    Vec3 v = cam.worldToView(Vec3(0, 0, 0));
+    EXPECT_NEAR(v.z, 5.0f, 1e-4f);
+    EXPECT_NEAR(v.x, 0.0f, 1e-4f);
+}
+
+TEST(Camera, FocalLengthMatchesFov)
+{
+    float fov = 0.9f;
+    Camera cam(640, 480, fov);
+    // A world point at the edge of the FOV lands at the image border
+    // (either side — the horizontal axis convention is internal).
+    cam.lookAt(Vec3(0, 0, 0), Vec3(0, 0, 1));
+    float half = std::tan(0.5f * fov);
+    Vec2 px = cam.worldToPixel(Vec3(half * 10.0f, 0, 10.0f));
+    EXPECT_NEAR(std::fabs(px.x - 320.0f), 320.0f, 0.5f);
+}
+
+TEST(Camera, ProjectionScalesInverselyWithDepth)
+{
+    Camera cam(640, 480, 0.9f);
+    cam.lookAt(Vec3(0, 0, 0), Vec3(0, 0, 1));
+    Vec2 near = cam.worldToPixel(Vec3(1, 0, 5));
+    Vec2 far = cam.worldToPixel(Vec3(1, 0, 10));
+    float off_near = near.x - 320.0f;
+    float off_far = far.x - 320.0f;
+    EXPECT_NEAR(off_near, 2.0f * off_far, 1e-2f);
+}
+
+TEST(Camera, FrustumTest)
+{
+    Camera cam(640, 480, 0.9f);
+    cam.lookAt(Vec3(0, 0, 0), Vec3(0, 0, 1));
+    EXPECT_TRUE(cam.inFrustum(Vec3(0, 0, 5)));
+    EXPECT_FALSE(cam.inFrustum(Vec3(0, 0, -5)));   // behind
+    EXPECT_FALSE(cam.inFrustum(Vec3(100, 0, 5)));  // far off-axis
+    EXPECT_FALSE(cam.inFrustum(Vec3(0, 0, 0.1f))); // inside near plane
+    // Guard band admits slightly-off-screen points.
+    float half = std::tan(0.45f) * 5.0f;
+    EXPECT_TRUE(cam.inFrustum(Vec3(1.2f * half, 0, 5.0f), 1.3f));
+}
+
+/**
+ * The analytic Jacobian (Eq. 1) must match finite differences of the
+ * pixel projection.
+ */
+TEST(Camera, JacobianMatchesFiniteDifferences)
+{
+    Camera cam(640, 480, 0.9f);
+    cam.lookAt(Vec3(0, 0, 0), Vec3(0, 0, 1));
+    Vec3 v(0.7f, -0.4f, 6.0f);
+    Mat3 jac = cam.projectionJacobian(v);
+
+    const float h = 1e-3f;
+    for (int axis = 0; axis < 3; ++axis) {
+        Vec3 dv(axis == 0 ? h : 0, axis == 1 ? h : 0, axis == 2 ? h : 0);
+        Vec2 p0 = cam.viewToPixel(v - dv);
+        Vec2 p1 = cam.viewToPixel(v + dv);
+        float dx = (p1.x - p0.x) / (2 * h);
+        float dy = (p1.y - p0.y) / (2 * h);
+        EXPECT_NEAR(jac(0, static_cast<size_t>(axis)), dx,
+                    0.01f * std::fabs(dx) + 0.05f);
+        EXPECT_NEAR(jac(1, static_cast<size_t>(axis)), dy,
+                    0.01f * std::fabs(dy) + 0.05f);
+    }
+}
+
+TEST(Camera, NearPlaneConfigurable)
+{
+    Camera cam(64, 64, 0.9f);
+    EXPECT_FLOAT_EQ(cam.nearPlane(), 0.2f);  // paper's z pivot
+    cam.setNearPlane(1.0f);
+    EXPECT_FLOAT_EQ(cam.nearPlane(), 1.0f);
+}
+
+TEST(Camera, ViewBasisIsRightHanded)
+{
+    Camera cam(64, 64, 0.9f);
+    cam.lookAt(Vec3(3, 1, -4), Vec3(0, 0, 0));
+    Mat3 r = cam.viewMatrix().topLeft3x3();
+    EXPECT_NEAR(r.determinant(), 1.0f, 1e-4f);
+}
+
+} // namespace
+} // namespace gcc3d

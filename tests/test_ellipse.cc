@@ -1,0 +1,175 @@
+/** @file Unit tests for ellipse/conic utilities and bounding radii. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gsmath/ellipse.h"
+
+namespace gcc3d {
+namespace {
+
+TEST(SymmetricEigen2, DiagonalMatrix)
+{
+    Eigen2 e = symmetricEigen2(Mat2(9, 0, 0, 4));
+    EXPECT_FLOAT_EQ(e.l1, 9.0f);
+    EXPECT_FLOAT_EQ(e.l2, 4.0f);
+}
+
+TEST(SymmetricEigen2, RotatedMatrixInvariants)
+{
+    // Eigenvalues are invariant under rotation of a diagonal matrix.
+    float c = std::cos(0.6f), s = std::sin(0.6f);
+    Mat2 r(c, -s, s, c);
+    Mat2 d(16, 0, 0, 1);
+    Mat2 m = r * d * r.transposed();
+    Eigen2 e = symmetricEigen2(m);
+    EXPECT_NEAR(e.l1, 16.0f, 1e-3f);
+    EXPECT_NEAR(e.l2, 1.0f, 1e-3f);
+    EXPECT_NEAR(std::fabs(e.angle), 0.6f, 1e-3f);
+}
+
+TEST(SymmetricEigen2, TraceAndDetPreserved)
+{
+    Mat2 m(5, 2, 2, 3);
+    Eigen2 e = symmetricEigen2(m);
+    EXPECT_NEAR(e.l1 + e.l2, m.trace(), 1e-4f);
+    EXPECT_NEAR(e.l1 * e.l2, m.determinant(), 1e-3f);
+}
+
+TEST(PixelRect, AreaAndClip)
+{
+    PixelRect r{2, 3, 5, 7};
+    EXPECT_EQ(r.area(), 4 * 5);
+    PixelRect c = r.clipped(4, 5);
+    EXPECT_EQ(c.x1, 3);
+    EXPECT_EQ(c.y1, 4);
+    EXPECT_EQ(c.area(), 2 * 2);
+    PixelRect off{10, 10, 20, 20};
+    EXPECT_TRUE(off.clipped(5, 5).empty());
+    EXPECT_EQ(off.clipped(5, 5).area(), 0);
+}
+
+TEST(Ellipse, ConicInvertsCovariance)
+{
+    Mat2 cov(8, 2, 2, 5);
+    Ellipse e = Ellipse::fromCovariance(Vec2(10, 10), cov);
+    Mat2 p = e.conic * cov;
+    EXPECT_NEAR(p(0, 0), 1.0f, 1e-4f);
+    EXPECT_NEAR(p(1, 1), 1.0f, 1e-4f);
+}
+
+TEST(Ellipse, AlphaAtCenterEqualsOpacity)
+{
+    Ellipse e = Ellipse::fromCovariance(Vec2(0, 0), Mat2(4, 0, 0, 4));
+    EXPECT_NEAR(e.alphaAt(Vec2(0, 0), 0.7f), 0.7f, 1e-5f);
+    // alpha saturates at 0.99
+    EXPECT_FLOAT_EQ(e.alphaAt(Vec2(0, 0), 5.0f), 0.99f);
+}
+
+TEST(Ellipse, AlphaDecaysWithDistance)
+{
+    Ellipse e = Ellipse::fromCovariance(Vec2(0, 0), Mat2(4, 0, 0, 4));
+    float a0 = e.alphaAt(Vec2(0, 0), 0.9f);
+    float a1 = e.alphaAt(Vec2(2, 0), 0.9f);
+    float a2 = e.alphaAt(Vec2(4, 0), 0.9f);
+    EXPECT_GT(a0, a1);
+    EXPECT_GT(a1, a2);
+}
+
+TEST(Radius, ThreeSigma)
+{
+    Eigen2 e{25.0f, 4.0f, 0.0f};
+    EXPECT_EQ(radius3Sigma(e), 15);
+}
+
+/** The omega-sigma law exceeds 3-sigma only above omega ~ 0.353. */
+TEST(Radius, OmegaSigmaCrossesThreeSigma)
+{
+    Eigen2 e{25.0f, 25.0f, 0.0f};
+    int r3 = radius3Sigma(e);
+    EXPECT_LT(radiusOmegaSigma(e, 0.1f), r3);
+    EXPECT_LE(radiusOmegaSigma(e, 0.3f), r3);
+    EXPECT_GT(radiusOmegaSigma(e, 0.99f), r3);
+}
+
+TEST(Radius, OmegaSigmaZeroBelowThreshold)
+{
+    Eigen2 e{25.0f, 25.0f, 0.0f};
+    EXPECT_EQ(radiusOmegaSigma(e, 1.0f / 255.0f), 0);
+    EXPECT_EQ(radiusOmegaSigma(e, 0.001f), 0);
+}
+
+class OmegaSigmaLaw : public ::testing::TestWithParam<float>
+{
+};
+
+/**
+ * Property (Eq. 7/8): pixels just inside the omega-sigma radius have
+ * alpha >= 1/255 along the major axis; pixels beyond it do not.
+ */
+TEST_P(OmegaSigmaLaw, RadiusMatchesAlphaThreshold)
+{
+    float omega = GetParam();
+    Mat2 cov(36, 0, 0, 9);
+    Ellipse e = Ellipse::fromCovariance(Vec2(0, 0), cov);
+    int r = radiusOmegaSigma(e.eig, omega);
+    ASSERT_GT(r, 0);
+    // Just inside along the major axis: passes.
+    float inside = static_cast<float>(r) - 1.0f;
+    EXPECT_GE(e.alphaAt(Vec2(inside, 0), omega), kAlphaMin);
+    // Just outside: fails.
+    float outside = static_cast<float>(r) + 1.0f;
+    EXPECT_LT(e.alphaAt(Vec2(outside, 0), omega), kAlphaMin);
+}
+
+INSTANTIATE_TEST_SUITE_P(Opacities, OmegaSigmaLaw,
+                         ::testing::Values(0.05f, 0.1f, 0.3f, 0.5f,
+                                           0.8f, 0.99f));
+
+TEST(EffectiveRegion, ShrinksWithOpacity)
+{
+    Ellipse e = Ellipse::fromCovariance(Vec2(64, 64), Mat2(40, 10, 10, 20));
+    std::int64_t hi = effectivePixelCount(e, 0.9f, 128, 128);
+    std::int64_t mid = effectivePixelCount(e, 0.1f, 128, 128);
+    std::int64_t lo = effectivePixelCount(e, 0.01f, 128, 128);
+    EXPECT_GT(hi, mid);
+    EXPECT_GT(mid, lo);
+    EXPECT_GT(lo, 0);
+}
+
+TEST(EffectiveRegion, ObbSmallerThanAabb)
+{
+    // Strongly anisotropic, rotated footprint: the OBB should beat the
+    // axis-aligned square bound.
+    float c = std::cos(0.7f), s = std::sin(0.7f);
+    Mat2 r(c, -s, s, c);
+    Mat2 d(400, 0, 0, 9);
+    Mat2 cov = r * d * r.transposed();
+    Ellipse e = Ellipse::fromCovariance(Vec2(256, 256), cov);
+    PixelRect aabb =
+        aabbFromRadius(e.center, radius3Sigma(e.eig)).clipped(512, 512);
+    std::int64_t obb = obbPixelCount(e, 3.0f, 512, 512);
+    EXPECT_LT(obb, aabb.area());
+    EXPECT_GT(obb, 0);
+}
+
+TEST(EffectiveRegion, OffscreenCountsZero)
+{
+    Ellipse e = Ellipse::fromCovariance(Vec2(-500, -500), Mat2(4, 0, 0, 4));
+    EXPECT_EQ(effectivePixelCount(e, 0.9f, 128, 128), 0);
+}
+
+TEST(Aabb, FromCovarianceTighterForAnisotropy)
+{
+    // Axis-aligned covariance: aabbFromCovariance matches per-axis
+    // extents while aabbFromRadius uses the worst axis for both.
+    Mat2 cov(100, 0, 0, 4);
+    Eigen2 eig = symmetricEigen2(cov);
+    PixelRect square = aabbFromRadius(Vec2(50, 50), radius3Sigma(eig));
+    PixelRect tight = aabbFromCovariance(Vec2(50, 50), cov, 9.0f);
+    EXPECT_LT(tight.area(), square.area());
+}
+
+} // namespace
+} // namespace gcc3d

@@ -1,0 +1,118 @@
+/** @file Unit tests for the fixed-point EXP LUT (Sec. 4.4). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gsmath/exp_lut.h"
+#include "gsmath/fixed_point.h"
+
+namespace gcc3d {
+namespace {
+
+TEST(FixedPoint, RoundTrip)
+{
+    AlphaFixed f = AlphaFixed::fromFloat(1.25f);
+    EXPECT_NEAR(f.toFloat(), 1.25f, 1e-4f);
+    AlphaFixed n = AlphaFixed::fromFloat(-3.5f);
+    EXPECT_NEAR(n.toFloat(), -3.5f, 1e-4f);
+}
+
+TEST(FixedPoint, Arithmetic)
+{
+    AlphaFixed a = AlphaFixed::fromFloat(2.0f);
+    AlphaFixed b = AlphaFixed::fromFloat(0.5f);
+    EXPECT_NEAR((a + b).toFloat(), 2.5f, 1e-4f);
+    EXPECT_NEAR((a - b).toFloat(), 1.5f, 1e-4f);
+    EXPECT_NEAR((a * b).toFloat(), 1.0f, 1e-4f);
+}
+
+TEST(FixedPoint, SaturatesInsteadOfWrapping)
+{
+    AlphaFixed big = AlphaFixed::fromFloat(7.9f);
+    AlphaFixed sum = big + big;
+    // Q4.20: max ~ 8; the sum saturates rather than going negative.
+    EXPECT_GT(sum.toFloat(), 7.5f);
+    AlphaFixed neg = AlphaFixed::fromFloat(-7.9f);
+    EXPECT_LT((neg + neg).toFloat(), -7.5f);
+}
+
+TEST(FixedPoint, QuantizationStep)
+{
+    // Q4.20 resolution is 2^-20.
+    float step = 1.0f / 1048576.0f;
+    AlphaFixed f = AlphaFixed::fromFloat(step);
+    EXPECT_EQ(f.raw(), 1);
+}
+
+TEST(ExpLut, ClampsBelowLowerBound)
+{
+    ExpLut lut;
+    EXPECT_FLOAT_EQ(lut.eval(-10.0f), 0.0f);
+    EXPECT_FLOAT_EQ(lut.eval(-5.6f), 0.0f);
+}
+
+TEST(ExpLut, SaturatesAtZeroAndAbove)
+{
+    ExpLut lut;
+    EXPECT_FLOAT_EQ(lut.eval(0.0f), 1.0f);
+    EXPECT_FLOAT_EQ(lut.eval(3.0f), 1.0f);
+}
+
+/** The paper requires < 1% approximation error with 16 segments. */
+TEST(ExpLut, MaxRelativeErrorBelowOnePercent)
+{
+    ExpLut lut;
+    EXPECT_LT(lut.maxRelativeError(8192), 0.01f);
+}
+
+TEST(ExpLut, MonotonicallyIncreasing)
+{
+    ExpLut lut;
+    float prev = -1.0f;
+    for (int i = 0; i <= 200; ++i) {
+        float x = ExpLut::kLowerBound +
+                  (-ExpLut::kLowerBound) * static_cast<float>(i) / 200.0f;
+        float y = lut.eval(x);
+        EXPECT_GE(y, prev) << "at x=" << x;
+        prev = y;
+    }
+}
+
+TEST(ExpLut, FixedPathMatchesFloatPath)
+{
+    ExpLut lut;
+    for (float x : {-5.0f, -3.3f, -1.7f, -0.4f, -0.05f}) {
+        float f = lut.eval(x);
+        float q = lut.evalFixed(AlphaFixed::fromFloat(x)).toFloat();
+        EXPECT_NEAR(f, q, 2e-3f) << "x=" << x;
+    }
+}
+
+TEST(ExpLut, AlphaMinBoundary)
+{
+    // exp(kLowerBound) = 1/255: the smallest meaningful alpha.
+    ExpLut lut;
+    float v = lut.eval(ExpLut::kLowerBound + 1e-4f);
+    EXPECT_NEAR(v, 1.0f / 255.0f, 5e-4f);
+}
+
+class ExpLutSweep : public ::testing::TestWithParam<float>
+{
+};
+
+TEST_P(ExpLutSweep, WithinOnePercentOfExp)
+{
+    ExpLut lut;
+    float x = GetParam();
+    float exact = std::exp(x);
+    EXPECT_NEAR(lut.eval(x), exact, 0.01f * exact + 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, ExpLutSweep,
+                         ::testing::Values(-5.5f, -4.8f, -4.0f, -3.2f,
+                                           -2.4f, -1.6f, -0.8f, -0.3f,
+                                           -0.1f, -0.01f));
+
+} // namespace
+} // namespace gcc3d

@@ -1,0 +1,97 @@
+/** @file Tests for the GPU dataflow cost model (Sec. 6 / Fig. 15). */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_model.h"
+#include "render/gaussian_wise_renderer.h"
+#include "render/tile_renderer.h"
+#include "test_util.h"
+
+namespace gcc3d {
+namespace {
+
+struct Flows
+{
+    StandardFlowStats std_stats;
+    GaussianWiseStats gw_stats;
+};
+
+Flows
+runFlows()
+{
+    SceneSpec spec = test::tinyRoomSpec(41, 4000);
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Camera cam = makeCamera(spec);
+    Flows f;
+    TileRenderer tr;
+    Image i1 = tr.render(cloud, cam, f.std_stats);
+    (void)i1;
+    GaussianWiseRenderer gw;
+    Image i2 = gw.render(cloud, cam, f.gw_stats);
+    (void)i2;
+    return f;
+}
+
+TEST(GpuModel, BreakdownsArePositiveAndFinite)
+{
+    Flows f = runFlows();
+    for (const GpuPlatform &p :
+         {GpuPlatform::rtx3090(), GpuPlatform::jetsonXavier()}) {
+        GpuModel m(p);
+        DataflowBreakdown s = m.standardDataflow(f.std_stats);
+        DataflowBreakdown g = m.gccDataflow(f.gw_stats);
+        EXPECT_GT(s.preprocess_ms, 0.0);
+        EXPECT_GT(s.render_ms, 0.0);
+        EXPECT_GT(s.total(), 0.0);
+        EXPECT_GT(g.total(), 0.0);
+        EXPECT_DOUBLE_EQ(g.duplicate_ms, 0.0);  // GW removes KV work
+    }
+}
+
+TEST(GpuModel, JetsonSlowerThanRtx3090)
+{
+    Flows f = runFlows();
+    GpuModel cloud_gpu(GpuPlatform::rtx3090());
+    GpuModel edge_gpu(GpuPlatform::jetsonXavier());
+    EXPECT_GT(edge_gpu.standardDataflow(f.std_stats).total(),
+              cloud_gpu.standardDataflow(f.std_stats).total());
+    EXPECT_GT(edge_gpu.gccDataflow(f.gw_stats).total(),
+              cloud_gpu.gccDataflow(f.gw_stats).total());
+}
+
+TEST(GpuModel, RenderingDominatesOnGpu)
+{
+    // The paper's first observation: rendering dominates GPU frames.
+    Flows f = runFlows();
+    GpuModel m(GpuPlatform::rtx3090());
+    DataflowBreakdown s = m.standardDataflow(f.std_stats);
+    EXPECT_GT(s.render_ms, s.preprocess_ms);
+    EXPECT_GT(s.render_ms, 0.4 * s.total());
+}
+
+TEST(GpuModel, AtomicPenaltyInflatesGccRendering)
+{
+    // The paper's second observation: Gaussian-parallel blending pays
+    // atomics, so the GCC dataflow's render stage grows on GPUs.
+    Flows f = runFlows();
+    GpuPlatform p = GpuPlatform::rtx3090();
+    GpuModel with_penalty(p);
+    p.atomic_penalty = 1.0;
+    GpuModel without_penalty(p);
+    EXPECT_GT(with_penalty.gccDataflow(f.gw_stats).render_ms,
+              without_penalty.gccDataflow(f.gw_stats).render_ms);
+}
+
+TEST(GpuModel, GccDataflowGainsAreLimitedOnGpu)
+{
+    // End-to-end, the GCC dataflow should NOT show anything like the
+    // accelerator's 3-5x gain on a GPU (the whole point of Sec. 6).
+    Flows f = runFlows();
+    GpuModel m(GpuPlatform::rtx3090());
+    double ratio = m.standardDataflow(f.std_stats).total() /
+                   m.gccDataflow(f.gw_stats).total();
+    EXPECT_LT(ratio, 2.0);
+}
+
+} // namespace
+} // namespace gcc3d

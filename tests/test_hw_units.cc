@@ -1,0 +1,188 @@
+/** @file Tests for the GCC hardware unit cycle models (Sec. 4). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/alpha_unit.h"
+#include "core/blending_unit.h"
+#include "core/depth_grouping.h"
+#include "core/projection_unit.h"
+#include "core/sh_unit.h"
+#include "core/sort_unit.h"
+
+namespace gcc3d {
+namespace {
+
+GccConfig
+paperConfig()
+{
+    return GccConfig{};
+}
+
+TEST(ProjectionUnit, ThroughputMatchesWays)
+{
+    GccConfig cfg = paperConfig();
+    ProjectionUnit pu(cfg);
+    // 2-way: one Gaussian per cycle per way.
+    EXPECT_EQ(pu.batch(1000).cycles, 500u);
+    EXPECT_GT(pu.batch(1000).fma_ops, 1000u * 50);
+
+    cfg.projection_ways = 4;
+    ProjectionUnit pu4(cfg);
+    EXPECT_EQ(pu4.batch(1000).cycles, 250u);
+}
+
+TEST(ShUnit, OneWayBaseline)
+{
+    GccConfig cfg = paperConfig();
+    ShUnit sh(cfg);
+    EXPECT_EQ(sh.batch(1000).cycles, 1000u);
+    EXPECT_EQ(sh.batch(1000).mac_ops, 1000u * ShUnit::kMacPerGaussian);
+}
+
+TEST(SortUnit, CostGrowsSuperlinearly)
+{
+    GccConfig cfg = paperConfig();
+    SortUnit sort(cfg);
+    EXPECT_EQ(sort.group(0).cycles, 0u);
+    EXPECT_EQ(sort.group(1).cycles, 0u);
+    auto c16 = sort.group(16);
+    auto c256 = sort.group(256);
+    EXPECT_GT(c256.cycles, c16.cycles);
+    // 256 keys = 16 chunks + 4 merge passes over 16 words each.
+    EXPECT_EQ(c256.cycles, (16u + 10u) + 4u * 16u);
+}
+
+TEST(SortUnit, BitonicSortsRandomKeys)
+{
+    std::mt19937 rng(3);
+    std::uniform_real_distribution<float> u(0.0f, 10.0f);
+    for (std::size_t n : {1u, 2u, 15u, 16u, 17u, 100u, 256u}) {
+        std::vector<std::pair<float, std::uint32_t>> keys;
+        for (std::uint32_t i = 0; i < n; ++i)
+            keys.push_back({u(rng), i});
+        auto expect = keys;
+        std::sort(expect.begin(), expect.end());
+        SortUnit::bitonicSort(keys);
+        EXPECT_EQ(keys, expect) << "n=" << n;
+    }
+}
+
+TEST(SortUnit, BitonicStableUnderDuplicateDepths)
+{
+    std::vector<std::pair<float, std::uint32_t>> keys = {
+        {1.0f, 9}, {1.0f, 2}, {1.0f, 5}, {0.5f, 7}};
+    SortUnit::bitonicSort(keys);
+    EXPECT_EQ(keys[0].second, 7u);
+    EXPECT_EQ(keys[1].second, 2u);
+    EXPECT_EQ(keys[2].second, 5u);
+    EXPECT_EQ(keys[3].second, 9u);
+}
+
+TEST(AlphaUnit, OneBlockPerCycleAtFullArray)
+{
+    GccConfig cfg = paperConfig();
+    AlphaUnit alpha(cfg);
+    AlphaCost c = alpha.batch(100, 1000);
+    // 1000 blocks + 100 per-Gaussian dispatch cycles.
+    EXPECT_EQ(c.cycles, 1100u);
+    EXPECT_EQ(c.exp_ops, 1000u * 64);
+    EXPECT_EQ(c.latency, 14u);  // paper's per-Gaussian latency
+}
+
+TEST(AlphaUnit, SmallerArrayTakesLonger)
+{
+    GccConfig cfg = paperConfig();
+    cfg.alpha_pes = 16;  // quarter array, same 8x8 block
+    AlphaUnit alpha(cfg);
+    EXPECT_EQ(alpha.batch(0, 1000).cycles, 4000u);
+}
+
+TEST(BlendingUnit, StallFractionApplied)
+{
+    GccConfig cfg = paperConfig();
+    cfg.blend_stall_fraction = 0.5;
+    BlendingUnit blend(cfg);
+    BlendCost c = blend.batch(1000, 4000);
+    EXPECT_EQ(c.stall_cycles, 500u);
+    EXPECT_EQ(c.cycles, 1500u);
+    EXPECT_EQ(c.fma_ops, 4000u * BlendingUnit::kFmaPerPixel);
+}
+
+TEST(DepthGroupingUnit, CostScalesWithPopulation)
+{
+    GccConfig cfg = paperConfig();
+    DepthGroupingUnit unit(cfg);
+    StageICost small = unit.cost(100000, 80000, 40.0);
+    StageICost large = unit.cost(1000000, 800000, 40.0);
+    EXPECT_GT(large.total_cycles, small.total_cycles);
+    EXPECT_EQ(small.mvm_cycles, 25000u);
+    EXPECT_EQ(small.rca_cycles, 50000u);
+    EXPECT_GT(small.mem_bytes, 100000u * 12);
+}
+
+TEST(HierarchicalGroups, RespectsCapacityAndOrder)
+{
+    std::mt19937 rng(5);
+    std::uniform_real_distribution<float> u(0.2f, 50.0f);
+    std::vector<float> depths;
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t i = 0; i < 5000; ++i) {
+        depths.push_back(u(rng));
+        ids.push_back(i);
+    }
+    auto groups = hierarchicalGroups(depths, ids, 256, 64);
+
+    std::size_t total = 0;
+    for (const DepthGroup &g : groups) {
+        EXPECT_LE(g.members.size(), 256u);
+        EXPECT_FALSE(g.members.empty());
+        total += g.members.size();
+    }
+    EXPECT_EQ(total, ids.size());
+}
+
+TEST(HierarchicalGroups, PartitionCoversAllIdsOnce)
+{
+    std::mt19937 rng(6);
+    std::uniform_real_distribution<float> u(0.2f, 5.0f);
+    std::vector<float> depths;
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t i = 0; i < 2000; ++i) {
+        depths.push_back(u(rng));
+        ids.push_back(i + 10);
+    }
+    auto groups = hierarchicalGroups(depths, ids, 64, 16);
+    std::vector<std::uint32_t> seen;
+    for (const DepthGroup &g : groups)
+        for (std::uint32_t id : g.members)
+            seen.push_back(id);
+    std::sort(seen.begin(), seen.end());
+    std::vector<std::uint32_t> expect = ids;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(seen, expect);
+}
+
+TEST(HierarchicalGroups, HeavilySkewedBinSubdivides)
+{
+    // All depths identical: the coarse pass puts everything in one
+    // bin; recursive subdivision must still respect the capacity.
+    std::vector<float> depths(1000, 1.5f);
+    std::vector<std::uint32_t> ids(1000);
+    for (std::uint32_t i = 0; i < 1000; ++i)
+        ids[i] = i;
+    auto groups = hierarchicalGroups(depths, ids, 100, 32);
+    for (const DepthGroup &g : groups)
+        EXPECT_LE(g.members.size(), 100u);
+}
+
+TEST(HierarchicalGroups, EmptyInput)
+{
+    auto groups = hierarchicalGroups({}, {}, 256, 64);
+    EXPECT_TRUE(groups.empty());
+}
+
+} // namespace
+} // namespace gcc3d

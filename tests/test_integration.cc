@@ -1,0 +1,140 @@
+/** @file End-to-end integration tests spanning the whole stack:
+ * functional equivalence across pipelines and the paper's headline
+ * directional claims at test scale. */
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.h"
+#include "gscore/gscore_sim.h"
+#include "render/metrics.h"
+#include "scene/scene_presets.h"
+#include "test_util.h"
+
+namespace gcc3d {
+namespace {
+
+class SceneIntegration : public ::testing::TestWithParam<SceneId>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        spec_ = scenePreset(GetParam());
+        cloud_ = generateScene(spec_, 0.01f);
+        cam_ = makeCamera(spec_);
+    }
+
+    SceneSpec spec_;
+    GaussianCloud cloud_;
+    Camera cam_;
+};
+
+/** Both accelerators draw the same picture on every preset scene. */
+TEST_P(SceneIntegration, PipelinesAgreeVisually)
+{
+    GscoreSim gscore;
+    GscoreFrameResult base = gscore.renderFrame(cloud_, cam_);
+    GccAccelerator gcc;
+    GccFrameResult ours = gcc.render(cloud_, cam_);
+
+    double p = psnr(base.image, ours.image);
+    double s = ssim(base.image, ours.image);
+    EXPECT_GT(p, 38.0) << spec_.name;
+    EXPECT_GT(s, 0.97) << spec_.name;
+}
+
+/** GCC moves less DRAM than GSCore on every preset scene. */
+TEST_P(SceneIntegration, GccMovesLessData)
+{
+    GscoreSim gscore;
+    GscoreFrameResult base = gscore.renderFrame(cloud_, cam_);
+    GccAccelerator gcc;
+    GccFrameResult ours = gcc.render(cloud_, cam_);
+    EXPECT_LT(ours.dram_bytes_total, base.dram_bytes_total)
+        << spec_.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenes, SceneIntegration,
+    ::testing::Values(SceneId::Palace, SceneId::Lego, SceneId::Train,
+                      SceneId::Truck, SceneId::Playroom,
+                      SceneId::Drjohnson),
+    [](const ::testing::TestParamInfo<SceneId> &info) {
+        return sceneName(info.param);
+    });
+
+TEST(Integration, GccOutperformsGscoreOnOccludedScene)
+{
+    SceneSpec spec = test::tinyRoomSpec(51, 6000);
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Camera cam = makeCamera(spec);
+
+    GscoreSim gscore;
+    GscoreFrameResult base = gscore.renderFrame(cloud, cam);
+    GccAccelerator gcc;
+    GccFrameResult ours = gcc.render(cloud, cam);
+
+    EXPECT_GT(ours.fps, base.fps);
+    double area_norm = ours.fps / base.fps *
+                       gscore.chip().totalArea() / gcc.areaMm2();
+    EXPECT_GT(area_norm, 1.5);
+    EXPECT_LT(ours.energy.total(), base.energy.total());
+}
+
+TEST(Integration, EnergyDominatedByMemory)
+{
+    // Fig. 12's structural claim: memory (DRAM) dominates GSCore's
+    // frame energy.
+    SceneSpec spec = test::tinyRoomSpec(52, 6000);
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Camera cam = makeCamera(spec);
+    GscoreSim gscore;
+    GscoreFrameResult base = gscore.renderFrame(cloud, cam);
+    EXPECT_GT(base.energy.dram_mj,
+              base.energy.compute_mj);
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    SceneSpec spec = test::tinySpec(53, 2000);
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Camera cam = makeCamera(spec);
+    GccAccelerator acc;
+    GccFrameResult a = acc.render(cloud, cam);
+    GccFrameResult b = acc.render(cloud, cam);
+    EXPECT_EQ(a.total_cycles, b.total_cycles);
+    EXPECT_DOUBLE_EQ(mse(a.image, b.image), 0.0);
+    EXPECT_EQ(a.dram_bytes_total, b.dram_bytes_total);
+}
+
+TEST(Integration, UnusedFractionMatchesPaperDirection)
+{
+    // Fig. 2a's claim at test scale: a significant fraction of
+    // in-frustum Gaussians is never used by rendering.
+    SceneSpec spec = test::tinyRoomSpec(54, 8000);
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Camera cam = makeCamera(spec);
+    TileRenderer renderer;
+    StandardFlowStats st;
+    renderer.render(cloud, cam, st);
+    ASSERT_GT(st.pre.in_frustum, 0u);
+    double unused = 1.0 - static_cast<double>(st.rendered_gaussians) /
+                              static_cast<double>(st.pre.in_frustum);
+    EXPECT_GT(unused, 0.2);
+}
+
+TEST(Integration, PerGaussianLoadsExceedOne)
+{
+    // Fig. 2b's claim: tile-wise rendering loads each Gaussian
+    // multiple times.
+    SceneSpec spec = test::tinySpec(55, 4000);
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Camera cam = makeCamera(spec);
+    TileRenderer renderer;
+    StandardFlowStats st;
+    renderer.render(cloud, cam, st);
+    EXPECT_GT(st.loadsPerRenderedGaussian(), 1.2);
+}
+
+} // namespace
+} // namespace gcc3d

@@ -1,0 +1,131 @@
+/** @file Unit tests for the matrix types. */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gsmath/mat.h"
+
+namespace gcc3d {
+namespace {
+
+TEST(Mat2, IdentityAndMultiply)
+{
+    Mat2 i = Mat2::identity();
+    Mat2 a(1, 2, 3, 4);
+    Mat2 ai = a * i;
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t c = 0; c < 2; ++c)
+            EXPECT_FLOAT_EQ(ai(r, c), a(r, c));
+}
+
+TEST(Mat2, InverseRoundTrip)
+{
+    Mat2 a(4, 1, 2, 3);
+    Mat2 p = a * a.inverse();
+    EXPECT_NEAR(p(0, 0), 1.0f, 1e-5f);
+    EXPECT_NEAR(p(1, 1), 1.0f, 1e-5f);
+    EXPECT_NEAR(p(0, 1), 0.0f, 1e-5f);
+    EXPECT_NEAR(p(1, 0), 0.0f, 1e-5f);
+}
+
+TEST(Mat2, DeterminantTrace)
+{
+    Mat2 a(4, 1, 2, 3);
+    EXPECT_FLOAT_EQ(a.determinant(), 10.0f);
+    EXPECT_FLOAT_EQ(a.trace(), 7.0f);
+}
+
+TEST(Mat2, VectorMultiply)
+{
+    Mat2 r(0, -1, 1, 0);  // 90-degree rotation
+    Vec2 v = r * Vec2(1, 0);
+    EXPECT_FLOAT_EQ(v.x, 0.0f);
+    EXPECT_FLOAT_EQ(v.y, 1.0f);
+}
+
+TEST(Mat3, MultiplyAssociativity)
+{
+    std::mt19937 rng(1);
+    std::uniform_real_distribution<float> u(-2.0f, 2.0f);
+    auto rnd = [&]() {
+        Mat3 m;
+        for (size_t r = 0; r < 3; ++r)
+            for (size_t c = 0; c < 3; ++c)
+                m(r, c) = u(rng);
+        return m;
+    };
+    Mat3 a = rnd(), b = rnd(), c = rnd();
+    Mat3 lhs = (a * b) * c;
+    Mat3 rhs = a * (b * c);
+    for (size_t r = 0; r < 3; ++r)
+        for (size_t col = 0; col < 3; ++col)
+            EXPECT_NEAR(lhs(r, col), rhs(r, col), 1e-3f);
+}
+
+TEST(Mat3, TransposeDiagonal)
+{
+    Mat3 d = Mat3::diagonal(Vec3(1, 2, 3));
+    EXPECT_FLOAT_EQ(d(0, 0), 1);
+    EXPECT_FLOAT_EQ(d(1, 1), 2);
+    EXPECT_FLOAT_EQ(d(2, 2), 3);
+    EXPECT_FLOAT_EQ(d(0, 1), 0);
+
+    Mat3 a(1, 2, 3, 4, 5, 6, 7, 8, 9);
+    Mat3 at = a.transposed();
+    for (size_t r = 0; r < 3; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_FLOAT_EQ(at(r, c), a(c, r));
+}
+
+TEST(Mat3, Determinant)
+{
+    EXPECT_FLOAT_EQ(Mat3::identity().determinant(), 1.0f);
+    // Singular matrix (rows linearly dependent).
+    Mat3 s(1, 2, 3, 2, 4, 6, 1, 1, 1);
+    EXPECT_NEAR(s.determinant(), 0.0f, 1e-5f);
+}
+
+TEST(Mat3, TopLeft2x2)
+{
+    Mat3 a(1, 2, 3, 4, 5, 6, 7, 8, 9);
+    Mat2 t = a.topLeft2x2();
+    EXPECT_FLOAT_EQ(t(0, 0), 1);
+    EXPECT_FLOAT_EQ(t(0, 1), 2);
+    EXPECT_FLOAT_EQ(t(1, 0), 4);
+    EXPECT_FLOAT_EQ(t(1, 1), 5);
+}
+
+TEST(Mat4, TransformPointVsDirection)
+{
+    Mat3 rot = Mat3::identity();
+    Vec3 t(1, 2, 3);
+    Mat4 m = Mat4::fromRotationTranslation(rot, t);
+    EXPECT_EQ(m.transformPoint(Vec3(0, 0, 0)), t);
+    // directions ignore translation
+    EXPECT_EQ(m.transformDirection(Vec3(1, 0, 0)), Vec3(1, 0, 0));
+}
+
+TEST(Mat4, ComposeWithIdentity)
+{
+    Mat4 m = Mat4::fromRotationTranslation(
+        Mat3(0, -1, 0, 1, 0, 0, 0, 0, 1), Vec3(5, 0, 0));
+    Mat4 i = Mat4::identity();
+    Mat4 p = m * i;
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            EXPECT_FLOAT_EQ(p(r, c), m(r, c));
+}
+
+TEST(Mat4, TopLeft3x3)
+{
+    Mat3 rot(1, 2, 3, 4, 5, 6, 7, 8, 9);
+    Mat4 m = Mat4::fromRotationTranslation(rot, Vec3(9, 9, 9));
+    Mat3 back = m.topLeft3x3();
+    for (size_t r = 0; r < 3; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_FLOAT_EQ(back(r, c), rot(r, c));
+}
+
+} // namespace
+} // namespace gcc3d

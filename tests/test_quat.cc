@@ -1,0 +1,84 @@
+/** @file Unit tests for quaternions. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "gsmath/quat.h"
+
+namespace gcc3d {
+namespace {
+
+TEST(Quat, IdentityRotation)
+{
+    Quat q;
+    Vec3 v(1, 2, 3);
+    EXPECT_EQ(q.rotate(v), v);
+}
+
+TEST(Quat, AxisAngle90DegZ)
+{
+    Quat q = Quat::fromAxisAngle(Vec3(0, 0, 1), 0.5f * M_PI);
+    Vec3 v = q.rotate(Vec3(1, 0, 0));
+    EXPECT_NEAR(v.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(v.y, 1.0f, 1e-5f);
+    EXPECT_NEAR(v.z, 0.0f, 1e-5f);
+}
+
+TEST(Quat, RotationMatrixIsOrthonormal)
+{
+    std::mt19937 rng(7);
+    std::normal_distribution<float> n(0.0f, 1.0f);
+    for (int i = 0; i < 20; ++i) {
+        Quat q(n(rng), n(rng), n(rng), n(rng));
+        Mat3 r = q.toMatrix();
+        Mat3 rrT = r * r.transposed();
+        for (size_t a = 0; a < 3; ++a)
+            for (size_t b = 0; b < 3; ++b)
+                EXPECT_NEAR(rrT(a, b), a == b ? 1.0f : 0.0f, 1e-4f)
+                    << "sample " << i;
+        EXPECT_NEAR(r.determinant(), 1.0f, 1e-4f);
+    }
+}
+
+TEST(Quat, RotationPreservesNorm)
+{
+    Quat q = Quat::fromAxisAngle(Vec3(1, 1, 0), 1.1f);
+    Vec3 v(3, -2, 5);
+    EXPECT_NEAR(q.rotate(v).norm(), v.norm(), 1e-4f);
+}
+
+TEST(Quat, HamiltonProductComposes)
+{
+    Quat a = Quat::fromAxisAngle(Vec3(0, 0, 1), 0.4f);
+    Quat b = Quat::fromAxisAngle(Vec3(0, 0, 1), 0.7f);
+    Quat ab = a * b;
+    Quat direct = Quat::fromAxisAngle(Vec3(0, 0, 1), 1.1f);
+    Vec3 v(1, 2, 0);
+    Vec3 r1 = ab.rotate(v);
+    Vec3 r2 = direct.rotate(v);
+    EXPECT_NEAR(r1.x, r2.x, 1e-4f);
+    EXPECT_NEAR(r1.y, r2.y, 1e-4f);
+}
+
+TEST(Quat, NormalizedDegenerate)
+{
+    Quat z(0, 0, 0, 0);
+    Quat n = z.normalized();
+    EXPECT_FLOAT_EQ(n.w, 1.0f);  // falls back to identity
+}
+
+TEST(Quat, NegatedQuaternionSameRotation)
+{
+    Quat q = Quat::fromAxisAngle(Vec3(1, 2, 3), 0.9f);
+    Quat nq(-q.w, -q.x, -q.y, -q.z);
+    Vec3 v(0.5f, -1.0f, 2.0f);
+    Vec3 a = q.rotate(v), b = nq.rotate(v);
+    EXPECT_NEAR(a.x, b.x, 1e-5f);
+    EXPECT_NEAR(a.y, b.y, 1e-5f);
+    EXPECT_NEAR(a.z, b.z, 1e-5f);
+}
+
+} // namespace
+} // namespace gcc3d

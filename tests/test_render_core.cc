@@ -1,0 +1,156 @@
+/** @file Tests for image, metrics and shared preprocessing. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "render/metrics.h"
+#include "render/preprocess.h"
+#include "test_util.h"
+
+namespace gcc3d {
+namespace {
+
+TEST(Image, FillAndAccess)
+{
+    Image img(8, 4, Vec3(0.5f, 0.25f, 0.75f));
+    EXPECT_EQ(img.pixelCount(), 32u);
+    EXPECT_EQ(img.at(7, 3), Vec3(0.5f, 0.25f, 0.75f));
+    img.at(2, 1) = Vec3(1, 0, 0);
+    EXPECT_EQ(img.at(2, 1), Vec3(1, 0, 0));
+    img.fill(Vec3(0, 0, 0));
+    EXPECT_FLOAT_EQ(img.meanIntensity(), 0.0f);
+}
+
+TEST(Image, PpmWriteProducesValidHeader)
+{
+    Image img(4, 2, Vec3(1, 1, 1));
+    std::string path = ::testing::TempDir() + "/gcc3d_test.ppm";
+    ASSERT_TRUE(img.writePpm(path));
+    FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char magic[3] = {};
+    ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+    EXPECT_EQ(magic[0], 'P');
+    EXPECT_EQ(magic[1], '6');
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST(Metrics, IdenticalImages)
+{
+    Image a(16, 16, Vec3(0.3f, 0.6f, 0.9f));
+    Image b = a;
+    EXPECT_DOUBLE_EQ(mse(a, b), 0.0);
+    EXPECT_TRUE(std::isinf(psnr(a, b)));
+    EXPECT_NEAR(ssim(a, b), 1.0, 1e-9);
+}
+
+TEST(Metrics, KnownMse)
+{
+    Image a(4, 4, Vec3(0, 0, 0));
+    Image b(4, 4, Vec3(0.1f, 0.1f, 0.1f));
+    EXPECT_NEAR(mse(a, b), 0.01, 1e-6);
+    EXPECT_NEAR(psnr(a, b), 20.0, 1e-3);
+}
+
+TEST(Metrics, SsimPenalizesStructuralChange)
+{
+    Image a(32, 32, Vec3(0.2f, 0.2f, 0.2f));
+    Image structured = a;
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            structured.at(x, y) =
+                (x / 4 + y / 4) % 2 ? Vec3(0.8f, 0.8f, 0.8f)
+                                    : Vec3(0.1f, 0.1f, 0.1f);
+    EXPECT_LT(ssim(a, structured), 0.9);
+}
+
+TEST(Metrics, ShapeMismatchThrows)
+{
+    Image a(8, 8), b(8, 9);
+    EXPECT_THROW(mse(a, b), std::invalid_argument);
+    EXPECT_THROW(ssim(a, b), std::invalid_argument);
+}
+
+TEST(Preprocess, NearPlaneCull)
+{
+    Camera cam = test::frontCamera();
+    Gaussian g = test::makeGaussian(Vec3(0, 0.5f, -4.05f));  // on camera
+    PreprocessStats st;
+    EXPECT_FALSE(projectGaussian(g, 0, cam, &st).has_value());
+    EXPECT_EQ(st.near_culled, 1u);
+}
+
+TEST(Preprocess, BehindCameraCulled)
+{
+    Camera cam = test::frontCamera();
+    Gaussian g = test::makeGaussian(Vec3(0, 0.5f, -10.0f));
+    EXPECT_FALSE(projectGaussian(g, 0, cam, nullptr).has_value());
+}
+
+TEST(Preprocess, CenterGaussianProjectsToImageCenter)
+{
+    Camera cam = test::frontCamera(200, 100);
+    Gaussian g = test::makeGaussian(Vec3(0, 0, 0));
+    auto s = projectGaussian(g, 3, cam, nullptr);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->id, 3u);
+    EXPECT_NEAR(s->ellipse.center.x, 100.0f, 1.0f);
+    EXPECT_NEAR(s->ellipse.center.y, 50.0f, 3.0f);
+    EXPECT_GT(s->radius_omega, 0);
+    EXPECT_NEAR(s->depth, (Vec3(0, 0.5f, -4.0f)).norm(), 0.15f);
+}
+
+TEST(Preprocess, TransparentGaussianScreenCulled)
+{
+    Camera cam = test::frontCamera();
+    Gaussian g = test::makeGaussian(Vec3(0, 0, 0), 0.1f, 0.002f);
+    PreprocessStats st;
+    EXPECT_FALSE(projectGaussian(g, 0, cam, &st).has_value());
+    EXPECT_EQ(st.screen_culled, 1u);
+}
+
+TEST(Preprocess, FootprintShrinksWithDistance)
+{
+    Camera cam = test::frontCamera();
+    Gaussian near_g = test::makeGaussian(Vec3(0, 0, -1.0f), 0.2f);
+    Gaussian far_g = test::makeGaussian(Vec3(0, 0, 3.0f), 0.2f);
+    auto sn = projectGaussian(near_g, 0, cam, nullptr);
+    auto sf = projectGaussian(far_g, 1, cam, nullptr);
+    ASSERT_TRUE(sn && sf);
+    EXPECT_GT(sn->radius_3sigma, sf->radius_3sigma);
+    EXPECT_LT(sn->depth, sf->depth);
+}
+
+TEST(Preprocess, CovarianceDilationKeepsConicFinite)
+{
+    // A degenerate (point-like) Gaussian still projects to a valid
+    // splat thanks to the 0.3-pixel dilation.
+    Camera cam = test::frontCamera();
+    Gaussian g = test::makeGaussian(Vec3(0, 0, 0), 1e-6f);
+    auto s = projectGaussian(g, 0, cam, nullptr);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_TRUE(std::isfinite(s->ellipse.conic(0, 0)));
+    EXPECT_GT(s->ellipse.cov(0, 0), 0.29f);
+}
+
+TEST(Preprocess, StatsAddUp)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(9, 2000), 1.0f);
+    Camera cam = makeCamera(test::tinySpec(9, 2000));
+    PreprocessStats st;
+    std::vector<Splat> splats = preprocessAll(cloud, cam, st);
+    EXPECT_EQ(st.total, cloud.size());
+    EXPECT_EQ(splats.size(), st.projected);
+    EXPECT_EQ(st.in_frustum, st.projected + st.screen_culled);
+    EXPECT_LE(st.in_frustum, st.total);
+    // Splat ids are valid and colors were produced.
+    for (const Splat &s : splats) {
+        EXPECT_LT(s.id, cloud.size());
+        EXPECT_GE(s.color.x, 0.0f);
+    }
+}
+
+} // namespace
+} // namespace gcc3d

@@ -1,0 +1,190 @@
+/** @file Tests for the Gaussian model, cloud, generators and presets. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scene/scene_io.h"
+#include "test_util.h"
+
+namespace gcc3d {
+namespace {
+
+TEST(Gaussian, ParameterBudgetIs59Floats)
+{
+    EXPECT_EQ(Gaussian::kGeomFloats + Gaussian::kShFloats, 59u);
+    EXPECT_EQ(Gaussian::kTotalBytes, 236u);
+    EXPECT_EQ(Gaussian::kShBytes, 192u);  // the 81.4% the paper cites
+}
+
+TEST(Gaussian, Covariance3dIsSymmetricPsd)
+{
+    Gaussian g = test::makeGaussian(Vec3(0, 0, 0), 0.5f);
+    g.scale = Vec3(0.5f, 0.2f, 0.1f);
+    g.rotation = Quat::fromAxisAngle(Vec3(1, 2, 3), 0.8f);
+    Mat3 cov = g.covariance3d();
+    for (size_t r = 0; r < 3; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_NEAR(cov(r, c), cov(c, r), 1e-5f);
+    // Quadratic form positive for a few probes.
+    for (Vec3 v : {Vec3(1, 0, 0), Vec3(0, 1, 0), Vec3(1, -1, 2)})
+        EXPECT_GT(v.dot(cov * v), 0.0f);
+    // det = prod(scale^2)
+    float expect_det = 0.5f * 0.5f * 0.2f * 0.2f * 0.1f * 0.1f;
+    EXPECT_NEAR(cov.determinant(), expect_det, expect_det * 1e-2f);
+}
+
+TEST(Gaussian, CovarianceRotationInvariantTrace)
+{
+    Gaussian g = test::makeGaussian(Vec3(0, 0, 0));
+    g.scale = Vec3(0.4f, 0.3f, 0.2f);
+    Mat3 c1 = g.covariance3d();
+    g.rotation = Quat::fromAxisAngle(Vec3(0, 1, 0), 1.3f);
+    Mat3 c2 = g.covariance3d();
+    float t1 = c1(0, 0) + c1(1, 1) + c1(2, 2);
+    float t2 = c2(0, 0) + c2(1, 1) + c2(2, 2);
+    EXPECT_NEAR(t1, t2, 1e-4f);
+}
+
+TEST(GaussianCloud, BoundsAndCentroid)
+{
+    GaussianCloud cloud("t");
+    cloud.add(test::makeGaussian(Vec3(-1, 0, 0)));
+    cloud.add(test::makeGaussian(Vec3(1, 2, -3)));
+    Vec3 lo, hi;
+    cloud.bounds(lo, hi);
+    EXPECT_EQ(lo, Vec3(-1, 0, -3));
+    EXPECT_EQ(hi, Vec3(1, 2, 0));
+    EXPECT_EQ(cloud.centroid(), Vec3(0, 1, -1.5f));
+    EXPECT_EQ(cloud.sizeBytes(), 2 * Gaussian::kTotalBytes);
+}
+
+TEST(SceneGenerator, DeterministicForSameSeed)
+{
+    SceneSpec spec = test::tinySpec(7);
+    GaussianCloud a = generateScene(spec, 0.5f);
+    GaussianCloud b = generateScene(spec, 0.5f);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i += 97) {
+        EXPECT_EQ(a[i].mean, b[i].mean);
+        EXPECT_EQ(a[i].opacity, b[i].opacity);
+    }
+}
+
+TEST(SceneGenerator, DifferentSeedsDiffer)
+{
+    GaussianCloud a = generateScene(test::tinySpec(1), 0.5f);
+    GaussianCloud b = generateScene(test::tinySpec(2), 0.5f);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_NE(a[0].mean, b[0].mean);
+}
+
+TEST(SceneGenerator, ScaleControlsCount)
+{
+    SceneSpec spec = test::tinySpec();
+    EXPECT_EQ(generateScene(spec, 1.0f).size(), spec.gaussian_count);
+    EXPECT_EQ(generateScene(spec, 0.5f).size(), spec.gaussian_count / 2);
+    // Floor of 16 Gaussians.
+    EXPECT_GE(generateScene(spec, 1e-6f).size(), 16u);
+}
+
+TEST(SceneGenerator, OpacityInValidRange)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(), 1.0f);
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        EXPECT_GT(cloud[i].opacity, 0.0f);
+        EXPECT_LE(cloud[i].opacity, 0.99f);
+    }
+}
+
+TEST(SceneGenerator, ScalesArePositive)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(), 1.0f);
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        EXPECT_GT(cloud[i].scale.x, 0.0f);
+        EXPECT_GT(cloud[i].scale.y, 0.0f);
+        EXPECT_GT(cloud[i].scale.z, 0.0f);
+    }
+}
+
+class PresetScenes : public ::testing::TestWithParam<SceneId>
+{
+};
+
+TEST_P(PresetScenes, GeneratesAndPlacesCamera)
+{
+    SceneSpec spec = scenePreset(GetParam());
+    EXPECT_FALSE(spec.name.empty());
+    GaussianCloud cloud = generateScene(spec, 0.002f);
+    EXPECT_GE(cloud.size(), 16u);
+    Camera cam = makeCamera(spec);
+    EXPECT_EQ(cam.width(), spec.image_width);
+    EXPECT_EQ(cam.height(), spec.image_height);
+    // At least some of the scene should be in front of the camera.
+    int in_front = 0;
+    for (std::size_t i = 0; i < cloud.size(); ++i)
+        if (cam.worldToView(cloud[i].mean).z > cam.nearPlane())
+            ++in_front;
+    EXPECT_GT(in_front, static_cast<int>(cloud.size()) / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, PresetScenes,
+    ::testing::Values(SceneId::Palace, SceneId::Lego, SceneId::Train,
+                      SceneId::Truck, SceneId::Playroom,
+                      SceneId::Drjohnson),
+    [](const ::testing::TestParamInfo<SceneId> &info) {
+        return sceneName(info.param);
+    });
+
+TEST(ScenePresets, NameRoundTrip)
+{
+    for (SceneId id : allScenes()) {
+        EXPECT_EQ(sceneFromName(sceneName(id)), id);
+    }
+    EXPECT_EQ(sceneFromName("lego"), SceneId::Lego);  // case-insensitive
+    EXPECT_THROW(sceneFromName("nonexistent"), std::invalid_argument);
+}
+
+TEST(ScenePresets, PaperPopulations)
+{
+    EXPECT_EQ(scenePreset(SceneId::Lego).gaussian_count, 340000u);
+    EXPECT_EQ(scenePreset(SceneId::Drjohnson).gaussian_count, 3280000u);
+    EXPECT_GT(scenePreset(SceneId::Drjohnson).gaussian_count,
+              scenePreset(SceneId::Playroom).gaussian_count);
+}
+
+TEST(SceneIo, RoundTripPreservesEverything)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(5, 200), 1.0f);
+    std::stringstream buf;
+    ASSERT_TRUE(saveCloud(cloud, buf));
+    GaussianCloud back = loadCloud(buf);
+    ASSERT_EQ(back.size(), cloud.size());
+    EXPECT_EQ(back.name(), cloud.name());
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        EXPECT_EQ(back[i].mean, cloud[i].mean);
+        EXPECT_EQ(back[i].scale, cloud[i].scale);
+        EXPECT_EQ(back[i].opacity, cloud[i].opacity);
+        EXPECT_EQ(back[i].sh, cloud[i].sh);
+    }
+}
+
+TEST(SceneIo, RejectsGarbage)
+{
+    std::stringstream buf("not a scene file at all");
+    EXPECT_THROW(loadCloud(buf), std::runtime_error);
+}
+
+TEST(SceneIo, RejectsTruncated)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(5, 50), 1.0f);
+    std::stringstream buf;
+    ASSERT_TRUE(saveCloud(cloud, buf));
+    std::string data = buf.str();
+    std::stringstream cut(data.substr(0, data.size() / 2));
+    EXPECT_THROW(loadCloud(cut), std::runtime_error);
+}
+
+} // namespace
+} // namespace gcc3d

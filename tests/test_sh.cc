@@ -1,0 +1,136 @@
+/** @file Unit tests for spherical harmonics evaluation. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "gsmath/sh.h"
+
+namespace gcc3d {
+namespace {
+
+TEST(ShBasis, DcTermIsConstant)
+{
+    ShBasis a = shBasis(Vec3(1, 0, 0));
+    ShBasis b = shBasis(Vec3(0.3f, -0.8f, 0.5f));
+    EXPECT_FLOAT_EQ(a[0], b[0]);
+    EXPECT_NEAR(a[0], 0.2820948f, 1e-6f);
+}
+
+TEST(ShBasis, Degree1IsLinearInDirection)
+{
+    ShBasis p = shBasis(Vec3(0, 0, 1));
+    ShBasis m = shBasis(Vec3(0, 0, -1));
+    EXPECT_FLOAT_EQ(p[2], -m[2]);  // z term flips sign
+    EXPECT_NEAR(p[1], 0.0f, 1e-6f);
+    EXPECT_NEAR(p[3], 0.0f, 1e-6f);
+}
+
+/**
+ * Numerical orthonormality: integrating Y_i * Y_j over uniformly
+ * sampled directions approximates delta_ij / (4 pi) scaling.
+ */
+TEST(ShBasis, ApproximateOrthogonality)
+{
+    std::mt19937 rng(11);
+    std::normal_distribution<float> n(0.0f, 1.0f);
+    constexpr int kSamples = 30000;
+    double gram[4][4] = {};
+    for (int s = 0; s < kSamples; ++s) {
+        Vec3 d = Vec3(n(rng), n(rng), n(rng)).normalized();
+        ShBasis b = shBasis(d);
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 4; ++j)
+                gram[i][j] += static_cast<double>(b[i]) * b[j];
+    }
+    const double norm = 4.0 * M_PI / kSamples;
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            double v = gram[i][j] * norm;
+            if (i == j)
+                EXPECT_NEAR(v, 1.0, 0.05) << i;
+            else
+                EXPECT_NEAR(v, 0.0, 0.05) << i << "," << j;
+        }
+    }
+}
+
+TEST(EvalShColor, DcRoundTripThroughSetBaseColor)
+{
+    std::array<float, kShCoeffsTotal> sh{};
+    // Mirror Gaussian::setBaseColor: DC coefficient encodes albedo.
+    constexpr float kInvC0 = 1.0f / 0.28209479177387814f;
+    Vec3 albedo(0.7f, 0.3f, 0.55f);
+    sh[0] = (albedo.x - 0.5f) * kInvC0;
+    sh[kShCoeffsPerChannel] = (albedo.y - 0.5f) * kInvC0;
+    sh[2 * kShCoeffsPerChannel] = (albedo.z - 0.5f) * kInvC0;
+
+    Vec3 c = evalShColor(sh, Vec3(0.2f, 0.5f, 1.0f));
+    EXPECT_NEAR(c.x, albedo.x, 1e-5f);
+    EXPECT_NEAR(c.y, albedo.y, 1e-5f);
+    EXPECT_NEAR(c.z, albedo.z, 1e-5f);
+}
+
+TEST(EvalShColor, ClampsNegative)
+{
+    std::array<float, kShCoeffsTotal> sh{};
+    sh[0] = -10.0f;  // hugely negative red DC
+    Vec3 c = evalShColor(sh, Vec3(0, 0, 1));
+    EXPECT_FLOAT_EQ(c.x, 0.0f);
+}
+
+TEST(EvalShColor, ViewDependenceFromHigherBands)
+{
+    std::array<float, kShCoeffsTotal> sh{};
+    sh[0] = 0.5f;
+    sh[2] = 0.8f;  // z-linear band on the red channel
+    Vec3 front = evalShColorDegree(sh, Vec3(0, 0, 1), 1);
+    Vec3 back = evalShColorDegree(sh, Vec3(0, 0, -1), 1);
+    EXPECT_NE(front.x, back.x);
+    // green/blue unaffected
+    EXPECT_FLOAT_EQ(front.y, back.y);
+}
+
+class ShDegreeTruncation : public ::testing::TestWithParam<int>
+{
+};
+
+/** Truncation at degree d only uses (d+1)^2 coefficients. */
+TEST_P(ShDegreeTruncation, HigherCoefficientsIgnored)
+{
+    int degree = GetParam();
+    int active = (degree + 1) * (degree + 1);
+    std::array<float, kShCoeffsTotal> sh{};
+    sh[0] = 0.3f;
+
+    Vec3 base = evalShColorDegree(sh, Vec3(0.6f, 0.3f, 0.74f), degree);
+    // Perturb a coefficient just beyond the active band: no effect.
+    if (active < kShCoeffsPerChannel) {
+        auto sh2 = sh;
+        sh2[static_cast<std::size_t>(active)] = 5.0f;
+        Vec3 same = evalShColorDegree(sh2, Vec3(0.6f, 0.3f, 0.74f), degree);
+        EXPECT_FLOAT_EQ(base.x, same.x);
+    }
+    // Perturb the last active coefficient: changes the result.
+    auto sh3 = sh;
+    sh3[static_cast<std::size_t>(active - 1)] = 5.0f;
+    Vec3 diff = evalShColorDegree(sh3, Vec3(0.6f, 0.3f, 0.74f), degree);
+    EXPECT_NE(base.x, diff.x);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, ShDegreeTruncation,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(EvalShColor, DirectionIsNormalizedInternally)
+{
+    std::array<float, kShCoeffsTotal> sh{};
+    sh[0] = 0.2f;
+    sh[2] = 0.4f;
+    Vec3 a = evalShColor(sh, Vec3(0, 0, 1));
+    Vec3 b = evalShColor(sh, Vec3(0, 0, 100));
+    EXPECT_FLOAT_EQ(a.x, b.x);
+}
+
+} // namespace
+} // namespace gcc3d

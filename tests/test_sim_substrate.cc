@@ -1,0 +1,200 @@
+/** @file Tests for the simulation substrate: stats, DRAM, SRAM,
+ * area/energy models, pipeline composition. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/area_model.h"
+#include "sim/dram.h"
+#include "sim/energy_model.h"
+#include "sim/pipeline.h"
+#include "sim/sram.h"
+#include "sim/stats.h"
+
+namespace gcc3d {
+namespace {
+
+TEST(Stats, CountersAccumulate)
+{
+    StatSet s;
+    s.counter("a").inc();
+    s.counter("a").inc(2.5);
+    EXPECT_DOUBLE_EQ(s.get("a"), 3.5);
+    EXPECT_DOUBLE_EQ(s.get("missing"), 0.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.get("a"), 0.0);
+}
+
+TEST(Stats, HistogramMeanAndBuckets)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(0.5);
+    h.sample(5.5);
+    h.sample(9.5);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_NEAR(h.mean(), (0.5 + 5.5 + 9.5) / 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(h.buckets()[0], 1.0);
+    EXPECT_DOUBLE_EQ(h.buckets()[5], 1.0);
+    // out-of-range clamps to edge buckets
+    h.sample(-5.0);
+    EXPECT_DOUBLE_EQ(h.buckets()[0], 2.0);
+}
+
+TEST(Stats, DumpContainsNames)
+{
+    StatSet s;
+    s.counter("frame.cycles").set(42);
+    std::ostringstream os;
+    s.dump(os, "x.");
+    EXPECT_NE(os.str().find("x.frame.cycles"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(Dram, BandwidthMath)
+{
+    Dram d(DramConfig::lpddr4_3200(), 1.0);
+    // 51.2 GB/s * 0.8 at 1 GHz = 40.96 bytes per cycle.
+    EXPECT_NEAR(d.bytesPerCycle(), 40.96, 1e-6);
+    EXPECT_EQ(d.cyclesFor(4096), 100u);
+}
+
+TEST(Dram, TrafficClassesAreSeparate)
+{
+    Dram d;
+    d.access(TrafficClass::Gaussian3D, 1000);
+    d.access(TrafficClass::Splat2D, 500);
+    d.access(TrafficClass::KeyValue, 250);
+    EXPECT_EQ(d.bytes(TrafficClass::Gaussian3D), 1000u);
+    EXPECT_EQ(d.bytes(TrafficClass::Splat2D), 500u);
+    EXPECT_EQ(d.totalBytes(), 1750u);
+    d.reset();
+    EXPECT_EQ(d.totalBytes(), 0u);
+}
+
+TEST(Dram, EnergyProportionalToBytes)
+{
+    Dram d(DramConfig::lpddr4_3200(), 1.0);
+    d.access(TrafficClass::Gaussian3D, 1000000);
+    double e1 = d.energyMj();
+    d.access(TrafficClass::Gaussian3D, 1000000);
+    EXPECT_NEAR(d.energyMj(), 2.0 * e1, 1e-12);
+    EXPECT_NEAR(e1, 1e6 * 30.0 * 1e-9, 1e-9);
+}
+
+TEST(Dram, SweepIsAscendingBandwidth)
+{
+    auto sweep = DramConfig::sweep();
+    ASSERT_GE(sweep.size(), 5u);
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+        EXPECT_GT(sweep[i].peak_gbps, sweep[i - 1].peak_gbps);
+    EXPECT_EQ(sweep.front().name, "LPDDR4-3200");
+    EXPECT_NEAR(sweep.front().peak_gbps, 51.2, 1e-9);
+    EXPECT_EQ(sweep.back().name, "LPDDR6-14400");
+}
+
+TEST(Sram, ScalingRules)
+{
+    SramConfig base{"b", 128.0, 4, 6.0, 7.0, 0.872, 37.0};
+    SramConfig big = base.scaledTo(512.0);
+    EXPECT_NEAR(big.capacity_kb, 512.0, 1e-9);
+    EXPECT_GT(big.area_mm2, 3.0 * base.area_mm2);
+    EXPECT_LT(big.area_mm2, 4.2 * base.area_mm2);
+    EXPECT_NEAR(big.read_energy_pj, base.read_energy_pj * 2.0, 1e-6);
+    SramConfig same = base.scaledTo(128.0);
+    EXPECT_NEAR(same.area_mm2, base.area_mm2, 1e-9);
+}
+
+TEST(Sram, AccessEnergy)
+{
+    Sram s(SramConfig{"s", 32.0, 1, 4.0, 6.0, 0.1, 1.0});
+    s.read(3200);   // 100 32-byte accesses
+    s.write(1600);  // 50 accesses
+    EXPECT_NEAR(s.energyMj(), (100 * 4.0 + 50 * 6.0) * 1e-9, 1e-15);
+}
+
+TEST(AreaModel, Table4Reproduced)
+{
+    ChipModel gcc = gccChipModel();
+    // Paper Table 4: compute 1.675 mm^2 / 739 mW; 190 KB buffers;
+    // total 2.711 mm^2.
+    EXPECT_NEAR(gcc.computeArea(), 1.675, 0.01);
+    EXPECT_NEAR(gcc.computePowerMw(), 739.0, 2.0);
+    EXPECT_NEAR(gcc.bufferArea(), 1.036, 0.01);
+    EXPECT_NEAR(gcc.bufferCapacityKb(), 190.0, 0.5);
+    EXPECT_NEAR(gcc.totalArea(), 2.711, 0.02);
+    EXPECT_NEAR(gcc.module("AlphaUnit").area_mm2, 0.576, 1e-6);
+    EXPECT_NEAR(gcc.buffer("ImageBuffer").capacity_kb, 128.0, 1e-6);
+}
+
+TEST(AreaModel, GscoreAggregates)
+{
+    ChipModel g = gscoreChipModel();
+    EXPECT_NEAR(g.computeArea(), 2.70, 0.01);
+    EXPECT_NEAR(g.computePowerMw(), 830.0, 5.0);
+    EXPECT_NEAR(g.bufferCapacityKb(), 272.0, 0.5);
+    EXPECT_NEAR(g.totalArea(), 3.95, 0.02);
+}
+
+TEST(AreaModel, DesignPointScaling)
+{
+    GccDesignPoint dp;
+    dp.alpha_pes = 32;          // half the array
+    dp.image_buffer_kb = 512.0; // 4x the buffer
+    ChipModel chip = gccChipModel(dp);
+    EXPECT_NEAR(chip.module("AlphaUnit").area_mm2, 0.288, 1e-4);
+    EXPECT_GT(chip.buffer("ImageBuffer").area_mm2, 3.0 * 0.872);
+    EXPECT_THROW(chip.module("NoSuchUnit"), std::invalid_argument);
+}
+
+TEST(EnergyIntegrator, BusyCyclesToMillijoule)
+{
+    ChipModel chip = gccChipModel();
+    EnergyIntegrator e(chip, 1.0);
+    e.busy("AlphaUnit", 1000000);  // 1 ms at 266 mW = 0.266 mJ
+    Dram dram;
+    EnergyBreakdown b = e.breakdown(1000000, dram);
+    EXPECT_NEAR(b.compute_mj, 0.266, 1e-6);
+    EXPECT_GT(b.leakage_mj, 0.0);  // idle modules + buffer leakage
+    EXPECT_DOUBLE_EQ(b.dram_mj, 0.0);
+}
+
+TEST(EnergyIntegrator, DramAndSramIncluded)
+{
+    ChipModel chip = gccChipModel();
+    EnergyIntegrator e(chip, 1.0);
+    e.addSramMj(0.5);
+    Dram dram;
+    dram.access(TrafficClass::Gaussian3D, 10000000);
+    EnergyBreakdown b = e.breakdown(1000, dram);
+    EXPECT_DOUBLE_EQ(b.sram_mj, 0.5);
+    EXPECT_NEAR(b.dram_mj, 0.3, 1e-6);
+    EXPECT_NEAR(b.total(),
+                b.compute_mj + b.sram_mj + b.dram_mj + b.leakage_mj,
+                1e-12);
+}
+
+TEST(Pipeline, BottleneckComposition)
+{
+    PipelineResult r = composePipeline({
+        {"a", 100, 5},
+        {"b", 300, 10},
+        {"c", 200, 5},
+    });
+    EXPECT_EQ(r.cycles, 300u + 20u);
+    EXPECT_EQ(r.bottleneck, "b");
+    EXPECT_EQ(r.bottleneck_cycles, 300u);
+    EXPECT_EQ(composePipeline({}).cycles, 0u);
+}
+
+TEST(Pipeline, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(ceilDiv(5, 0), 0u);
+}
+
+} // namespace
+} // namespace gcc3d

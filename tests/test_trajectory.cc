@@ -1,0 +1,86 @@
+/** @file Tests for camera trajectories. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scene/trajectory.h"
+#include "test_util.h"
+
+namespace gcc3d {
+namespace {
+
+TEST(Trajectory, OrbitKeepsDistanceAndLooksAtCenter)
+{
+    Camera proto(320, 240, 0.9f);
+    Vec3 center(1, 2, 3);
+    Trajectory t = Trajectory::orbit(proto, center, 5.0f, 1.5f, 16);
+    ASSERT_EQ(t.frameCount(), 16u);
+    for (std::size_t i = 0; i < t.frameCount(); ++i) {
+        const Camera &cam = t.frame(i);
+        Vec3 offset = cam.position() - center;
+        float planar =
+            std::sqrt(offset.x * offset.x + offset.z * offset.z);
+        EXPECT_NEAR(planar, 5.0f, 1e-3f);
+        EXPECT_NEAR(offset.y, 1.5f, 1e-4f);
+        // The center projects to the image center in every frame.
+        Vec2 px = cam.worldToPixel(center);
+        EXPECT_NEAR(px.x, 160.0f, 0.1f);
+        EXPECT_NEAR(px.y, 120.0f, 0.1f);
+    }
+}
+
+TEST(Trajectory, OrbitFramesAreDistinct)
+{
+    Camera proto(64, 64, 0.9f);
+    Trajectory t = Trajectory::orbit(proto, Vec3(0, 0, 0), 3.0f, 0.5f, 8);
+    for (std::size_t i = 1; i < t.frameCount(); ++i)
+        EXPECT_GT((t.frame(i).position() - t.frame(i - 1).position())
+                      .norm(),
+                  0.1f);
+}
+
+TEST(Trajectory, DollyEndpointsAndMonotonicity)
+{
+    Camera proto(64, 64, 0.9f);
+    Vec3 from(0, 1, -5), to(0, 1, 5), look(0, 0, 10);
+    Trajectory t = Trajectory::dolly(proto, from, to, look, 11);
+    ASSERT_EQ(t.frameCount(), 11u);
+    EXPECT_EQ(t.frame(0).position(), from);
+    EXPECT_EQ(t.frame(10).position(), to);
+    for (std::size_t i = 1; i < t.frameCount(); ++i)
+        EXPECT_GT(t.frame(i).position().z,
+                  t.frame(i - 1).position().z);
+}
+
+TEST(Trajectory, ForSceneProducesValidFrames)
+{
+    for (SceneId id : {SceneId::Lego, SceneId::Train, SceneId::Playroom}) {
+        SceneSpec spec = scenePreset(id);
+        Trajectory t = Trajectory::forScene(spec, 6);
+        ASSERT_EQ(t.frameCount(), 6u) << spec.name;
+        GaussianCloud cloud = generateScene(spec, 0.002f);
+        for (std::size_t i = 0; i < t.frameCount(); ++i) {
+            const Camera &cam = t.frame(i);
+            EXPECT_EQ(cam.width(), spec.image_width);
+            int in_front = 0;
+            for (std::size_t g = 0; g < cloud.size(); ++g)
+                if (cam.worldToView(cloud[g].mean).z > cam.nearPlane())
+                    ++in_front;
+            EXPECT_GT(in_front, 0) << spec.name << " frame " << i;
+        }
+    }
+}
+
+TEST(Trajectory, SingleFrameDolly)
+{
+    Camera proto(64, 64, 0.9f);
+    Trajectory t =
+        Trajectory::dolly(proto, Vec3(0, 0, -2), Vec3(0, 0, 2),
+                          Vec3(0, 0, 5), 1);
+    ASSERT_EQ(t.frameCount(), 1u);
+    EXPECT_EQ(t.frame(0).position(), Vec3(0, 0, -2));
+}
+
+} // namespace
+} // namespace gcc3d

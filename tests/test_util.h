@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared fixtures/helpers for the unit and integration tests.
+ */
+
+#ifndef GCC3D_TESTS_TEST_UTIL_H
+#define GCC3D_TESTS_TEST_UTIL_H
+
+#include <random>
+
+#include "scene/scene_generator.h"
+#include "scene/scene_presets.h"
+
+namespace gcc3d::test {
+
+/** A small deterministic scene for fast functional tests. */
+inline SceneSpec
+tinySpec(std::uint64_t seed = 42, std::size_t count = 3000)
+{
+    SceneSpec spec;
+    spec.name = "tiny";
+    spec.layout = SceneLayout::Object;
+    spec.seed = seed;
+    spec.gaussian_count = count;
+    spec.cluster_count = 24;
+    spec.extent = 2.0f;
+    spec.cluster_sigma = 0.25f;
+    spec.log_scale_mean = -3.6f;
+    spec.log_scale_sigma = 0.6f;
+    spec.anisotropy = 0.4f;
+    spec.high_opacity_fraction = 0.6f;
+    spec.image_width = 192;
+    spec.image_height = 160;
+    spec.fov_x = 0.9f;
+    return spec;
+}
+
+/** A small indoor-style scene (denser occlusion). */
+inline SceneSpec
+tinyRoomSpec(std::uint64_t seed = 43, std::size_t count = 4000)
+{
+    SceneSpec spec = tinySpec(seed, count);
+    spec.name = "tiny-room";
+    spec.layout = SceneLayout::Room;
+    spec.high_opacity_fraction = 0.8f;
+    spec.high_opacity_min = 0.8f;
+    return spec;
+}
+
+/** A single Gaussian with convenient defaults. */
+inline Gaussian
+makeGaussian(const Vec3 &mean, float scale = 0.1f, float opacity = 0.8f)
+{
+    Gaussian g;
+    g.mean = mean;
+    g.scale = Vec3(scale, scale, scale);
+    g.opacity = opacity;
+    g.setBaseColor(Vec3(0.7f, 0.4f, 0.2f));
+    return g;
+}
+
+/** Camera looking at the origin from +z-ish. */
+inline Camera
+frontCamera(int w = 192, int h = 160)
+{
+    Camera cam(w, h, 0.9f);
+    cam.lookAt(Vec3(0, 0.5f, -4.0f), Vec3(0, 0, 0));
+    return cam;
+}
+
+} // namespace gcc3d::test
+
+#endif // GCC3D_TESTS_TEST_UTIL_H
