@@ -13,12 +13,70 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "runtime/result_table.h"
+#include "runtime/sweep_runner.h"
 #include "scene/scene_presets.h"
 
 namespace gcc3d::bench {
+
+/**
+ * Worker threads for harness sweeps: the GCC3D_WORKERS environment
+ * variable, defaulting to every hardware thread.  The results are
+ * deterministic regardless (see SweepRunner); workers only change
+ * wall-clock time.
+ */
+inline int
+benchWorkers()
+{
+    const char *env = std::getenv("GCC3D_WORKERS");
+    if (env != nullptr) {
+        int workers = std::atoi(env);
+        if (workers > 0)
+            return workers;
+    }
+    return ThreadPool::hardwareWorkers();
+}
+
+/**
+ * Run @p spec on the parallel runtime with the bench worker count.
+ * Failed jobs are reported loudly on stderr: a figure printed from an
+ * incomplete sweep would silently misrepresent the paper's data.
+ */
+inline ResultTable
+runSweep(const SweepSpec &spec)
+{
+    SweepOptions options;
+    options.workers = benchWorkers();
+    SweepRunner runner(options);
+    ResultTable table(runner.run(spec));
+    if (table.failedCount() > 0) {
+        std::fprintf(stderr, "WARNING: %zu of %zu sweep jobs failed; "
+                             "the figure below is incomplete:\n",
+                     table.failedCount(), table.rows().size());
+        for (const JobResult &r : table.rows())
+            if (!r.ok)
+                std::fprintf(stderr, "  %s/%s/%s/f%d: %s\n",
+                             r.scene.c_str(), r.variant.c_str(),
+                             backendName(r.backend).c_str(), r.frame,
+                             r.error.c_str());
+    }
+    return table;
+}
+
+/** The successful rows of @p table whose variant name starts with @p prefix. */
+inline std::vector<JobResult>
+rowsByVariantPrefix(const ResultTable &table, const std::string &prefix)
+{
+    std::vector<JobResult> out;
+    for (const JobResult &r : table.rows())
+        if (r.ok && r.variant.rfind(prefix, 0) == 0)
+            out.push_back(r);
+    return out;
+}
 
 /** Geometric mean of a series. */
 inline double

@@ -10,14 +10,16 @@
  * (b) Alpha & blending array size 4…64 PEs.  The paper picks 8x8=64;
  *     note the paper's x-axis is the array *side-count pair*
  *     (4 -> 2x2 ... 64 -> 8x8).
+ *
+ * Both sweeps are expressed as config variants of one SweepSpec and
+ * executed concurrently by the batch runtime (SweepRunner); the
+ * printed numbers are identical to the previous serial loops.
  */
 
 #include <cstdio>
-#include <vector>
+#include <string>
 
 #include "bench_util.h"
-#include "core/accelerator.h"
-#include "scene/scene_generator.h"
 
 int
 main()
@@ -26,58 +28,74 @@ main()
     float scale = benchScale();
     bench::banner("Figure 13", "design space exploration (Train)", scale);
 
-    SceneSpec spec = scenePreset(SceneId::Train);
-    GaussianCloud cloud = generateScene(spec, scale);
-    Camera cam = makeCamera(spec);
+    SweepSpec spec;
+    spec.addScene(SceneId::Train);
+    spec.scale = scale;
+    spec.backends = {Backend::Gcc};
+    spec.variants.clear();
+
+    for (double kb : {32.0, 128.0, 512.0, 2048.0, 8192.0}) {
+        ConfigVariant v;
+        v.name = "buf=" + std::to_string(static_cast<int>(kb));
+        v.gcc.image_buffer_kb = kb;
+        spec.variants.push_back(v);
+    }
+    // The PE array tiles one block per pass; shrink the block to the
+    // array so boundary-identification granularity matches
+    // (2x2 / 4x4 / 8x8).
+    auto blockSide = [](int pes) {
+        int side = 2;
+        while (side * side < pes)
+            side *= 2;
+        return side;
+    };
+    for (int pes : {4, 16, 64}) {
+        ConfigVariant v;
+        v.name = "pes=" + std::to_string(pes);
+        v.gcc.alpha_pes = pes;
+        v.gcc.blend_pes = pes;
+        v.gcc.block_size = blockSide(pes);
+        spec.variants.push_back(v);
+    }
+    // Intermediate array sizes keep the paper's 8x8 block granularity
+    // and pay multiple passes per block.
+    for (int pes : {8, 32}) {
+        ConfigVariant v;
+        v.name = "pes8x8=" + std::to_string(pes);
+        v.gcc.alpha_pes = pes;
+        v.gcc.blend_pes = pes;
+        spec.variants.push_back(v);
+    }
+
+    ResultTable table = bench::runSweep(spec);
 
     std::printf("(a) image buffer capacity sweep\n");
     std::printf("%-10s %8s %10s %10s %12s %12s\n", "buffer", "mode",
                 "FPS", "mm^2", "FPS/mm^2", "mJ/mm^2");
     bench::rule();
-    for (double kb : {32.0, 128.0, 512.0, 2048.0, 8192.0}) {
-        GccConfig cfg;
-        cfg.image_buffer_kb = kb;
-        GccAccelerator acc(cfg);
-        GccFrameResult r = acc.render(cloud, cam);
-        double area = acc.areaMm2();
+    for (const JobResult &r : bench::rowsByVariantPrefix(table, "buf=")) {
+        double kb = std::atof(r.variant.c_str() + 4);
         std::printf("%7.0fKB %8s %10.1f %10.2f %12.2f %12.3f\n", kb,
-                    r.cmode ? "Cmode" : "full", r.fps, area,
-                    r.fps / area, r.energy.total() / area);
+                    r.cmode ? "Cmode" : "full", r.fps, r.area_mm2,
+                    r.fps / r.area_mm2, r.energy_mj / r.area_mm2);
     }
 
     std::printf("\n(b) alpha & blending array size sweep\n");
     std::printf("%-10s %10s %10s %12s %12s\n", "PEs", "FPS", "mm^2",
                 "FPS/mm^2", "mJ/mm^2");
     bench::rule();
-    for (int pes : {4, 16, 64}) {
-        GccConfig cfg;
-        cfg.alpha_pes = pes;
-        cfg.blend_pes = pes;
-        // The PE array tiles one block per pass; shrink the block to
-        // the array so boundary-identification granularity matches
-        // (2x2 / 4x4 / 8x8).
-        int side = 2;
-        while (side * side < pes)
-            side *= 2;
-        cfg.block_size = side;
-        GccAccelerator acc(cfg);
-        GccFrameResult r = acc.render(cloud, cam);
-        double area = acc.areaMm2();
+    for (const JobResult &r : bench::rowsByVariantPrefix(table, "pes=")) {
+        int pes = std::atoi(r.variant.c_str() + 4);
+        int side = blockSide(pes);
         std::printf("%3d (%dx%d) %10.1f %10.2f %12.2f %12.3f\n", pes,
-                    side, side, r.fps, area, r.fps / area,
-                    r.energy.total() / area);
+                    side, side, r.fps, r.area_mm2, r.fps / r.area_mm2,
+                    r.energy_mj / r.area_mm2);
     }
-    // Intermediate array sizes keep the paper's 8x8 block granularity
-    // and pay multiple passes per block.
-    for (int pes : {8, 32}) {
-        GccConfig cfg;
-        cfg.alpha_pes = pes;
-        cfg.blend_pes = pes;
-        GccAccelerator acc(cfg);
-        GccFrameResult r = acc.render(cloud, cam);
-        double area = acc.areaMm2();
+    for (const JobResult &r : bench::rowsByVariantPrefix(table, "pes8x8=")) {
+        int pes = std::atoi(r.variant.c_str() + 7);
         std::printf("%3d (8x8 blocks) %4.1f %10.2f %12.2f %12.3f\n", pes,
-                    r.fps, area, r.fps / area, r.energy.total() / area);
+                    r.fps, r.area_mm2, r.fps / r.area_mm2,
+                    r.energy_mj / r.area_mm2);
     }
     std::printf("\npaper: 128 KB buffer and the 8x8 array maximize "
                 "area-normalized performance.\n");

@@ -23,7 +23,13 @@
 
 namespace gcc3d {
 
-/** User-facing wrapper tying the simulator to its chip model. */
+/**
+ * User-facing wrapper tying the simulator to its chip model.
+ *
+ * Thread safety: same contract as GccSim — render() records the
+ * frame's stats into the wrapped simulator, so use one GccAccelerator
+ * per thread (they are cheap to construct).
+ */
 class GccAccelerator
 {
   public:

@@ -57,7 +57,16 @@ struct GccFrameResult
     int subview_size = 0;       ///< sub-view side used (0 = full view)
 };
 
-/** The GCC accelerator simulator. */
+/**
+ * The GCC accelerator simulator.
+ *
+ * Thread safety: renderFrame() is logically const but records the
+ * frame's stats into the instance (for lastStats()), so concurrent
+ * renderFrame() calls on ONE instance race.  Instances are cheap
+ * (config + chip model); use one per thread — the batch runtime
+ * (SweepRunner) constructs one per job.  The GaussianCloud and Camera
+ * arguments are only read and may be shared across threads.
+ */
 class GccSim
 {
   public:
@@ -70,12 +79,16 @@ class GccSim
     GccFrameResult renderFrame(const GaussianCloud &cloud,
                                const Camera &cam) const;
 
-    /** Detailed named stats of the last simulated frame. */
+    /**
+     * Detailed named stats of the last simulated frame.  Only
+     * meaningful single-threaded (see the class comment).
+     */
     const StatSet &lastStats() const { return stats_; }
 
   private:
     GccConfig config_;
     ChipModel chip_;
+    /** Written by renderFrame; the reason instances are per-thread. */
     mutable StatSet stats_;
 };
 

@@ -54,7 +54,16 @@ struct GscoreFrameResult
     std::uint64_t dram_bytes_total = 0;
 };
 
-/** GSCore accelerator simulator. */
+/**
+ * GSCore accelerator simulator.
+ *
+ * Thread safety: renderFrame() is logically const but records the
+ * frame's stats into the instance (for lastStats()), so concurrent
+ * renderFrame() calls on ONE instance race.  Use one instance per
+ * thread — the batch runtime (SweepRunner) constructs one per job.
+ * The GaussianCloud and Camera arguments are only read and may be
+ * shared across threads.
+ */
 class GscoreSim
 {
   public:
@@ -67,12 +76,16 @@ class GscoreSim
     GscoreFrameResult renderFrame(const GaussianCloud &cloud,
                                   const Camera &cam) const;
 
-    /** Detailed named stats of the last simulated frame. */
+    /**
+     * Detailed named stats of the last simulated frame.  Only
+     * meaningful single-threaded (see the class comment).
+     */
     const StatSet &lastStats() const { return stats_; }
 
   private:
     GscoreConfig config_;
     ChipModel chip_;
+    /** Written by renderFrame; the reason instances are per-thread. */
     mutable StatSet stats_;
 };
 

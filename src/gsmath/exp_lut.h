@@ -23,6 +23,11 @@ namespace gcc3d {
 /**
  * Piecewise-linear exponential approximator over [-5.54, 0) using a
  * fully fixed-point datapath, modeling the GCC Alpha Unit EXP stage.
+ *
+ * Thread safety: the segment table is fully built in the constructor
+ * and never modified afterwards (no lazy initialization), so a
+ * constructed ExpLut may be shared and evaluated concurrently from
+ * any number of threads.
  */
 class ExpLut
 {

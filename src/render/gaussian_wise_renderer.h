@@ -82,7 +82,14 @@ std::vector<DepthGroup> groupByDepth(const std::vector<float> &depths,
                                      const std::vector<std::uint32_t> &ids,
                                      int group_capacity);
 
-/** GCC-dataflow functional renderer. */
+/**
+ * GCC-dataflow functional renderer.
+ *
+ * Thread safety: render() keeps all per-frame state on the stack and
+ * only reads config_ and its const arguments, so one renderer (or
+ * one per thread) may render concurrently, including from a shared
+ * const GaussianCloud.
+ */
 class GaussianWiseRenderer
 {
   public:

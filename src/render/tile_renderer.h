@@ -62,7 +62,14 @@ struct TileRendererConfig
     }
 };
 
-/** Standard-dataflow renderer (tile-wise, decoupled two-stage). */
+/**
+ * Standard-dataflow renderer (tile-wise, decoupled two-stage).
+ *
+ * Thread safety: render() keeps all per-frame state on the stack and
+ * only reads config_ and its const arguments, so one renderer (or
+ * one per thread) may render concurrently, including from a shared
+ * const GaussianCloud.
+ */
 class TileRenderer
 {
   public:

@@ -1,0 +1,281 @@
+#include "runtime/result_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace gcc3d {
+
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 100.0);
+    double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Aggregate
+aggregate(std::vector<double> values)
+{
+    Aggregate a;
+    if (values.empty())
+        return a;
+    std::sort(values.begin(), values.end());
+    a.count = values.size();
+    for (double v : values)
+        a.total += v;
+    a.mean = a.total / static_cast<double>(a.count);
+    a.min = values.front();
+    a.max = values.back();
+    a.p50 = percentile(values, 50.0);
+    a.p90 = percentile(values, 90.0);
+    a.p99 = percentile(values, 99.0);
+    return a;
+}
+
+ResultTable::ResultTable(std::vector<JobResult> rows)
+    : rows_(std::move(rows))
+{
+    std::sort(rows_.begin(), rows_.end(),
+              [](const JobResult &a, const JobResult &b) {
+                  return a.id < b.id;
+              });
+}
+
+std::size_t
+ResultTable::failedCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(rows_.begin(), rows_.end(),
+                      [](const JobResult &r) { return !r.ok; }));
+}
+
+Aggregate
+ResultTable::over(const Metric &metric, const Filter &filter) const
+{
+    std::vector<double> values;
+    values.reserve(rows_.size());
+    for (const JobResult &r : rows_) {
+        if (!r.ok)
+            continue;
+        if (filter && !filter(r))
+            continue;
+        values.push_back(metric(r));
+    }
+    return aggregate(std::move(values));
+}
+
+Aggregate
+ResultTable::fpsByBackend(Backend backend) const
+{
+    return over([](const JobResult &r) { return r.fps; },
+                [backend](const JobResult &r) {
+                    return r.backend == backend;
+                });
+}
+
+Aggregate
+ResultTable::energyByBackend(Backend backend) const
+{
+    return over([](const JobResult &r) { return r.energy_mj; },
+                [backend](const JobResult &r) {
+                    return r.backend == backend;
+                });
+}
+
+std::vector<ResultTable::Comparison>
+ResultTable::compare(Backend base, Backend other) const
+{
+    using Key = std::tuple<std::string, std::string, int>;
+    std::map<Key, const JobResult *> base_rows;
+    for (const JobResult &r : rows_)
+        if (r.ok && r.backend == base)
+            base_rows[{r.scene, r.variant, r.frame}] = &r;
+
+    std::vector<Comparison> out;
+    for (const JobResult &r : rows_) {
+        if (!r.ok || r.backend != other)
+            continue;
+        auto it = base_rows.find({r.scene, r.variant, r.frame});
+        if (it == base_rows.end())
+            continue;
+        const JobResult &b = *it->second;
+        Comparison c;
+        c.scene = r.scene;
+        c.variant = r.variant;
+        c.frame = r.frame;
+        c.base_fps = b.fps;
+        c.other_fps = r.fps;
+        c.speedup = b.fps > 0.0 ? r.fps / b.fps : 0.0;
+        c.energy_ratio =
+            r.energy_mj > 0.0 ? b.energy_mj / r.energy_mj : 0.0;
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+namespace {
+
+/** Quote a string as an RFC 4180 CSV field (doubled inner quotes). */
+std::string
+csvField(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+/** Quote a string as a JSON string literal (escapes control chars). */
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace
+
+std::string
+ResultTable::toCsv() const
+{
+    std::ostringstream os;
+    // Round-trip precision: exported checksums/metrics must support
+    // the same bit-exact comparisons the in-memory results do.
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << "id,scene,variant,backend,frame,ok,error,fps,frame_ms,cycles,"
+          "energy_mj,dram_mj,dram_bytes,area_mm2,cmode,subview_size,"
+          "image_checksum,wall_ms\n";
+    for (const JobResult &r : rows_) {
+        os << r.id << "," << csvField(r.scene) << ","
+           << csvField(r.variant) << "," << backendName(r.backend) << ","
+           << r.frame << "," << (r.ok ? 1 : 0) << "," << csvField(r.error)
+           << "," << r.fps << "," << r.frame_ms << "," << r.cycles << ","
+           << r.energy_mj << "," << r.dram_mj << "," << r.dram_bytes << ","
+           << r.area_mm2 << "," << (r.cmode ? 1 : 0) << ","
+           << r.subview_size << "," << r.image_checksum << "," << r.wall_ms
+           << "\n";
+    }
+    return os.str();
+}
+
+std::string
+ResultTable::toJson() const
+{
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const JobResult &r = rows_[i];
+        os << "  {\"id\": " << r.id << ", \"scene\": " << jsonString(r.scene)
+           << ", \"variant\": " << jsonString(r.variant)
+           << ", \"backend\": \"" << backendName(r.backend)
+           << "\", \"frame\": " << r.frame
+           << ", \"ok\": " << (r.ok ? "true" : "false")
+           << ", \"error\": " << jsonString(r.error)
+           << ", \"fps\": " << r.fps << ", \"frame_ms\": " << r.frame_ms
+           << ", \"cycles\": " << r.cycles
+           << ", \"energy_mj\": " << r.energy_mj
+           << ", \"dram_mj\": " << r.dram_mj
+           << ", \"dram_bytes\": " << r.dram_bytes
+           << ", \"area_mm2\": " << r.area_mm2
+           << ", \"cmode\": " << (r.cmode ? "true" : "false")
+           << ", \"subview_size\": " << r.subview_size
+           << ", \"image_checksum\": " << r.image_checksum
+           << ", \"wall_ms\": " << r.wall_ms << "}"
+           << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+    return os.str();
+}
+
+bool
+ResultTable::writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << contents;
+    return static_cast<bool>(out);
+}
+
+void
+ResultTable::print(std::FILE *out) const
+{
+    std::fprintf(out, "%-12s %-14s %-7s %5s %10s %10s %10s %8s\n", "scene",
+                 "variant", "backend", "frame", "FPS", "energy_mJ",
+                 "DRAM_MB", "mm^2");
+    for (const JobResult &r : rows_) {
+        if (!r.ok) {
+            std::fprintf(out, "%-12s %-14s %-7s %5d FAILED: %s\n",
+                         r.scene.c_str(), r.variant.c_str(),
+                         backendName(r.backend).c_str(), r.frame,
+                         r.error.c_str());
+            continue;
+        }
+        std::fprintf(out, "%-12s %-14s %-7s %5d %10.1f %10.2f %10.2f %8.2f\n",
+                     r.scene.c_str(), r.variant.c_str(),
+                     backendName(r.backend).c_str(), r.frame, r.fps,
+                     r.energy_mj,
+                     static_cast<double>(r.dram_bytes) / (1024.0 * 1024.0),
+                     r.area_mm2);
+    }
+
+    for (Backend backend :
+         {Backend::Gcc, Backend::Gscore, Backend::Gpu}) {
+        Aggregate fps = fpsByBackend(backend);
+        if (fps.count == 0)
+            continue;
+        Aggregate energy = energyByBackend(backend);
+        std::fprintf(out,
+                     "%-7s jobs %3zu | FPS mean %8.1f p50 %8.1f p90 %8.1f "
+                     "p99 %8.1f | energy mean %8.2f mJ\n",
+                     backendName(backend).c_str(), fps.count, fps.mean,
+                     fps.p50, fps.p90, fps.p99, energy.mean);
+    }
+}
+
+} // namespace gcc3d

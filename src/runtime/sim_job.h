@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Job and result records of the batch-simulation runtime.
+ *
+ * A SimJob pins down one frame simulation completely: the scene (as a
+ * fully resolved SceneSpec plus population scale), the trajectory
+ * frame index, the backend (GCC / GSCore / GPU roofline), and the
+ * effective per-backend configuration.  Scene generation and camera
+ * paths are deterministic functions of the spec, so two equal SimJobs
+ * produce bit-identical JobResults regardless of which worker thread
+ * runs them or in what order — the property the parallel-vs-serial
+ * determinism test locks in.
+ */
+
+#ifndef GCC3D_RUNTIME_SIM_JOB_H
+#define GCC3D_RUNTIME_SIM_JOB_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/gcc_config.h"
+#include "gpu/gpu_model.h"
+#include "gscore/gscore_config.h"
+#include "scene/scene_generator.h"
+
+namespace gcc3d {
+
+/** Simulation backends a job can target. */
+enum class Backend
+{
+    Gcc,    ///< the paper's accelerator (cycle model)
+    Gscore, ///< GSCore baseline accelerator (cycle model)
+    Gpu,    ///< GPU roofline model (GCC dataflow, Sec. 6)
+};
+
+/** Lower-case backend name ("gcc", "gscore", "gpu"). */
+std::string backendName(Backend backend);
+
+/** Parse a backend name (case-insensitive); throws on unknown names. */
+Backend backendFromName(const std::string &name);
+
+/**
+ * One named configuration point of a sweep.  All three backend
+ * configurations are carried so a variant can be crossed with any
+ * backend list; backends ignore the configurations of their rivals.
+ */
+struct ConfigVariant
+{
+    std::string name = "base";
+    GccConfig gcc;
+    GscoreConfig gscore;
+    GpuPlatform gpu = GpuPlatform::rtx3090();
+};
+
+/** A fully resolved unit of simulation work: one frame on one backend. */
+struct SimJob
+{
+    /** Dense index in the expanded sweep; canonical result order. */
+    int id = 0;
+
+    SceneSpec spec;          ///< resolved scene description
+    float scale = 1.0f;      ///< population scale in (0, 1]
+    int frame = 0;           ///< trajectory frame index
+    int frame_count = 1;     ///< trajectory length the frame is drawn from
+
+    Backend backend = Backend::Gcc;
+    ConfigVariant variant;   ///< effective configuration
+};
+
+/** Measurements produced by executing one SimJob. */
+struct JobResult
+{
+    int id = 0;
+    std::string scene;
+    std::string variant;
+    Backend backend = Backend::Gcc;
+    int frame = 0;
+
+    bool ok = false;         ///< false: job threw; see error
+    std::string error;
+
+    // ---- Simulated (deterministic) outputs. ----
+    double fps = 0.0;            ///< modeled frames/s
+    double frame_ms = 0.0;       ///< modeled per-frame latency
+    std::uint64_t cycles = 0;    ///< total cycles (0 for GPU roofline)
+    double energy_mj = 0.0;      ///< per-frame energy (0 for GPU roofline)
+    double dram_mj = 0.0;        ///< off-chip share of energy_mj
+    std::uint64_t dram_bytes = 0;
+    double area_mm2 = 0.0;       ///< chip area (0 for GPU roofline)
+    bool cmode = false;          ///< GCC Compatibility Mode engaged
+    int subview_size = 0;        ///< GCC sub-view side (0 = full view)
+    double image_checksum = 0.0; ///< pixel-sum fingerprint of the frame
+
+    // ---- Host-side measurement (excluded from determinism). ----
+    double wall_ms = 0.0;        ///< host wall-clock time of the job
+};
+
+/**
+ * True when two results carry identical simulated outputs.  Host
+ * wall-clock time is ignored: it is the only field that legitimately
+ * differs between a serial and a parallel run of the same sweep.
+ */
+bool sameSimOutput(const JobResult &a, const JobResult &b);
+
+} // namespace gcc3d
+
+#endif // GCC3D_RUNTIME_SIM_JOB_H

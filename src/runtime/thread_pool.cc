@@ -1,0 +1,64 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+namespace gcc3d {
+
+ThreadPool::ThreadPool(int workers)
+{
+    int count = std::max(1, workers);
+    workers_.reserve(static_cast<std::size_t>(count));
+    try {
+        for (int i = 0; i < count; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    } catch (...) {
+        // Thread creation failed (e.g. process thread limit): join
+        // the workers already started, then let the caller see the
+        // exception instead of std::terminate from ~thread.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &w : workers_)
+            w.join();
+        throw;
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+int
+ThreadPool::hardwareWorkers()
+{
+    return static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stopping_ && drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();  // packaged_task captures exceptions into the future
+    }
+}
+
+} // namespace gcc3d

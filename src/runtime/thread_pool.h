@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fixed-size worker pool with futures-based task submission.
+ *
+ * The batch-simulation runtime fans sweep jobs out across a small
+ * number of long-lived worker threads.  Tasks are arbitrary callables
+ * submitted to a FIFO queue; submit() returns a std::future carrying
+ * the callable's result (or its exception).  Destruction drains
+ * nothing: outstanding tasks are completed before the workers join,
+ * so futures obtained from a live pool are always eventually ready.
+ */
+
+#ifndef GCC3D_RUNTIME_THREAD_POOL_H
+#define GCC3D_RUNTIME_THREAD_POOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gcc3d {
+
+/** A fixed pool of worker threads executing queued tasks in FIFO order. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p workers threads.  Values below 1 are clamped to 1, so a
+     * "serial" pool is simply ThreadPool(1).
+     */
+    explicit ThreadPool(int workers);
+
+    /** Completes all queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int workerCount() const { return static_cast<int>(workers_.size()); }
+
+    /** Number of hardware threads (at least 1). */
+    static int hardwareWorkers();
+
+    /**
+     * Enqueue @p fn for execution on a worker thread.
+     *
+     * @return a future holding fn's return value; an exception thrown
+     *         by fn is captured and rethrown on future::get().
+     */
+    template <typename F>
+    std::future<std::invoke_result_t<std::decay_t<F>>>
+    submit(F &&fn)
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_RUNTIME_THREAD_POOL_H

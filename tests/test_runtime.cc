@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests of the batch-simulation runtime: thread-pool behaviour under
+ * stress, sweep expansion, parallel-vs-serial determinism, and
+ * ResultTable aggregation/percentiles/export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/result_table.h"
+#include "runtime/sweep_runner.h"
+#include "runtime/thread_pool.h"
+#include "test_util.h"
+
+namespace gcc3d {
+namespace {
+
+// ---- ThreadPool ----
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4);
+
+    constexpr int kTasks = 2000;
+    std::atomic<int> counter{0};
+    std::vector<std::future<int>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i)
+        futures.push_back(pool.submit([i, &counter] {
+            counter.fetch_add(1, std::memory_order_relaxed);
+            return i;
+        }));
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+    EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPool, ClampsWorkerCountToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), 1);
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+    EXPECT_GE(ThreadPool::hardwareWorkers(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([]() -> int {
+        throw std::runtime_error("boom");
+    });
+    EXPECT_THROW(f.get(), std::runtime_error);
+    // The worker survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&done] {
+                done.fetch_add(1, std::memory_order_relaxed);
+            });
+        // No explicit wait: destruction must complete the queue.
+    }
+    EXPECT_EQ(done.load(), 64);
+}
+
+// ---- Sweep expansion ----
+
+TEST(SweepSpec, ExpandsFullCrossProductInCanonicalOrder)
+{
+    SweepSpec spec;
+    spec.scenes = {test::tinySpec(), test::tinyRoomSpec()};
+    spec.backends = {Backend::Gcc, Backend::Gscore};
+    ConfigVariant small;
+    small.name = "small-buf";
+    small.gcc.image_buffer_kb = 32.0;
+    spec.variants = {ConfigVariant{}, small};
+    spec.frames = 3;
+
+    std::vector<SimJob> jobs = expandSweep(spec);
+    ASSERT_EQ(jobs.size(), spec.jobCount());
+    ASSERT_EQ(jobs.size(), 2u * 3u * 2u * 2u);
+
+    // Ids are dense and in order; scene-major, then frame, variant,
+    // backend.
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(jobs[i].id, static_cast<int>(i));
+    EXPECT_EQ(jobs[0].spec.name, "tiny");
+    EXPECT_EQ(jobs[0].frame, 0);
+    EXPECT_EQ(jobs[0].variant.name, "base");
+    EXPECT_EQ(jobs[0].backend, Backend::Gcc);
+    EXPECT_EQ(jobs[1].backend, Backend::Gscore);
+    EXPECT_EQ(jobs[2].variant.name, "small-buf");
+    EXPECT_EQ(jobs[4].frame, 1);
+    EXPECT_EQ(jobs[12].spec.name, "tiny-room");
+}
+
+TEST(Backend, NamesRoundTrip)
+{
+    for (Backend b : {Backend::Gcc, Backend::Gscore, Backend::Gpu})
+        EXPECT_EQ(backendFromName(backendName(b)), b);
+    EXPECT_EQ(backendFromName("GSCore"), Backend::Gscore);
+    EXPECT_THROW(backendFromName("tpu"), std::invalid_argument);
+}
+
+// ---- Parallel-vs-serial determinism ----
+
+SweepSpec
+tinySweep()
+{
+    SweepSpec spec;
+    spec.scenes = {test::tinySpec(), test::tinyRoomSpec()};
+    spec.backends = {Backend::Gcc, Backend::Gscore, Backend::Gpu};
+    ConfigVariant small;
+    small.name = "small-buf";
+    small.gcc.image_buffer_kb = 16.0;
+    spec.variants = {ConfigVariant{}, small};
+    spec.frames = 2;
+    spec.scale = 1.0f;  // tinySpec counts are already small
+    return spec;
+}
+
+TEST(SweepRunner, ParallelMatchesSerialBitExactly)
+{
+    SweepSpec spec = tinySweep();
+
+    SweepOptions serial;
+    serial.workers = 1;
+    std::vector<JobResult> s = SweepRunner(serial).run(spec);
+
+    SweepOptions parallel;
+    parallel.workers = 4;
+    std::vector<JobResult> p = SweepRunner(parallel).run(spec);
+
+    ASSERT_EQ(s.size(), spec.jobCount());
+    ASSERT_EQ(p.size(), s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        EXPECT_TRUE(s[i].ok) << s[i].error;
+        EXPECT_TRUE(sameSimOutput(s[i], p[i]))
+            << "job " << i << " (" << s[i].scene << "/" << s[i].variant
+            << "/" << backendName(s[i].backend) << "/f" << s[i].frame
+            << ") diverged between serial and parallel runs";
+    }
+    // The sweep exercises every backend for real.
+    std::set<Backend> seen;
+    for (const JobResult &r : s) {
+        seen.insert(r.backend);
+        EXPECT_GT(r.fps, 0.0);
+        EXPECT_GT(r.image_checksum, 0.0);
+    }
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(SweepRunner, RepeatedParallelRunsAreIdentical)
+{
+    SweepSpec spec = tinySweep();
+    spec.backends = {Backend::Gcc};
+    spec.variants = {ConfigVariant{}};
+
+    SweepOptions options;
+    options.workers = 3;
+    SweepRunner runner(options);
+    std::vector<JobResult> a = runner.run(spec);
+    std::vector<JobResult> b = runner.run(spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(sameSimOutput(a[i], b[i]));
+}
+
+TEST(SweepRunner, ReportsPerJobFailuresWithoutAbortingTheSweep)
+{
+    SceneSpec tiny = test::tinySpec();
+
+    // runJob throws on invalid frame indices.
+    SceneData scene = SweepRunner::buildScene(tiny, 1.0f, 1);
+    SimJob job;
+    job.spec = tiny;
+    job.frame = 5;  // trajectory has 1 frame
+    EXPECT_THROW(SweepRunner::runJob(job, scene), std::out_of_range);
+
+    // The pooled path turns a failing scene build (invalid scale)
+    // into ok=false records for every job of that scene, while other
+    // scenes complete normally.
+    SweepSpec spec;
+    spec.scenes = {tiny};
+    spec.backends = {Backend::Gcc, Backend::Gscore};
+    spec.frames = 1;
+    spec.scale = -1.0f;
+
+    SweepOptions options;
+    options.workers = 2;
+    std::vector<JobResult> results = SweepRunner(options).run(spec);
+    ASSERT_EQ(results.size(), 2u);
+    for (const JobResult &r : results) {
+        EXPECT_FALSE(r.ok);
+        EXPECT_NE(r.error.find("scene generation failed"),
+                  std::string::npos)
+            << r.error;
+        EXPECT_EQ(r.scene, "tiny");
+    }
+
+    // An empty scene, by contrast, is a valid (trivial) job.
+    SceneSpec empty = test::tinySpec();
+    empty.gaussian_count = 0;
+    SweepSpec ok_spec;
+    ok_spec.scenes = {empty};
+    ok_spec.backends = {Backend::Gcc};
+    ok_spec.frames = 1;
+    std::vector<JobResult> ok_results =
+        SweepRunner(SweepOptions{}).run(ok_spec);
+    ASSERT_EQ(ok_results.size(), 1u);
+    EXPECT_TRUE(ok_results[0].ok) << ok_results[0].error;
+}
+
+TEST(SweepRunner, OnResultSeesEveryJobInIdOrder)
+{
+    SweepSpec spec = tinySweep();
+    spec.scenes = {test::tinySpec()};
+    spec.backends = {Backend::Gcc};
+    spec.variants = {ConfigVariant{}};
+    spec.frames = 3;
+
+    std::vector<int> order;
+    SweepOptions options;
+    options.workers = 2;
+    options.on_result = [&order](const JobResult &r) {
+        order.push_back(r.id);
+    };
+    SweepRunner(options).run(spec);
+    ASSERT_EQ(order.size(), 3u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], static_cast<int>(i));
+}
+
+// ---- Aggregation / ResultTable ----
+
+TEST(Aggregate, PercentilesUseLinearInterpolation)
+{
+    std::vector<double> sorted = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(sorted, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(sorted, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(sorted, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(percentile(sorted, 25.0), 17.5);
+
+    Aggregate a = aggregate({40.0, 10.0, 30.0, 20.0});
+    EXPECT_EQ(a.count, 4u);
+    EXPECT_DOUBLE_EQ(a.total, 100.0);
+    EXPECT_DOUBLE_EQ(a.mean, 25.0);
+    EXPECT_DOUBLE_EQ(a.min, 10.0);
+    EXPECT_DOUBLE_EQ(a.max, 40.0);
+    EXPECT_DOUBLE_EQ(a.p50, 25.0);
+    EXPECT_DOUBLE_EQ(a.p90, 37.0);
+
+    Aggregate empty = aggregate({});
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+JobResult
+makeRow(int id, const std::string &scene, Backend backend, double fps,
+        double energy)
+{
+    JobResult r;
+    r.id = id;
+    r.scene = scene;
+    r.variant = "base";
+    r.backend = backend;
+    r.ok = true;
+    r.fps = fps;
+    r.energy_mj = energy;
+    return r;
+}
+
+TEST(ResultTable, AggregatesAndFiltersByBackend)
+{
+    std::vector<JobResult> rows = {
+        makeRow(0, "a", Backend::Gcc, 100.0, 2.0),
+        makeRow(1, "a", Backend::Gscore, 50.0, 4.0),
+        makeRow(2, "b", Backend::Gcc, 300.0, 6.0),
+        makeRow(3, "b", Backend::Gscore, 100.0, 6.0),
+    };
+    JobResult failed = makeRow(4, "c", Backend::Gcc, 999.0, 9.0);
+    failed.ok = false;
+    failed.error = "died";
+    rows.push_back(failed);
+
+    ResultTable table(std::move(rows));
+    EXPECT_EQ(table.failedCount(), 1u);
+
+    Aggregate gcc_fps = table.fpsByBackend(Backend::Gcc);
+    EXPECT_EQ(gcc_fps.count, 2u);  // failed row excluded
+    EXPECT_DOUBLE_EQ(gcc_fps.mean, 200.0);
+    EXPECT_DOUBLE_EQ(table.energyByBackend(Backend::Gscore).total, 10.0);
+    EXPECT_EQ(table.fpsByBackend(Backend::Gpu).count, 0u);
+}
+
+TEST(ResultTable, ComparesBackendsMatchedBySceneVariantFrame)
+{
+    std::vector<JobResult> rows = {
+        makeRow(0, "a", Backend::Gscore, 50.0, 4.0),
+        makeRow(1, "a", Backend::Gcc, 100.0, 2.0),
+        makeRow(2, "b", Backend::Gscore, 100.0, 6.0),
+        makeRow(3, "b", Backend::Gcc, 300.0, 3.0),
+        makeRow(4, "c", Backend::Gcc, 123.0, 1.0),  // no gscore partner
+    };
+    ResultTable table(std::move(rows));
+    auto cmp = table.compare(Backend::Gscore, Backend::Gcc);
+    ASSERT_EQ(cmp.size(), 2u);
+    EXPECT_EQ(cmp[0].scene, "a");
+    EXPECT_DOUBLE_EQ(cmp[0].speedup, 2.0);
+    EXPECT_DOUBLE_EQ(cmp[0].energy_ratio, 2.0);
+    EXPECT_EQ(cmp[1].scene, "b");
+    EXPECT_DOUBLE_EQ(cmp[1].speedup, 3.0);
+    EXPECT_DOUBLE_EQ(cmp[1].energy_ratio, 2.0);
+}
+
+TEST(ResultTable, CsvAndJsonCarryEveryRow)
+{
+    std::vector<JobResult> rows = {
+        makeRow(0, "quoted \"scene\"", Backend::Gcc, 10.0, 1.0),
+        makeRow(1, "b", Backend::Gpu, 20.0, 0.0),
+    };
+    rows[1].ok = false;
+    rows[1].error = "line1\nline2 \"quoted\"";
+    ResultTable table(std::move(rows));
+
+    std::string csv = table.toCsv();
+    EXPECT_NE(csv.find("id,scene,variant,backend"), std::string::npos);
+    // RFC 4180: inner quotes are doubled, not backslash-escaped.
+    EXPECT_NE(csv.find("\"quoted \"\"scene\"\"\""), std::string::npos);
+    EXPECT_EQ(csv.find('\\'), std::string::npos);
+
+    std::string json = table.toJson();
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"backend\": \"gpu\""), std::string::npos);
+    EXPECT_NE(json.find("\"fps\": 20"), std::string::npos);
+    // Control characters are escaped so the output stays parseable.
+    EXPECT_NE(json.find("line1\\nline2 \\\"quoted\\\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace gcc3d
