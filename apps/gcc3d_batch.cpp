@@ -17,10 +17,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "runtime/result_table.h"
 #include "runtime/sweep_runner.h"
 #include "scene/scene_presets.h"
@@ -28,6 +28,7 @@
 namespace {
 
 using namespace gcc3d;
+using gcc3d::bench::splitList;
 
 void
 usage(const char *argv0)
@@ -50,18 +51,6 @@ usage(const char *argv0)
         "  --json FILE       write per-job results as JSON\n"
         "  --quiet           suppress the per-job table\n",
         argv0);
-}
-
-std::vector<std::string>
-splitList(const std::string &arg)
-{
-    std::vector<std::string> out;
-    std::stringstream ss(arg);
-    std::string item;
-    while (std::getline(ss, item, ','))
-        if (!item.empty())
-            out.push_back(item);
-    return out;
 }
 
 } // namespace

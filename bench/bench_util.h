@@ -67,6 +67,26 @@ runSweep(const SweepSpec &spec)
     return table;
 }
 
+/** Split a comma-separated CLI list, dropping empty items. */
+inline std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::string item;
+    for (char c : arg) {
+        if (c == ',') {
+            if (!item.empty())
+                out.push_back(item);
+            item.clear();
+        } else {
+            item += c;
+        }
+    }
+    if (!item.empty())
+        out.push_back(item);
+    return out;
+}
+
 /** The successful rows of @p table whose variant name starts with @p prefix. */
 inline std::vector<JobResult>
 rowsByVariantPrefix(const ResultTable &table, const std::string &prefix)

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Frame-throughput benchmark of the functional renderers (host-side
+ * wall clock, no google-benchmark dependency).
+ *
+ * Renders preset scenes along their natural camera trajectories
+ * through the standard tile-wise renderer and the Gaussian-wise
+ * renderer, reports ms/frame and frames/s percentiles through the
+ * ResultTable aggregation machinery, and writes `BENCH_frame.json`
+ * so the performance trajectory is tracked across PRs.
+ *
+ * With --reference the retained scalar TileRenderer::renderReference
+ * is also timed and the per-scene speedup of the optimized path is
+ * reported (the two are bit-identical; the benchmark cross-checks
+ * their image checksums).
+ *
+ * Usage:
+ *   frame_throughput [--scenes LIST] [--frames N] [--reps N]
+ *                    [--renderers tile,gw] [--reference]
+ *                    [--workers N] [--scale F] [--out FILE]
+ *
+ * Scale comes from --scale or GCC3D_SCALE (1.0 = paper populations).
+ * --workers > 1 fans the tile renderer's preprocess stage over a
+ * thread pool (the image and stats do not depend on it).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "render/gaussian_wise_renderer.h"
+#include "render/tile_renderer.h"
+#include "runtime/thread_pool.h"
+#include "scene/trajectory.h"
+
+namespace {
+
+using namespace gcc3d;
+using gcc3d::bench::splitList;
+
+double
+nowMsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --scenes LIST    comma-separated scene names or 'all'\n"
+        "                   (default: palace,lego,train)\n"
+        "  --frames N       trajectory frames per scene (default: 2)\n"
+        "  --reps N         timed repetitions per frame (default: 3)\n"
+        "  --renderers LIST subset of tile,gw (default: tile,gw)\n"
+        "  --reference      also time the scalar reference tile path\n"
+        "                   and report the optimized speedup\n"
+        "  --workers N      preprocess worker threads for the tile\n"
+        "                   path; <2 = serial (default: 1)\n"
+        "  --scale F        population scale in (0,1] (default:\n"
+        "                   GCC3D_SCALE env or 1.0)\n"
+        "  --out FILE       JSON output path (default:\n"
+        "                   BENCH_frame.json; '-' disables)\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string scenes_arg = "palace,lego,train";
+    std::string renderers_arg = "tile,gw";
+    std::string out_path = "BENCH_frame.json";
+    int frames = 2;
+    int reps = 3;
+    int workers = 1;
+    bool reference = false;
+    float scale = benchScale();
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             flag.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (flag == "--help" || flag == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (flag == "--scenes") {
+            scenes_arg = value();
+        } else if (flag == "--frames") {
+            frames = std::atoi(value().c_str());
+        } else if (flag == "--reps") {
+            reps = std::atoi(value().c_str());
+        } else if (flag == "--renderers") {
+            renderers_arg = value();
+        } else if (flag == "--reference") {
+            reference = true;
+        } else if (flag == "--workers") {
+            workers = std::atoi(value().c_str());
+        } else if (flag == "--scale") {
+            scale = static_cast<float>(std::atof(value().c_str()));
+        } else if (flag == "--out") {
+            out_path = value();
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (frames < 1 || reps < 1 || scale <= 0.0f || scale > 1.0f) {
+        std::fprintf(stderr, "--frames/--reps must be >= 1 and "
+                             "--scale in (0, 1]\n");
+        return 2;
+    }
+
+    std::vector<SceneId> scenes;
+    try {
+        if (scenes_arg == "all") {
+            scenes = allScenes();
+        } else {
+            for (const std::string &name : splitList(scenes_arg))
+                scenes.push_back(sceneFromName(name));
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+
+    bool run_tile = false, run_gw = false;
+    for (const std::string &r : splitList(renderers_arg)) {
+        if (r == "tile")
+            run_tile = true;
+        else if (r == "gw" || r == "gaussian-wise")
+            run_gw = true;
+        else {
+            std::fprintf(stderr, "unknown renderer: %s\n", r.c_str());
+            return 2;
+        }
+    }
+    if (reference)
+        run_tile = true;
+    if (!run_tile && !run_gw) {
+        std::fprintf(stderr, "no renderers selected (--renderers "
+                             "tile,gw or --reference)\n");
+        return 2;
+    }
+
+    bench::banner("frame_throughput",
+                  "host frames/s of the functional renderers", scale);
+    std::printf("frames/scene %d, reps %d, preprocess workers %d%s\n",
+                frames, reps, workers,
+                reference ? ", scalar reference timed" : "");
+
+    ThreadPool pool(workers);
+    ThreadPool *tile_pool = workers > 1 ? &pool : nullptr;
+
+    // One sample row per (scene, renderer, frame, rep); ms/frame in
+    // frame_ms/wall_ms, throughput in fps.  The backend field is
+    // meaningless for host timing and left at its default.
+    std::vector<JobResult> rows;
+    struct Variant
+    {
+        std::string name;
+        double check = 0.0;  ///< checksum summed over all timed frames
+    };
+    std::vector<std::string> scene_names;
+    int next_id = 0;
+    bool checks_ok = true;
+
+    for (SceneId id : scenes) {
+        SceneSpec spec = scenePreset(id);
+        const std::string scene = sceneName(id);
+        scene_names.push_back(scene);
+        GaussianCloud cloud = generateScene(spec, scale);
+        Trajectory traj = Trajectory::forScene(spec, frames);
+        std::printf("\n%s: %zu Gaussians, %dx%d, %d frames\n",
+                    scene.c_str(), cloud.size(), spec.image_width,
+                    spec.image_height, frames);
+
+        std::vector<Variant> variants;
+        if (run_tile)
+            variants.push_back({"tile", 0.0});
+        if (reference)
+            variants.push_back({"tile-ref", 0.0});
+        if (run_gw)
+            variants.push_back({"gw", 0.0});
+
+        TileRenderer tile_renderer;
+        GaussianWiseRenderer gw_renderer;
+
+        for (Variant &v : variants) {
+            auto render_once = [&](int frame) -> std::pair<double, double> {
+                const Camera &cam =
+                    traj.frame(static_cast<std::size_t>(frame));
+                auto start = std::chrono::steady_clock::now();
+                Image img;
+                if (v.name == "tile") {
+                    StandardFlowStats st;
+                    img = tile_renderer.render(cloud, cam, st,
+                                               tile_pool);
+                } else if (v.name == "tile-ref") {
+                    StandardFlowStats st;
+                    img = tile_renderer.renderReference(cloud, cam, st);
+                } else {
+                    GaussianWiseStats st;
+                    img = gw_renderer.render(cloud, cam, st);
+                }
+                double ms = nowMsSince(start);
+                return {ms, imageChecksum(img)};
+            };
+
+            render_once(0);  // warm-up: page in the cloud, heat caches
+            for (int rep = 0; rep < reps; ++rep) {
+                for (int f = 0; f < frames; ++f) {
+                    auto [ms, check] = render_once(f);
+                    JobResult r;
+                    r.id = next_id++;
+                    r.ok = true;
+                    r.scene = scene;
+                    r.variant = v.name;
+                    r.frame = f;
+                    r.frame_ms = ms;
+                    r.wall_ms = ms;
+                    r.fps = ms > 0.0 ? 1000.0 / ms : 0.0;
+                    r.image_checksum = check;
+                    rows.push_back(r);
+                    // Sum over every timed render: a divergence on
+                    // any frame of any rep shows up in the total.
+                    v.check += check;
+                }
+            }
+        }
+
+        // The optimized and reference tile paths are bit-identical;
+        // their checksums must agree exactly.
+        if (reference) {
+            double tile_check = 0.0, ref_check = 0.0;
+            for (const Variant &v : variants) {
+                if (v.name == "tile")
+                    tile_check = v.check;
+                if (v.name == "tile-ref")
+                    ref_check = v.check;
+            }
+            if (tile_check != ref_check) {
+                std::fprintf(stderr,
+                             "ERROR: %s tile checksum %.17g != "
+                             "reference %.17g\n",
+                             scene.c_str(), tile_check, ref_check);
+                checks_ok = false;
+            }
+        }
+    }
+
+    // ---- Aggregate and report through ResultTable. ----
+    ResultTable table(std::move(rows));
+    auto ms_metric = [](const JobResult &r) { return r.frame_ms; };
+    auto fps_metric = [](const JobResult &r) { return r.fps; };
+
+    bench::rule();
+    std::printf("%-10s %-9s %8s %8s %8s %8s %8s\n", "scene",
+                "renderer", "ms_mean", "ms_p50", "ms_p90", "ms_p99",
+                "fps_p50");
+    bench::rule();
+
+    std::string json = "{\n  \"bench\": \"frame_throughput\",\n";
+    {
+        char head[160];
+        std::snprintf(head, sizeof head,
+                      "  \"scale\": %.4f,\n  \"frames\": %d,\n"
+                      "  \"reps\": %d,\n  \"workers\": %d,\n",
+                      static_cast<double>(scale), frames, reps, workers);
+        json += head;
+    }
+    json += "  \"results\": [\n";
+
+    bool first_row = true;
+    std::vector<std::string> variant_names;
+    if (run_tile)
+        variant_names.push_back("tile");
+    if (reference)
+        variant_names.push_back("tile-ref");
+    if (run_gw)
+        variant_names.push_back("gw");
+
+    std::vector<std::pair<std::string, double>> speedups;
+    for (const std::string &scene : scene_names) {
+        double tile_mean = 0.0, ref_mean = 0.0;
+        for (const std::string &ren : variant_names) {
+            auto filter = [&](const JobResult &r) {
+                return r.scene == scene && r.variant == ren;
+            };
+            Aggregate ms = table.over(ms_metric, filter);
+            Aggregate fps = table.over(fps_metric, filter);
+            if (ms.count == 0)
+                continue;
+            if (ren == "tile")
+                tile_mean = ms.mean;
+            if (ren == "tile-ref")
+                ref_mean = ms.mean;
+            std::printf("%-10s %-9s %8.2f %8.2f %8.2f %8.2f %8.1f\n",
+                        scene.c_str(), ren.c_str(), ms.mean, ms.p50,
+                        ms.p90, ms.p99, fps.p50);
+            char line[512];
+            std::snprintf(
+                line, sizeof line,
+                "%s    {\"scene\": \"%s\", \"renderer\": \"%s\", "
+                "\"samples\": %zu, \"ms_mean\": %.4f, "
+                "\"ms_p50\": %.4f, \"ms_p90\": %.4f, "
+                "\"ms_p99\": %.4f, \"ms_min\": %.4f, "
+                "\"fps_mean\": %.4f, \"fps_p50\": %.4f}",
+                first_row ? "" : ",\n", scene.c_str(), ren.c_str(),
+                ms.count, ms.mean, ms.p50, ms.p90, ms.p99, ms.min,
+                fps.mean, fps.p50);
+            json += line;
+            first_row = false;
+        }
+        if (reference && tile_mean > 0.0 && ref_mean > 0.0) {
+            double speedup = ref_mean / tile_mean;
+            std::printf("%-10s optimized tile speedup: %.2fx\n",
+                        scene.c_str(), speedup);
+            speedups.emplace_back(scene, speedup);
+        }
+    }
+    json += "\n  ]";
+
+    if (reference) {
+        json += ",\n  \"speedup_vs_reference\": [\n";
+        bool first = true;
+        for (const auto &[scene, speedup] : speedups) {
+            char line[160];
+            std::snprintf(line, sizeof line,
+                          "%s    {\"scene\": \"%s\", "
+                          "\"speedup\": %.4f}",
+                          first ? "" : ",\n", scene.c_str(), speedup);
+            json += line;
+            first = false;
+        }
+        json += "\n  ]";
+    }
+    json += "\n}\n";
+
+    if (out_path != "-") {
+        if (!ResultTable::writeFile(out_path, json)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    return checks_ok ? 0 : 1;
+}

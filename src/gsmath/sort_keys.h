@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Order-preserving float sort keys and a stable LSD radix sort.
+ *
+ * Per-tile depth sorting is the hottest sort in the standard dataflow
+ * (GPUs run it as a radix sort over packed key-value words; GSCore as
+ * a bitonic network).  This module provides the host-side analogue:
+ *
+ *  - a monotone float -> uint32 mapping (equal floats map to equal
+ *    keys, f < g implies key(f) < key(g)), so sorting the keys is
+ *    exactly sorting the floats;
+ *  - a stable least-significant-digit radix sort over packed 64-bit
+ *    (key << 32 | payload) words that orders by the key half only,
+ *    with a caller-owned scratch buffer so per-tile sorts reuse one
+ *    allocation.
+ *
+ * Because the sort is stable on the key half, feeding it a list in
+ * ascending payload order reproduces std::stable_sort's tie order.
+ */
+
+#ifndef GCC3D_GSMATH_SORT_KEYS_H
+#define GCC3D_GSMATH_SORT_KEYS_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gcc3d {
+
+/**
+ * Monotone mapping from float to uint32: flips the sign bit of
+ * non-negative floats and all bits of negative ones, so unsigned
+ * integer order equals IEEE-754 float order.  -0.0f is normalized to
+ * +0.0f first so floats that compare equal always map to equal keys
+ * (preserving stable-sort tie order).  NaNs are not meaningful sort
+ * inputs here and map to large keys.
+ */
+inline std::uint32_t
+orderedKeyFromFloat(float f)
+{
+    std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+    if (u == 0x80000000u)
+        u = 0;  // -0.0f sorts identically to +0.0f
+    return (u & 0x80000000u) != 0 ? ~u : (u | 0x80000000u);
+}
+
+/** Pack a sort key and its payload into one radix-sortable word. */
+inline std::uint64_t
+packKeyValue(std::uint32_t key, std::uint32_t value)
+{
+    return (static_cast<std::uint64_t>(key) << 32) | value;
+}
+
+/** Payload half of a packed key-value word. */
+inline std::uint32_t
+packedValue(std::uint64_t kv)
+{
+    return static_cast<std::uint32_t>(kv);
+}
+
+/**
+ * Stable ascending sort of @p items[0..n) by the high 32 bits of each
+ * word.  Equal-key items keep their relative order.  @p scratch is
+ * grown as needed and may be reused across calls; its contents are
+ * unspecified afterwards.
+ *
+ * Small inputs use a stable insertion sort; larger ones four LSD
+ * counting passes over the key bytes, each skipped when every item
+ * shares that byte (the common case for a tile's narrow depth range).
+ */
+inline void
+radixSortByKey(std::uint64_t *items, std::size_t n,
+               std::vector<std::uint64_t> &scratch)
+{
+    if (n < 2)
+        return;
+
+    constexpr std::size_t kInsertionCutoff = 32;
+    if (n <= kInsertionCutoff) {
+        for (std::size_t i = 1; i < n; ++i) {
+            std::uint64_t v = items[i];
+            std::uint32_t key = static_cast<std::uint32_t>(v >> 32);
+            std::size_t j = i;
+            while (j > 0 &&
+                   static_cast<std::uint32_t>(items[j - 1] >> 32) > key) {
+                items[j] = items[j - 1];
+                --j;
+            }
+            items[j] = v;
+        }
+        return;
+    }
+
+    if (scratch.size() < n)
+        scratch.resize(n);
+
+    std::uint64_t *src = items;
+    std::uint64_t *dst = scratch.data();
+    for (int pass = 0; pass < 4; ++pass) {
+        const int shift = 32 + pass * 8;
+        std::size_t count[256] = {};
+        for (std::size_t i = 0; i < n; ++i)
+            ++count[(src[i] >> shift) & 0xffu];
+        // All items share this key byte: the pass is the identity.
+        if (count[(src[0] >> shift) & 0xffu] == n)
+            continue;
+        std::size_t sum = 0;
+        for (std::size_t b = 0; b < 256; ++b) {
+            std::size_t c = count[b];
+            count[b] = sum;
+            sum += c;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            dst[count[(src[i] >> shift) & 0xffu]++] = src[i];
+        std::uint64_t *t = src;
+        src = dst;
+        dst = t;
+    }
+    if (src != items) {
+        for (std::size_t i = 0; i < n; ++i)
+            items[i] = src[i];
+    }
+}
+
+} // namespace gcc3d
+
+#endif // GCC3D_GSMATH_SORT_KEYS_H

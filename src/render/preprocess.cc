@@ -1,5 +1,7 @@
 #include "render/preprocess.h"
 
+#include "runtime/parallel_for.h"
+
 namespace gcc3d {
 
 std::optional<Splat>
@@ -14,7 +16,7 @@ projectGaussian(const Gaussian &g, std::uint32_t id, const Camera &cam,
     }
     if (!cam.inFrustum(v)) {
         if (stats != nullptr)
-            ++stats->near_culled;
+            ++stats->frustum_culled;
         return std::nullopt;
     }
     if (stats != nullptr)
@@ -61,20 +63,67 @@ shColorFor(const Gaussian &g, const Camera &cam)
     return evalShColor(g.sh, g.mean - cam.position());
 }
 
-std::vector<Splat>
-preprocessAll(const GaussianCloud &cloud, const Camera &cam,
-              PreprocessStats &stats)
+namespace {
+
+/** Serial preprocess of the index range [begin, end). */
+void
+preprocessRange(const GaussianCloud &cloud, const Camera &cam,
+                std::size_t begin, std::size_t end,
+                std::vector<Splat> &splats, PreprocessStats &stats)
 {
-    std::vector<Splat> splats;
-    splats.reserve(cloud.size() / 2);
-    stats.total = cloud.size();
-    for (std::size_t i = 0; i < cloud.size(); ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
         auto s = projectGaussian(cloud[i], static_cast<std::uint32_t>(i),
                                  cam, &stats);
         if (!s)
             continue;
         s->color = shColorFor(cloud[i], cam);
         splats.push_back(*s);
+    }
+}
+
+/** Below this population, fan-out overhead dwarfs the projection work. */
+constexpr std::size_t kMinParallelGaussians = 4096;
+
+} // namespace
+
+std::vector<Splat>
+preprocessAll(const GaussianCloud &cloud, const Camera &cam,
+              PreprocessStats &stats, ThreadPool *pool)
+{
+    stats.total = cloud.size();
+    if (pool == nullptr || pool->workerCount() < 2 ||
+        cloud.size() < kMinParallelGaussians) {
+        std::vector<Splat> splats;
+        splats.reserve(cloud.size() / 2);
+        preprocessRange(cloud, cam, 0, cloud.size(), splats, stats);
+        return splats;
+    }
+
+    // Chunked fan-out with deterministic chunk-order merge: the
+    // concatenated splat list and the summed counters are identical
+    // to the serial pass regardless of worker scheduling.
+    std::vector<std::vector<Splat>> chunk_splats;
+    std::vector<PreprocessStats> chunk_stats;
+    forEachChunk(pool, cloud.size(), kMinParallelGaussians / 4,
+                 [&](std::size_t c, std::size_t begin, std::size_t end) {
+                     chunk_splats[c].reserve((end - begin) / 2);
+                     preprocessRange(cloud, cam, begin, end,
+                                     chunk_splats[c], chunk_stats[c]);
+                 },
+                 [&](std::size_t chunk_count) {
+                     chunk_splats.resize(chunk_count);
+                     chunk_stats.resize(chunk_count);
+                 });
+
+    std::size_t produced = 0;
+    for (const auto &cs : chunk_splats)
+        produced += cs.size();
+    std::vector<Splat> splats;
+    splats.reserve(produced);
+    for (std::size_t c = 0; c < chunk_splats.size(); ++c) {
+        splats.insert(splats.end(), chunk_splats[c].begin(),
+                      chunk_splats[c].end());
+        stats.merge(chunk_stats[c]);
     }
     return splats;
 }

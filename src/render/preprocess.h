@@ -23,6 +23,8 @@
 
 namespace gcc3d {
 
+class ThreadPool;
+
 /** A Gaussian projected into screen space (a 2D splat). */
 struct Splat
 {
@@ -40,9 +42,25 @@ struct PreprocessStats
 {
     std::size_t total = 0;        ///< Gaussians in the model
     std::size_t near_culled = 0;  ///< culled by depth < near plane
+    std::size_t frustum_culled = 0; ///< in front of near plane, outside view
     std::size_t in_frustum = 0;   ///< survived frustum test
     std::size_t screen_culled = 0; ///< projected footprint off-screen
     std::size_t projected = 0;    ///< splats produced
+
+    /**
+     * Fold another stats record in (all counters but @c total, which
+     * describes the whole model rather than a partition of it).  Used
+     * to reduce per-chunk stats of a parallel preprocess.
+     */
+    void
+    merge(const PreprocessStats &o)
+    {
+        near_culled += o.near_culled;
+        frustum_culled += o.frustum_culled;
+        in_frustum += o.in_frustum;
+        screen_culled += o.screen_culled;
+        projected += o.projected;
+    }
 };
 
 /**
@@ -66,10 +84,17 @@ Vec3 shColorFor(const Gaussian &g, const Camera &cam);
  * Standard-dataflow preprocessing: project every Gaussian in the
  * cloud and evaluate SH for every survivor (the "preprocess-then-
  * render" first stage).
+ *
+ * When @p pool is non-null the cloud is preprocessed in contiguous
+ * chunks fanned out over the pool, then merged in chunk order; the
+ * resulting splat list and stats are bit-identical to the serial run
+ * (per-Gaussian work is independent, and counter sums are
+ * order-free).  A null pool — the default — runs serially.
  */
 std::vector<Splat> preprocessAll(const GaussianCloud &cloud,
                                  const Camera &cam,
-                                 PreprocessStats &stats);
+                                 PreprocessStats &stats,
+                                 ThreadPool *pool = nullptr);
 
 } // namespace gcc3d
 

@@ -2,89 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "gsmath/sort_keys.h"
 
 namespace gcc3d {
 
 namespace {
 
-/** Tile range [bx0,bx1] x [by0,by1] a splat maps to, or empty. */
-struct TileRange
-{
-    int bx0 = 0, by0 = 0, bx1 = -1, by1 = -1;
-    bool empty() const { return bx1 < bx0 || by1 < by0; }
-    int count() const
-    { return empty() ? 0 : (bx1 - bx0 + 1) * (by1 - by0 + 1); }
-};
-
-PixelRect
-splatBounds(const Splat &s, BoundingMode mode)
-{
-    switch (mode) {
-      case BoundingMode::Aabb3Sigma:
-        return aabbFromRadius(s.ellipse.center, s.radius_3sigma);
-      case BoundingMode::Obb3Sigma:
-        // The OBB itself is oriented; its tile coverage is bounded by
-        // the axis-aligned extent of the oriented box.
-        return aabbFromCovariance(s.ellipse.center, s.ellipse.cov, 9.0f);
-      case BoundingMode::OmegaSigma:
-        return aabbFromRadius(s.ellipse.center, s.radius_omega);
-      case BoundingMode::Conservative: {
-        int r = std::max(s.radius_3sigma, s.radius_omega);
-        return aabbFromRadius(s.ellipse.center, (r * 5 + 3) / 4);
-      }
-    }
-    return {};
-}
-
 /**
- * Exact-ish OBB vs tile overlap test (separating axes of the oriented
- * box): used in Obb3Sigma mode to drop corner tiles the axis-aligned
- * sweep would include.
+ * Bitonic-sorter pass accounting shared by both render paths: a
+ * 16-wide bitonic merge sort sorts chunks of 16 in one pass and
+ * merges ceil(n/16) chunks in log2 more passes.
  */
-bool
-obbOverlapsTile(const Splat &s, float tx0, float ty0, float tx1, float ty1)
+std::int64_t
+bitonicPassKeys(std::size_t list_len)
 {
-    float ca = std::cos(s.ellipse.eig.angle);
-    float sa = std::sin(s.ellipse.eig.angle);
-    float ha = 3.0f * std::sqrt(s.ellipse.eig.l1);
-    float hb = 3.0f * std::sqrt(s.ellipse.eig.l2);
-
-    // Tile corners relative to the splat center, projected onto the
-    // box axes; the tile misses the box iff all corners fall beyond
-    // one face (separating axis among the box axes).  The image-axis
-    // separation is already handled by the AABB sweep.
-    float min_u = 1e30f, max_u = -1e30f;
-    float min_v = 1e30f, max_v = -1e30f;
-    const float xs[2] = {tx0, tx1};
-    const float ys[2] = {ty0, ty1};
-    for (float x : xs) {
-        for (float y : ys) {
-            float dx = x - s.ellipse.center.x;
-            float dy = y - s.ellipse.center.y;
-            float u = dx * ca + dy * sa;
-            float v = -dx * sa + dy * ca;
-            min_u = std::min(min_u, u);
-            max_u = std::max(max_u, u);
-            min_v = std::min(min_v, v);
-            max_v = std::max(max_v, v);
-        }
-    }
-    return min_u <= ha && max_u >= -ha && min_v <= hb && max_v >= -hb;
-}
-
-TileRange
-tileRangeFor(const Splat &s, BoundingMode mode, int tile, int width,
-             int height)
-{
-    PixelRect box = splatBounds(s, mode).clipped(width, height);
-    TileRange r;
-    if (box.empty())
-        return r;
-    r.bx0 = box.x0 / tile;
-    r.by0 = box.y0 / tile;
-    r.bx1 = box.x1 / tile;
-    r.by1 = box.y1 / tile;
-    return r;
+    std::int64_t chunks = static_cast<std::int64_t>((list_len + 15) / 16);
+    std::int64_t passes = 1;
+    while ((std::int64_t{1} << (passes - 1)) < chunks)
+        ++passes;
+    return static_cast<std::int64_t>(list_len) * passes;
 }
 
 } // namespace
@@ -99,12 +37,13 @@ TileRenderer::tilesPerSplat(const std::vector<Splat> &splats,
         TileRange r = tileRangeFor(s, config_.bounding, config_.tile_size,
                                    cam.width(), cam.height());
         if (config_.bounding == BoundingMode::Obb3Sigma && !r.empty()) {
+            ObbParams o = obbParamsFor(s);
             int n = 0;
             for (int by = r.by0; by <= r.by1; ++by) {
                 for (int bx = r.bx0; bx <= r.bx1; ++bx) {
                     float tx0 = static_cast<float>(bx * config_.tile_size);
                     float ty0 = static_cast<float>(by * config_.tile_size);
-                    if (obbOverlapsTile(s, tx0, ty0,
+                    if (obbOverlapsTile(o, tx0, ty0,
                                         tx0 + config_.tile_size,
                                         ty0 + config_.tile_size))
                         ++n;
@@ -120,7 +59,256 @@ TileRenderer::tilesPerSplat(const std::vector<Splat> &splats,
 
 Image
 TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
-                     StandardFlowStats &stats) const
+                     StandardFlowStats &stats, ThreadPool *pool) const
+{
+    const int width = cam.width();
+    const int height = cam.height();
+    const int tile = config_.tile_size;
+    const int tiles_x = (width + tile - 1) / tile;
+    const int tiles_y = (height + tile - 1) / tile;
+    const std::size_t num_tiles =
+        static_cast<std::size_t>(tiles_x) * tiles_y;
+
+    // ---- Stage 1: preprocess every Gaussian (decoupled). ----
+    std::vector<Splat> splats = preprocessAll(cloud, cam, stats.pre, pool);
+    SplatSoA soa = SplatSoA::build(splats, config_.bounding, tile,
+                                   config_.alpha_cutoff, width, height);
+    const std::size_t n = soa.size();
+
+    // ---- Tile binning: CSR built in two passes over a flat pair
+    // list.  Pass 1 walks each splat's coverage exactly once (the
+    // OBB refinement test is not repeated) and emits (tile, packed
+    // key-value) pairs in splat order while counting per-tile
+    // populations; pass 2 scatters the pairs into one contiguous
+    // entries array at per-tile offsets.  The scatter preserves the
+    // splat-order tie-break within every tile. ----
+    std::vector<std::uint32_t> pair_tile;
+    std::vector<std::uint64_t> pair_kv;
+    std::vector<std::size_t> offsets(num_tiles + 1, 0);
+    for (std::size_t si = 0; si < n; ++si) {
+        const TileRange &r = soa.range[si];
+        const std::uint64_t kv = packKeyValue(
+            soa.depth_key[si], static_cast<std::uint32_t>(si));
+        for (int by = r.by0; by <= r.by1; ++by) {
+            for (int bx = r.bx0; bx <= r.bx1; ++bx) {
+                if (soa.obb_refine) {
+                    float tx0 = static_cast<float>(bx * tile);
+                    float ty0 = static_cast<float>(by * tile);
+                    if (!obbOverlapsTile(soa.obb[si], tx0, ty0,
+                                         tx0 + tile, ty0 + tile))
+                        continue;
+                }
+                const std::uint32_t t_idx =
+                    static_cast<std::uint32_t>(by) * tiles_x + bx;
+                pair_tile.push_back(t_idx);
+                pair_kv.push_back(kv);
+                ++offsets[t_idx + 1];
+            }
+        }
+    }
+    for (std::size_t t = 0; t < num_tiles; ++t)
+        offsets[t + 1] += offsets[t];
+    const std::size_t kv_total = offsets[num_tiles];
+    stats.kv_pairs += static_cast<std::int64_t>(kv_total);
+
+    std::vector<std::uint64_t> entries(kv_total);
+    {
+        std::vector<std::size_t> cursor(offsets.begin(),
+                                        offsets.end() - 1);
+        for (std::size_t i = 0; i < kv_total; ++i)
+            entries[cursor[pair_tile[i]]++] = pair_kv[i];
+        pair_tile.clear();
+        pair_tile.shrink_to_fit();
+        pair_kv.clear();
+        pair_kv.shrink_to_fit();
+    }
+
+    // ---- Stage 2: render tile by tile in scanline order. ----
+    Image image(width, height);
+    std::vector<float> tile_t(static_cast<std::size_t>(tile) * tile);
+    std::vector<std::uint8_t> contributed(n, 0);
+    std::vector<std::uint8_t> fetched(n, 0);
+    std::vector<std::uint64_t> sort_scratch;
+    constexpr int kSub = 8;
+    const int sub_n = (tile + kSub - 1) / kSub;
+    std::vector<int> sub_live(static_cast<std::size_t>(sub_n) * sub_n);
+    std::vector<int> row_live(static_cast<std::size_t>(tile));
+
+    for (int by = 0; by < tiles_y; ++by) {
+        for (int bx = 0; bx < tiles_x; ++bx) {
+            const std::size_t t_idx =
+                static_cast<std::size_t>(by) * tiles_x + bx;
+            const std::size_t begin = offsets[t_idx];
+            const std::size_t end = offsets[t_idx + 1];
+            if (begin == end)
+                continue;
+            const std::size_t list_len = end - begin;
+
+            // Per-tile depth sort (radix sort on the GPU, bitonic
+            // network in GSCore): stable LSD radix on the monotone
+            // depth keys reproduces stable_sort's order exactly.
+            radixSortByKey(entries.data() + begin, list_len,
+                           sort_scratch);
+            stats.sorted_keys += static_cast<std::int64_t>(list_len);
+            stats.sort_pass_keys += bitonicPassKeys(list_len);
+
+            int x0 = bx * tile;
+            int y0 = by * tile;
+            int x1 = std::min(x0 + tile, width);
+            int y1 = std::min(y0 + tile, height);
+            int live = (x1 - x0) * (y1 - y0);
+            std::fill(tile_t.begin(), tile_t.end(), 1.0f);
+
+            // Per-subtile live-pixel counts (8x8 granularity): the
+            // VRU processes one subtile per array pass in lockstep.
+            // Per-row counts let the blend loop skip rows whose every
+            // pixel already terminated.
+            std::fill(sub_live.begin(), sub_live.end(), 0);
+            std::fill(row_live.begin(), row_live.end(), 0);
+            for (int y = y0; y < y1; ++y) {
+                row_live[y - y0] = x1 - x0;
+                for (int x = x0; x < x1; ++x)
+                    ++sub_live[((y - y0) / kSub) * sub_n +
+                               (x - x0) / kSub];
+            }
+
+            for (std::size_t e = begin; e < end; ++e) {
+                if (live == 0)
+                    break;  // whole tile terminated: skip the rest
+                const std::uint32_t si = packedValue(entries[e]);
+                ++stats.tile_fetches;
+                if (!fetched[si]) {
+                    fetched[si] = 1;
+                    ++stats.fetched_gaussians;
+                }
+                const SplatSoA::Blend &b = soa.blend[si];
+
+                // Array passes: live subtiles the splat's bounds reach.
+                for (int sy = 0; sy < sub_n; ++sy) {
+                    for (int sx = 0; sx < sub_n; ++sx) {
+                        if (sub_live[sy * sub_n + sx] == 0)
+                            continue;
+                        int rx0 = x0 + sx * kSub;
+                        int ry0 = y0 + sy * kSub;
+                        if (b.sb_x1 < rx0 || b.sb_x0 > rx0 + kSub - 1 ||
+                            b.sb_y1 < ry0 || b.sb_y0 > ry0 + kSub - 1)
+                            continue;
+                        ++stats.subtile_passes;
+                    }
+                }
+
+                // The reference path alpha-tests every live pixel of
+                // the tile; pixels outside the cutoff-safe rect are
+                // provably below the alpha cutoff, so only the rect
+                // is walked and the skipped evaluations are accounted
+                // from the live count (identical totals, less work).
+                stats.alpha_evals += live;
+                stats.pixels_touched += live;
+                const int rx0 = std::max(x0, b.it_x0);
+                const int rx1 = std::min(x1 - 1, b.it_x1);
+                const int ry0 = std::max(y0, b.it_y0);
+                const int ry1 = std::min(y1 - 1, b.it_y1);
+                // Row-interval bound: per row, pixels with
+                // q(x) <= q_skip form one interval of the quadratic
+                // A dx^2 + (c01+c10) dy dx + c11 dy^2.  Solving it in
+                // double and widening by a pixel keeps every pixel
+                // the reference path could blend (outside it q
+                // exceeds the margin-padded cutoff crossing), while
+                // skipping the dead tails entirely.
+                const double qa = b.c00;
+                const double qb_dy =
+                    static_cast<double>(b.c01) + b.c10;
+                const double qc_dy = b.c11;
+                bool solve_rows = qa > 1e-30 &&
+                                  b.q_skip <
+                                      std::numeric_limits<
+                                          float>::infinity();
+                if (solve_rows && rx0 <= rx1 && ry0 <= ry1) {
+                    // q is a convex quadratic, so its maximum over
+                    // the rect sits at a corner: when all four
+                    // corners are inside the q_skip level set, every
+                    // row spans the full rect and the per-row
+                    // interval solve is pure overhead.
+                    auto q_at = [&](int x, int y) {
+                        float dx = (static_cast<float>(x) + 0.5f) -
+                                   b.cx;
+                        float dy = (static_cast<float>(y) + 0.5f) -
+                                   b.cy;
+                        return dx * (b.c00 * dx + b.c01 * dy) +
+                               dy * (b.c10 * dx + b.c11 * dy);
+                    };
+                    if (q_at(rx0, ry0) <= b.q_skip &&
+                        q_at(rx1, ry0) <= b.q_skip &&
+                        q_at(rx0, ry1) <= b.q_skip &&
+                        q_at(rx1, ry1) <= b.q_skip)
+                        solve_rows = false;
+                }
+                for (int y = ry0; y <= ry1; ++y) {
+                    if (row_live[y - y0] == 0)
+                        continue;  // every pixel in the row terminated
+                    const float py = static_cast<float>(y) + 0.5f;
+                    int row_x0 = rx0;
+                    int row_x1 = rx1;
+                    if (solve_rows) {
+                        const double dy = py - b.cy;
+                        const double qb = qb_dy * dy;
+                        const double qc =
+                            qc_dy * dy * dy - b.q_skip;
+                        const double disc = qb * qb - 4.0 * qa * qc;
+                        if (disc < 0.0)
+                            continue;  // whole row provably dead
+                        const double sq = std::sqrt(disc);
+                        const double lo =
+                            b.cx - 0.5 + (-qb - sq) / (2.0 * qa) - 1.0;
+                        const double hi =
+                            b.cx - 0.5 + (-qb + sq) / (2.0 * qa) + 2.0;
+                        if (lo > row_x0)
+                            row_x0 = static_cast<int>(lo);
+                        if (hi < row_x1)
+                            row_x1 = static_cast<int>(hi);
+                    }
+                    for (int x = row_x0; x <= row_x1; ++x) {
+                        float &t =
+                            tile_t[static_cast<std::size_t>(y - y0) *
+                                       tile + (x - x0)];
+                        if (t < config_.termination_t)
+                            continue;
+                        float dx = (static_cast<float>(x) + 0.5f) - b.cx;
+                        float dy = py - b.cy;
+                        float q = dx * (b.c00 * dx + b.c01 * dy) +
+                                  dy * (b.c10 * dx + b.c11 * dy);
+                        if (q > b.q_skip)
+                            continue;  // provably below the cutoff
+                        float a = b.opacity * std::exp(-0.5f * q);
+                        if (a > 0.99f)
+                            a = 0.99f;
+                        if (a < config_.alpha_cutoff)
+                            continue;
+                        ++stats.blend_ops;
+                        if (!contributed[si]) {
+                            contributed[si] = 1;
+                            ++stats.rendered_gaussians;
+                        }
+                        image.at(x, y) += Vec3(b.r, b.g, b.b) * (a * t);
+                        t *= 1.0f - a;
+                        if (t < config_.termination_t) {
+                            --live;
+                            --row_live[y - y0];
+                            --sub_live[((y - y0) / kSub) * sub_n +
+                                       (x - x0) / kSub];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return image;
+}
+
+Image
+TileRenderer::renderReference(const GaussianCloud &cloud,
+                              const Camera &cam,
+                              StandardFlowStats &stats) const
 {
     const int width = cam.width();
     const int height = cam.height();
@@ -138,12 +326,15 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         const Splat &s = splats[si];
         TileRange r =
             tileRangeFor(s, config_.bounding, tile, width, height);
+        ObbParams o;
+        if (config_.bounding == BoundingMode::Obb3Sigma)
+            o = obbParamsFor(s);
         for (int by = r.by0; by <= r.by1; ++by) {
             for (int bx = r.bx0; bx <= r.bx1; ++bx) {
                 if (config_.bounding == BoundingMode::Obb3Sigma) {
                     float tx0 = static_cast<float>(bx * tile);
                     float ty0 = static_cast<float>(by * tile);
-                    if (!obbOverlapsTile(s, tx0, ty0, tx0 + tile,
+                    if (!obbOverlapsTile(o, tx0, ty0, tx0 + tile,
                                          ty0 + tile))
                         continue;
                 }
@@ -159,6 +350,9 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
     std::vector<float> tile_t(static_cast<std::size_t>(tile) * tile);
     std::vector<std::uint8_t> contributed(splats.size(), 0);
     std::vector<std::uint8_t> fetched(splats.size(), 0);
+    constexpr int kSub = 8;
+    const int sub_n = (tile + kSub - 1) / kSub;
+    std::vector<int> sub_live(static_cast<std::size_t>(sub_n) * sub_n);
 
     for (int by = 0; by < tiles_y; ++by) {
         for (int bx = 0; bx < tiles_x; ++bx) {
@@ -174,15 +368,7 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
                                  return splats[a].depth < splats[b].depth;
                              });
             stats.sorted_keys += static_cast<std::int64_t>(list.size());
-            // 16-wide bitonic merge sort: chunks of 16 sort in one
-            // pass; merging ceil(n/16) chunks takes log2 more passes.
-            std::int64_t chunks =
-                static_cast<std::int64_t>((list.size() + 15) / 16);
-            std::int64_t passes = 1;
-            while ((std::int64_t{1} << (passes - 1)) < chunks)
-                ++passes;
-            stats.sort_pass_keys +=
-                static_cast<std::int64_t>(list.size()) * passes;
+            stats.sort_pass_keys += bitonicPassKeys(list.size());
 
             int x0 = bx * tile;
             int y0 = by * tile;
@@ -193,9 +379,7 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
 
             // Per-subtile live-pixel counts (8x8 granularity): the
             // VRU processes one subtile per array pass in lockstep.
-            constexpr int kSub = 8;
-            const int sub_n = (tile + kSub - 1) / kSub;
-            int sub_live[16] = {};
+            std::fill(sub_live.begin(), sub_live.end(), 0);
             for (int y = y0; y < y1; ++y)
                 for (int x = x0; x < x1; ++x)
                     ++sub_live[((y - y0) / kSub) * sub_n +

@@ -13,6 +13,21 @@
  * paper profiles: per-Gaussian tile loads (Fig. 2b), rendered vs
  * preprocessed counts (Fig. 2a), KV pair counts and per-pixel alpha
  * evaluation counts (Table 1, Fig. 11).
+ *
+ * Two implementations of the frame are kept:
+ *
+ *  - render(): the fast path — SoA splat store, two-pass CSR tile
+ *    binning into one flat key-value array, per-tile LSD radix sort
+ *    on monotone depth keys, and per-splat pixel iteration bounded by
+ *    the cutoff-safe footprint rect (skipped pixels are accounted
+ *    analytically, so the reported hardware stats do not change);
+ *  - renderReference(): the direct scalar transcription the fast
+ *    path is validated against — nested per-tile vectors, comparator
+ *    stable_sort, full-tile pixel sweeps.
+ *
+ * Both produce bit-identical images and identical StandardFlowStats;
+ * tests/test_renderer_equivalence.cc locks that in across bounding
+ * modes and tile sizes.
  */
 
 #ifndef GCC3D_RENDER_TILE_RENDERER_H
@@ -24,19 +39,11 @@
 #include "render/image.h"
 #include "render/preprocess.h"
 #include "render/render_stats.h"
+#include "render/splat_soa.h"
 #include "scene/camera.h"
 #include "scene/gaussian_cloud.h"
 
 namespace gcc3d {
-
-/** Bounding method used for tile assignment (Table 1 / Fig. 4). */
-enum class BoundingMode
-{
-    Aabb3Sigma,   ///< axis-aligned box of the 3-sigma circle (reference)
-    Obb3Sigma,    ///< oriented box at 3 sigma (GSCore)
-    OmegaSigma,   ///< axis-aligned box at the opacity-aware radius (Eq. 8)
-    Conservative, ///< 1.25 * max(3-sigma, omega-sigma): ground-truth mode
-};
 
 /** Configuration of the standard-dataflow renderer. */
 struct TileRendererConfig
@@ -68,7 +75,8 @@ struct TileRendererConfig
  * Thread safety: render() keeps all per-frame state on the stack and
  * only reads config_ and its const arguments, so one renderer (or
  * one per thread) may render concurrently, including from a shared
- * const GaussianCloud.
+ * const GaussianCloud.  A ThreadPool passed to render() is only used
+ * for the preprocess fan-out and may be shared between renderers.
  */
 class TileRenderer
 {
@@ -79,19 +87,34 @@ class TileRenderer
     const TileRendererConfig &config() const { return config_; }
 
     /**
-     * Render a frame.
+     * Render a frame (optimized path).
      *
      * @param cloud  the scene
      * @param cam    viewpoint
      * @param stats  populated with dataflow counters
+     * @param pool   optional worker pool for the preprocess stage;
+     *               null preprocesses serially.  The result does not
+     *               depend on it.
      */
     Image render(const GaussianCloud &cloud, const Camera &cam,
-                 StandardFlowStats &stats) const;
+                 StandardFlowStats &stats,
+                 ThreadPool *pool = nullptr) const;
+
+    /**
+     * Render a frame through the retained reference implementation
+     * (scalar binning into nested vectors, comparator stable_sort,
+     * full-tile pixel sweeps).  Used by the equivalence tests and the
+     * frame-throughput benchmark as the speedup baseline; produces
+     * bit-identical images and stats to render().
+     */
+    Image renderReference(const GaussianCloud &cloud, const Camera &cam,
+                          StandardFlowStats &stats) const;
 
     /**
      * Tile-binning only: returns the number of tiles each splat maps
      * to under the configured bounding mode (used by Fig. 2b without
-     * paying for full rendering).
+     * paying for full rendering).  Shares the coverage helpers of
+     * splat_soa.h with the render paths.
      */
     std::vector<int> tilesPerSplat(const std::vector<Splat> &splats,
                                    const Camera &cam) const;

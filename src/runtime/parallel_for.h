@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic chunked fan-out over a ThreadPool.
+ *
+ * The batch runtime parallelizes *across* frames; within a frame,
+ * stages like preprocessing parallelize across Gaussians.  The
+ * helpers here split an index range into contiguous chunks whose
+ * boundaries depend only on (n, workers) — never on timing — so a
+ * chunked parallel run can merge per-chunk outputs in chunk order and
+ * reproduce the serial result bit-exactly.
+ */
+
+#ifndef GCC3D_RUNTIME_PARALLEL_FOR_H
+#define GCC3D_RUNTIME_PARALLEL_FOR_H
+
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace gcc3d {
+
+/**
+ * Split [0, n) into at most @p max_chunks contiguous half-open ranges
+ * of at least @p min_per_chunk elements (the last chunk absorbs the
+ * remainder).  Deterministic in its arguments; returns an empty list
+ * for n == 0.
+ */
+inline std::vector<std::pair<std::size_t, std::size_t>>
+chunkRanges(std::size_t n, int max_chunks, std::size_t min_per_chunk)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    if (n == 0)
+        return ranges;
+    if (max_chunks < 1)
+        max_chunks = 1;
+    if (min_per_chunk < 1)
+        min_per_chunk = 1;
+    std::size_t chunks = (n + min_per_chunk - 1) / min_per_chunk;
+    if (chunks > static_cast<std::size_t>(max_chunks))
+        chunks = static_cast<std::size_t>(max_chunks);
+    std::size_t per = n / chunks;
+    std::size_t extra = n % chunks;
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        std::size_t len = per + (c < extra ? 1 : 0);
+        ranges.emplace_back(begin, begin + len);
+        begin += len;
+    }
+    return ranges;
+}
+
+/**
+ * Run @p fn(chunk_index, begin, end) for every chunk of [0, n) on
+ * @p pool, blocking until all chunks complete.  Chunk boundaries come
+ * from chunkRanges, so outputs indexed by chunk_index can be merged
+ * deterministically.  @p setup(chunk_count) runs once on the caller
+ * before any chunk is dispatched — the hook for sizing per-chunk
+ * output slots.  Exceptions from fn propagate to the caller.  A null
+ * pool (or a single chunk) runs inline on the caller.
+ */
+template <typename Fn, typename Setup>
+void
+forEachChunk(ThreadPool *pool, std::size_t n, std::size_t min_per_chunk,
+             Fn &&fn, Setup &&setup)
+{
+    const int workers = pool != nullptr ? pool->workerCount() : 1;
+    auto ranges = chunkRanges(n, workers, min_per_chunk);
+    setup(ranges.size());
+    if (pool == nullptr || ranges.size() < 2) {
+        for (std::size_t c = 0; c < ranges.size(); ++c)
+            fn(c, ranges[c].first, ranges[c].second);
+        return;
+    }
+    std::vector<std::future<void>> pending;
+    pending.reserve(ranges.size());
+    for (std::size_t c = 0; c < ranges.size(); ++c)
+        pending.push_back(pool->submit([&fn, &ranges, c] {
+            fn(c, ranges[c].first, ranges[c].second);
+        }));
+    // Drain every future before leaving the frame — the task lambdas
+    // reference ranges/fn on this stack, so unwinding on the first
+    // exception while later chunks still run would dangle them.  The
+    // first chunk exception (in chunk order) is rethrown after all
+    // chunks settle.
+    std::exception_ptr first_error;
+    for (auto &f : pending) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+/** forEachChunk without a setup hook. */
+template <typename Fn>
+void
+forEachChunk(ThreadPool *pool, std::size_t n, std::size_t min_per_chunk,
+             Fn &&fn)
+{
+    forEachChunk(pool, n, min_per_chunk, std::forward<Fn>(fn),
+                 [](std::size_t) {});
+}
+
+} // namespace gcc3d
+
+#endif // GCC3D_RUNTIME_PARALLEL_FOR_H

@@ -89,12 +89,6 @@ expandSweep(const SweepSpec &spec)
     return jobs;
 }
 
-namespace {
-
-/**
- * Order-deterministic pixel fingerprint: summation follows pixel
- * order, so identical images give bit-identical sums.
- */
 double
 imageChecksum(const Image &image)
 {
@@ -104,8 +98,6 @@ imageChecksum(const Image &image)
                static_cast<double>(p.z);
     return sum;
 }
-
-} // namespace
 
 SceneData
 SweepRunner::buildScene(const SceneSpec &spec, float scale, int frames)

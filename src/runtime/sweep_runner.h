@@ -33,6 +33,8 @@
 
 namespace gcc3d {
 
+class Image;
+
 /** Declarative description of a batch-simulation sweep. */
 struct SweepSpec
 {
@@ -115,6 +117,14 @@ class SweepRunner
   private:
     SweepOptions options_;
 };
+
+/**
+ * Order-deterministic pixel fingerprint: summation follows pixel
+ * order, so identical images give bit-identical sums.  The checksum
+ * JobResult::image_checksum carries; also used by the frame bench to
+ * cross-check the optimized and reference render paths.
+ */
+double imageChecksum(const Image &image);
 
 } // namespace gcc3d
 

@@ -89,6 +89,22 @@ TEST(Preprocess, BehindCameraCulled)
     EXPECT_FALSE(projectGaussian(g, 0, cam, nullptr).has_value());
 }
 
+TEST(Preprocess, OutsideFrustumCountsAsFrustumCulled)
+{
+    // In front of the near plane but far outside the horizontal view
+    // limits: must increment frustum_culled, not near_culled.
+    Camera cam = test::frontCamera();
+    Gaussian g = test::makeGaussian(Vec3(8.0f, 0.0f, 0.0f));
+    Vec3 v = cam.worldToView(g.mean);
+    ASSERT_GE(v.z, cam.nearPlane());
+    ASSERT_FALSE(cam.inFrustum(v));
+    PreprocessStats st;
+    EXPECT_FALSE(projectGaussian(g, 0, cam, &st).has_value());
+    EXPECT_EQ(st.frustum_culled, 1u);
+    EXPECT_EQ(st.near_culled, 0u);
+    EXPECT_EQ(st.in_frustum, 0u);
+}
+
 TEST(Preprocess, CenterGaussianProjectsToImageCenter)
 {
     Camera cam = test::frontCamera(200, 100);
@@ -144,7 +160,9 @@ TEST(Preprocess, StatsAddUp)
     EXPECT_EQ(st.total, cloud.size());
     EXPECT_EQ(splats.size(), st.projected);
     EXPECT_EQ(st.in_frustum, st.projected + st.screen_culled);
-    EXPECT_LE(st.in_frustum, st.total);
+    // Every Gaussian lands in exactly one of the three outcomes.
+    EXPECT_EQ(st.total,
+              st.near_culled + st.frustum_culled + st.in_frustum);
     // Splat ids are valid and colors were produced.
     for (const Splat &s : splats) {
         EXPECT_LT(s.id, cloud.size());

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/parallel_for.h"
 #include "runtime/result_table.h"
 #include "runtime/sweep_runner.h"
 #include "runtime/thread_pool.h"
@@ -350,6 +351,47 @@ TEST(ResultTable, CsvAndJsonCarryEveryRow)
     // Control characters are escaped so the output stays parseable.
     EXPECT_NE(json.find("line1\\nline2 \\\"quoted\\\""),
               std::string::npos);
+}
+
+// ---- Deterministic chunked fan-out ----
+
+TEST(ParallelFor, ChunkRangesPartitionExactly)
+{
+    for (std::size_t n : {std::size_t{0}, std::size_t{1},
+                          std::size_t{7}, std::size_t{1000},
+                          std::size_t{1001}}) {
+        for (int workers : {1, 3, 8}) {
+            auto ranges = chunkRanges(n, workers, 10);
+            std::size_t covered = 0;
+            std::size_t expect_begin = 0;
+            for (const auto &[begin, end] : ranges) {
+                EXPECT_EQ(begin, expect_begin);
+                EXPECT_LT(begin, end);
+                covered += end - begin;
+                expect_begin = end;
+            }
+            EXPECT_EQ(covered, n);
+            EXPECT_LE(ranges.size(),
+                      static_cast<std::size_t>(workers));
+        }
+    }
+    // min_per_chunk bounds the split: 25 elements at >=10 per chunk
+    // never fan out to more than 3 chunks.
+    EXPECT_LE(chunkRanges(25, 16, 10).size(), 3u);
+}
+
+TEST(ParallelFor, ForEachChunkVisitsEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 5000;
+    std::vector<std::atomic<int>> visits(kN);
+    forEachChunk(&pool, kN, 64,
+                 [&](std::size_t, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i)
+                         ++visits[i];
+                 });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
 }
 
 } // namespace

@@ -1,0 +1,93 @@
+/** @file Tests for ordered float keys and the stable radix sort. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "gsmath/sort_keys.h"
+
+namespace gcc3d {
+namespace {
+
+TEST(SortKeys, OrderedKeyIsMonotone)
+{
+    const float values[] = {-1e30f, -5.0f, -1.0f, -1e-30f, 0.0f,
+                            1e-30f, 0.5f,  1.0f,  3.5f,    1e30f};
+    for (std::size_t i = 1; i < std::size(values); ++i) {
+        EXPECT_LT(orderedKeyFromFloat(values[i - 1]),
+                  orderedKeyFromFloat(values[i]))
+            << values[i - 1] << " vs " << values[i];
+    }
+    EXPECT_EQ(orderedKeyFromFloat(2.5f), orderedKeyFromFloat(2.5f));
+    // Equal floats must map to equal keys, including the two zeros —
+    // otherwise radix tie order diverges from stable_sort's.
+    EXPECT_EQ(orderedKeyFromFloat(-0.0f), orderedKeyFromFloat(0.0f));
+    EXPECT_LT(orderedKeyFromFloat(-1e-38f), orderedKeyFromFloat(-0.0f));
+    EXPECT_LT(orderedKeyFromFloat(0.0f), orderedKeyFromFloat(1e-38f));
+}
+
+TEST(SortKeys, PackRoundTrip)
+{
+    std::uint64_t kv = packKeyValue(0xdeadbeefu, 42u);
+    EXPECT_EQ(packedValue(kv), 42u);
+    EXPECT_EQ(static_cast<std::uint32_t>(kv >> 32), 0xdeadbeefu);
+}
+
+/** Radix result must equal stable_sort by key for any size regime. */
+void
+checkAgainstStableSort(std::size_t n, std::uint32_t key_range,
+                       std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<std::uint64_t> items(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t key =
+            key_range == 0 ? 7u
+                           : static_cast<std::uint32_t>(rng() % key_range);
+        items[i] = packKeyValue(key, static_cast<std::uint32_t>(i));
+    }
+    std::vector<std::uint64_t> expected = items;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](std::uint64_t a, std::uint64_t b) {
+                         return (a >> 32) < (b >> 32);
+                     });
+    std::vector<std::uint64_t> scratch;
+    radixSortByKey(items.data(), items.size(), scratch);
+    EXPECT_EQ(items, expected) << "n=" << n << " range=" << key_range;
+}
+
+TEST(SortKeys, MatchesStableSortAcrossRegimes)
+{
+    checkAgainstStableSort(0, 100, 1);
+    checkAgainstStableSort(1, 100, 2);
+    checkAgainstStableSort(17, 5, 3);       // insertion path, many ties
+    checkAgainstStableSort(32, 1000, 4);    // insertion path boundary
+    checkAgainstStableSort(33, 1000, 5);    // radix path boundary
+    checkAgainstStableSort(500, 0, 6);      // all keys equal: pass skip
+    checkAgainstStableSort(500, 3, 7);      // narrow keys, heavy ties
+    checkAgainstStableSort(4096, 0xffffffffu, 8);  // full-width keys
+}
+
+TEST(SortKeys, SortingKeysSortsFloats)
+{
+    std::mt19937 rng(99);
+    std::uniform_real_distribution<float> dist(0.05f, 50.0f);
+    std::vector<float> depths(257);
+    for (float &d : depths)
+        d = dist(rng);
+    std::vector<std::uint64_t> items;
+    for (std::size_t i = 0; i < depths.size(); ++i)
+        items.push_back(
+            packKeyValue(orderedKeyFromFloat(depths[i]),
+                         static_cast<std::uint32_t>(i)));
+    std::vector<std::uint64_t> scratch;
+    radixSortByKey(items.data(), items.size(), scratch);
+    for (std::size_t i = 1; i < items.size(); ++i)
+        EXPECT_LE(depths[packedValue(items[i - 1])],
+                  depths[packedValue(items[i])]);
+}
+
+} // namespace
+} // namespace gcc3d

@@ -93,8 +93,29 @@ TEST_P(TileSizeSweep, ImageInvariantUnderTileSize)
     EXPECT_EQ(st.rendered_gaussians, st_ref.rendered_gaussians);
 }
 
+// 64 regresses the subtile live-count buffer: with tile_size 64 the
+// 8x8 subtile grid has 64 cells, which overflowed the former
+// fixed-size sub_live[16] array (UB) before it was sized from sub_n.
 INSTANTIATE_TEST_SUITE_P(Sizes, TileSizeSweep,
-                         ::testing::Values(8, 16, 32));
+                         ::testing::Values(8, 16, 32, 64));
+
+TEST(TileRenderer, LargeTileSubtileCountsStayConsistent)
+{
+    // tile_size 64 exercises all 64 subtile counters; the subtile
+    // pass count must stay within [1, sub_n^2] passes per fetch and
+    // the render must agree with the reference path (which shares
+    // the dynamically sized buffer).
+    GaussianCloud cloud = generateScene(test::tinyRoomSpec(44, 2000), 1.0f);
+    Camera cam = makeCamera(test::tinyRoomSpec(44, 2000));
+    TileRendererConfig cfg;
+    cfg.tile_size = 64;
+    TileRenderer renderer(cfg);
+    StandardFlowStats st;
+    Image img = renderer.render(cloud, cam, st);
+    (void)img;
+    EXPECT_GT(st.subtile_passes, 0);
+    EXPECT_LE(st.subtile_passes, st.tile_fetches * 64);
+}
 
 TEST(TileRenderer, BoundingModesAgreeOnImage)
 {
