@@ -48,11 +48,11 @@ main()
             (void)img;
             double overhead =
                 stats.rendered_gaussians > 0
-                    ? static_cast<double>(stats.projected) /
+                    ? static_cast<double>(stats.stage2_invocations) /
                           static_cast<double>(stats.rendered_gaussians)
                     : 0.0;
             std::printf("%4dx%-5d %14lld %14lld %9.2fx\n", n, n,
-                        static_cast<long long>(stats.projected),
+                        static_cast<long long>(stats.stage2_invocations),
                         static_cast<long long>(stats.rendered_gaussians),
                         overhead);
         }

@@ -5,28 +5,37 @@
  *
  * Renders preset scenes along their natural camera trajectories
  * through the standard tile-wise renderer and the Gaussian-wise
- * renderer, reports ms/frame and frames/s percentiles through the
- * ResultTable aggregation machinery, and writes `BENCH_frame.json`
- * so the performance trajectory is tracked across PRs.
+ * renderer (in Compatibility Mode, --subview), reports ms/frame and
+ * frames/s percentiles through the ResultTable aggregation machinery,
+ * and writes `BENCH_frame.json` so the performance trajectory is
+ * tracked across PRs.
  *
- * With --reference the retained scalar TileRenderer::renderReference
- * is also timed and the per-scene speedup of the optimized path is
- * reported (the two are bit-identical; the benchmark cross-checks
- * their image checksums).
+ * With --reference the retained scalar implementations
+ * (TileRenderer::renderReference / GaussianWiseRenderer::
+ * renderReference) are also timed and the per-scene speedup of each
+ * optimized path is reported; with --threads N,... every selected
+ * renderer is additionally timed at each worker count (tile: parallel
+ * preprocess + per-tile rasterization; gw: parallel shared projection
+ * pass + Cmode sub-views).  All paths are bit-identical, and the
+ * benchmark cross-checks their image checksums.
  *
  * Usage:
  *   frame_throughput [--scenes LIST] [--frames N] [--reps N]
  *                    [--renderers tile,gw] [--reference]
+ *                    [--threads LIST] [--subview N]
  *                    [--workers N] [--scale F] [--out FILE]
  *
  * Scale comes from --scale or GCC3D_SCALE (1.0 = paper populations).
- * --workers > 1 fans the tile renderer's preprocess stage over a
- * thread pool (the image and stats do not depend on it).
+ * --workers > 1 runs the base tile/gw variants on a thread pool (the
+ * images and stats do not depend on it).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -60,16 +69,31 @@ usage(const char *argv0)
         "  --frames N       trajectory frames per scene (default: 2)\n"
         "  --reps N         timed repetitions per frame (default: 3)\n"
         "  --renderers LIST subset of tile,gw (default: tile,gw)\n"
-        "  --reference      also time the scalar reference tile path\n"
-        "                   and report the optimized speedup\n"
-        "  --workers N      preprocess worker threads for the tile\n"
-        "                   path; <2 = serial (default: 1)\n"
+        "  --reference      also time the scalar reference paths and\n"
+        "                   report each optimized speedup\n"
+        "  --threads LIST   worker-count scaling sweep, e.g. 1,2,4,8\n"
+        "                   (adds a <renderer>-tN variant per count)\n"
+        "  --subview N      Gaussian-wise Cmode sub-view side; 0 =\n"
+        "                   full view (default: 128)\n"
+        "  --workers N      pool for the base tile/gw variants;\n"
+        "                   <2 = serial (default: 1)\n"
         "  --scale F        population scale in (0,1] (default:\n"
         "                   GCC3D_SCALE env or 1.0)\n"
         "  --out FILE       JSON output path (default:\n"
         "                   BENCH_frame.json; '-' disables)\n",
         argv0);
 }
+
+/** What one timed variant runs. */
+struct Variant
+{
+    std::string name;     ///< row label, e.g. "gw-t4"
+    std::string family;   ///< "tile" or "gw" (checksum group)
+    bool reference = false;
+    ThreadPool *pool = nullptr;
+    int threads = 0;      ///< 0 = not part of the thread sweep
+    double check = 0.0;   ///< checksum summed over all timed frames
+};
 
 } // namespace
 
@@ -78,10 +102,12 @@ main(int argc, char **argv)
 {
     std::string scenes_arg = "palace,lego,train";
     std::string renderers_arg = "tile,gw";
+    std::string threads_arg;
     std::string out_path = "BENCH_frame.json";
     int frames = 2;
     int reps = 3;
     int workers = 1;
+    int subview = 128;
     bool reference = false;
     float scale = benchScale();
 
@@ -108,6 +134,10 @@ main(int argc, char **argv)
             renderers_arg = value();
         } else if (flag == "--reference") {
             reference = true;
+        } else if (flag == "--threads") {
+            threads_arg = value();
+        } else if (flag == "--subview") {
+            subview = std::atoi(value().c_str());
         } else if (flag == "--workers") {
             workers = std::atoi(value().c_str());
         } else if (flag == "--scale") {
@@ -125,6 +155,8 @@ main(int argc, char **argv)
                              "--scale in (0, 1]\n");
         return 2;
     }
+    if (subview < 0)
+        subview = 0;
 
     std::vector<SceneId> scenes;
     try {
@@ -150,35 +182,73 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (reference)
-        run_tile = true;
     if (!run_tile && !run_gw) {
         std::fprintf(stderr, "no renderers selected (--renderers "
-                             "tile,gw or --reference)\n");
+                             "tile,gw)\n");
         return 2;
     }
 
+    std::vector<int> thread_counts;
+    for (const std::string &t : splitList(threads_arg)) {
+        int n = std::atoi(t.c_str());
+        if (n < 1) {
+            std::fprintf(stderr, "bad --threads entry: %s\n", t.c_str());
+            return 2;
+        }
+        thread_counts.push_back(n);
+    }
+    // The sweep's scaling baseline is the single-thread point.
+    if (!thread_counts.empty() &&
+        std::find(thread_counts.begin(), thread_counts.end(), 1) ==
+            thread_counts.end())
+        thread_counts.insert(thread_counts.begin(), 1);
+
     bench::banner("frame_throughput",
                   "host frames/s of the functional renderers", scale);
-    std::printf("frames/scene %d, reps %d, preprocess workers %d%s\n",
-                frames, reps, workers,
-                reference ? ", scalar reference timed" : "");
+    std::printf("frames/scene %d, reps %d, base workers %d, gw sub-view "
+                "%d%s%s\n",
+                frames, reps, workers, subview,
+                reference ? ", scalar references timed" : "",
+                thread_counts.empty() ? "" : ", thread sweep on");
 
-    ThreadPool pool(workers);
-    ThreadPool *tile_pool = workers > 1 ? &pool : nullptr;
+    ThreadPool base_pool(workers);
+    ThreadPool *pool_or_null = workers > 1 ? &base_pool : nullptr;
+    std::map<int, std::unique_ptr<ThreadPool>> sweep_pools;
+    for (int t : thread_counts)
+        if (t > 1 && sweep_pools.find(t) == sweep_pools.end())
+            sweep_pools.emplace(t, std::make_unique<ThreadPool>(t));
 
     // One sample row per (scene, renderer, frame, rep); ms/frame in
     // frame_ms/wall_ms, throughput in fps.  The backend field is
     // meaningless for host timing and left at its default.
     std::vector<JobResult> rows;
-    struct Variant
-    {
-        std::string name;
-        double check = 0.0;  ///< checksum summed over all timed frames
-    };
     std::vector<std::string> scene_names;
+    std::vector<std::string> variant_names;
     int next_id = 0;
     bool checks_ok = true;
+
+    // (scene, variant) -> mean ms, filled after aggregation.
+    struct SpeedupRow
+    {
+        std::string scene;
+        std::string renderer;
+        double speedup;
+    };
+    std::vector<SpeedupRow> speedups;
+    struct ScalingRow
+    {
+        std::string scene;
+        std::string renderer;
+        int threads;
+        double ms_mean;
+        double ms_min;
+        double fps_mean;
+        double speedup_vs_t1;  ///< from ms_min (noise-robust)
+    };
+    std::vector<ScalingRow> scaling;
+
+    GaussianWiseConfig gw_cfg;
+    gw_cfg.subview_size = subview;
 
     for (SceneId id : scenes) {
         SceneSpec spec = scenePreset(id);
@@ -191,41 +261,64 @@ main(int argc, char **argv)
                     spec.image_height, frames);
 
         std::vector<Variant> variants;
-        if (run_tile)
-            variants.push_back({"tile", 0.0});
-        if (reference)
-            variants.push_back({"tile-ref", 0.0});
-        if (run_gw)
-            variants.push_back({"gw", 0.0});
+        if (run_tile) {
+            variants.push_back({"tile", "tile", false, pool_or_null, 0,
+                                0.0});
+            if (reference)
+                variants.push_back(
+                    {"tile-ref", "tile", true, nullptr, 0, 0.0});
+            for (int t : thread_counts)
+                variants.push_back(
+                    {"tile-t" + std::to_string(t), "tile", false,
+                     t > 1 ? sweep_pools.at(t).get() : nullptr, t, 0.0});
+        }
+        if (run_gw) {
+            variants.push_back({"gw", "gw", false, pool_or_null, 0, 0.0});
+            if (reference)
+                variants.push_back(
+                    {"gw-ref", "gw", true, nullptr, 0, 0.0});
+            for (int t : thread_counts)
+                variants.push_back(
+                    {"gw-t" + std::to_string(t), "gw", false,
+                     t > 1 ? sweep_pools.at(t).get() : nullptr, t, 0.0});
+        }
 
         TileRenderer tile_renderer;
-        GaussianWiseRenderer gw_renderer;
+        GaussianWiseRenderer gw_renderer(gw_cfg);
+
+        auto render_once = [&](Variant &v,
+                               int frame) -> std::pair<double, double> {
+            const Camera &cam =
+                traj.frame(static_cast<std::size_t>(frame));
+            auto start = std::chrono::steady_clock::now();
+            Image img;
+            if (v.family == "tile") {
+                StandardFlowStats st;
+                img = v.reference
+                          ? tile_renderer.renderReference(cloud, cam, st)
+                          : tile_renderer.render(cloud, cam, st, v.pool);
+            } else {
+                GaussianWiseStats st;
+                img = v.reference
+                          ? gw_renderer.renderReference(cloud, cam, st)
+                          : gw_renderer.render(cloud, cam, st, v.pool);
+            }
+            double ms = nowMsSince(start);
+            return {ms, imageChecksum(img)};
+        };
 
         for (Variant &v : variants) {
-            auto render_once = [&](int frame) -> std::pair<double, double> {
-                const Camera &cam =
-                    traj.frame(static_cast<std::size_t>(frame));
-                auto start = std::chrono::steady_clock::now();
-                Image img;
-                if (v.name == "tile") {
-                    StandardFlowStats st;
-                    img = tile_renderer.render(cloud, cam, st,
-                                               tile_pool);
-                } else if (v.name == "tile-ref") {
-                    StandardFlowStats st;
-                    img = tile_renderer.renderReference(cloud, cam, st);
-                } else {
-                    GaussianWiseStats st;
-                    img = gw_renderer.render(cloud, cam, st);
-                }
-                double ms = nowMsSince(start);
-                return {ms, imageChecksum(img)};
-            };
-
-            render_once(0);  // warm-up: page in the cloud, heat caches
-            for (int rep = 0; rep < reps; ++rep) {
+            if (scene_names.size() == 1)
+                variant_names.push_back(v.name);
+            render_once(v, 0);  // warm-up: page in the cloud
+        }
+        // Reps interleave round-robin across variants so slow windows
+        // on a shared host penalize every variant equally instead of
+        // whichever happened to be timed last.
+        for (int rep = 0; rep < reps; ++rep) {
+            for (Variant &v : variants) {
                 for (int f = 0; f < frames; ++f) {
-                    auto [ms, check] = render_once(f);
+                    auto [ms, check] = render_once(v, f);
                     JobResult r;
                     r.id = next_id++;
                     r.ok = true;
@@ -244,22 +337,26 @@ main(int argc, char **argv)
             }
         }
 
-        // The optimized and reference tile paths are bit-identical;
-        // their checksums must agree exactly.
-        if (reference) {
-            double tile_check = 0.0, ref_check = 0.0;
+        // Every variant of a renderer family is bit-identical
+        // (optimized vs scalar reference, serial vs any worker
+        // count); their summed checksums must agree exactly.
+        for (const char *family : {"tile", "gw"}) {
+            const Variant *first = nullptr;
             for (const Variant &v : variants) {
-                if (v.name == "tile")
-                    tile_check = v.check;
-                if (v.name == "tile-ref")
-                    ref_check = v.check;
-            }
-            if (tile_check != ref_check) {
-                std::fprintf(stderr,
-                             "ERROR: %s tile checksum %.17g != "
-                             "reference %.17g\n",
-                             scene.c_str(), tile_check, ref_check);
-                checks_ok = false;
+                if (v.family != family)
+                    continue;
+                if (first == nullptr) {
+                    first = &v;
+                    continue;
+                }
+                if (v.check != first->check) {
+                    std::fprintf(stderr,
+                                 "ERROR: %s %s checksum %.17g != %s "
+                                 "%.17g\n",
+                                 scene.c_str(), v.name.c_str(), v.check,
+                                 first->name.c_str(), first->check);
+                    checks_ok = false;
+                }
             }
         }
     }
@@ -277,27 +374,22 @@ main(int argc, char **argv)
 
     std::string json = "{\n  \"bench\": \"frame_throughput\",\n";
     {
-        char head[160];
+        char head[200];
         std::snprintf(head, sizeof head,
                       "  \"scale\": %.4f,\n  \"frames\": %d,\n"
-                      "  \"reps\": %d,\n  \"workers\": %d,\n",
-                      static_cast<double>(scale), frames, reps, workers);
+                      "  \"reps\": %d,\n  \"workers\": %d,\n"
+                      "  \"gw_subview\": %d,\n",
+                      static_cast<double>(scale), frames, reps, workers,
+                      subview);
         json += head;
     }
     json += "  \"results\": [\n";
 
     bool first_row = true;
-    std::vector<std::string> variant_names;
-    if (run_tile)
-        variant_names.push_back("tile");
-    if (reference)
-        variant_names.push_back("tile-ref");
-    if (run_gw)
-        variant_names.push_back("gw");
-
-    std::vector<std::pair<std::string, double>> speedups;
     for (const std::string &scene : scene_names) {
-        double tile_mean = 0.0, ref_mean = 0.0;
+        std::map<std::string, double> mean_ms;
+        std::map<std::string, double> min_ms;
+        std::map<std::string, double> mean_fps;
         for (const std::string &ren : variant_names) {
             auto filter = [&](const JobResult &r) {
                 return r.scene == scene && r.variant == ren;
@@ -306,10 +398,9 @@ main(int argc, char **argv)
             Aggregate fps = table.over(fps_metric, filter);
             if (ms.count == 0)
                 continue;
-            if (ren == "tile")
-                tile_mean = ms.mean;
-            if (ren == "tile-ref")
-                ref_mean = ms.mean;
+            mean_ms[ren] = ms.mean;
+            min_ms[ren] = ms.min;
+            mean_fps[ren] = fps.mean;
             std::printf("%-10s %-9s %8.2f %8.2f %8.2f %8.2f %8.1f\n",
                         scene.c_str(), ren.c_str(), ms.mean, ms.p50,
                         ms.p90, ms.p99, fps.p50);
@@ -327,11 +418,40 @@ main(int argc, char **argv)
             json += line;
             first_row = false;
         }
-        if (reference && tile_mean > 0.0 && ref_mean > 0.0) {
-            double speedup = ref_mean / tile_mean;
-            std::printf("%-10s optimized tile speedup: %.2fx\n",
-                        scene.c_str(), speedup);
-            speedups.emplace_back(scene, speedup);
+
+        if (reference) {
+            // min-of-reps: wall-clock noise on a shared host is
+            // strictly additive, so the per-variant minimum is the
+            // robust throughput estimator for ratios.
+            for (const char *family : {"tile", "gw"}) {
+                auto opt = min_ms.find(family);
+                auto ref = min_ms.find(std::string(family) + "-ref");
+                if (opt == min_ms.end() || ref == min_ms.end() ||
+                    opt->second <= 0.0)
+                    continue;
+                double speedup = ref->second / opt->second;
+                std::printf("%-10s optimized %s speedup: %.2fx\n",
+                            scene.c_str(), family, speedup);
+                speedups.push_back({scene, family, speedup});
+            }
+        }
+        for (const char *family : {"tile", "gw"}) {
+            auto t1 = min_ms.find(std::string(family) + "-t1");
+            if (t1 == min_ms.end() || t1->second <= 0.0)
+                continue;
+            for (int t : thread_counts) {
+                auto row = min_ms.find(std::string(family) + "-t" +
+                                        std::to_string(t));
+                if (row == min_ms.end() || row->second <= 0.0)
+                    continue;
+                double sp = t1->second / row->second;
+                const std::string key =
+                    std::string(family) + "-t" + std::to_string(t);
+                scaling.push_back({scene, family, t, mean_ms[key],
+                                   min_ms[key], mean_fps[key], sp});
+                std::printf("%-10s %s x%d threads: %.2fx vs 1 thread\n",
+                            scene.c_str(), family, t, sp);
+            }
         }
     }
     json += "\n  ]";
@@ -339,12 +459,32 @@ main(int argc, char **argv)
     if (reference) {
         json += ",\n  \"speedup_vs_reference\": [\n";
         bool first = true;
-        for (const auto &[scene, speedup] : speedups) {
-            char line[160];
+        for (const SpeedupRow &s : speedups) {
+            char line[200];
             std::snprintf(line, sizeof line,
                           "%s    {\"scene\": \"%s\", "
-                          "\"speedup\": %.4f}",
-                          first ? "" : ",\n", scene.c_str(), speedup);
+                          "\"renderer\": \"%s\", \"speedup\": %.4f}",
+                          first ? "" : ",\n", s.scene.c_str(),
+                          s.renderer.c_str(), s.speedup);
+            json += line;
+            first = false;
+        }
+        json += "\n  ]";
+    }
+    if (!scaling.empty()) {
+        json += ",\n  \"thread_scaling\": [\n";
+        bool first = true;
+        for (const ScalingRow &s : scaling) {
+            char line[256];
+            std::snprintf(line, sizeof line,
+                          "%s    {\"scene\": \"%s\", "
+                          "\"renderer\": \"%s\", \"threads\": %d, "
+                          "\"ms_mean\": %.4f, \"ms_min\": %.4f, "
+                          "\"fps_mean\": %.4f, "
+                          "\"speedup_vs_1t_min\": %.4f}",
+                          first ? "" : ",\n", s.scene.c_str(),
+                          s.renderer.c_str(), s.threads, s.ms_mean,
+                          s.ms_min, s.fps_mean, s.speedup_vs_t1);
             json += line;
             first = false;
         }

@@ -87,6 +87,26 @@ struct GccConfig
     {
         return static_cast<std::int64_t>(image_buffer_kb * 1024.0 / 8.0);
     }
+
+    /**
+     * Copy with degenerate structural parameters clamped to their
+     * smallest legal values (group capacity and PE-array side of at
+     * least 1, non-negative sub-view size).  GccSim applies this on
+     * construction, so a zero-capacity sweep point degrades to
+     * single-Gaussian groups instead of wedging Stage I.
+     */
+    GccConfig
+    validated() const
+    {
+        GccConfig c = *this;
+        if (c.group_capacity < 1)
+            c.group_capacity = 1;
+        if (c.block_size < 1)
+            c.block_size = 1;
+        if (c.subview_size < 0)
+            c.subview_size = 0;
+        return c;
+    }
 };
 
 } // namespace gcc3d

@@ -1,6 +1,8 @@
 #include "core/gcc_sim.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/alpha_unit.h"
 #include "core/blending_unit.h"
@@ -14,7 +16,8 @@
 namespace gcc3d {
 
 GccSim::GccSim(GccConfig config)
-    : config_(std::move(config)), chip_(gccChipModel(config_.designPoint()))
+    : config_(config.validated()),
+      chip_(gccChipModel(config_.designPoint()))
 {
 }
 
@@ -55,11 +58,23 @@ GccSim::renderFrame(const GaussianCloud &cloud, const Camera &cam) const
     EnergyIntegrator energy(chip_, config_.clock_ghz);
 
     const bool cc = config_.mode == GccMode::GaussianWiseCC;
+    // depth_culled has unique-Gaussian semantics (each Gaussian's
+    // depth is computed once per frame, sub-views notwithstanding),
+    // so the Stage I survivor population is an exact subtraction.
+    // Checked unconditionally: Release builds compile assert() out,
+    // and a broken invariant wrapping the subtraction would corrupt
+    // every downstream cycle/energy/traffic figure silently.
+    if (r.flow.depth_culled < 0 || r.flow.depth_culled > r.flow.total) {
+        std::fprintf(stderr,
+                     "gcc_sim: depth_culled %lld out of [0, %lld] — "
+                     "renderer stats lost unique-Gaussian semantics\n",
+                     static_cast<long long>(r.flow.depth_culled),
+                     static_cast<long long>(r.flow.total));
+        std::abort();
+    }
     const std::uint64_t n_total = static_cast<std::uint64_t>(r.flow.total);
     const std::uint64_t survivors =
-        n_total > static_cast<std::uint64_t>(r.flow.depth_culled)
-            ? n_total - static_cast<std::uint64_t>(r.flow.depth_culled)
-            : 0;
+        n_total - static_cast<std::uint64_t>(r.flow.depth_culled);
 
     // =====================================================================
     // Stage I: frame-global depth grouping barrier.
@@ -74,7 +89,7 @@ GccSim::renderFrame(const GaussianCloud &cloud, const Camera &cam) const
     if (r.cmode) {
         // 2D spatial binning: per-(Gaussian, sub-view) id records.
         dram.access(TrafficClass::Meta,
-                    static_cast<std::uint64_t>(r.flow.projected) *
+                    static_cast<std::uint64_t>(r.flow.bin_records) *
                         static_cast<std::uint64_t>(config_.id_depth_bytes));
     }
     r.stage1_cycles = s1.total_cycles;
@@ -170,24 +185,28 @@ GccSim::renderFrame(const GaussianCloud &cloud, const Camera &cam) const
     r.total_cycles = r.stage1_cycles + r.main_cycles + r.output_cycles;
     r.fps = config_.clock_ghz * 1e9 / static_cast<double>(r.total_cycles);
 
-    // ---- On-chip buffer traffic. ----
+    // ---- On-chip buffer traffic.  Staging repeats per sub-view in
+    // Cmode, so these scale with the invocation counters, not the
+    // unique populations. ----
     Sram shared_buf(chip_.buffer("SharedBuffer"));
     std::uint64_t geom_bytes_staged =
-        static_cast<std::uint64_t>(r.flow.projected) *
+        static_cast<std::uint64_t>(r.flow.stage2_invocations) *
         static_cast<std::uint64_t>(config_.geom_bytes);
     shared_buf.write(geom_bytes_staged);
     shared_buf.read(geom_bytes_staged);
 
     Sram sh_buf(chip_.buffer("SHBuffer"));
     std::uint64_t sh_bytes_staged =
-        static_cast<std::uint64_t>(r.flow.sh_evaluated) *
+        static_cast<std::uint64_t>(r.flow.sh_eval_invocations) *
         static_cast<std::uint64_t>(config_.sh_bytes);
     sh_buf.write(sh_bytes_staged);
     sh_buf.read(sh_bytes_staged);
 
     Sram sorted_buf(chip_.buffer("SortedBuffer"));
-    sorted_buf.write(static_cast<std::uint64_t>(r.flow.survived_cull) * 8);
-    sorted_buf.read(static_cast<std::uint64_t>(r.flow.survived_cull) * 8);
+    sorted_buf.write(
+        static_cast<std::uint64_t>(r.flow.survivor_invocations) * 8);
+    sorted_buf.read(
+        static_cast<std::uint64_t>(r.flow.survivor_invocations) * 8);
 
     // Intensive Blending Unit <-> Image Buffer exchange (Sec. 5.3):
     // T reads during alpha, RGBT read-modify-write during blending.

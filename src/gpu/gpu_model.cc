@@ -81,9 +81,11 @@ GpuModel::gccDataflow(const GaussianWiseStats &f) const
 
     // Conditional preprocessing: only Gaussians reaching Stage II
     // project; SH only for survivors.  Depth pass touches all means.
+    // Invocation counters so Cmode sub-view duplication shows up as
+    // repeated work (they equal the unique populations in full view).
     double n_all = static_cast<double>(f.total);
-    double n_proj = static_cast<double>(f.projected);
-    double n_sh = static_cast<double>(f.sh_evaluated);
+    double n_proj = static_cast<double>(f.stage2_invocations);
+    double n_sh = static_cast<double>(f.sh_eval_invocations);
     b.preprocess_ms = std::max(
         computeMs(n_proj * kProjectFlops + n_sh * kShFlops),
         memoryMs(n_all * 12.0 + n_proj * 44.0 + n_sh * 192.0));
@@ -93,7 +95,7 @@ GpuModel::gccDataflow(const GaussianWiseStats &f) const
 
     // Global depth sort of the survivors (single radix sort).
     b.sort_ms =
-        memoryMs(static_cast<double>(f.survived_cull) * 8.0 *
+        memoryMs(static_cast<double>(f.survivor_invocations) * 8.0 *
                  kRadixPasses * 2.0);
 
     // Render: fewer alpha evaluations (alpha-based boundaries), but

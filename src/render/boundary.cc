@@ -1,74 +1,18 @@
 #include "render/boundary.h"
 
-#include <algorithm>
-#include <cmath>
-#include <deque>
-#include <utility>
-#include <vector>
-
 namespace gcc3d {
-
-namespace {
-
-/** Clamp the projected center to the nearest in-bounds pixel. */
-std::pair<int, int>
-nearestInBounds(const Vec2 &center, int width, int height)
-{
-    int x = static_cast<int>(std::floor(center.x));
-    int y = static_cast<int>(std::floor(center.y));
-    x = std::clamp(x, 0, width - 1);
-    y = std::clamp(y, 0, height - 1);
-    return {x, y};
-}
-
-Vec2
-pixelCenter(int x, int y)
-{
-    return {static_cast<float>(x) + 0.5f, static_cast<float>(y) + 0.5f};
-}
-
-/** Alpha-threshold cutoff on the quadratic form: q <= 2 ln(255 omega). */
-float
-quadraticCutoff(float omega)
-{
-    if (omega <= kAlphaMin)
-        return -1.0f;
-    return 2.0f * std::log(255.0f * omega);
-}
-
-/**
- * Cheap conservative-ish test of whether a pixel rectangle can
- * intersect the effective ellipse: evaluates the quadratic form at
- * the clamped center and the four corners and takes the minimum.
- * Used only to decide whether traversal may pass *through* a
- * T-masked block.
- */
-bool
-rectMayIntersect(const Ellipse &e, float cutoff, float x0, float y0,
-                 float x1, float y1)
-{
-    Vec2 clamped(std::clamp(e.center.x, x0, x1),
-                 std::clamp(e.center.y, y0, y1));
-    float q = e.quadraticForm(clamped);
-    q = std::min(q, e.quadraticForm(Vec2(x0, y0)));
-    q = std::min(q, e.quadraticForm(Vec2(x1, y0)));
-    q = std::min(q, e.quadraticForm(Vec2(x0, y1)));
-    q = std::min(q, e.quadraticForm(Vec2(x1, y1)));
-    return q <= cutoff;
-}
-
-} // namespace
 
 BoundaryStats
 pixelBoundary(const Ellipse &e, float omega, int width, int height,
               const PixelVisitor &visit)
 {
+    namespace bd = boundary_detail;
     BoundaryStats stats;
-    float cutoff = quadraticCutoff(omega);
+    float cutoff = bd::quadraticCutoff(omega);
     if (cutoff < 0.0f || width <= 0 || height <= 0)
         return stats;
 
-    auto [cx, cy] = nearestInBounds(e.center, width, height);
+    auto [cx, cy] = bd::nearestInBounds(e.center, width, height);
 
     // Bound the visited map by the omega-sigma AABB (plus margin) so
     // scratch memory stays proportional to the footprint.
@@ -105,7 +49,7 @@ pixelBoundary(const Ellipse &e, float omega, int width, int height,
         queue.pop_front();
 
         ++stats.alpha_evals;
-        float q = e.quadraticForm(pixelCenter(x, y));
+        float q = e.quadraticForm(bd::pixelCenter(x, y));
         if (q > cutoff)
             continue;  // fails E(p): convexity lets us stop here
 
@@ -142,7 +86,8 @@ bool
 BlockTraversal::blockReachable(const Ellipse &e, float omega, int bx,
                                int by) const
 {
-    float cutoff = quadraticCutoff(omega);
+    namespace bd = boundary_detail;
+    float cutoff = bd::quadraticCutoff(omega);
     if (cutoff < 0.0f)
         return false;
     float x0 = static_cast<float>(bx * block_size_);
@@ -151,7 +96,7 @@ BlockTraversal::blockReachable(const Ellipse &e, float omega, int bx,
                                static_cast<float>(width_));
     float y1 = std::min<float>(y0 + static_cast<float>(block_size_),
                                static_cast<float>(height_));
-    return rectMayIntersect(e, cutoff, x0, y0, x1, y1);
+    return bd::rectMayIntersect(e, cutoff, x0, y0, x1, y1);
 }
 
 BoundaryStats
@@ -160,12 +105,13 @@ BlockTraversal::traverse(const Ellipse &e, float omega,
                          const PixelVisitor &visit,
                          const BlockVisitor &block_visit) const
 {
+    namespace bd = boundary_detail;
     BoundaryStats stats;
-    float cutoff = quadraticCutoff(omega);
+    float cutoff = bd::quadraticCutoff(omega);
     if (cutoff < 0.0f || blocks_x_ <= 0 || blocks_y_ <= 0)
         return stats;
 
-    auto [cx, cy] = nearestInBounds(e.center, width_, height_);
+    auto [cx, cy] = bd::nearestInBounds(e.center, width_, height_);
     int cbx = cx / block_size_;
     int cby = cy / block_size_;
 
@@ -179,7 +125,12 @@ BlockTraversal::traverse(const Ellipse &e, float omega,
         stamp.assign(nblocks, 0);
         generation = 0;
     }
-    ++generation;
+    if (++generation == 0) {
+        // 2^32 traversals on this thread: stale stamps would alias
+        // the restarted counter, so wipe them once.
+        std::fill(stamp.begin(), stamp.end(), 0u);
+        generation = 1;
+    }
     auto seen = [&](int bx, int by) -> std::uint32_t & {
         return stamp[static_cast<std::size_t>(by) * blocks_x_ + bx];
     };
@@ -196,7 +147,7 @@ BlockTraversal::traverse(const Ellipse &e, float omega,
                                    static_cast<float>(width_));
         float y1 = std::min<float>(y0 + static_cast<float>(block_size_),
                                    static_cast<float>(height_));
-        return rectMayIntersect(e, cutoff, x0, y0, x1, y1);
+        return bd::rectMayIntersect(e, cutoff, x0, y0, x1, y1);
     };
 
     std::deque<std::pair<int, int>> queue;
@@ -238,7 +189,7 @@ BlockTraversal::traverse(const Ellipse &e, float omega,
             for (int y = y0; y <= y1; ++y) {
                 for (int x = x0; x <= x1; ++x) {
                     ++stats.alpha_evals;
-                    float q = e.quadraticForm(pixelCenter(x, y));
+                    float q = e.quadraticForm(bd::pixelCenter(x, y));
                     if (q > cutoff)
                         continue;
                     ++stats.influence_pixels;

@@ -23,8 +23,12 @@
 #ifndef GCC3D_RENDER_BOUNDARY_H
 #define GCC3D_RENDER_BOUNDARY_H
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "gsmath/ellipse.h"
@@ -60,6 +64,78 @@ using PixelVisitor = std::function<void(int x, int y, float alpha)>;
 BoundaryStats pixelBoundary(const Ellipse &e, float omega, int width,
                             int height, const PixelVisitor &visit);
 
+namespace boundary_detail {
+
+/** Clamp the projected center to the nearest in-bounds pixel. */
+inline std::pair<int, int>
+nearestInBounds(const Vec2 &center, int width, int height)
+{
+    int x = static_cast<int>(std::floor(center.x));
+    int y = static_cast<int>(std::floor(center.y));
+    x = std::clamp(x, 0, width - 1);
+    y = std::clamp(y, 0, height - 1);
+    return {x, y};
+}
+
+inline Vec2
+pixelCenter(int x, int y)
+{
+    return {static_cast<float>(x) + 0.5f, static_cast<float>(y) + 0.5f};
+}
+
+/** Alpha-threshold cutoff on the quadratic form: q <= 2 ln(255 omega). */
+inline float
+quadraticCutoff(float omega)
+{
+    if (omega <= kAlphaMin)
+        return -1.0f;
+    return 2.0f * std::log(255.0f * omega);
+}
+
+/**
+ * Minimum of the conic quadratic form over a rectangle, approximated
+ * by the clamped center and the four corners.  The single
+ * implementation behind every ellipse-vs-rect reachability decision
+ * (rectMayIntersect, the traversal's expansion filter, and the
+ * renderer's conditional-loading window), taking the conic and
+ * center as scalars so hot callers can pass hoisted locals — the
+ * evaluation matches Ellipse::quadraticForm operation for operation.
+ */
+inline float
+minConicQOverRect(float c00, float c01, float c10, float c11, float cx,
+                  float cy, float x0, float y0, float x1, float y1)
+{
+    auto q_pt = [&](float px, float py) {
+        float dx = px - cx;
+        float dy = py - cy;
+        return dx * (c00 * dx + c01 * dy) + dy * (c10 * dx + c11 * dy);
+    };
+    float q = q_pt(std::clamp(cx, x0, x1), std::clamp(cy, y0, y1));
+    q = std::min(q, q_pt(x0, y0));
+    q = std::min(q, q_pt(x1, y0));
+    q = std::min(q, q_pt(x0, y1));
+    q = std::min(q, q_pt(x1, y1));
+    return q;
+}
+
+/**
+ * Cheap conservative-ish test of whether a pixel rectangle can
+ * intersect the effective ellipse: evaluates the quadratic form at
+ * the clamped center and the four corners and takes the minimum.
+ * Used only to decide whether traversal may pass *through* a
+ * T-masked block.
+ */
+inline bool
+rectMayIntersect(const Ellipse &e, float cutoff, float x0, float y0,
+                 float x1, float y1)
+{
+    return minConicQOverRect(e.conic(0, 0), e.conic(0, 1),
+                             e.conic(1, 0), e.conic(1, 1), e.center.x,
+                             e.center.y, x0, y0, x1, y1) <= cutoff;
+}
+
+} // namespace boundary_detail
+
 /**
  * Block-level traversal used by the Alpha Unit.  Blocks are n x n
  * pixels; a visited block evaluates all of its pixel alphas (one PE
@@ -79,6 +155,8 @@ class BlockTraversal
     int blocksX() const { return blocks_x_; }
     int blocksY() const { return blocks_y_; }
     int blockSize() const { return block_size_; }
+    int viewWidth() const { return width_; }
+    int viewHeight() const { return height_; }
 
     /**
      * Visitor invoked once per visited block that contains at least
@@ -102,6 +180,246 @@ class BlockTraversal
                            const std::vector<std::uint8_t> *t_mask,
                            const PixelVisitor &visit,
                            const BlockVisitor &block_visit = nullptr) const;
+
+    /**
+     * Fast statically-dispatched traversal: identical walk order,
+     * pass/fail decisions and statistics to traverse(), with three
+     * hot-loop optimizations the scalar path deliberately omits:
+     *
+     *  - the visitors are template parameters (no std::function call
+     *    per pixel);
+     *  - the visitor receives the quadratic form q instead of the
+     *    alpha, so the exp() is paid lazily — only for pixels whose
+     *    transmittance is still live (alpha = min(0.99, omega *
+     *    exp(-0.5 q)), bit-identical where it is computed);
+     *  - within a visited block, each pixel row is restricted to the
+     *    margin-padded interval where the conic can still reach the
+     *    alpha threshold (the tile renderer's row-interval bound);
+     *    pixels outside provably fail E(p), and the block's alpha
+     *    evaluations are accounted analytically, so the reported
+     *    stats and the visit sequence are unchanged.
+     *
+     * @p visit   callable (int x, int y, float q) for passing pixels
+     * @p block_visit callable (int bx, int by)
+     */
+    template <typename Visit, typename BlockVisit>
+    BoundaryStats
+    traverseWith(const Ellipse &e, float omega,
+                 const std::vector<std::uint8_t> *t_mask, Visit &&visit,
+                 BlockVisit &&block_visit) const
+    {
+        namespace bd = boundary_detail;
+        BoundaryStats stats;
+        float cutoff = bd::quadraticCutoff(omega);
+        if (cutoff < 0.0f || blocks_x_ <= 0 || blocks_y_ <= 0)
+            return stats;
+
+        auto [cx, cy] = bd::nearestInBounds(e.center, width_, height_);
+        int cbx = cx / block_size_;
+        int cby = cy / block_size_;
+
+        // Reusable scratch with generation stamping so repeated
+        // traversals don't pay a per-call allocation of the full
+        // block map.
+        thread_local std::vector<std::uint32_t> stamp;
+        thread_local std::uint32_t generation = 0;
+        std::size_t nblocks =
+            static_cast<std::size_t>(blocks_x_) * blocks_y_;
+        if (stamp.size() < nblocks) {
+            stamp.assign(nblocks, 0);
+            generation = 0;
+        }
+        if (++generation == 0) {
+            // 2^32 traversals on this thread: stale stamps would
+            // alias the restarted counter, so wipe them once.
+            std::fill(stamp.begin(), stamp.end(), 0u);
+            generation = 1;
+        }
+        auto seen = [&](int bx, int by) -> std::uint32_t & {
+            return stamp[static_cast<std::size_t>(by) * blocks_x_ + bx];
+        };
+
+        // Conic and center hoisted into locals: the visitor's image
+        // writes are float stores, which type-based aliasing would
+        // otherwise force to reload the Ellipse members per use.
+        // Every evaluation below matches Ellipse::quadraticForm (and
+        // rectMayIntersect's use of it) operation for operation, so
+        // all pass/fail and expansion decisions are unchanged.
+        const float fc00 = e.conic(0, 0), fc01 = e.conic(0, 1);
+        const float fc10 = e.conic(1, 0), fc11 = e.conic(1, 1);
+        const float fcx = e.center.x, fcy = e.center.y;
+        auto q_at = [&](int x, int y) {
+            float dx = (static_cast<float>(x) + 0.5f) - fcx;
+            float dy = (static_cast<float>(y) + 0.5f) - fcy;
+            return dx * (fc00 * dx + fc01 * dy) +
+                   dy * (fc10 * dx + fc11 * dy);
+        };
+
+        // A block is enqueued only if the runtime identifier's
+        // boundary test says the elliptical footprint can reach it —
+        // the directional early termination of Sec. 4.4: directions
+        // whose boundary alphas all fail the threshold are pruned, so
+        // perimeter blocks outside the ellipse are never streamed
+        // into the PE array.
+        auto intersects = [&](int bx, int by) {
+            float x0 = static_cast<float>(bx * block_size_);
+            float y0 = static_cast<float>(by * block_size_);
+            float x1 =
+                std::min<float>(x0 + static_cast<float>(block_size_),
+                                static_cast<float>(width_));
+            float y1 =
+                std::min<float>(y0 + static_cast<float>(block_size_),
+                                static_cast<float>(height_));
+            return bd::minConicQOverRect(fc00, fc01, fc10, fc11, fcx,
+                                         fcy, x0, y0, x1,
+                                         y1) <= cutoff;
+        };
+
+        thread_local std::deque<std::pair<int, int>> queue;
+        queue.clear();
+        auto push = [&](int bx, int by) {
+            if (bx < 0 || bx >= blocks_x_ || by < 0 || by >= blocks_y_)
+                return;
+            std::uint32_t &s = seen(bx, by);
+            if (s == generation)
+                return;
+            s = generation;
+            if (intersects(bx, by))
+                queue.emplace_back(bx, by);
+        };
+
+        // Seed: the block holding the projected center (or nearest
+        // in-bounds block) and its 8 neighbors, so a center on a
+        // block edge cannot strand the traversal.
+        for (int dy = -1; dy <= 1; ++dy)
+            for (int dx = -1; dx <= 1; ++dx)
+                push(cbx + dx, cby + dy);
+
+        // Row-interval bound: per row, pixels with q <= cutoff form
+        // one interval of the quadratic A dx^2 + (c01+c10) dy dx +
+        // c11 dy^2.  Solving it in double against a margin-inflated
+        // cutoff and widening by a pixel keeps every pixel the scalar
+        // float evaluation could pass (the margin absorbs float-vs-
+        // double rounding, including the disc < 0 whole-row skip),
+        // while the dead tails of peripheral blocks are skipped.
+        const double qa = fc00;
+        const double qb_dy = static_cast<double>(fc01) + fc10;
+        const double qc_dy = fc11;
+        const double cx_d = fcx;
+        const double cy_d = fcy;
+        const double cutoff_pad =
+            static_cast<double>(cutoff) + 1e-3 * (1.0 + cutoff);
+        const bool solve_rows = qa > 1e-30;
+
+        while (!queue.empty()) {
+            auto [bx, by] = queue.front();
+            queue.pop_front();
+
+            int x0 = bx * block_size_;
+            int y0 = by * block_size_;
+            int x1 = std::min(x0 + block_size_, width_) - 1;
+            int y1 = std::min(y0 + block_size_, height_) - 1;
+
+            bool masked =
+                t_mask != nullptr &&
+                (*t_mask)[static_cast<std::size_t>(by) * blocks_x_ +
+                          bx] != 0;
+
+            if (!masked) {
+                // The whole block streams through the n x n PE array;
+                // its alpha evaluations are accounted analytically so
+                // the interval skips below don't change the stats.
+                ++stats.visited_blocks;
+                stats.alpha_evals +=
+                    static_cast<std::int64_t>(x1 - x0 + 1) *
+                    (y1 - y0 + 1);
+                // q is convex, so its maximum over the block sits at
+                // a corner: when all four corners pass the cutoff the
+                // block is interior and the per-row interval solve is
+                // pure overhead.
+                bool solve_block = solve_rows;
+                if (solve_block && q_at(x0, y0) <= cutoff &&
+                    q_at(x1, y0) <= cutoff && q_at(x0, y1) <= cutoff &&
+                    q_at(x1, y1) <= cutoff)
+                    solve_block = false;
+                bool visited_block = false;
+                for (int y = y0; y <= y1; ++y) {
+                    int row_x0 = x0;
+                    int row_x1 = x1;
+                    if (solve_block) {
+                        const double dy =
+                            (static_cast<double>(y) + 0.5) - cy_d;
+                        const double qb = qb_dy * dy;
+                        const double qc = qc_dy * dy * dy - cutoff_pad;
+                        const double disc = qb * qb - 4.0 * qa * qc;
+                        if (disc < 0.0)
+                            continue;  // whole row provably fails E(p)
+                        const double sq = std::sqrt(disc);
+                        const double lo =
+                            cx_d - 0.5 + (-qb - sq) / (2.0 * qa) - 1.0;
+                        const double hi =
+                            cx_d - 0.5 + (-qb + sq) / (2.0 * qa) + 2.0;
+                        if (lo > row_x0)
+                            row_x0 = static_cast<int>(lo);
+                        if (hi < row_x1)
+                            row_x1 = static_cast<int>(hi);
+                    }
+                    // Two-phase row scan: the pure evaluation loop
+                    // auto-vectorizes (each lane runs the exact
+                    // scalar operation sequence, so q is bit-equal),
+                    // then passing pixels are visited in order.
+                    constexpr int kRowBuf = 64;
+                    float qrow[kRowBuf];
+                    const int row_w = row_x1 - row_x0 + 1;
+                    if (row_w > 0 && row_w <= kRowBuf) {
+                        const float fdy =
+                            (static_cast<float>(y) + 0.5f) - fcy;
+                        for (int i = 0; i < row_w; ++i) {
+                            float dx = (static_cast<float>(row_x0 + i) +
+                                        0.5f) -
+                                       fcx;
+                            qrow[i] = dx * (fc00 * dx + fc01 * fdy) +
+                                      fdy * (fc10 * dx + fc11 * fdy);
+                        }
+                        for (int i = 0; i < row_w; ++i) {
+                            float q = qrow[i];
+                            if (q > cutoff)
+                                continue;
+                            ++stats.influence_pixels;
+                            if (!visited_block) {
+                                ++stats.active_blocks;
+                                block_visit(bx, by);
+                                visited_block = true;
+                            }
+                            visit(row_x0 + i, y, q);
+                        }
+                    } else {
+                        for (int x = row_x0; x <= row_x1; ++x) {
+                            float q = q_at(x, y);
+                            if (q > cutoff)
+                                continue;
+                            ++stats.influence_pixels;
+                            if (!visited_block) {
+                                ++stats.active_blocks;
+                                block_visit(bx, by);
+                                visited_block = true;
+                            }
+                            visit(x, y, q);
+                        }
+                    }
+                }
+            }
+            // T-masked blocks are excluded from alpha computation
+            // (Sec. 4.5) but the walk continues through them: the
+            // push filter above already restricts expansion to blocks
+            // the ellipse reaches.
+            static constexpr int kDx[8] = {1, -1, 0, 0, 1, 1, -1, -1};
+            static constexpr int kDy[8] = {0, 0, 1, -1, 1, -1, 1, -1};
+            for (int k = 0; k < 8; ++k)
+                push(bx + kDx[k], by + kDy[k]);
+        }
+        return stats;
+    }
 
     /**
      * Whether block (bx, by) can intersect the effective (alpha >=

@@ -3,8 +3,145 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
+
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
 
 namespace gcc3d {
+
+namespace {
+
+/**
+ * Per-candidate milestone flags collected while a (sub-)view renders.
+ * In Compatibility Mode one Gaussian can reach different milestones
+ * in different sub-views; the frame-level merge ORs the flags by
+ * Gaussian id and classifies once, which is what gives the population
+ * counters their unique-Gaussian semantics.
+ */
+enum : std::uint8_t
+{
+    kFlagProjected = 1u << 0,  ///< entered Stage II
+    kFlagSurvived = 1u << 1,   ///< survived omega-sigma culling
+    kFlagShEval = 1u << 2,     ///< SH color evaluated
+    kFlagShSkip = 1u << 3,     ///< per-Gaussian conditional-load skip
+    kFlagRendered = 1u << 4,   ///< contributed >= 1 pixel
+    kFlagTermSkip = 1u << 5,   ///< dropped by cross-stage termination
+};
+
+/** Fold OR-merged milestone flags into the unique population counters. */
+void
+classifyFlags(const std::vector<std::uint8_t> &flags,
+              GaussianWiseStats &stats)
+{
+    for (std::uint8_t f : flags) {
+        if (f == 0)
+            continue;
+        if (f & kFlagProjected)
+            ++stats.projected;
+        if (f & kFlagSurvived)
+            ++stats.survived_cull;
+        if (f & kFlagRendered)
+            ++stats.rendered_gaussians;
+        if (f & kFlagShEval)
+            ++stats.sh_evaluated;
+        else if (f & kFlagShSkip)
+            ++stats.sh_skipped;
+        else if (f & kFlagTermSkip)
+            ++stats.skipped_by_termination;
+    }
+}
+
+/** Sum @p o's work counters into @p stats and append its trace. */
+void
+mergeWork(GaussianWiseStats &stats, GaussianWiseStats &&o)
+{
+    stats.groups += o.groups;
+    stats.groups_processed += o.groups_processed;
+    stats.stage2_invocations += o.stage2_invocations;
+    stats.survivor_invocations += o.survivor_invocations;
+    stats.sh_eval_invocations += o.sh_eval_invocations;
+    stats.sh_skip_invocations += o.sh_skip_invocations;
+    stats.termination_skip_invocations += o.termination_skip_invocations;
+    stats.alpha_evals += o.alpha_evals;
+    stats.blend_ops += o.blend_ops;
+    stats.visited_blocks += o.visited_blocks;
+    stats.influence_pixels += o.influence_pixels;
+    if (stats.group_trace.empty())
+        stats.group_trace = std::move(o.group_trace);
+    else
+        stats.group_trace.insert(stats.group_trace.end(),
+                                 o.group_trace.begin(),
+                                 o.group_trace.end());
+}
+
+/** Floor division (round toward negative infinity) for b > 0. */
+inline int
+floorDiv(int a, int b)
+{
+    int q = a / b;
+    return (a % b != 0 && a < 0) ? q - 1 : q;
+}
+
+/**
+ * Per-Gaussian conditional loading (the CC half of the dataflow,
+ * Fig. 1): true when every block the footprint can touch has
+ * exhausted transmittance, in which case the 48 SH floats are never
+ * fetched and the Gaussian never enters the Alpha Unit.  The block
+ * window uses floor division so footprints centered left/above the
+ * view (negative local coordinates) still cover exactly the blocks
+ * the traversal could reach.  The reachability test is
+ * BlockTraversal::blockReachable's, inlined with the conic hoisted
+ * into locals (identical operations, identical decisions).
+ */
+bool
+conditionalLoadSkips(const BlockTraversal &traversal,
+                     const std::vector<std::uint8_t> &t_mask,
+                     const Ellipse &local, float opacity, int radius,
+                     int block_size, int bx_n, int by_n)
+{
+    const int cx = static_cast<int>(std::floor(local.center.x));
+    const int cy = static_cast<int>(std::floor(local.center.y));
+    const int bx0 = std::max(0, floorDiv(cx - radius, block_size));
+    const int by0 = std::max(0, floorDiv(cy - radius, block_size));
+    const int bx1 = std::min(bx_n - 1, floorDiv(cx + radius, block_size));
+    const int by1 = std::min(by_n - 1, floorDiv(cy + radius, block_size));
+    if (bx0 > bx1 || by0 > by1)
+        return false;  // footprint window misses the view: no skip claim
+
+    const float cutoff = boundary_detail::quadraticCutoff(opacity);
+    if (cutoff < 0.0f)
+        return true;  // below 1/255 everywhere: nothing to load
+    const float fc00 = local.conic(0, 0), fc01 = local.conic(0, 1);
+    const float fc10 = local.conic(1, 0), fc11 = local.conic(1, 1);
+    const float fcx = local.center.x, fcy = local.center.y;
+
+    for (int by = by0; by <= by1; ++by) {
+        for (int bx = bx0; bx <= bx1; ++bx) {
+            if (t_mask[static_cast<std::size_t>(by) * bx_n + bx])
+                continue;
+            // Unmasked corner blocks the elliptical footprint cannot
+            // reach don't block the skip: the traversal would never
+            // evaluate them.
+            float x0 = static_cast<float>(bx * block_size);
+            float y0 = static_cast<float>(by * block_size);
+            float x1 = std::min<float>(
+                x0 + static_cast<float>(block_size),
+                static_cast<float>(traversal.viewWidth()));
+            float y1 = std::min<float>(
+                y0 + static_cast<float>(block_size),
+                static_cast<float>(traversal.viewHeight()));
+            if (boundary_detail::minConicQOverRect(
+                    fc00, fc01, fc10, fc11, fcx, fcy, x0, y0, x1,
+                    y1) > cutoff)
+                continue;
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
 
 std::vector<DepthGroup>
 groupByDepth(const std::vector<float> &depths,
@@ -21,8 +158,11 @@ groupByDepth(const std::vector<float> &depths,
 
     std::vector<DepthGroup> groups;
     std::size_t n = order.size();
-    std::size_t cap = static_cast<std::size_t>(group_capacity);
-    groups.reserve((n + cap - 1) / std::max<std::size_t>(cap, 1));
+    // A degenerate capacity (0 or negative) would never advance the
+    // chunking loop; clamp to the smallest legal group size.
+    std::size_t cap =
+        group_capacity < 1 ? 1 : static_cast<std::size_t>(group_capacity);
+    groups.reserve((n + cap - 1) / cap);
     for (std::size_t start = 0; start < n; start += cap) {
         DepthGroup g;
         std::size_t end = std::min(start + cap, n);
@@ -36,30 +176,257 @@ groupByDepth(const std::vector<float> &depths,
     return groups;
 }
 
+/** Pre-projected splats shared between Cmode binning and Stage II. */
+struct GaussianWiseRenderer::SplatCache
+{
+    static constexpr std::uint32_t kNone = 0xffffffffu;
+
+    std::vector<Splat> splats;              ///< compacted cull survivors
+    std::vector<std::uint32_t> index_of_id; ///< id -> splats index / kNone
+};
+
+/**
+ * Reusable per-view working set: the transmittance plane, T-mask,
+ * per-block live counts and the group splat list are assigned (not
+ * reallocated) per sub-view, so Cmode frames touching dozens of
+ * sub-views stop churning the allocator.  One instance lives per
+ * worker thread.
+ */
+struct GaussianWiseRenderer::ViewScratch
+{
+    struct GroupSplat
+    {
+        Splat splat;
+        std::uint32_t id;   ///< Gaussian id (sort tie-break)
+        std::uint32_t pos;  ///< candidate position (flag slot)
+    };
+
+    std::vector<float> transmittance;
+    std::vector<std::uint8_t> t_mask;
+    std::vector<int> block_live;
+    std::vector<std::uint32_t> positions;
+    std::vector<float> depths;
+    std::vector<GroupSplat> gsplats;
+};
+
+GaussianWiseRenderer::ViewScratch &
+GaussianWiseRenderer::localScratch()
+{
+    thread_local ViewScratch scratch;
+    return scratch;
+}
+
 void
 GaussianWiseRenderer::renderView(const GaussianCloud &cloud,
                                  const Camera &cam,
                                  const std::vector<std::uint32_t> &candidates,
-                                 int view_x0, int view_y0, int view_w,
-                                 int view_h, Image &image,
-                                 GaussianWiseStats &stats) const
+                                 const std::vector<float> &depths,
+                                 const SplatCache *cache, int view_x0,
+                                 int view_y0, int view_w, int view_h,
+                                 Image &image, GaussianWiseStats &stats,
+                                 std::vector<std::uint8_t> &flags,
+                                 ViewScratch &scratch) const
 {
-    // ---- Stage I: depth computation, pivot cull, grouping. ----
-    std::vector<float> depths;
-    std::vector<std::uint32_t> ids;
-    depths.reserve(candidates.size());
-    ids.reserve(candidates.size());
-    for (std::uint32_t id : candidates) {
-        float d = cam.worldToView(cloud[id].mean).z;
-        if (d < config_.depth_pivot) {
-            ++stats.depth_culled;
+    // ---- Stage I: grouping over candidate positions (the caller has
+    // already applied the depth-pivot cull). ----
+    scratch.positions.resize(candidates.size());
+    std::iota(scratch.positions.begin(), scratch.positions.end(), 0u);
+    std::vector<DepthGroup> groups =
+        groupByDepth(depths, scratch.positions, config_.group_capacity);
+    stats.groups += static_cast<std::int64_t>(groups.size());
+
+    // ---- Per-(sub)view pixel and block state. ----
+    BlockTraversal traversal(config_.block_size, view_w, view_h);
+    const int bx_n = traversal.blocksX();
+    const int by_n = traversal.blocksY();
+    scratch.transmittance.assign(
+        static_cast<std::size_t>(view_w) * view_h, 1.0f);
+    scratch.t_mask.assign(static_cast<std::size_t>(bx_n) * by_n, 0);
+    scratch.block_live.assign(scratch.t_mask.size(), 0);
+    for (int by = 0; by < by_n; ++by) {
+        for (int bx = 0; bx < bx_n; ++bx) {
+            int w = std::min(config_.block_size,
+                             view_w - bx * config_.block_size);
+            int h = std::min(config_.block_size,
+                             view_h - by * config_.block_size);
+            scratch.block_live[static_cast<std::size_t>(by) * bx_n + bx] =
+                w * h;
+        }
+    }
+    float *transmittance = scratch.transmittance.data();
+    int *block_live = scratch.block_live.data();
+    std::uint8_t *t_mask = scratch.t_mask.data();
+    // Hoisted out of the per-pixel visitor: float image stores could
+    // alias float members under type-based aliasing, forcing reloads.
+    const float termination_t = config_.termination_t;
+    const int block_size = config_.block_size;
+    std::int64_t live = static_cast<std::int64_t>(view_w) * view_h;
+
+    // ---- Stages II-IV, group by group, near to far. ----
+    auto &gsplats = scratch.gsplats;
+    bool terminated = false;
+    for (const DepthGroup &group : groups) {
+        GroupActivity activity;
+        activity.members = static_cast<std::int32_t>(group.members.size());
+        if (terminated && config_.conditional) {
+            // Cross-stage conditional processing: this group (and all
+            // deeper ones) is never loaded from DRAM, projected or
+            // shaded.
+            stats.termination_skip_invocations +=
+                static_cast<std::int64_t>(group.members.size());
+            for (std::uint32_t pos : group.members)
+                flags[pos] |= kFlagTermSkip;
+            activity.skipped = true;
+            stats.group_trace.push_back(activity);
             continue;
         }
-        depths.push_back(d);
-        ids.push_back(id);
+        ++stats.groups_processed;
+
+        // Stage II: position/shape projection and omega-sigma culling.
+        // With a splat cache (Cmode) the shared projection pass already
+        // did the arithmetic; the invocation is a lookup but still
+        // counts as Stage II work (hardware re-projects per sub-view).
+        gsplats.clear();
+        for (std::uint32_t pos : group.members) {
+            const std::uint32_t id = candidates[pos];
+            ++stats.stage2_invocations;
+            ++activity.projected;
+            flags[pos] |= kFlagProjected;
+            if (cache != nullptr) {
+                const Splat &s =
+                    cache->splats[cache->index_of_id[id]];
+                ++stats.survivor_invocations;
+                ++activity.survivors;
+                flags[pos] |= kFlagSurvived;
+                gsplats.push_back({s, id, pos});
+            } else {
+                auto s = projectGaussian(cloud[id], id, cam, nullptr);
+                if (!s)
+                    continue;
+                ++stats.survivor_invocations;
+                ++activity.survivors;
+                flags[pos] |= kFlagSurvived;
+                gsplats.push_back({*s, id, pos});
+            }
+        }
+
+        // Stage III: intra-group front-to-back sort (bitonic network
+        // in hardware) and SH color for survivors only.
+        std::sort(gsplats.begin(), gsplats.end(),
+                  [](const ViewScratch::GroupSplat &a,
+                     const ViewScratch::GroupSplat &b) {
+                      if (a.splat.depth != b.splat.depth)
+                          return a.splat.depth < b.splat.depth;
+                      return a.id < b.id;
+                  });
+
+        // Stage IV: alpha-based boundary identification + blending.
+        for (std::size_t k = 0; k < gsplats.size(); ++k) {
+            ViewScratch::GroupSplat &gs = gsplats[k];
+            if (config_.conditional && live == 0) {
+                // Frame termination mid-group: the remaining sorted
+                // survivors never load SH or enter the Alpha Unit.
+                terminated = true;
+                std::int32_t tail =
+                    static_cast<std::int32_t>(gsplats.size() - k);
+                activity.terminated += tail;
+                stats.termination_skip_invocations += tail;
+                for (std::size_t j = k; j < gsplats.size(); ++j)
+                    flags[gsplats[j].pos] |= kFlagTermSkip;
+                break;
+            }
+
+            // Work in sub-view-local coordinates.
+            Ellipse local = gs.splat.ellipse;
+            local.center = local.center -
+                           Vec2(static_cast<float>(view_x0),
+                                static_cast<float>(view_y0));
+
+            if (config_.conditional &&
+                conditionalLoadSkips(traversal, scratch.t_mask, local,
+                                     gs.splat.opacity,
+                                     gs.splat.radius_omega,
+                                     config_.block_size, bx_n, by_n)) {
+                ++stats.sh_skip_invocations;
+                ++activity.sh_skipped;
+                flags[gs.pos] |= kFlagShSkip;
+                continue;
+            }
+
+            ++stats.sh_eval_invocations;
+            ++activity.sh_evals;
+            flags[gs.pos] |= kFlagShEval;
+            // The shared Cmode pass evaluated SH once per Gaussian;
+            // a Gaussian spanning several sub-views reuses it instead
+            // of re-deriving the identical color per invocation.
+            const Vec3 color = cache != nullptr
+                                   ? gs.splat.color
+                                   : shColorFor(cloud[gs.id], cam);
+
+            const float opacity = gs.splat.opacity;
+            // Blends are tallied in a register-resident local and
+            // flushed once per splat: the counters live behind
+            // references, so per-pixel increments would be memory
+            // read-modify-writes in the hottest loop.
+            std::int64_t splat_blends = 0;
+            BoundaryStats bs = traversal.traverseWith(
+                local, opacity, &scratch.t_mask,
+                [&](int x, int y, float q) {
+                    float &t = transmittance[
+                        static_cast<std::size_t>(y) * view_w + x];
+                    if (t < termination_t)
+                        return;
+                    // Lazy alpha: the exp is paid only for live
+                    // pixels, with the traversal's exact expression.
+                    float a = std::min(0.99f,
+                                       opacity * std::exp(-0.5f * q));
+                    ++splat_blends;
+                    image.at(view_x0 + x, view_y0 + y) +=
+                        color * (a * t);
+                    t *= 1.0f - a;
+                    if (t < termination_t) {
+                        --live;
+                        std::size_t bi =
+                            static_cast<std::size_t>(y / block_size) *
+                                bx_n +
+                            (x / block_size);
+                        if (--block_live[bi] == 0)
+                            t_mask[bi] = 1;
+                    }
+                },
+                [](int, int) {});
+            stats.alpha_evals += bs.alpha_evals;
+            stats.visited_blocks += bs.visited_blocks;
+            stats.influence_pixels += bs.influence_pixels;
+            stats.blend_ops += splat_blends;
+            activity.visited_blocks += bs.visited_blocks;
+            activity.active_blocks += bs.active_blocks;
+            activity.alpha_evals += bs.alpha_evals;
+            activity.blend_ops += splat_blends;
+            if (splat_blends > 0) {
+                flags[gs.pos] |= kFlagRendered;
+                ++activity.rendered;
+            }
+        }
+        if (live == 0)
+            terminated = true;
+        stats.group_trace.push_back(activity);
     }
+}
+
+void
+GaussianWiseRenderer::renderViewReference(
+    const GaussianCloud &cloud, const Camera &cam,
+    const std::vector<std::uint32_t> &candidates,
+    const std::vector<float> &depths, int view_x0, int view_y0,
+    int view_w, int view_h, Image &image, GaussianWiseStats &stats,
+    std::vector<std::uint8_t> &flags) const
+{
+    // ---- Stage I: grouping over candidate positions. ----
+    std::vector<std::uint32_t> positions(candidates.size());
+    std::iota(positions.begin(), positions.end(), 0u);
     std::vector<DepthGroup> groups =
-        groupByDepth(depths, ids, config_.group_capacity);
+        groupByDepth(depths, positions, config_.group_capacity);
     stats.groups += static_cast<std::int64_t>(groups.size());
 
     // ---- Per-(sub)view pixel and block state. ----
@@ -87,6 +454,7 @@ GaussianWiseRenderer::renderView(const GaussianCloud &cloud,
     {
         Splat splat;
         std::uint32_t id;
+        std::uint32_t pos;
     };
     std::vector<GroupSplat> gsplats;
 
@@ -95,32 +463,36 @@ GaussianWiseRenderer::renderView(const GaussianCloud &cloud,
         GroupActivity activity;
         activity.members = static_cast<std::int32_t>(group.members.size());
         if (terminated && config_.conditional) {
-            // Cross-stage conditional processing: this group (and all
-            // deeper ones) is never loaded from DRAM, projected or
-            // shaded.
-            stats.skipped_by_termination +=
+            stats.termination_skip_invocations +=
                 static_cast<std::int64_t>(group.members.size());
+            for (std::uint32_t pos : group.members)
+                flags[pos] |= kFlagTermSkip;
             activity.skipped = true;
             stats.group_trace.push_back(activity);
             continue;
         }
         ++stats.groups_processed;
 
-        // Stage II: position/shape projection and omega-sigma culling.
+        // Stage II: the scalar path re-projects every group member
+        // (in Cmode: once per overlapping sub-view) — exactly the
+        // duplicated arithmetic the fast path's shared projection
+        // pass eliminates.
         gsplats.clear();
-        for (std::uint32_t id : group.members) {
-            ++stats.projected;
+        for (std::uint32_t pos : group.members) {
+            const std::uint32_t id = candidates[pos];
+            ++stats.stage2_invocations;
             ++activity.projected;
+            flags[pos] |= kFlagProjected;
             auto s = projectGaussian(cloud[id], id, cam, nullptr);
             if (!s)
                 continue;
-            ++stats.survived_cull;
+            ++stats.survivor_invocations;
             ++activity.survivors;
-            gsplats.push_back({*s, id});
+            flags[pos] |= kFlagSurvived;
+            gsplats.push_back({*s, id, pos});
         }
 
-        // Stage III: intra-group front-to-back sort (bitonic network
-        // in hardware) and SH color for survivors only.
+        // Stage III: intra-group front-to-back sort and SH color.
         std::sort(gsplats.begin(), gsplats.end(),
                   [](const GroupSplat &a, const GroupSplat &b) {
                       if (a.splat.depth != b.splat.depth)
@@ -129,37 +501,41 @@ GaussianWiseRenderer::renderView(const GaussianCloud &cloud,
                   });
 
         // Stage IV: alpha-based boundary identification + blending.
-        for (GroupSplat &gs : gsplats) {
-            if (live == 0) {
+        for (std::size_t k = 0; k < gsplats.size(); ++k) {
+            GroupSplat &gs = gsplats[k];
+            if (config_.conditional && live == 0) {
                 terminated = true;
+                std::int32_t tail =
+                    static_cast<std::int32_t>(gsplats.size() - k);
+                activity.terminated += tail;
+                stats.termination_skip_invocations += tail;
+                for (std::size_t j = k; j < gsplats.size(); ++j)
+                    flags[gsplats[j].pos] |= kFlagTermSkip;
                 break;
             }
 
-            // Work in sub-view-local coordinates.
             Ellipse local = gs.splat.ellipse;
             local.center = local.center -
                            Vec2(static_cast<float>(view_x0),
                                 static_cast<float>(view_y0));
 
-            // Per-Gaussian conditional loading (the CC half of the
-            // dataflow, Fig. 1): if every block the footprint can
-            // touch has exhausted transmittance, the 48 SH floats are
-            // never fetched and the Gaussian never enters the Alpha
-            // Unit.
+            // Per-Gaussian conditional loading, scalar transcription:
+            // same floor-division block window and the same decisions
+            // as the fast path's conditionalLoadSkips, expressed as
+            // the direct loop over blockReachable.
             if (config_.conditional) {
-                int r = gs.splat.radius_omega;
-                int bx0 = std::max(
-                    0, (static_cast<int>(local.center.x) - r) /
-                           config_.block_size);
-                int by0 = std::max(
-                    0, (static_cast<int>(local.center.y) - r) /
-                           config_.block_size);
-                int bx1 = std::min(
-                    bx_n - 1, (static_cast<int>(local.center.x) + r) /
-                                  config_.block_size);
-                int by1 = std::min(
-                    by_n - 1, (static_cast<int>(local.center.y) + r) /
-                                  config_.block_size);
+                const int r = gs.splat.radius_omega;
+                const int cxi =
+                    static_cast<int>(std::floor(local.center.x));
+                const int cyi =
+                    static_cast<int>(std::floor(local.center.y));
+                const int bs = config_.block_size;
+                const int bx0 = std::max(0, floorDiv(cxi - r, bs));
+                const int by0 = std::max(0, floorDiv(cyi - r, bs));
+                const int bx1 =
+                    std::min(bx_n - 1, floorDiv(cxi + r, bs));
+                const int by1 =
+                    std::min(by_n - 1, floorDiv(cyi + r, bs));
                 bool all_masked = bx0 <= bx1 && by0 <= by1;
                 for (int by = by0; by <= by1 && all_masked; ++by) {
                     for (int bx = bx0; bx <= bx1; ++bx) {
@@ -167,8 +543,9 @@ GaussianWiseRenderer::renderView(const GaussianCloud &cloud,
                                    bx])
                             continue;
                         // Unmasked corner blocks the elliptical
-                        // footprint cannot reach don't block the skip:
-                        // the traversal would never evaluate them.
+                        // footprint cannot reach don't block the
+                        // skip: the traversal would never evaluate
+                        // them.
                         if (!traversal.blockReachable(
                                 local, gs.splat.opacity, bx, by))
                             continue;
@@ -177,14 +554,16 @@ GaussianWiseRenderer::renderView(const GaussianCloud &cloud,
                     }
                 }
                 if (all_masked) {
-                    ++stats.sh_skipped;
+                    ++stats.sh_skip_invocations;
                     ++activity.sh_skipped;
+                    flags[gs.pos] |= kFlagShSkip;
                     continue;
                 }
             }
 
-            ++stats.sh_evaluated;
+            ++stats.sh_eval_invocations;
             ++activity.sh_evals;
+            flags[gs.pos] |= kFlagShEval;
             gs.splat.color = shColorFor(cloud[gs.id], cam);
 
             bool contributed = false;
@@ -219,7 +598,7 @@ GaussianWiseRenderer::renderView(const GaussianCloud &cloud,
             activity.active_blocks += bs.active_blocks;
             activity.alpha_evals += bs.alpha_evals;
             if (contributed) {
-                ++stats.rendered_gaussians;
+                flags[gs.pos] |= kFlagRendered;
                 ++activity.rendered;
             }
         }
@@ -231,7 +610,8 @@ GaussianWiseRenderer::renderView(const GaussianCloud &cloud,
 
 Image
 GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
-                             GaussianWiseStats &stats) const
+                             GaussianWiseStats &stats,
+                             ThreadPool *pool) const
 {
     stats.total = static_cast<std::int64_t>(cloud.size());
     Image image(cam.width(), cam.height());
@@ -239,14 +619,212 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
     if (config_.subview_size <= 0 ||
         (config_.subview_size >= cam.width() &&
          config_.subview_size >= cam.height())) {
-        std::vector<std::uint32_t> all(cloud.size());
-        std::iota(all.begin(), all.end(), 0u);
-        renderView(cloud, cam, all, 0, 0, cam.width(), cam.height(),
-                   image, stats);
+        // ---- Full view: Stage I depth pass (fanned out over the
+        // pool in deterministic chunks), then one view.  Stages
+        // II-IV stream depth groups sequentially by construction, so
+        // this pass is the only full-view stage the pool can help.
+        struct DepthChunk
+        {
+            std::int64_t depth_culled = 0;
+            std::vector<std::uint32_t> candidates;
+            std::vector<float> depths;
+        };
+        std::vector<DepthChunk> chunks;
+        forEachChunk(
+            pool, cloud.size(), 4096,
+            [&](std::size_t c, std::size_t begin, std::size_t end) {
+                DepthChunk &out = chunks[c];
+                out.candidates.reserve(end - begin);
+                out.depths.reserve(end - begin);
+                for (std::size_t i = begin; i < end; ++i) {
+                    const std::uint32_t id =
+                        static_cast<std::uint32_t>(i);
+                    float d = cam.worldToView(cloud[id].mean).z;
+                    if (d < config_.depth_pivot) {
+                        ++out.depth_culled;
+                        continue;
+                    }
+                    out.candidates.push_back(id);
+                    out.depths.push_back(d);
+                }
+            },
+            [&](std::size_t chunk_count) { chunks.resize(chunk_count); });
+
+        std::vector<std::uint32_t> candidates;
+        std::vector<float> depths;
+        for (DepthChunk &c : chunks) {
+            stats.depth_culled += c.depth_culled;
+            candidates.insert(candidates.end(), c.candidates.begin(),
+                              c.candidates.end());
+            depths.insert(depths.end(), c.depths.begin(),
+                          c.depths.end());
+        }
+        std::vector<std::uint8_t> flags(candidates.size(), 0);
+        renderView(cloud, cam, candidates, depths, nullptr, 0, 0,
+                   cam.width(), cam.height(), image, stats, flags,
+                   localScratch());
+        classifyFlags(flags, stats);
         return image;
     }
 
-    // ---- Compatibility Mode: 2D spatial binning into sub-views. ----
+    // ---- Compatibility Mode: one shared projection pass feeds the
+    // 2D spatial binning and Stage II (the scalar path projects every
+    // Gaussian once for binning plus once per overlapping sub-view).
+    // The pass fans out over the pool in deterministic chunks. ----
+    const int sub = config_.subview_size;
+    const int sx = (cam.width() + sub - 1) / sub;
+    const int sy = (cam.height() + sub - 1) / sub;
+    const std::size_t num_subviews = static_cast<std::size_t>(sx) * sy;
+
+    SplatCache cache;
+    cache.index_of_id.assign(cloud.size(), SplatCache::kNone);
+    std::vector<std::vector<std::uint32_t>> bins(num_subviews);
+
+    struct BinChunk
+    {
+        std::int64_t depth_culled = 0;
+        std::vector<Splat> splats;
+        std::vector<std::vector<std::uint32_t>> bins;
+    };
+    std::vector<BinChunk> chunks;
+    forEachChunk(
+        pool, cloud.size(), 1024,
+        [&](std::size_t c, std::size_t begin, std::size_t end) {
+            BinChunk &out = chunks[c];
+            out.bins.resize(num_subviews);
+            for (std::size_t i = begin; i < end; ++i) {
+                const std::uint32_t id = static_cast<std::uint32_t>(i);
+                float d = cam.worldToView(cloud[id].mean).z;
+                if (d < config_.depth_pivot) {
+                    ++out.depth_culled;
+                    continue;
+                }
+                auto s = projectGaussian(cloud[id], id, cam, nullptr);
+                if (!s)
+                    continue;
+                PixelRect box =
+                    aabbFromRadius(s->ellipse.center, s->radius_omega)
+                        .clipped(cam.width(), cam.height());
+                if (box.empty())
+                    continue;
+                // SH evaluated once here, shared by every sub-view
+                // the Gaussian is binned into (identical value to a
+                // per-invocation shColorFor call).
+                s->color = shColorFor(cloud[id], cam);
+                out.splats.push_back(*s);
+                for (int by = box.y0 / sub; by <= box.y1 / sub; ++by)
+                    for (int bx = box.x0 / sub; bx <= box.x1 / sub; ++bx)
+                        out.bins[static_cast<std::size_t>(by) * sx + bx]
+                            .push_back(id);
+            }
+        },
+        [&](std::size_t chunk_count) { chunks.resize(chunk_count); });
+
+    // Chunk-ordered merge: bins stay sorted by id, exactly as a
+    // serial pass would build them.
+    for (BinChunk &c : chunks) {
+        stats.depth_culled += c.depth_culled;
+        for (Splat &s : c.splats) {
+            cache.index_of_id[s.id] =
+                static_cast<std::uint32_t>(cache.splats.size());
+            cache.splats.push_back(s);
+        }
+        for (std::size_t b = 0; b < num_subviews; ++b) {
+            if (c.bins[b].empty())
+                continue;
+            bins[b].insert(bins[b].end(), c.bins[b].begin(),
+                           c.bins[b].end());
+        }
+    }
+    chunks.clear();
+    chunks.shrink_to_fit();
+    for (const auto &bin : bins)
+        stats.bin_records += static_cast<std::int64_t>(bin.size());
+
+    // ---- Render the sub-views: disjoint pixel regions, so they run
+    // concurrently; stats merge in row-major sub-view order, making
+    // the image, counters and group trace bit-identical to a serial
+    // pass regardless of scheduling. ----
+    struct SubViewOut
+    {
+        GaussianWiseStats stats;
+        std::vector<std::uint8_t> flags;
+    };
+    std::vector<SubViewOut> outs(num_subviews);
+
+    auto render_subview = [&](std::size_t v) {
+        const auto &bin = bins[v];
+        ViewScratch &scratch = localScratch();
+        scratch.depths.resize(bin.size());
+        for (std::size_t i = 0; i < bin.size(); ++i)
+            scratch.depths[i] =
+                cache.splats[cache.index_of_id[bin[i]]].depth;
+        outs[v].flags.assign(bin.size(), 0);
+        const int x0 = static_cast<int>(v) % sx * sub;
+        const int y0 = static_cast<int>(v) / sx * sub;
+        const int w = std::min(sub, cam.width() - x0);
+        const int h = std::min(sub, cam.height() - y0);
+        renderView(cloud, cam, bin, scratch.depths, &cache, x0, y0, w,
+                   h, image, outs[v].stats, outs[v].flags, scratch);
+    };
+
+    // One single-element range per non-empty sub-view: the pool's
+    // FIFO queue load-balances crowded center sub-views against empty
+    // borders, and runChunks provides the drain-before-unwind safety.
+    std::vector<std::pair<std::size_t, std::size_t>> subview_jobs;
+    subview_jobs.reserve(num_subviews);
+    for (std::size_t v = 0; v < num_subviews; ++v)
+        if (!bins[v].empty())
+            subview_jobs.emplace_back(v, v + 1);
+    runChunks(pool, subview_jobs,
+              [&](std::size_t, std::size_t v, std::size_t) {
+                  render_subview(v);
+              });
+
+    // Deterministic merge + unique-population classification.
+    std::vector<std::uint8_t> flags_by_id(cloud.size(), 0);
+    for (std::size_t v = 0; v < num_subviews; ++v) {
+        if (bins[v].empty())
+            continue;
+        mergeWork(stats, std::move(outs[v].stats));
+        for (std::size_t i = 0; i < bins[v].size(); ++i)
+            flags_by_id[bins[v][i]] |= outs[v].flags[i];
+    }
+    classifyFlags(flags_by_id, stats);
+    return image;
+}
+
+Image
+GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
+                                      const Camera &cam,
+                                      GaussianWiseStats &stats) const
+{
+    stats.total = static_cast<std::int64_t>(cloud.size());
+    Image image(cam.width(), cam.height());
+
+    if (config_.subview_size <= 0 ||
+        (config_.subview_size >= cam.width() &&
+         config_.subview_size >= cam.height())) {
+        std::vector<std::uint32_t> candidates;
+        std::vector<float> depths;
+        for (std::uint32_t id = 0; id < cloud.size(); ++id) {
+            float d = cam.worldToView(cloud[id].mean).z;
+            if (d < config_.depth_pivot) {
+                ++stats.depth_culled;
+                continue;
+            }
+            candidates.push_back(id);
+            depths.push_back(d);
+        }
+        std::vector<std::uint8_t> flags(candidates.size(), 0);
+        renderViewReference(cloud, cam, candidates, depths, 0, 0,
+                            cam.width(), cam.height(), image, stats,
+                            flags);
+        classifyFlags(flags, stats);
+        return image;
+    }
+
+    // ---- Compatibility Mode: scalar 2D spatial binning. ----
     const int sub = config_.subview_size;
     const int sx = (cam.width() + sub - 1) / sub;
     const int sy = (cam.height() + sub - 1) / sub;
@@ -254,6 +832,11 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         static_cast<std::size_t>(sx) * sy);
 
     for (std::uint32_t id = 0; id < cloud.size(); ++id) {
+        float d = cam.worldToView(cloud[id].mean).z;
+        if (d < config_.depth_pivot) {
+            ++stats.depth_culled;
+            continue;
+        }
         auto s = projectGaussian(cloud[id], id, cam, nullptr);
         if (!s)
             continue;
@@ -262,10 +845,13 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         if (box.empty())
             continue;
         for (int by = box.y0 / sub; by <= box.y1 / sub; ++by)
-            for (int bx = box.x0 / sub; bx <= box.x1 / sub; ++bx)
+            for (int bx = box.x0 / sub; bx <= box.x1 / sub; ++bx) {
                 bins[static_cast<std::size_t>(by) * sx + bx].push_back(id);
+                ++stats.bin_records;
+            }
     }
 
+    std::vector<std::uint8_t> flags_by_id(cloud.size(), 0);
     for (int by = 0; by < sy; ++by) {
         for (int bx = 0; bx < sx; ++bx) {
             const auto &bin =
@@ -276,9 +862,17 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
             int y0 = by * sub;
             int w = std::min(sub, cam.width() - x0);
             int h = std::min(sub, cam.height() - y0);
-            renderView(cloud, cam, bin, x0, y0, w, h, image, stats);
+            std::vector<float> depths(bin.size());
+            for (std::size_t i = 0; i < bin.size(); ++i)
+                depths[i] = cam.worldToView(cloud[bin[i]].mean).z;
+            std::vector<std::uint8_t> flags(bin.size(), 0);
+            renderViewReference(cloud, cam, bin, depths, x0, y0, w, h,
+                                image, stats, flags);
+            for (std::size_t i = 0; i < bin.size(); ++i)
+                flags_by_id[bin[i]] |= flags[i];
         }
     }
+    classifyFlags(flags_by_id, stats);
     return image;
 }
 

@@ -20,6 +20,25 @@
  * sub-views rendered independently; Gaussians are binned spatially,
  * so one Gaussian may be re-processed once per overlapping sub-view
  * (measured by Fig. 6).
+ *
+ * Two implementations of the frame are kept:
+ *
+ *  - render(): the fast path — one shared projection pass feeding
+ *    both the Cmode spatial binning and Stage II (each Gaussian is
+ *    projected once per frame instead of once for binning plus once
+ *    per overlapping sub-view), statically-dispatched block traversal
+ *    (no per-pixel std::function call), reused per-view scratch
+ *    buffers, and — because Cmode sub-views are disjoint pixel
+ *    regions — optional multi-threaded sub-view rendering over a
+ *    ThreadPool with a deterministic, sub-view-ordered stat merge;
+ *  - renderReference(): the direct scalar transcription the fast
+ *    path is validated against (per-group projectGaussian calls,
+ *    std::function traversal, fresh per-view buffers, serial
+ *    sub-views).
+ *
+ * Both produce bit-identical images and identical GaussianWiseStats
+ * (including the group trace); tests/test_gw_equivalence.cc locks
+ * that in across view modes, conditional settings and thread counts.
  */
 
 #ifndef GCC3D_RENDER_GAUSSIAN_WISE_RENDERER_H
@@ -35,6 +54,8 @@
 #include "scene/gaussian_cloud.h"
 
 namespace gcc3d {
+
+class ThreadPool;
 
 /** Configuration of the Gaussian-wise renderer. */
 struct GaussianWiseConfig
@@ -58,6 +79,25 @@ struct GaussianWiseConfig
      * view at once (no Cmode).
      */
     int subview_size = 0;
+
+    /**
+     * Copy with degenerate values clamped to the smallest legal
+     * setting (group_capacity/block_size >= 1, subview_size >= 0).
+     * The renderer constructor applies this, so a zero or negative
+     * group capacity can never wedge the grouping loop.
+     */
+    GaussianWiseConfig
+    validated() const
+    {
+        GaussianWiseConfig c = *this;
+        if (c.group_capacity < 1)
+            c.group_capacity = 1;
+        if (c.block_size < 1)
+            c.block_size = 1;
+        if (c.subview_size < 0)
+            c.subview_size = 0;
+        return c;
+    }
 };
 
 /** One depth group: splat indices ordered front-to-back. */
@@ -73,7 +113,7 @@ struct DepthGroup
  * by view depth and chunks them into groups of at most
  * @p group_capacity, mirroring the RCA's coarse binning + recursive
  * subdivision (the resulting partition is identical: depth-ordered
- * groups no larger than N).
+ * groups no larger than N).  A capacity below 1 is treated as 1.
  *
  * @param depths  per-Gaussian view depth, parallel to ids
  * @param ids     Gaussian ids (already depth-pivot culled)
@@ -88,26 +128,77 @@ std::vector<DepthGroup> groupByDepth(const std::vector<float> &depths,
  * Thread safety: render() keeps all per-frame state on the stack and
  * only reads config_ and its const arguments, so one renderer (or
  * one per thread) may render concurrently, including from a shared
- * const GaussianCloud.
+ * const GaussianCloud.  A ThreadPool passed to render() is only used
+ * to fan out the shared projection pass and (in Cmode) independent
+ * sub-views; it may be shared between renderers and never changes
+ * the result.
  */
 class GaussianWiseRenderer
 {
   public:
     explicit GaussianWiseRenderer(GaussianWiseConfig config = {})
-        : config_(config) {}
+        : config_(config.validated()) {}
 
     const GaussianWiseConfig &config() const { return config_; }
 
-    /** Render a frame, filling @p stats with the dataflow counters. */
+    /**
+     * Render a frame (optimized path), filling @p stats with the
+     * dataflow counters.
+     *
+     * @param pool  optional worker pool: parallelizes the shared
+     *              depth/projection pass and, in Compatibility Mode,
+     *              the independent sub-views.  Full-view rendering
+     *              itself is inherently sequential (depth groups
+     *              stream near-to-far through shared transmittance
+     *              state), so meaningful frame-level scaling needs
+     *              Cmode.  Null renders serially; the image and stats
+     *              are bit-identical either way.
+     */
     Image render(const GaussianCloud &cloud, const Camera &cam,
-                 GaussianWiseStats &stats) const;
+                 GaussianWiseStats &stats,
+                 ThreadPool *pool = nullptr) const;
+
+    /**
+     * Render a frame through the retained scalar reference
+     * implementation.  Used by the equivalence tests and the
+     * frame-throughput benchmark as the speedup baseline; produces
+     * bit-identical images and stats to render().
+     */
+    Image renderReference(const GaussianCloud &cloud, const Camera &cam,
+                          GaussianWiseStats &stats) const;
 
   private:
-    /** Render one (sub-)view given the candidate Gaussian ids. */
+    struct ViewScratch;
+    struct SplatCache;
+
+    /** Per-thread view scratch, reused across sub-views and frames. */
+    static ViewScratch &localScratch();
+
+    /**
+     * Render one (sub-)view over pivot-culled candidates (optimized
+     * hot path).  @p depths is parallel to @p candidates; @p cache is
+     * non-null in Cmode (pre-projected splats, all candidates valid).
+     * Per-candidate milestone flags are written to @p flags for the
+     * frame-level unique-population merge.
+     */
     void renderView(const GaussianCloud &cloud, const Camera &cam,
                     const std::vector<std::uint32_t> &candidates,
-                    int view_x0, int view_y0, int view_w, int view_h,
-                    Image &image, GaussianWiseStats &stats) const;
+                    const std::vector<float> &depths,
+                    const SplatCache *cache, int view_x0, int view_y0,
+                    int view_w, int view_h, Image &image,
+                    GaussianWiseStats &stats,
+                    std::vector<std::uint8_t> &flags,
+                    ViewScratch &scratch) const;
+
+    /** Scalar transcription of renderView used by renderReference. */
+    void renderViewReference(const GaussianCloud &cloud,
+                             const Camera &cam,
+                             const std::vector<std::uint32_t> &candidates,
+                             const std::vector<float> &depths,
+                             int view_x0, int view_y0, int view_w,
+                             int view_h, Image &image,
+                             GaussianWiseStats &stats,
+                             std::vector<std::uint8_t> &flags) const;
 
     GaussianWiseConfig config_;
 };

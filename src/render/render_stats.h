@@ -63,7 +63,9 @@ struct StandardFlowStats
  * The cycle-level GCC simulator consumes this trace: per-group unit
  * occupancies compose into pipeline time, byte counts into DRAM
  * traffic.  Skipped groups (cross-stage conditional termination)
- * record only their population.
+ * record only their population.  All fields count per-invocation
+ * work: in Compatibility Mode one Gaussian contributes to the trace
+ * once per sub-view it is binned into.
  */
 struct GroupActivity
 {
@@ -72,6 +74,13 @@ struct GroupActivity
     std::int32_t survivors = 0;      ///< survived omega-sigma culling
     std::int32_t sh_evals = 0;       ///< Stage III color evaluations
     std::int32_t sh_skipped = 0;     ///< SH loads skipped (per-Gaussian CC)
+    /**
+     * Survivors dropped when the frame (sub-view) terminated while
+     * this group was mid-flight: their geometry was projected and
+     * sorted, but the SH fetch and Alpha Unit dispatch never happened.
+     * Flow balance: survivors == sh_evals + sh_skipped + terminated.
+     */
+    std::int32_t terminated = 0;
     std::int32_t rendered = 0;       ///< contributed >=1 pixel
     std::int64_t visited_blocks = 0; ///< Alpha Unit block dispatches
     std::int64_t active_blocks = 0;  ///< blocks with blended pixels
@@ -80,19 +89,55 @@ struct GroupActivity
     bool skipped = false;            ///< never preprocessed (CC)
 };
 
-/** Counters for the GCC (Gaussian-wise + conditional) dataflow. */
+/**
+ * Counters for the GCC (Gaussian-wise + conditional) dataflow.
+ *
+ * Two families, which coincide in full-view rendering and differ in
+ * Compatibility Mode (sub-view partitioning duplicates processing):
+ *
+ *  - *Population* counters (total .. skipped_by_termination) have
+ *    unique-Gaussian semantics: each Gaussian of the model counts at
+ *    most once per counter, no matter how many sub-views re-process
+ *    it, so every one of them is bounded by @c total (Fig. 2a-style
+ *    accounting, and what `GccSim` derives its Stage I survivor
+ *    population from).
+ *  - *Work* counters (groups .. influence_pixels) count invocations:
+ *    a Gaussian binned into three sub-views that projects in each
+ *    adds three to stage2_invocations.  These are the quantities
+ *    hardware time/energy/traffic scale with, and the Fig. 6
+ *    duplication overhead is stage2_invocations over the unique
+ *    rendered population.
+ *
+ * Unique classification of the skip counters: a Gaussian is
+ * @c sh_evaluated if any sub-view evaluated its color; otherwise
+ * @c sh_skipped if the per-Gaussian conditional-loading mask skipped
+ * it somewhere; otherwise @c skipped_by_termination if cross-stage
+ * termination dropped it (group never processed, or mid-group
+ * in-flight drop) everywhere it was binned.
+ */
 struct GaussianWiseStats
 {
+    // ---- Population counters (unique-Gaussian, each <= total). ----
     std::int64_t total = 0;            ///< Gaussians in the model
     std::int64_t depth_culled = 0;     ///< Stage I z-pivot culls
+    std::int64_t projected = 0;        ///< entered Stage II >= once
+    std::int64_t survived_cull = 0;    ///< survived omega-sigma culling
+    std::int64_t sh_evaluated = 0;     ///< SH color evaluated >= once
+    std::int64_t sh_skipped = 0;       ///< CC-masked, never evaluated
+    std::int64_t rendered_gaussians = 0; ///< contributed >=1 pixel
+    std::int64_t skipped_by_termination = 0; ///< termination-dropped everywhere
+
+    // ---- Work counters (per (Gaussian, sub-view) invocation). ----
     std::int64_t groups = 0;           ///< depth groups formed
     std::int64_t groups_processed = 0; ///< groups entering Stage II
-    std::int64_t projected = 0;        ///< Gaussians entering Stage II
-    std::int64_t survived_cull = 0;    ///< survived omega-sigma culling
-    std::int64_t sh_evaluated = 0;     ///< Stage III color evaluations
-    std::int64_t sh_skipped = 0;       ///< SH loads skipped (per-Gaussian CC)
-    std::int64_t rendered_gaussians = 0; ///< contributed >=1 pixel
-    std::int64_t skipped_by_termination = 0; ///< never preprocessed (CC)
+    std::int64_t stage2_invocations = 0; ///< Stage II projections
+    std::int64_t survivor_invocations = 0; ///< cull survivors (sort keys)
+    std::int64_t sh_eval_invocations = 0;  ///< SH evaluations (192 B loads)
+    std::int64_t sh_skip_invocations = 0;  ///< per-Gaussian CC skips
+    /** Group-skip members plus mid-group in-flight drops. */
+    std::int64_t termination_skip_invocations = 0;
+    /** Cmode (Gaussian, sub-view) bin records spilled by Stage I. */
+    std::int64_t bin_records = 0;
     std::int64_t alpha_evals = 0;      ///< Stage IV alpha evaluations
     std::int64_t blend_ops = 0;        ///< blended pixels
     std::int64_t visited_blocks = 0;   ///< Alpha Unit block dispatches

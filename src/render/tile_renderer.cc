@@ -1,10 +1,13 @@
 #include "render/tile_renderer.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
 #include "gsmath/sort_keys.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
 
 namespace gcc3d {
 
@@ -123,21 +126,52 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         pair_kv.shrink_to_fit();
     }
 
-    // ---- Stage 2: render tile by tile in scanline order. ----
+    // ---- Stage 2: render tile by tile in scanline order.  Tiles own
+    // disjoint pixel regions and disjoint CSR slices, so contiguous
+    // chunks of the tile sequence fan out over the pool; per-chunk
+    // counters merge in chunk order and the unique-splat populations
+    // (fetched / rendered) come from OR-merged per-chunk maps, making
+    // image and stats bit-identical to the serial sweep. ----
     Image image(width, height);
-    std::vector<float> tile_t(static_cast<std::size_t>(tile) * tile);
-    std::vector<std::uint8_t> contributed(n, 0);
-    std::vector<std::uint8_t> fetched(n, 0);
-    std::vector<std::uint64_t> sort_scratch;
     constexpr int kSub = 8;
     const int sub_n = (tile + kSub - 1) / kSub;
-    std::vector<int> sub_live(static_cast<std::size_t>(sub_n) * sub_n);
-    std::vector<int> row_live(static_cast<std::size_t>(tile));
 
-    for (int by = 0; by < tiles_y; ++by) {
-        for (int bx = 0; bx < tiles_x; ++bx) {
-            const std::size_t t_idx =
-                static_cast<std::size_t>(by) * tiles_x + bx;
+    // Unique-splat membership is tracked per chunk in word bitmaps
+    // (n/8 bytes instead of n), so per-chunk memory and the OR-merge
+    // stay cheap even for paper-scale splat counts at high worker
+    // counts.
+    const std::size_t map_words = (n + 63) / 64;
+    struct TileChunkOut
+    {
+        StandardFlowStats stats;  ///< stage-2 counters only
+        std::vector<std::uint64_t> contributed;
+        std::vector<std::uint64_t> fetched;
+    };
+
+    // More chunks than workers smooths the load imbalance between
+    // crowded and empty tiles; chunk boundaries stay deterministic.
+    const bool fan_out = pool != nullptr && pool->workerCount() >= 2;
+    auto tile_ranges = chunkRanges(
+        num_tiles, fan_out ? pool->workerCount() * 4 : 1, 1);
+    std::vector<TileChunkOut> chunk_out(tile_ranges.size());
+
+    auto render_tiles = [&](std::size_t c, std::size_t t_begin,
+                            std::size_t t_end) {
+        TileChunkOut &out = chunk_out[c];
+        out.contributed.assign(map_words, 0);
+        out.fetched.assign(map_words, 0);
+        StandardFlowStats &st = out.stats;
+        std::uint64_t *contributed = out.contributed.data();
+        std::uint64_t *fetched = out.fetched.data();
+        std::vector<float> tile_t(static_cast<std::size_t>(tile) * tile);
+        std::vector<std::uint64_t> sort_scratch;
+        std::vector<int> sub_live(static_cast<std::size_t>(sub_n) *
+                                  sub_n);
+        std::vector<int> row_live(static_cast<std::size_t>(tile));
+
+        for (std::size_t t_idx = t_begin; t_idx < t_end; ++t_idx) {
+            const int bx = static_cast<int>(t_idx % tiles_x);
+            const int by = static_cast<int>(t_idx / tiles_x);
             const std::size_t begin = offsets[t_idx];
             const std::size_t end = offsets[t_idx + 1];
             if (begin == end)
@@ -149,8 +183,8 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
             // depth keys reproduces stable_sort's order exactly.
             radixSortByKey(entries.data() + begin, list_len,
                            sort_scratch);
-            stats.sorted_keys += static_cast<std::int64_t>(list_len);
-            stats.sort_pass_keys += bitonicPassKeys(list_len);
+            st.sorted_keys += static_cast<std::int64_t>(list_len);
+            st.sort_pass_keys += bitonicPassKeys(list_len);
 
             int x0 = bx * tile;
             int y0 = by * tile;
@@ -176,11 +210,8 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
                 if (live == 0)
                     break;  // whole tile terminated: skip the rest
                 const std::uint32_t si = packedValue(entries[e]);
-                ++stats.tile_fetches;
-                if (!fetched[si]) {
-                    fetched[si] = 1;
-                    ++stats.fetched_gaussians;
-                }
+                ++st.tile_fetches;
+                fetched[si >> 6] |= std::uint64_t{1} << (si & 63);
                 const SplatSoA::Blend &b = soa.blend[si];
 
                 // Array passes: live subtiles the splat's bounds reach.
@@ -193,7 +224,7 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
                         if (b.sb_x1 < rx0 || b.sb_x0 > rx0 + kSub - 1 ||
                             b.sb_y1 < ry0 || b.sb_y0 > ry0 + kSub - 1)
                             continue;
-                        ++stats.subtile_passes;
+                        ++st.subtile_passes;
                     }
                 }
 
@@ -202,8 +233,8 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
                 // provably below the alpha cutoff, so only the rect
                 // is walked and the skipped evaluations are accounted
                 // from the live count (identical totals, less work).
-                stats.alpha_evals += live;
-                stats.pixels_touched += live;
+                st.alpha_evals += live;
+                st.pixels_touched += live;
                 const int rx0 = std::max(x0, b.it_x0);
                 const int rx1 = std::min(x1 - 1, b.it_x1);
                 const int ry0 = std::max(y0, b.it_y0);
@@ -284,11 +315,9 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
                             a = 0.99f;
                         if (a < config_.alpha_cutoff)
                             continue;
-                        ++stats.blend_ops;
-                        if (!contributed[si]) {
-                            contributed[si] = 1;
-                            ++stats.rendered_gaussians;
-                        }
+                        ++st.blend_ops;
+                        contributed[si >> 6] |= std::uint64_t{1}
+                                                << (si & 63);
                         image.at(x, y) += Vec3(b.r, b.g, b.b) * (a * t);
                         t *= 1.0f - a;
                         if (t < config_.termination_t) {
@@ -301,6 +330,32 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
                 }
             }
         }
+    };
+
+    runChunks(fan_out ? pool : nullptr, tile_ranges, render_tiles);
+
+    // Chunk-ordered merge; fetched/rendered are unique populations
+    // over the whole frame, so they are counted from the OR of the
+    // per-chunk maps (a splat fetched by tiles in two chunks is still
+    // one fetched Gaussian, exactly as the serial first-touch count).
+    std::vector<std::uint64_t> contributed_any(map_words, 0);
+    std::vector<std::uint64_t> fetched_any(map_words, 0);
+    for (const TileChunkOut &out : chunk_out) {
+        stats.tile_fetches += out.stats.tile_fetches;
+        stats.sorted_keys += out.stats.sorted_keys;
+        stats.sort_pass_keys += out.stats.sort_pass_keys;
+        stats.subtile_passes += out.stats.subtile_passes;
+        stats.alpha_evals += out.stats.alpha_evals;
+        stats.pixels_touched += out.stats.pixels_touched;
+        stats.blend_ops += out.stats.blend_ops;
+        for (std::size_t w = 0; w < map_words; ++w) {
+            contributed_any[w] |= out.contributed[w];
+            fetched_any[w] |= out.fetched[w];
+        }
+    }
+    for (std::size_t w = 0; w < map_words; ++w) {
+        stats.fetched_gaussians += std::popcount(fetched_any[w]);
+        stats.rendered_gaussians += std::popcount(contributed_any[w]);
     }
     return image;
 }

@@ -92,9 +92,13 @@ class TileRenderer
      * @param cloud  the scene
      * @param cam    viewpoint
      * @param stats  populated with dataflow counters
-     * @param pool   optional worker pool for the preprocess stage;
-     *               null preprocesses serially.  The result does not
-     *               depend on it.
+     * @param pool   optional worker pool: fans out the preprocess
+     *               stage and the per-tile rasterization loop (tiles
+     *               cover disjoint pixels and disjoint slices of the
+     *               binned splat lists; per-chunk counters and
+     *               unique-splat maps merge deterministically).  Null
+     *               renders serially; the image and stats are
+     *               bit-identical either way.
      */
     Image render(const GaussianCloud &cloud, const Camera &cam,
                  StandardFlowStats &stats,

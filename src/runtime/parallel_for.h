@@ -54,6 +54,47 @@ chunkRanges(std::size_t n, int max_chunks, std::size_t min_per_chunk)
 }
 
 /**
+ * Run @p fn(chunk_index, begin, end) for every range of @p ranges on
+ * @p pool, blocking until all complete.  This is the one submit/drain
+ * primitive the frame-level fan-outs share: every future is drained
+ * before returning — the task lambdas reference ranges/fn on this
+ * stack, so unwinding on the first exception while later chunks still
+ * run would dangle them.  The first chunk exception (in submission
+ * order) is rethrown after all chunks settle.  A null pool (or fewer
+ * than two ranges) runs inline on the caller.
+ */
+template <typename Fn>
+void
+runChunks(ThreadPool *pool,
+          const std::vector<std::pair<std::size_t, std::size_t>> &ranges,
+          Fn &&fn)
+{
+    if (pool == nullptr || pool->workerCount() < 2 ||
+        ranges.size() < 2) {
+        for (std::size_t c = 0; c < ranges.size(); ++c)
+            fn(c, ranges[c].first, ranges[c].second);
+        return;
+    }
+    std::vector<std::future<void>> pending;
+    pending.reserve(ranges.size());
+    for (std::size_t c = 0; c < ranges.size(); ++c)
+        pending.push_back(pool->submit([&fn, &ranges, c] {
+            fn(c, ranges[c].first, ranges[c].second);
+        }));
+    std::exception_ptr first_error;
+    for (auto &f : pending) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+/**
  * Run @p fn(chunk_index, begin, end) for every chunk of [0, n) on
  * @p pool, blocking until all chunks complete.  Chunk boundaries come
  * from chunkRanges, so outputs indexed by chunk_index can be merged
@@ -70,33 +111,7 @@ forEachChunk(ThreadPool *pool, std::size_t n, std::size_t min_per_chunk,
     const int workers = pool != nullptr ? pool->workerCount() : 1;
     auto ranges = chunkRanges(n, workers, min_per_chunk);
     setup(ranges.size());
-    if (pool == nullptr || ranges.size() < 2) {
-        for (std::size_t c = 0; c < ranges.size(); ++c)
-            fn(c, ranges[c].first, ranges[c].second);
-        return;
-    }
-    std::vector<std::future<void>> pending;
-    pending.reserve(ranges.size());
-    for (std::size_t c = 0; c < ranges.size(); ++c)
-        pending.push_back(pool->submit([&fn, &ranges, c] {
-            fn(c, ranges[c].first, ranges[c].second);
-        }));
-    // Drain every future before leaving the frame — the task lambdas
-    // reference ranges/fn on this stack, so unwinding on the first
-    // exception while later chunks still run would dangle them.  The
-    // first chunk exception (in chunk order) is rethrown after all
-    // chunks settle.
-    std::exception_ptr first_error;
-    for (auto &f : pending) {
-        try {
-            f.get();
-        } catch (...) {
-            if (!first_error)
-                first_error = std::current_exception();
-        }
-    }
-    if (first_error)
-        std::rethrow_exception(first_error);
+    runChunks(pool, ranges, std::forward<Fn>(fn));
 }
 
 /** forEachChunk without a setup hook. */

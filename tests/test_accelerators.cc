@@ -89,6 +89,45 @@ TEST(GccSim, FrameResultSane)
     EXPECT_NEAR(acc.areaMm2(), 2.711, 0.02);
 }
 
+TEST(GccSim, CmodeStageOneAccountingStaysUniqueGaussian)
+{
+    // Regression for the Compatibility-Mode double-count: sub-view
+    // binning used to re-count depth culls and projections per bin,
+    // letting depth_culled exceed total and clamping the Stage I
+    // survivor population to zero (corrupting cycle/traffic costs).
+    Workload w = roomWorkload();
+    GccConfig small;
+    small.image_buffer_kb = 4.0;  // tiny sub-views, heavy duplication
+    GccSim sim(small);
+    GccFrameResult r = sim.renderFrame(w.cloud, w.cam);
+
+    ASSERT_TRUE(r.cmode);
+    EXPECT_LE(r.flow.depth_culled, r.flow.total);
+    EXPECT_LE(r.flow.projected, r.flow.total);
+    EXPECT_LE(r.flow.sh_evaluated, r.flow.total);
+    // Stage I survivor population is exact, so the pipeline sees
+    // non-degenerate work whenever anything was rendered.
+    EXPECT_GT(r.flow.rendered_gaussians, 0);
+    EXPECT_GT(r.stage1_cycles, 0u);
+    EXPECT_GT(r.main_cycles, 0u);
+    // Duplication shows up only in the invocation counters.
+    EXPECT_GE(r.flow.stage2_invocations, r.flow.projected);
+    EXPECT_GE(r.flow.bin_records, r.flow.stage2_invocations);
+}
+
+TEST(GccConfig, ValidationClampsDegenerateStructuralParams)
+{
+    GccConfig cfg;
+    cfg.group_capacity = 0;
+    cfg.block_size = -4;
+    cfg.subview_size = -1;
+    Workload w = roomWorkload();
+    GccSim sim(cfg);  // applies validated(): must not wedge Stage I
+    GccFrameResult r = sim.renderFrame(w.cloud, w.cam);
+    EXPECT_GT(r.total_cycles, 0u);
+    EXPECT_GT(r.flow.groups, 0);
+}
+
 TEST(GccSim, CmodeEngagesWhenFrameExceedsBuffer)
 {
     Workload w = roomWorkload();  // 192x160 > 128 KB / 8 B per pixel?

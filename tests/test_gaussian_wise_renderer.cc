@@ -120,8 +120,13 @@ TEST_P(SubviewSweep, CmodeImageMatchesFullView)
     Image img = GaussianWiseRenderer(sub).render(cloud, cam, ss);
 
     EXPECT_GT(psnr(ref, img), 50.0) << "sub-view " << GetParam();
-    // Duplicated invocations only ever add work.
-    EXPECT_GE(ss.projected, sf.projected);
+    // Duplicated invocations only ever add work...
+    EXPECT_GE(ss.stage2_invocations, sf.stage2_invocations);
+    // ...while the unique populations stay duplication-free.
+    EXPECT_LE(ss.depth_culled, ss.total);
+    EXPECT_LE(ss.projected, ss.total);
+    EXPECT_LE(ss.sh_evaluated, ss.total);
+    EXPECT_LE(ss.projected, sf.total - sf.depth_culled);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SubviewSweep,
@@ -138,7 +143,7 @@ TEST(GaussianWiseRenderer, SmallerSubviewsMeanMoreInvocations)
         cfg.subview_size = subview;
         GaussianWiseStats st;
         GaussianWiseRenderer(cfg).render(cloud, cam, st);
-        return st.projected;
+        return st.stage2_invocations;
     };
     EXPECT_LE(invocations(128), invocations(32));
     EXPECT_LE(invocations(32), invocations(16));
@@ -154,29 +159,44 @@ TEST(GaussianWiseRenderer, GroupTraceConsistent)
     renderer.render(cloud, cam, st);
 
     ASSERT_FALSE(st.group_trace.empty());
-    std::int64_t projected = 0, sh = 0, blocks = 0, blends = 0;
-    std::int64_t skipped = 0;
+    std::int64_t projected = 0, survivors = 0, sh = 0, sh_skips = 0;
+    std::int64_t blocks = 0, blends = 0, term_skips = 0;
     for (const GroupActivity &g : st.group_trace) {
         EXPECT_LE(g.projected, g.members);
         EXPECT_LE(g.survivors, g.projected);
-        EXPECT_LE(g.sh_evals + g.sh_skipped, g.survivors);
+        // Flow balance within a processed group: every cull survivor
+        // is colored, conditionally skipped, or dropped in flight.
+        EXPECT_EQ(g.sh_evals + g.sh_skipped + g.terminated, g.survivors);
         EXPECT_LE(g.active_blocks, g.visited_blocks);
         if (g.skipped) {
             EXPECT_EQ(g.projected, 0);
-            skipped += g.members;
+            term_skips += g.members;
         }
         projected += g.projected;
+        survivors += g.survivors;
         sh += g.sh_evals;
+        sh_skips += g.sh_skipped;
+        term_skips += g.terminated;
         blocks += g.visited_blocks;
         blends += g.blend_ops;
     }
-    EXPECT_EQ(projected, st.projected);
-    EXPECT_EQ(sh, st.sh_evaluated);
+    EXPECT_EQ(projected, st.stage2_invocations);
+    EXPECT_EQ(survivors, st.survivor_invocations);
+    EXPECT_EQ(sh, st.sh_eval_invocations);
+    EXPECT_EQ(sh_skips, st.sh_skip_invocations);
+    EXPECT_EQ(term_skips, st.termination_skip_invocations);
     EXPECT_EQ(blocks, st.visited_blocks);
     EXPECT_EQ(blends, st.blend_ops);
-    EXPECT_EQ(skipped, st.skipped_by_termination);
     EXPECT_EQ(static_cast<std::int64_t>(st.group_trace.size()),
               st.groups);
+    // Full view: the unique populations coincide with the invocation
+    // counters (each Gaussian is a candidate exactly once).
+    EXPECT_EQ(st.projected, st.stage2_invocations);
+    EXPECT_EQ(st.survived_cull, st.survivor_invocations);
+    EXPECT_EQ(st.sh_evaluated, st.sh_eval_invocations);
+    EXPECT_EQ(st.sh_skipped, st.sh_skip_invocations);
+    EXPECT_EQ(st.skipped_by_termination,
+              st.termination_skip_invocations);
 }
 
 TEST(GaussianWiseRenderer, DepthPivotCulls)
@@ -201,6 +221,174 @@ TEST(GaussianWiseRenderer, EmptyScene)
     Image img = renderer.render(cloud, cam, st);
     EXPECT_FLOAT_EQ(img.meanIntensity(), 0.0f);
     EXPECT_EQ(st.groups, 0);
+}
+
+// ---------------------------------------------------------------------
+// Degenerate configuration: a group capacity of zero used to wedge
+// the grouping loop forever (start += 0).
+// ---------------------------------------------------------------------
+
+TEST(GroupByDepth, DegenerateCapacityDoesNotHang)
+{
+    std::vector<float> depths = {3.0f, 1.0f, 2.0f};
+    std::vector<std::uint32_t> ids = {0, 1, 2};
+    for (int cap : {0, -5}) {
+        auto groups = groupByDepth(depths, ids, cap);
+        ASSERT_EQ(groups.size(), 3u) << "capacity " << cap;
+        for (const DepthGroup &g : groups)
+            EXPECT_EQ(g.members.size(), 1u);
+        EXPECT_EQ(groups[0].members[0], 1u);  // depth 1 first
+    }
+}
+
+TEST(GaussianWiseRenderer, ConfigValidationClampsDegenerateValues)
+{
+    GaussianWiseConfig cfg;
+    cfg.group_capacity = 0;
+    cfg.block_size = -2;
+    cfg.subview_size = -64;
+    GaussianWiseRenderer renderer(cfg);
+    EXPECT_EQ(renderer.config().group_capacity, 1);
+    EXPECT_EQ(renderer.config().block_size, 1);
+    EXPECT_EQ(renderer.config().subview_size, 0);
+
+    // And a render with the clamped config completes.
+    GaussianCloud cloud = generateScene(test::tinySpec(26, 300), 1.0f);
+    Camera cam = makeCamera(test::tinySpec(26, 300));
+    GaussianWiseStats st;
+    Image img = renderer.render(cloud, cam, st);
+    EXPECT_EQ(img.width(), cam.width());
+    EXPECT_GT(st.groups, 0);
+}
+
+// ---------------------------------------------------------------------
+// Cmode stats accounting (the Stage I survivor-underflow bug): unique
+// populations must stay duplication-free no matter how small the
+// sub-views get.
+// ---------------------------------------------------------------------
+
+TEST(GaussianWiseRenderer, CmodeUniquePopulationsNeverExceedTotal)
+{
+    SceneSpec spec = test::tinySpec(27, 2500);
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Camera cam = makeCamera(spec);
+
+    for (int sub : {16, 32, 64}) {
+        GaussianWiseConfig cfg;
+        cfg.subview_size = sub;
+        GaussianWiseStats st;
+        GaussianWiseRenderer(cfg).render(cloud, cam, st);
+
+        EXPECT_LE(st.depth_culled, st.total) << "sub " << sub;
+        EXPECT_LE(st.projected, st.total) << "sub " << sub;
+        EXPECT_LE(st.survived_cull, st.projected) << "sub " << sub;
+        EXPECT_LE(st.sh_evaluated + st.sh_skipped, st.survived_cull)
+            << "sub " << sub;
+        EXPECT_LE(st.rendered_gaussians, st.sh_evaluated) << "sub " << sub;
+        // The unique populations partition below total even though
+        // the invocation counters blow past it for tiny sub-views.
+        EXPECT_LE(st.depth_culled + st.projected +
+                      st.skipped_by_termination,
+                  st.total)
+            << "sub " << sub;
+        EXPECT_GE(st.stage2_invocations, st.projected) << "sub " << sub;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conditional-loading block window with off-view footprint centers
+// (negative local coordinates need floor, not truncation, division).
+// ---------------------------------------------------------------------
+
+TEST(GaussianWiseRenderer, OffViewCenterConditionalMatchesUnconditional)
+{
+    // A huge splat whose projected center sits left of / above the
+    // view while its footprint reaches well inside, layered behind an
+    // opaque foreground so the T-mask is partially set — the exact
+    // geometry where a truncation-based block window goes wrong.
+    GaussianCloud cloud("offview");
+    Gaussian big = test::makeGaussian(Vec3(1.22f, 0.0f, -2.0f), 1.2f,
+                                      0.9f);
+    big.setBaseColor(Vec3(0.1f, 0.7f, 0.9f));
+    cloud.add(big);
+    for (int i = 0; i < 6; ++i)
+        cloud.add(test::makeGaussian(
+            Vec3(-0.6f + 0.25f * static_cast<float>(i), 0.2f, -0.5f),
+            0.3f, 0.99f));
+    Camera cam = test::frontCamera();
+
+    // Sanity: the big splat's center really projects off-view.
+    auto s = projectGaussian(cloud[0], 0, cam, nullptr);
+    ASSERT_TRUE(s.has_value());
+    ASSERT_TRUE(s->ellipse.center.x < 0.0f || s->ellipse.center.y < 0.0f)
+        << "center " << s->ellipse.center.x << "," << s->ellipse.center.y;
+
+    GaussianWiseConfig with_cc;
+    with_cc.conditional = true;
+    GaussianWiseConfig without_cc;
+    without_cc.conditional = false;
+    GaussianWiseStats s1, s2;
+    Image i1 = GaussianWiseRenderer(with_cc).render(cloud, cam, s1);
+    Image i2 = GaussianWiseRenderer(without_cc).render(cloud, cam, s2);
+
+    // Conditional loading may only skip provably invisible work.
+    EXPECT_DOUBLE_EQ(mse(i1, i2), 0.0);
+    EXPECT_GT(s1.blend_ops, 0);
+    EXPECT_EQ(s1.blend_ops, s2.blend_ops);
+}
+
+// ---------------------------------------------------------------------
+// Mid-group termination accounting: a scene that saturates every
+// pixel with groups still in flight must keep the flow balanced.
+// ---------------------------------------------------------------------
+
+TEST(GaussianWiseRenderer, SaturatingSceneBalancesFlowCounters)
+{
+    // Three opaque full-view layers saturate transmittance (0.01^3 <
+    // 1e-4); hundreds of Gaussians behind them must all be accounted
+    // as termination skips, whether their group was never processed
+    // or was dropped mid-flight.
+    GaussianCloud cloud("saturating");
+    for (int layer = 0; layer < 3; ++layer)
+        for (int ix = -2; ix <= 2; ++ix)
+            for (int iy = -2; iy <= 2; ++iy)
+                cloud.add(test::makeGaussian(
+                    Vec3(0.8f * static_cast<float>(ix),
+                         0.8f * static_cast<float>(iy),
+                         -1.0f + 0.2f * static_cast<float>(layer)),
+                    0.9f, 0.99f));
+    for (int i = 0; i < 400; ++i)
+        cloud.add(test::makeGaussian(
+            Vec3(0.01f * static_cast<float>(i % 20 - 10),
+                 0.01f * static_cast<float>(i / 20 - 10),
+                 2.0f + 0.01f * static_cast<float>(i)),
+            0.2f, 0.9f));
+    Camera cam = test::frontCamera();
+
+    GaussianWiseConfig cfg;
+    cfg.group_capacity = 64;
+    GaussianWiseStats st;
+    GaussianWiseRenderer(cfg).render(cloud, cam, st);
+
+    ASSERT_GT(st.termination_skip_invocations, 0)
+        << "scene failed to trigger termination";
+    // Every pivot survivor is accounted exactly once per invocation:
+    // projected into Stage II or dropped by group-level skip; within
+    // Stage II, colored, CC-masked or dropped in flight.
+    std::int64_t group_skip = 0, tail = 0;
+    bool saw_tail = false;
+    for (const GroupActivity &g : st.group_trace) {
+        if (g.skipped)
+            group_skip += g.members;
+        tail += g.terminated;
+        if (g.terminated > 0)
+            saw_tail = true;
+        EXPECT_EQ(g.sh_evals + g.sh_skipped + g.terminated, g.survivors);
+    }
+    EXPECT_TRUE(saw_tail) << "no group terminated mid-flight";
+    EXPECT_EQ(group_skip + tail, st.termination_skip_invocations);
+    EXPECT_EQ(st.stage2_invocations + group_skip,
+              st.total - st.depth_culled);
 }
 
 } // namespace
