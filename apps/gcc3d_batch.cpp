@@ -47,6 +47,8 @@ usage(const char *argv0)
         "                    (default: 0)\n"
         "  --buffer-kb LIST  GCC image-buffer capacity sweep (KB);\n"
         "                    each value becomes a config variant\n"
+        "  --cache-dir DIR   .gsc scene cache; repeated runs skip\n"
+        "                    scene generation (results unchanged)\n"
         "  --csv FILE        write per-job results as CSV\n"
         "  --json FILE       write per-job results as JSON\n"
         "  --quiet           suppress the per-job table\n",
@@ -61,6 +63,7 @@ main(int argc, char **argv)
     std::string scenes_arg = "lego";
     std::string backends_arg = "gcc,gscore";
     std::string buffer_arg;
+    std::string cache_dir;
     std::string csv_path;
     std::string json_path;
     int frames = 1;
@@ -92,6 +95,8 @@ main(int argc, char **argv)
             workers = std::atoi(value().c_str());
         } else if (flag == "--buffer-kb") {
             buffer_arg = value();
+        } else if (flag == "--cache-dir") {
+            cache_dir = value();
         } else if (flag == "--csv") {
             csv_path = value();
         } else if (flag == "--json") {
@@ -114,13 +119,8 @@ main(int argc, char **argv)
     spec.frames = frames;
     spec.scale = scale;
     try {
-        if (scenes_arg == "all") {
-            for (SceneId id : allScenes())
-                spec.addScene(id);
-        } else {
-            for (const std::string &name : splitList(scenes_arg))
-                spec.addScene(sceneFromName(name));
-        }
+        for (SceneId id : bench::parseSceneList(scenes_arg))
+            spec.addScene(id);
         spec.backends.clear();
         for (const std::string &name : splitList(backends_arg))
             spec.backends.push_back(backendFromName(name));
@@ -154,6 +154,7 @@ main(int argc, char **argv)
 
     SweepOptions options;
     options.workers = workers > 0 ? workers : ThreadPool::hardwareWorkers();
+    options.scene_cache_dir = cache_dir;
     std::printf("gcc3d_batch: %zu jobs (%zu scenes x %d frames x %zu "
                 "variants x %zu backends), %d workers, scale %.2f\n",
                 spec.jobCount(), spec.scenes.size(), spec.frames,

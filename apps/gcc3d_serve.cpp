@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Multi-session render-serving CLI: build a session fleet (N clients
+ * cycling through scenes and a renderer mix), serve it through the
+ * SLO-aware FrameScheduler on a thread pool, and print the per-session
+ * and fleet SLO report.
+ *
+ * Examples:
+ *   gcc3d_serve --sessions 8 --frames 16 --policy edf --fps-target 90
+ *   gcc3d_serve --sessions 4 --frames 8 --renderers tile,gw --threads 4
+ *   gcc3d_serve --sessions 12 --scenes lego,train --cache-dir .gsc-cache
+ *
+ * Scheduling never changes pixels: per-session checksums equal serial
+ * rendering (locked in by tests/test_serve.cc and bench/serve_throughput).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/fleet.h"
+#include "serve/frame_scheduler.h"
+
+namespace {
+
+using namespace gcc3d;
+using gcc3d::bench::splitList;
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --sessions N      concurrent client sessions (default: 8)\n"
+        "  --frames N        frames streamed per session (default: 8)\n"
+        "  --policy P        fifo | rr | edf (default: fifo)\n"
+        "  --renderers LIST  renderer mix, cycled across sessions;\n"
+        "                    subset of tile,gw (default: tile)\n"
+        "  --fps-target F    per-session FPS target; frames get EDF\n"
+        "                    deadlines and miss accounting (default: 0\n"
+        "                    = best effort)\n"
+        "  --drop-late       shed frames already past their deadline\n"
+        "                    at dispatch instead of rendering them\n"
+        "  --threads N       render workers; 0 = all hardware threads\n"
+        "                    (default: 0)\n"
+        "  --scenes LIST     comma-separated scene names or 'all',\n"
+        "                    cycled across sessions (default: lego)\n"
+        "  --subview N       Gaussian-wise Cmode sub-view side; 0 =\n"
+        "                    full view (default: 128)\n"
+        "  --scale F         population scale in (0,1] (default:\n"
+        "                    GCC3D_SCALE env or 1.0)\n"
+        "  --cache-dir DIR   .gsc scene cache; repeated runs skip\n"
+        "                    scene generation (results unchanged)\n"
+        "  --json FILE       write the serve report as JSON\n"
+        "  --quiet           suppress the per-session table\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string scenes_arg = "lego";
+    std::string renderers_arg = "tile";
+    std::string policy_arg = "fifo";
+    std::string cache_dir;
+    std::string json_path;
+    int sessions = 8;
+    int frames = 8;
+    int threads = 0;
+    int subview = 128;
+    double fps_target = 0.0;
+    bool drop_late = false;
+    bool quiet = false;
+    float scale = benchScale();
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (flag == "--help" || flag == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (flag == "--sessions") {
+            sessions = std::atoi(value().c_str());
+        } else if (flag == "--frames") {
+            frames = std::atoi(value().c_str());
+        } else if (flag == "--policy") {
+            policy_arg = value();
+        } else if (flag == "--renderers") {
+            renderers_arg = value();
+        } else if (flag == "--fps-target") {
+            fps_target = std::atof(value().c_str());
+        } else if (flag == "--drop-late") {
+            drop_late = true;
+        } else if (flag == "--threads") {
+            threads = std::atoi(value().c_str());
+        } else if (flag == "--scenes") {
+            scenes_arg = value();
+        } else if (flag == "--subview") {
+            subview = std::atoi(value().c_str());
+        } else if (flag == "--scale") {
+            scale = static_cast<float>(std::atof(value().c_str()));
+        } else if (flag == "--cache-dir") {
+            cache_dir = value();
+        } else if (flag == "--json") {
+            json_path = value();
+        } else if (flag == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (sessions < 1 || frames < 1 || fps_target < 0.0 ||
+        scale <= 0.0f || scale > 1.0f) {
+        std::fprintf(stderr,
+                     "--sessions/--frames must be >= 1, --fps-target "
+                     ">= 0 and --scale in (0, 1]\n");
+        return 2;
+    }
+
+    FleetSpec fleet_spec;
+    fleet_spec.sessions = sessions;
+    fleet_spec.frames = frames;
+    fleet_spec.scale = scale;
+    fleet_spec.fps_target = fps_target;
+    fleet_spec.gw.subview_size = subview < 0 ? 0 : subview;
+
+    SchedulerOptions sched;
+    sched.drop_late = drop_late;
+    try {
+        sched.policy = schedulerPolicyFromName(policy_arg);
+        fleet_spec.renderers.clear();
+        for (const std::string &name : splitList(renderers_arg))
+            fleet_spec.renderers.push_back(sessionRendererFromName(name));
+        for (SceneId id : bench::parseSceneList(scenes_arg))
+            fleet_spec.scenes.push_back(scenePreset(id));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+    if (fleet_spec.scenes.empty() || fleet_spec.renderers.empty()) {
+        std::fprintf(stderr, "empty scene or renderer list\n");
+        return 2;
+    }
+
+    int workers = threads > 0 ? threads : ThreadPool::hardwareWorkers();
+    std::printf("gcc3d_serve: %d sessions x %d frames, policy %s, %d "
+                "workers, fps target %.1f%s, scale %.2f\n",
+                sessions, frames, policy_arg.c_str(), workers, fps_target,
+                drop_late ? ", drop-late" : "",
+                static_cast<double>(scale));
+
+    try {
+        SceneRegistry registry(cache_dir);
+        std::vector<Session> fleet = buildFleet(fleet_spec, registry);
+        std::printf("fleet shares %zu distinct scene clouds across %zu "
+                    "sessions\n",
+                    registry.cloudCount(), fleet.size());
+
+        ThreadPool pool(workers);
+        FrameScheduler scheduler(sched);
+        ServeReport report = scheduler.run(fleet, pool);
+
+        if (!quiet)
+            report.print();
+        else
+            std::printf("fleet FPS %.2f, miss rate %.1f%%, %d dropped\n",
+                        report.fleetFps(), 100.0 * report.missRate(),
+                        report.framesDropped());
+
+        if (!json_path.empty() &&
+            !ResultTable::writeFile(json_path, report.toJson())) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -67,6 +67,33 @@ runSweep(const SweepSpec &spec)
     return table;
 }
 
+/**
+ * Parse a --scenes CLI argument: "all" expands to every preset,
+ * otherwise a comma-separated list of scene names.  Throws
+ * std::invalid_argument on unknown names.
+ */
+inline std::vector<SceneId>
+parseSceneList(const std::string &arg)
+{
+    if (arg == "all")
+        return allScenes();
+    std::vector<SceneId> out;
+    std::string item;
+    auto flush = [&] {
+        if (!item.empty())
+            out.push_back(sceneFromName(item));
+        item.clear();
+    };
+    for (char c : arg) {
+        if (c == ',')
+            flush();
+        else
+            item += c;
+    }
+    flush();
+    return out;
+}
+
 /** Split a comma-separated CLI list, dropping empty items. */
 inline std::vector<std::string>
 splitList(const std::string &arg)

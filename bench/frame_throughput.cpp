@@ -160,12 +160,7 @@ main(int argc, char **argv)
 
     std::vector<SceneId> scenes;
     try {
-        if (scenes_arg == "all") {
-            scenes = allScenes();
-        } else {
-            for (const std::string &name : splitList(scenes_arg))
-                scenes.push_back(sceneFromName(name));
-        }
+        scenes = bench::parseSceneList(scenes_arg);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;

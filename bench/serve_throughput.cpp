@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Serving-throughput benchmark: a fleet of concurrent render sessions
+ * through the SLO-aware FrameScheduler vs the serial
+ * one-session-at-a-time baseline.
+ *
+ * Builds N sessions (cycling scenes and the tile/gw renderer mix,
+ * sharing scene state through the SceneRegistry), renders the whole
+ * fleet serially on one thread as the baseline, then serves it
+ * through each scheduler policy on a thread pool.  Reports aggregate
+ * fleet FPS, the speedup over serial, and fleet latency percentiles —
+ * and cross-checks every session's frame-order checksum against the
+ * serial baseline, proving scheduling never changes pixels.  Results
+ * go to BENCH_serve.json so the serving trajectory is tracked across
+ * PRs.
+ *
+ * Usage:
+ *   serve_throughput [--sessions N] [--frames N] [--scenes LIST]
+ *                    [--renderers tile,gw] [--policies fifo,rr,edf]
+ *                    [--threads N] [--fps-target F] [--scale F]
+ *                    [--out FILE]
+ *
+ * A non-zero --fps-target adds a paced EDF run with deadline-miss
+ * accounting on top of the best-effort throughput runs.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/fleet.h"
+#include "serve/frame_scheduler.h"
+
+namespace {
+
+using namespace gcc3d;
+using gcc3d::bench::splitList;
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --sessions N     concurrent sessions (default: 8)\n"
+        "  --frames N       frames per session (default: 6)\n"
+        "  --scenes LIST    scene names or 'all', cycled across\n"
+        "                   sessions (default: palace,lego,train)\n"
+        "  --renderers LIST renderer mix, subset of tile,gw\n"
+        "                   (default: tile,gw)\n"
+        "  --policies LIST  subset of fifo,rr,edf (default: all)\n"
+        "  --threads N      render workers; 0 = all hardware threads\n"
+        "                   (default: 0)\n"
+        "  --fps-target F   adds a paced EDF run with deadline\n"
+        "                   accounting (default: 0 = skip)\n"
+        "  --subview N      gw Cmode sub-view side (default: 128)\n"
+        "  --scale F        population scale in (0,1] (default:\n"
+        "                   GCC3D_SCALE env or 1.0)\n"
+        "  --out FILE       JSON output path (default:\n"
+        "                   BENCH_serve.json; '-' disables)\n",
+        argv0);
+}
+
+/** Compare a scheduled run's per-session checksums to the baseline. */
+bool
+checksumsMatch(const ServeReport &report, const SerialBaseline &base)
+{
+    if (report.sessions.size() != base.checksums.size())
+        return false;
+    for (std::size_t i = 0; i < report.sessions.size(); ++i) {
+        if (report.sessions[i].checksum != base.checksums[i]) {
+            std::fprintf(stderr,
+                         "ERROR: session %zu checksum %.17g != serial "
+                         "%.17g (policy %s)\n",
+                         i, report.sessions[i].checksum,
+                         base.checksums[i], report.policy.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string scenes_arg = "palace,lego,train";
+    std::string renderers_arg = "tile,gw";
+    std::string policies_arg = "fifo,rr,edf";
+    std::string out_path = "BENCH_serve.json";
+    int sessions = 8;
+    int frames = 6;
+    int threads = 0;
+    int subview = 128;
+    double fps_target = 0.0;
+    float scale = benchScale();
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             flag.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (flag == "--help" || flag == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (flag == "--sessions") {
+            sessions = std::atoi(value().c_str());
+        } else if (flag == "--frames") {
+            frames = std::atoi(value().c_str());
+        } else if (flag == "--scenes") {
+            scenes_arg = value();
+        } else if (flag == "--renderers") {
+            renderers_arg = value();
+        } else if (flag == "--policies") {
+            policies_arg = value();
+        } else if (flag == "--threads") {
+            threads = std::atoi(value().c_str());
+        } else if (flag == "--fps-target") {
+            fps_target = std::atof(value().c_str());
+        } else if (flag == "--subview") {
+            subview = std::atoi(value().c_str());
+        } else if (flag == "--scale") {
+            scale = static_cast<float>(std::atof(value().c_str()));
+        } else if (flag == "--out") {
+            out_path = value();
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (sessions < 1 || frames < 1 || fps_target < 0.0 ||
+        scale <= 0.0f || scale > 1.0f) {
+        std::fprintf(stderr,
+                     "--sessions/--frames must be >= 1, --fps-target "
+                     ">= 0 and --scale in (0, 1]\n");
+        return 2;
+    }
+
+    FleetSpec fleet_spec;
+    fleet_spec.sessions = sessions;
+    fleet_spec.frames = frames;
+    fleet_spec.scale = scale;
+    fleet_spec.gw.subview_size = subview < 0 ? 0 : subview;
+
+    std::vector<SchedulerPolicy> policies;
+    try {
+        for (SceneId id : bench::parseSceneList(scenes_arg))
+            fleet_spec.scenes.push_back(scenePreset(id));
+        fleet_spec.renderers.clear();
+        for (const std::string &name : splitList(renderers_arg))
+            fleet_spec.renderers.push_back(sessionRendererFromName(name));
+        for (const std::string &name : splitList(policies_arg))
+            policies.push_back(schedulerPolicyFromName(name));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+    if (fleet_spec.scenes.empty() || fleet_spec.renderers.empty() ||
+        policies.empty()) {
+        std::fprintf(stderr, "empty scene, renderer or policy list\n");
+        return 2;
+    }
+
+    int workers = threads > 0 ? threads : ThreadPool::hardwareWorkers();
+
+    bench::banner("serve_throughput",
+                  "multi-session serving vs the serial baseline", scale);
+    std::printf("%d sessions x %d frames, %d workers (host has %d "
+                "hardware threads)\n",
+                sessions, frames, workers, ThreadPool::hardwareWorkers());
+
+    SceneRegistry registry;
+    std::vector<Session> fleet = buildFleet(fleet_spec, registry);
+    std::printf("fleet shares %zu distinct scene clouds\n",
+                registry.cloudCount());
+
+    // Warm-up so the serial baseline is not penalized with first-touch
+    // costs the scheduled runs then get for free.
+    for (const Session &s : fleet)
+        s.renderFrame(0);
+
+    SerialBaseline base = renderSerial(fleet);
+    std::printf("\nserial baseline: %.1f ms, fleet FPS %.2f\n",
+                base.wall_ms, base.fleet_fps);
+
+    struct PolicyRow
+    {
+        std::string policy;
+        double wall_ms;
+        double fleet_fps;
+        double speedup;
+        bool checksums_match;
+        Aggregate latency;
+        Aggregate queue_wait;
+    };
+    std::vector<PolicyRow> policy_rows;
+    bool all_ok = true;
+
+    ThreadPool pool(workers);
+    bench::rule();
+    std::printf("%-8s %10s %10s %10s %10s %10s\n", "policy", "wall_ms",
+                "fleet_fps", "speedup", "lat_p50", "lat_p99");
+    bench::rule();
+    for (SchedulerPolicy policy : policies) {
+        SchedulerOptions options;
+        options.policy = policy;
+        FrameScheduler scheduler(options);
+        ServeReport report = scheduler.run(fleet, pool);
+
+        PolicyRow row;
+        row.policy = report.policy;
+        row.wall_ms = report.wall_ms;
+        row.fleet_fps = report.fleetFps();
+        row.speedup =
+            report.wall_ms > 0.0 ? base.wall_ms / report.wall_ms : 0.0;
+        row.checksums_match = checksumsMatch(report, base);
+        row.latency = report.fleetLatencyMs();
+        row.queue_wait = report.fleetQueueWaitMs();
+        all_ok = all_ok && row.checksums_match;
+        policy_rows.push_back(row);
+
+        std::printf("%-8s %10.1f %10.2f %9.2fx %10.2f %10.2f%s\n",
+                    row.policy.c_str(), row.wall_ms, row.fleet_fps,
+                    row.speedup, row.latency.p50, row.latency.p99,
+                    row.checksums_match ? "" : "  CHECKSUM MISMATCH");
+    }
+
+    // Optional paced run: every session carries an FPS target and EDF
+    // schedules by deadline, reporting the achieved SLO.
+    std::string paced_json;
+    if (fps_target > 0.0) {
+        FleetSpec paced_spec = fleet_spec;
+        paced_spec.fps_target = fps_target;
+        std::vector<Session> paced_fleet =
+            buildFleet(paced_spec, registry);
+        SchedulerOptions options;
+        options.policy = SchedulerPolicy::Edf;
+        FrameScheduler scheduler(options);
+        ServeReport report = scheduler.run(paced_fleet, pool);
+        bool ok = checksumsMatch(report, base);
+        all_ok = all_ok && ok;
+        Aggregate lat = report.fleetLatencyMs();
+        std::printf("\npaced edf @ %.1f FPS/session: fleet FPS %.2f, "
+                    "miss rate %.1f%%, lat p99 %.2f ms%s\n",
+                    fps_target, report.fleetFps(),
+                    100.0 * report.missRate(), lat.p99,
+                    ok ? "" : "  CHECKSUM MISMATCH");
+        std::ostringstream os;
+        os.precision(10);
+        os << ",\n  \"paced_edf\": {\"fps_target\": " << fps_target
+           << ", \"fleet_fps\": " << report.fleetFps()
+           << ", \"miss_rate\": " << report.missRate()
+           << ", \"frames_dropped\": " << report.framesDropped()
+           << ", \"latency_ms\": " << aggregateJson(lat)
+           << ", \"checksums_match\": " << (ok ? "true" : "false")
+           << "}";
+        paced_json = os.str();
+    }
+
+    // ---- JSON snapshot. ----
+    std::ostringstream json;
+    json.precision(10);
+    json << "{\n  \"bench\": \"serve_throughput\",\n"
+         << "  \"scale\": " << static_cast<double>(scale) << ",\n"
+         << "  \"sessions\": " << sessions << ",\n"
+         << "  \"frames\": " << frames << ",\n"
+         << "  \"workers\": " << workers << ",\n"
+         << "  \"hardware_workers\": " << ThreadPool::hardwareWorkers()
+         << ",\n  \"renderer_mix\": \"" << renderers_arg << "\",\n"
+         << "  \"scenes\": \"" << scenes_arg << "\",\n"
+         << "  \"shared_clouds\": " << registry.cloudCount() << ",\n"
+         << "  \"serial\": {\"wall_ms\": " << base.wall_ms
+         << ", \"fleet_fps\": " << base.fleet_fps << "},\n"
+         << "  \"policies\": [\n";
+    for (std::size_t i = 0; i < policy_rows.size(); ++i) {
+        const PolicyRow &r = policy_rows[i];
+        json << "    {\"policy\": \"" << r.policy
+             << "\", \"wall_ms\": " << r.wall_ms
+             << ", \"fleet_fps\": " << r.fleet_fps
+             << ", \"speedup_vs_serial\": " << r.speedup
+             << ", \"checksums_match\": "
+             << (r.checksums_match ? "true" : "false")
+             << ",\n     \"latency_ms\": " << aggregateJson(r.latency)
+             << ",\n     \"queue_wait_ms\": " << aggregateJson(r.queue_wait)
+             << "}" << (i + 1 < policy_rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]";
+    json << paced_json;
+    json << ",\n  \"checksums_ok\": " << (all_ok ? "true" : "false")
+         << "\n}\n";
+
+    if (out_path != "-") {
+        if (!ResultTable::writeFile(out_path, json.str())) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    if (!all_ok)
+        std::fprintf(stderr, "ERROR: scheduled checksums diverged from "
+                             "the serial baseline\n");
+    return all_ok ? 0 : 1;
+}

@@ -39,7 +39,20 @@ aggregate(std::vector<double> values)
     a.p50 = percentile(values, 50.0);
     a.p90 = percentile(values, 90.0);
     a.p99 = percentile(values, 99.0);
+    a.p999 = percentile(values, 99.9);
     return a;
+}
+
+std::string
+aggregateJson(const Aggregate &a)
+{
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << "{\"count\": " << a.count << ", \"mean\": " << a.mean
+       << ", \"min\": " << a.min << ", \"p50\": " << a.p50
+       << ", \"p90\": " << a.p90 << ", \"p99\": " << a.p99
+       << ", \"p999\": " << a.p999 << ", \"max\": " << a.max << "}";
+    return os.str();
 }
 
 ResultTable::ResultTable(std::vector<JobResult> rows)

@@ -31,6 +31,7 @@ struct Aggregate
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;  ///< p99.9, the tail SLO reporting watches
 };
 
 /**
@@ -45,6 +46,14 @@ Aggregate aggregate(std::vector<double> values);
  * linear interpolation.
  */
 double percentile(const std::vector<double> &sorted, double q);
+
+/**
+ * @p a as a JSON object (count/mean/min/p50/p90/p99/p999/max) at
+ * round-trip precision.  New exporters should emit aggregates through
+ * this instead of hand-rolling the fields (frame_throughput's flat
+ * ms_/fps_ keys predate it and keep their schema).
+ */
+std::string aggregateJson(const Aggregate &a);
 
 /** Result aggregation, comparison and export. */
 class ResultTable

@@ -9,6 +9,7 @@
 
 #include "core/accelerator.h"
 #include "gscore/gscore_sim.h"
+#include "scene/scene_io.h"
 #include "scene/scene_presets.h"
 
 namespace gcc3d {
@@ -100,14 +101,15 @@ imageChecksum(const Image &image)
 }
 
 SceneData
-SweepRunner::buildScene(const SceneSpec &spec, float scale, int frames)
+SweepRunner::buildScene(const SceneSpec &spec, float scale, int frames,
+                        const std::string &cache_dir)
 {
     if (scale <= 0.0f || scale > 1.0f)
         throw std::invalid_argument("scene scale must be in (0, 1]");
     if (frames < 1)
         throw std::invalid_argument("sweep needs at least one frame");
     SceneData data;
-    data.cloud = generateScene(spec, scale);
+    data.cloud = loadOrGenerateScene(spec, scale, cache_dir);
     data.trajectory = Trajectory::forScene(spec, frames);
     return data;
 }
@@ -214,8 +216,10 @@ SweepRunner::run(const SweepSpec &spec) const
             per_scene == 0 ? 0 : static_cast<std::size_t>(job.id) / per_scene;
         float scale = spec.scale;
         int frames = spec.frames;
+        std::string cache_dir = options_.scene_cache_dir;
         futures.push_back(pool.submit(
-            [job = std::move(job), slots, scene_idx, scale, frames] {
+            [job = std::move(job), slots, scene_idx, scale, frames,
+             cache_dir = std::move(cache_dir)] {
                 SceneSlot &slot = (*slots)[scene_idx];
                 std::shared_ptr<const SceneData> scene;
                 std::string build_error;
@@ -225,7 +229,8 @@ SweepRunner::run(const SweepSpec &spec) const
                         slot.built = true;
                         try {
                             slot.data = std::make_shared<const SceneData>(
-                                buildScene(job.spec, scale, frames));
+                                buildScene(job.spec, scale, frames,
+                                           cache_dir));
                         } catch (const std::exception &e) {
                             slot.build_error = e.what();
                         }

@@ -81,6 +81,13 @@ struct SweepOptions
     int workers = 1;
 
     /**
+     * .gsc scene-cache directory (scene_io::loadOrGenerateScene);
+     * empty disables caching.  Generation is deterministic, so cached
+     * and freshly generated runs are bit-identical.
+     */
+    std::string scene_cache_dir;
+
+    /**
      * Called on the submitting thread as results are collected (after
      * all jobs have been submitted), in job-id order — suitable for
      * progress display.
@@ -110,9 +117,14 @@ class SweepRunner
      */
     static JobResult runJob(const SimJob &job, const SceneData &scene);
 
-    /** Build the shared per-scene data for @p spec at @p scale. */
+    /**
+     * Build the shared per-scene data for @p spec at @p scale.  A
+     * non-empty @p cache_dir reads/writes the .gsc scene cache
+     * instead of always generating.
+     */
     static SceneData buildScene(const SceneSpec &spec, float scale,
-                                int frames);
+                                int frames,
+                                const std::string &cache_dir = "");
 
   private:
     SweepOptions options_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <random>
 #include <vector>
 
@@ -112,15 +113,53 @@ makeClusters(const SceneSpec &spec, std::mt19937_64 &rng)
 
 } // namespace
 
+std::size_t
+scaledGaussianCount(const SceneSpec &spec, float scale)
+{
+    std::size_t count = static_cast<std::size_t>(
+        static_cast<double>(spec.gaussian_count) * scale);
+    return std::max<std::size_t>(count, 16);
+}
+
+std::string
+sceneGenKey(const SceneSpec &spec, float scale)
+{
+    // Serialize every field generateScene reads (beyond name, seed
+    // and the scaled count, which appear in the key directly), then
+    // FNV-1a it into a short digest.  %.9g round-trips fp32 exactly.
+    char fields[256];
+    std::snprintf(fields, sizeof fields,
+                  "%d|%.9g|%d|%.9g|%.9g|%.9g|%.9g|%.9g|%.9g|%.9g|%.9g",
+                  static_cast<int>(spec.layout),
+                  static_cast<double>(spec.extent), spec.cluster_count,
+                  static_cast<double>(spec.cluster_sigma),
+                  static_cast<double>(spec.log_scale_mean),
+                  static_cast<double>(spec.log_scale_sigma),
+                  static_cast<double>(spec.anisotropy),
+                  static_cast<double>(spec.high_opacity_fraction),
+                  static_cast<double>(spec.high_opacity_min),
+                  static_cast<double>(spec.sh_detail),
+                  static_cast<double>(scale));
+    std::uint64_t hash = 1469598103934665603ull;  // FNV-1a 64
+    for (const char *p = fields; *p != '\0'; ++p) {
+        hash ^= static_cast<unsigned char>(*p);
+        hash *= 1099511628211ull;
+    }
+    char digest[17];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return spec.name + "-s" + std::to_string(spec.seed) + "-n" +
+           std::to_string(scaledGaussianCount(spec, scale)) + "-" +
+           digest;
+}
+
 GaussianCloud
 generateScene(const SceneSpec &spec, float scale)
 {
     GaussianCloud cloud(spec.name);
     std::mt19937_64 rng(spec.seed);
 
-    std::size_t count = static_cast<std::size_t>(
-        static_cast<double>(spec.gaussian_count) * scale);
-    count = std::max<std::size_t>(count, 16);
+    std::size_t count = scaledGaussianCount(spec, scale);
     cloud.reserve(count);
 
     std::vector<Cluster> clusters = makeClusters(spec, rng);

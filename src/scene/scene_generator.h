@@ -93,6 +93,24 @@ struct SceneSpec
  */
 GaussianCloud generateScene(const SceneSpec &spec, float scale = 1.0f);
 
+/**
+ * The exact population generateScene(spec, scale) produces: the
+ * scaled count, floored to at least 16.  Scene caching keys and
+ * validates cache files with it.
+ */
+std::size_t scaledGaussianCount(const SceneSpec &spec, float scale);
+
+/**
+ * Deterministic identity of the cloud generateScene(spec, scale)
+ * returns: `<name>-s<seed>-n<count>-<digest>`, where the digest
+ * hashes every generation-determining SceneSpec field (layout,
+ * clustering, footprint, opacity and SH parameters — camera fields do
+ * not contribute).  Two keys are equal iff generation produces the
+ * same cloud, so scene caches and registries key on it; any spec
+ * change invalidates stale entries instead of silently reusing them.
+ */
+std::string sceneGenKey(const SceneSpec &spec, float scale);
+
 /** Build the evaluation camera for @p spec. */
 Camera makeCamera(const SceneSpec &spec);
 

@@ -1,7 +1,11 @@
 #include "scene/scene_io.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <vector>
@@ -95,7 +99,12 @@ loadCloud(std::istream &is)
         throw std::runtime_error("scene_io: truncated name");
 
     GaussianCloud cloud(name);
-    cloud.reserve(count);
+    // A corrupted count field must surface as "truncated record" a
+    // few reads below, not as a std::length_error/bad_alloc from
+    // reserving petabytes — cap the hint; the vector grows past it
+    // naturally for genuinely large files.
+    cloud.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, 1u << 20)));
     std::vector<float> rec(Gaussian::kTotalFloats);
     for (std::uint64_t i = 0; i < count; ++i) {
         is.read(reinterpret_cast<char *>(rec.data()),
@@ -114,6 +123,51 @@ loadCloudFile(const std::string &path)
     if (!f)
         throw std::runtime_error("scene_io: cannot open " + path);
     return loadCloud(f);
+}
+
+std::string
+sceneCachePath(const std::string &dir, const SceneSpec &spec, float scale)
+{
+    // The generation key digests every determining spec field, so any
+    // spec or scale change lands on a different file (a stale cache
+    // misses instead of being silently trusted).
+    std::string file = sceneGenKey(spec, scale) + ".gsc";
+    return (std::filesystem::path(dir) / file).string();
+}
+
+GaussianCloud
+loadOrGenerateScene(const SceneSpec &spec, float scale,
+                    const std::string &cache_dir)
+{
+    if (cache_dir.empty())
+        return generateScene(spec, scale);
+
+    const std::string path = sceneCachePath(cache_dir, spec, scale);
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+        try {
+            GaussianCloud cloud = loadCloudFile(path);
+            if (cloud.name() == spec.name &&
+                cloud.size() == scaledGaussianCount(spec, scale))
+                return cloud;
+        } catch (const std::exception &) {
+            // Truncated, corrupt or foreign file — whatever the
+            // exception type, a bad cache costs a regeneration, never
+            // the run.
+        }
+    }
+
+    GaussianCloud cloud = generateScene(spec, scale);
+    std::filesystem::create_directories(cache_dir, ec);
+    // Publish atomically (temp + rename) so concurrent readers of a
+    // shared cache dir only ever see complete files; the PID keeps
+    // concurrent writers off each other's temp file.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    if (saveCloudFile(cloud, tmp))
+        std::filesystem::rename(tmp, path, ec);
+    std::filesystem::remove(tmp, ec);  // no-op after a clean rename
+    return cloud;
 }
 
 } // namespace gcc3d

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "scene/gaussian_cloud.h"
+#include "scene/scene_generator.h"
 
 namespace gcc3d {
 
@@ -33,6 +34,28 @@ GaussianCloud loadCloud(std::istream &is);
 
 /** Read a cloud from @p path. @throws std::runtime_error on error. */
 GaussianCloud loadCloudFile(const std::string &path);
+
+/**
+ * Cache file path of (spec, scale) under @p dir:
+ * `<sceneGenKey>.gsc`, i.e. the scene name, seed, exact scaled count
+ * and a digest of every generation-determining spec field — so one
+ * directory safely caches every (scene, scale) combination side by
+ * side and stale files from edited specs simply miss.
+ */
+std::string sceneCachePath(const std::string &dir, const SceneSpec &spec,
+                           float scale);
+
+/**
+ * generateScene with a .gsc cache in front: when @p cache_dir holds a
+ * valid cache file for (spec, scale) it is loaded instead of
+ * generating; otherwise the scene is generated and written back
+ * (best-effort — an unwritable cache never fails the call).  A stale,
+ * truncated or foreign cache file is regenerated and overwritten, so
+ * a corrupt cache can only cost time, never correctness.  An empty
+ * @p cache_dir is a plain generateScene.
+ */
+GaussianCloud loadOrGenerateScene(const SceneSpec &spec, float scale,
+                                  const std::string &cache_dir);
 
 } // namespace gcc3d
 

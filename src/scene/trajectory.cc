@@ -1,5 +1,6 @@
 #include "scene/trajectory.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace gcc3d {
@@ -8,6 +9,7 @@ Trajectory
 Trajectory::orbit(const Camera &proto, const Vec3 &center, float radius,
                   float height, int frames)
 {
+    frames = std::max(frames, 1);
     Trajectory t;
     for (int i = 0; i < frames; ++i) {
         float phi = 2.0f * static_cast<float>(M_PI) *
@@ -25,6 +27,7 @@ Trajectory
 Trajectory::dolly(const Camera &proto, const Vec3 &from, const Vec3 &to,
                   const Vec3 &look_at, int frames)
 {
+    frames = std::max(frames, 1);
     Trajectory t;
     for (int i = 0; i < frames; ++i) {
         float s = frames > 1 ? static_cast<float>(i) /

@@ -35,7 +35,9 @@ class Trajectory
 
     /**
      * Circular orbit around @p center at the given radius/height,
-     * covering a full revolution in @p frames steps.
+     * covering a full revolution in @p frames steps.  A frame count
+     * below 1 is clamped to 1, so every factory returns a non-empty
+     * path.
      *
      * @param proto  camera carrying the intrinsics (width/height/fov)
      */
@@ -44,14 +46,15 @@ class Trajectory
 
     /**
      * Linear dolly from @p from to @p to, always looking at
-     * @p look_at, in @p frames steps.
+     * @p look_at, in @p frames steps (clamped to at least 1).
      */
     static Trajectory dolly(const Camera &proto, const Vec3 &from,
                             const Vec3 &to, const Vec3 &look_at,
                             int frames);
 
     /** Natural path for a scene archetype (orbit for objects, dolly
-     *  for streets/rooms), derived from the spec's geometry. */
+     *  for streets/rooms), derived from the spec's geometry.  The
+     *  frame count is clamped to at least 1 like the factories. */
     static Trajectory forScene(const SceneSpec &spec, int frames);
 
   private:

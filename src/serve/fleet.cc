@@ -1,0 +1,62 @@
+#include "serve/fleet.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace gcc3d {
+
+std::vector<Session>
+buildFleet(const FleetSpec &spec, SceneRegistry &registry)
+{
+    if (spec.sessions < 1)
+        throw std::invalid_argument("fleet needs at least one session");
+    if (spec.scenes.empty())
+        throw std::invalid_argument("fleet needs at least one scene");
+    if (spec.renderers.empty())
+        throw std::invalid_argument("fleet needs at least one renderer");
+
+    std::vector<Session> fleet;
+    fleet.reserve(static_cast<std::size_t>(spec.sessions));
+    for (int i = 0; i < spec.sessions; ++i) {
+        SessionConfig cfg;
+        cfg.id = i;
+        cfg.spec = spec.scenes[static_cast<std::size_t>(i) %
+                               spec.scenes.size()];
+        cfg.scale = spec.scale;
+        cfg.frames = spec.frames;
+        cfg.renderer = spec.renderers[static_cast<std::size_t>(i) %
+                                      spec.renderers.size()];
+        cfg.tile = spec.tile;
+        cfg.gw = spec.gw;
+        cfg.fps_target = spec.fps_target;
+        SceneHandle handle =
+            registry.acquire(cfg.spec, cfg.scale, cfg.frames);
+        fleet.emplace_back(std::move(cfg), std::move(handle));
+    }
+    return fleet;
+}
+
+SerialBaseline
+renderSerial(const std::vector<Session> &sessions)
+{
+    SerialBaseline base;
+    base.checksums.reserve(sessions.size());
+    auto start = std::chrono::steady_clock::now();
+    int rendered = 0;
+    for (const Session &s : sessions) {
+        double sum = 0.0;
+        for (int f = 0; f < s.frameCount(); ++f) {
+            sum += s.renderFrame(f);
+            ++rendered;
+        }
+        base.checksums.push_back(sum);
+    }
+    base.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    base.fleet_fps =
+        base.wall_ms > 0.0 ? rendered * 1000.0 / base.wall_ms : 0.0;
+    return base;
+}
+
+} // namespace gcc3d

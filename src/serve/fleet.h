@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fleet construction and the serial serving baseline.
+ *
+ * A FleetSpec describes a whole client population the way the serve
+ * CLI and benchmark do: N sessions cycling through a scene list and a
+ * renderer mix, sharing one frame count, scale and FPS target.
+ * buildFleet() resolves it into live Sessions against a SceneRegistry
+ * (so sessions viewing the same scene share its immutable state), and
+ * renderSerial() is the one-session-at-a-time baseline the scheduled
+ * fleet is benchmarked and checksum-verified against.
+ */
+
+#ifndef GCC3D_SERVE_FLEET_H
+#define GCC3D_SERVE_FLEET_H
+
+#include <vector>
+
+#include "serve/scene_registry.h"
+#include "serve/session.h"
+
+namespace gcc3d {
+
+/** Declarative description of a session fleet. */
+struct FleetSpec
+{
+    int sessions = 8;       ///< client count
+    int frames = 8;         ///< frames streamed per client
+    float scale = 1.0f;     ///< population scale in (0, 1]
+    double fps_target = 0.0; ///< per-session FPS target; 0 = best effort
+
+    /** Scenes, assigned round-robin across sessions; must not be empty. */
+    std::vector<SceneSpec> scenes;
+
+    /** Renderer mix, assigned round-robin; must not be empty. */
+    std::vector<SessionRenderer> renderers = {SessionRenderer::Tile};
+
+    TileRendererConfig tile;
+    GaussianWiseConfig gw;
+};
+
+/**
+ * Resolve @p spec into live sessions (ids 0..sessions-1) sharing
+ * scene state through @p registry.  Throws on an empty scene or
+ * renderer list and on whatever scene building throws.
+ */
+std::vector<Session> buildFleet(const FleetSpec &spec,
+                                SceneRegistry &registry);
+
+/** Outcome of the serial one-session-at-a-time baseline. */
+struct SerialBaseline
+{
+    double wall_ms = 0.0;
+    double fleet_fps = 0.0;           ///< frames rendered / wall time
+    std::vector<double> checksums;    ///< per-session frame-order sums
+};
+
+/**
+ * Render every session's frames in order, one session after another,
+ * on the calling thread — the no-scheduler baseline.  The per-session
+ * checksums are the ground truth any scheduled run must reproduce.
+ */
+SerialBaseline renderSerial(const std::vector<Session> &sessions);
+
+} // namespace gcc3d
+
+#endif // GCC3D_SERVE_FLEET_H

@@ -1,0 +1,275 @@
+#include "serve/frame_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace gcc3d {
+
+namespace {
+
+using SchedClock = std::chrono::steady_clock;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+std::string
+schedulerPolicyName(SchedulerPolicy policy)
+{
+    switch (policy) {
+    case SchedulerPolicy::Fifo:
+        return "fifo";
+    case SchedulerPolicy::RoundRobin:
+        return "rr";
+    case SchedulerPolicy::Edf:
+        return "edf";
+    }
+    return "unknown";
+}
+
+SchedulerPolicy
+schedulerPolicyFromName(const std::string &name)
+{
+    if (name == "fifo")
+        return SchedulerPolicy::Fifo;
+    if (name == "rr" || name == "round-robin")
+        return SchedulerPolicy::RoundRobin;
+    if (name == "edf")
+        return SchedulerPolicy::Edf;
+    throw std::invalid_argument("unknown scheduler policy: " + name);
+}
+
+/** Mutable serving state of one session; mutex_-guarded. */
+struct FrameScheduler::SessionState
+{
+    const Session *session = nullptr;
+    double period_ms = 0.0;      ///< 0 = best effort
+    int next_frame = 0;          ///< cursor: next frame to serve
+    bool in_flight = false;
+    std::uint64_t ready_seq = 0; ///< FIFO tiebreak of the head frame
+    double ready_ms = 0.0;       ///< when the head frame reached the queue
+    std::vector<FrameRecord> records;
+
+    bool
+    exhausted() const
+    {
+        return next_frame >= session->frameCount();
+    }
+
+    /** Pacing: frame i is released i periods after serving starts. */
+    double
+    releaseMs(int frame) const
+    {
+        return period_ms * frame;
+    }
+
+    double
+    deadlineMs(int frame) const
+    {
+        return period_ms > 0.0 ? period_ms * (frame + 1) : kInf;
+    }
+
+    /** When the head frame became admissible (released AND queued). */
+    double
+    admissibleMs() const
+    {
+        return std::max(releaseMs(next_frame), ready_ms);
+    }
+};
+
+ServeReport
+FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
+{
+    const SchedClock::time_point t0 = SchedClock::now();
+    auto now_ms = [t0] {
+        return std::chrono::duration<double, std::milli>(
+                   SchedClock::now() - t0)
+            .count();
+    };
+
+    std::vector<SessionState> states(sessions.size());
+    std::uint64_t seq = 0;
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+        states[i].session = &sessions[i];
+        states[i].period_ms = sessions[i].periodMs();
+        states[i].ready_seq = seq++;
+        states[i].records.reserve(
+            static_cast<std::size_t>(sessions[i].frameCount()));
+    }
+
+    int loops = options_.workers <= 0
+                    ? pool.workerCount()
+                    : std::min(options_.workers, pool.workerCount());
+    loops = std::max(loops, 1);
+
+    // Policy choice among admissible sessions; mutex_ held.
+    auto pick = [this, &states](double now) -> SessionState * {
+        SessionState *best = nullptr;
+        for (SessionState &s : states) {
+            if (s.exhausted() || s.in_flight ||
+                s.releaseMs(s.next_frame) > now)
+                continue;
+            if (best == nullptr) {
+                best = &s;
+                continue;
+            }
+            bool wins = false;
+            switch (options_.policy) {
+            case SchedulerPolicy::Fifo:
+                wins = s.admissibleMs() < best->admissibleMs() ||
+                       (s.admissibleMs() == best->admissibleMs() &&
+                        s.ready_seq < best->ready_seq);
+                break;
+            case SchedulerPolicy::RoundRobin:
+                wins = s.next_frame < best->next_frame ||
+                       (s.next_frame == best->next_frame &&
+                        s.ready_seq < best->ready_seq);
+                break;
+            case SchedulerPolicy::Edf: {
+                double d = s.deadlineMs(s.next_frame);
+                double bd = best->deadlineMs(best->next_frame);
+                wins = d < bd ||
+                       (d == bd && s.ready_seq < best->ready_seq);
+                break;
+            }
+            }
+            if (wins)
+                best = &s;
+        }
+        return best;
+    };
+
+    auto worker = [this, &states, &seq, &pick, &now_ms] {
+        bool done = false;
+        while (!done) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            SessionState *picked = nullptr;
+            while (true) {
+                if (stop_.load(std::memory_order_acquire)) {
+                    done = true;
+                    break;
+                }
+                double now = now_ms();
+                picked = pick(now);
+                if (picked != nullptr)
+                    break;
+
+                // Nothing admissible: either the fleet is finished,
+                // or we wait for a pacing release / an in-flight
+                // completion to free a session's next frame.
+                bool all_exhausted = true;
+                double next_release = kInf;
+                for (SessionState &s : states) {
+                    if (s.exhausted())
+                        continue;
+                    all_exhausted = false;
+                    if (!s.in_flight)
+                        next_release = std::min(
+                            next_release, s.releaseMs(s.next_frame));
+                }
+                if (all_exhausted) {
+                    done = true;
+                    break;
+                }
+                if (std::isinf(next_release))
+                    cv_.wait(lock);
+                else
+                    cv_.wait_for(
+                        lock, std::chrono::duration<double, std::milli>(
+                                  next_release - now));
+            }
+            if (picked == nullptr)
+                continue;  // done: fall out of the outer loop
+
+            const int frame = picked->next_frame;
+            const double release = picked->releaseMs(frame);
+            const double deadline = picked->deadlineMs(frame);
+            const double admissible = picked->admissibleMs();
+            const double dispatch = now_ms();
+
+            FrameRecord rec;
+            rec.frame = frame;
+            rec.queue_wait_ms = std::max(0.0, dispatch - admissible);
+
+            if (options_.drop_late && dispatch > deadline) {
+                // Overload shedding: hopelessly late, don't render.
+                rec.rendered = false;
+                rec.deadline_missed = true;
+                picked->records.push_back(rec);
+                picked->next_frame++;
+                picked->ready_ms = dispatch;
+                picked->ready_seq = seq++;
+                cv_.notify_all();
+                continue;
+            }
+
+            picked->in_flight = true;
+            lock.unlock();
+
+            double checksum = 0.0;
+            bool rendered = true;
+            try {
+                checksum = picked->session->renderFrame(frame);
+            } catch (const std::exception &) {
+                rendered = false;  // never wedge the fleet on one frame
+            }
+            // Timestamp before re-acquiring the contended mutex, so
+            // lock-wait time is never billed as render time and can't
+            // flip an on-time frame into a recorded miss.
+            const double complete = now_ms();
+
+            lock.lock();
+            rec.rendered = rendered;
+            rec.checksum = checksum;
+            rec.render_ms = complete - dispatch;
+            // Best-effort sessions measure latency from queueing; a
+            // paced frame measures from its release (the client asked
+            // for it then).
+            rec.latency_ms =
+                complete - (picked->period_ms > 0.0 ? release : admissible);
+            rec.deadline_missed = complete > deadline;
+            picked->records.push_back(rec);
+            picked->next_frame++;
+            picked->in_flight = false;
+            picked->ready_ms = complete;
+            picked->ready_seq = seq++;
+            cv_.notify_all();
+        }
+    };
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(static_cast<std::size_t>(loops));
+    for (int i = 0; i < loops; ++i)
+        futures.push_back(pool.submit(worker));
+    for (std::future<void> &f : futures)
+        f.get();
+
+    ServeReport report;
+    report.policy = schedulerPolicyName(options_.policy);
+    report.workers = loops;
+    report.wall_ms = now_ms();
+    for (const SessionState &s : states)
+        if (!s.exhausted())
+            report.drained = true;
+    report.sessions.reserve(states.size());
+    for (std::size_t i = 0; i < states.size(); ++i)
+        report.sessions.push_back(summarizeSession(
+            sessions[i], std::move(states[i].records), report.wall_ms));
+    return report;
+}
+
+void
+FrameScheduler::requestStop()
+{
+    stop_.store(true, std::memory_order_release);
+    // Lock so no worker can slip between its stop check and its wait;
+    // the notify then reaches every sleeping worker.
+    std::lock_guard<std::mutex> lock(mutex_);
+    cv_.notify_all();
+}
+
+} // namespace gcc3d

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * SLO-aware multi-session frame scheduling over the ThreadPool.
+ *
+ * The scheduler serves a fleet of Sessions concurrently: each session
+ * streams its trajectory frames in order with at most one frame in
+ * flight (a client consumes frames sequentially), and any scheduler
+ * worker may render any session's admissible next frame.  Admission
+ * is paced by the session's FPS target — frame i of a session with
+ * target f is released i/f seconds after serving starts and carries
+ * deadline (i+1)/f — while best-effort sessions (target 0) are always
+ * released and never miss.
+ *
+ * Pluggable policies decide which admissible session a free worker
+ * serves next:
+ *
+ *  - Fifo        the frame that has been admissible longest (global
+ *                arrival order; long sessions can starve late ones),
+ *  - RoundRobin  the session with the fewest frames served (fair
+ *                share),
+ *  - Edf         earliest deadline first (classic SLO scheduling;
+ *                best-effort sessions yield to deadline-bearing ones).
+ *
+ * Every frame records queue wait, render latency, end-to-end latency
+ * and its deadline outcome; under overload, drop_late sheds frames
+ * whose deadline has already passed at dispatch instead of rendering
+ * them.  Scheduling never changes pixels: frames are pure functions
+ * of (scene, camera, config), which the serving benchmark
+ * cross-checks against serial rendering by checksum.
+ */
+
+#ifndef GCC3D_SERVE_FRAME_SCHEDULER_H
+#define GCC3D_SERVE_FRAME_SCHEDULER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "serve/serve_stats.h"
+#include "serve/session.h"
+
+namespace gcc3d {
+
+/** Which admissible frame a free worker serves next. */
+enum class SchedulerPolicy
+{
+    Fifo,       ///< longest-admissible first
+    RoundRobin, ///< fewest-served session first
+    Edf,        ///< earliest deadline first
+};
+
+/** Lower-case policy name ("fifo", "rr", "edf"). */
+std::string schedulerPolicyName(SchedulerPolicy policy);
+
+/** Parse a policy name ("fifo", "rr", "round-robin", "edf"); throws. */
+SchedulerPolicy schedulerPolicyFromName(const std::string &name);
+
+/** Execution knobs of a serving run. */
+struct SchedulerOptions
+{
+    SchedulerPolicy policy = SchedulerPolicy::Fifo;
+
+    /**
+     * Concurrent render workers; <= 0 uses every pool worker.
+     * Clamped to the pool's worker count.
+     */
+    int workers = 0;
+
+    /**
+     * Overload shedding: drop (instead of render) frames whose
+     * deadline has already passed when they are dispatched.  Off by
+     * default so benchmark runs render every frame.
+     */
+    bool drop_late = false;
+};
+
+/**
+ * Work-queue scheduler executing a session fleet on a ThreadPool.
+ *
+ * One scheduler instance performs one run() (stop requests are
+ * sticky); construct a fresh scheduler per serving run.
+ */
+class FrameScheduler
+{
+  public:
+    explicit FrameScheduler(SchedulerOptions options = {})
+        : options_(options) {}
+
+    FrameScheduler(const FrameScheduler &) = delete;
+    FrameScheduler &operator=(const FrameScheduler &) = delete;
+
+    const SchedulerOptions &options() const { return options_; }
+
+    /**
+     * Serve every frame of every session to completion (or until
+     * requestStop()), blocking the caller.  Worker loops run as pool
+     * tasks, so the pool may be shared — but must not be saturated
+     * with tasks that wait on this scheduler.
+     */
+    ServeReport run(const std::vector<Session> &sessions,
+                    ThreadPool &pool);
+
+    /**
+     * Graceful drain: stop admitting new frames.  Frames already in
+     * flight complete and are recorded; run() then returns with every
+     * completed frame accounted, and ServeReport::drained = true iff
+     * the stop left frames unserved (a fleet that finished first
+     * reports drained = false).  Safe to call from any thread, any
+     * number of times.
+     */
+    void requestStop();
+
+    bool stopRequested() const
+    {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+  private:
+    struct SessionState;
+
+    SchedulerOptions options_;
+    std::atomic<bool> stop_{false};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_SERVE_FRAME_SCHEDULER_H

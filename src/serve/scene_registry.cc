@@ -1,0 +1,70 @@
+#include "serve/scene_registry.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "scene/scene_io.h"
+
+namespace gcc3d {
+
+SceneHandle
+SceneRegistry::acquire(const SceneSpec &spec, float scale, int frames)
+{
+    if (scale <= 0.0f || scale > 1.0f)
+        throw std::invalid_argument("scene scale must be in (0, 1]");
+    if (frames < 1)
+        throw std::invalid_argument("session needs at least one frame");
+
+    // sceneGenKey covers every generation-determining field, so two
+    // specs share a cloud exactly when generation would produce the
+    // same one.
+    const std::string ckey = sceneGenKey(spec, scale);
+    // Trajectories additionally depend on the camera fields (and the
+    // frame count), which the cloud key deliberately excludes.
+    char cam[128];
+    std::snprintf(cam, sizeof cam, "#f%d#%dx%d|%.9g|%.9g|%.9g", frames,
+                  spec.image_width, spec.image_height,
+                  static_cast<double>(spec.fov_x),
+                  static_cast<double>(spec.camera_distance),
+                  static_cast<double>(spec.camera_height));
+    const std::string tkey = ckey + cam;
+
+    // One registry-wide mutex: builds of distinct scenes serialize,
+    // which is acceptable because serving fleets reuse few scenes and
+    // admission happens once per session, not per frame.
+    std::lock_guard<std::mutex> lock(mutex_);
+    SceneHandle handle;
+
+    auto cit = clouds_.find(ckey);
+    if (cit == clouds_.end()) {
+        auto cloud = std::make_shared<const GaussianCloud>(
+            loadOrGenerateScene(spec, scale, cache_dir_));
+        cit = clouds_.emplace(ckey, std::move(cloud)).first;
+    }
+    handle.cloud = cit->second;
+
+    auto tit = trajectories_.find(tkey);
+    if (tit == trajectories_.end()) {
+        auto traj = std::make_shared<const Trajectory>(
+            Trajectory::forScene(spec, frames));
+        tit = trajectories_.emplace(tkey, std::move(traj)).first;
+    }
+    handle.trajectory = tit->second;
+    return handle;
+}
+
+std::size_t
+SceneRegistry::cloudCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return clouds_.size();
+}
+
+std::size_t
+SceneRegistry::trajectoryCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return trajectories_.size();
+}
+
+} // namespace gcc3d

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared immutable scene state for multi-session serving.
+ *
+ * Many concurrent render sessions typically view a handful of scenes
+ * (every headset in a venue streams the same venue model).  The
+ * registry deduplicates that state: the first acquire() of a (spec,
+ * scale, frames) key builds the GaussianCloud and Trajectory once —
+ * optionally through the .gsc scene cache — and every later acquire()
+ * of the same key returns shared_ptrs to the same immutable objects.
+ * Both renderers document that concurrent rendering from a shared
+ * const cloud is safe, so sessions never copy scene data.
+ *
+ * Clouds and trajectories are refcounted separately: sessions that
+ * view the same scene through different trajectory lengths still
+ * share the (much larger) cloud.
+ */
+
+#ifndef GCC3D_SERVE_SCENE_REGISTRY_H
+#define GCC3D_SERVE_SCENE_REGISTRY_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "scene/scene_generator.h"
+#include "scene/trajectory.h"
+
+namespace gcc3d {
+
+/** Refcounted handles to one scene's immutable serving state. */
+struct SceneHandle
+{
+    std::shared_ptr<const GaussianCloud> cloud;
+    std::shared_ptr<const Trajectory> trajectory;
+};
+
+/** Thread-safe build-once cache of scene state shared across sessions. */
+class SceneRegistry
+{
+  public:
+    /** @param cache_dir .gsc cache for cloud builds; empty disables. */
+    explicit SceneRegistry(std::string cache_dir = "")
+        : cache_dir_(std::move(cache_dir)) {}
+
+    SceneRegistry(const SceneRegistry &) = delete;
+    SceneRegistry &operator=(const SceneRegistry &) = delete;
+
+    /**
+     * The shared handle for (spec, scale, frames); built on first
+     * use.  Throws what scene generation/loading throws (on scale out
+     * of (0, 1] for instance); a failed build is not cached.
+     */
+    SceneHandle acquire(const SceneSpec &spec, float scale, int frames);
+
+    /** Distinct clouds built so far (deduplication observability). */
+    std::size_t cloudCount() const;
+
+    /** Distinct trajectories built so far. */
+    std::size_t trajectoryCount() const;
+
+    const std::string &cacheDir() const { return cache_dir_; }
+
+  private:
+    std::string cache_dir_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const GaussianCloud>> clouds_;
+    std::map<std::string, std::shared_ptr<const Trajectory>> trajectories_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_SERVE_SCENE_REGISTRY_H

@@ -1,0 +1,213 @@
+#include "serve/serve_stats.h"
+
+#include <limits>
+#include <sstream>
+
+namespace gcc3d {
+
+namespace {
+
+/** Collect one FrameRecord field over the rendered frames of a fleet. */
+template <typename Getter>
+std::vector<double>
+collectRendered(const std::vector<SessionStats> &sessions, Getter get)
+{
+    std::vector<double> values;
+    for (const SessionStats &s : sessions)
+        for (const FrameRecord &f : s.frames)
+            if (f.rendered)
+                values.push_back(get(f));
+    return values;
+}
+
+} // namespace
+
+SessionStats
+summarizeSession(const Session &session, std::vector<FrameRecord> frames,
+                 double wall_ms)
+{
+    const SessionConfig &cfg = session.config();
+    SessionStats s;
+    s.session = cfg.id;
+    s.scene = cfg.spec.name;
+    s.renderer = sessionRendererName(cfg.renderer);
+    s.fps_target = cfg.fps_target;
+    s.frames_total = cfg.frames;
+
+    std::vector<double> waits, renders, latencies;
+    for (const FrameRecord &f : frames) {
+        if (!f.rendered) {
+            ++s.frames_dropped;
+            continue;
+        }
+        ++s.frames_rendered;
+        if (f.deadline_missed)
+            ++s.deadline_misses;
+        s.checksum += f.checksum;  // frame order: deterministic sum
+        waits.push_back(f.queue_wait_ms);
+        renders.push_back(f.render_ms);
+        latencies.push_back(f.latency_ms);
+    }
+    s.achieved_fps =
+        wall_ms > 0.0 ? s.frames_rendered * 1000.0 / wall_ms : 0.0;
+    s.queue_wait_ms = aggregate(std::move(waits));
+    s.render_ms = aggregate(std::move(renders));
+    s.latency_ms = aggregate(std::move(latencies));
+    s.frames = std::move(frames);
+    return s;
+}
+
+int
+ServeReport::framesTotal() const
+{
+    int n = 0;
+    for (const SessionStats &s : sessions)
+        n += s.frames_total;
+    return n;
+}
+
+int
+ServeReport::framesRendered() const
+{
+    int n = 0;
+    for (const SessionStats &s : sessions)
+        n += s.frames_rendered;
+    return n;
+}
+
+int
+ServeReport::framesDropped() const
+{
+    int n = 0;
+    for (const SessionStats &s : sessions)
+        n += s.frames_dropped;
+    return n;
+}
+
+int
+ServeReport::deadlineMisses() const
+{
+    int n = 0;
+    for (const SessionStats &s : sessions)
+        n += s.deadline_misses;
+    return n;
+}
+
+double
+ServeReport::fleetFps() const
+{
+    return wall_ms > 0.0 ? framesRendered() * 1000.0 / wall_ms : 0.0;
+}
+
+double
+ServeReport::missRate() const
+{
+    // A dropped frame is an SLO violation too — it was never
+    // delivered, let alone on time — so shedding under overload must
+    // push the miss rate toward 1, not hide the violations.
+    int served_with_deadline = 0;
+    int violations = 0;
+    for (const SessionStats &s : sessions) {
+        if (s.fps_target <= 0.0)
+            continue;
+        served_with_deadline += s.frames_rendered + s.frames_dropped;
+        violations += s.deadline_misses + s.frames_dropped;
+    }
+    return served_with_deadline > 0
+               ? static_cast<double>(violations) / served_with_deadline
+               : 0.0;
+}
+
+Aggregate
+ServeReport::fleetLatencyMs() const
+{
+    return aggregate(collectRendered(
+        sessions, [](const FrameRecord &f) { return f.latency_ms; }));
+}
+
+Aggregate
+ServeReport::fleetQueueWaitMs() const
+{
+    return aggregate(collectRendered(
+        sessions, [](const FrameRecord &f) { return f.queue_wait_ms; }));
+}
+
+Aggregate
+ServeReport::fleetRenderMs() const
+{
+    return aggregate(collectRendered(
+        sessions, [](const FrameRecord &f) { return f.render_ms; }));
+}
+
+std::string
+ServeReport::toJson() const
+{
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << "{\n  \"policy\": \"" << policy << "\",\n"
+       << "  \"workers\": " << workers << ",\n"
+       << "  \"wall_ms\": " << wall_ms << ",\n"
+       << "  \"drained\": " << (drained ? "true" : "false") << ",\n"
+       << "  \"fleet\": {\"frames_total\": " << framesTotal()
+       << ", \"frames_rendered\": " << framesRendered()
+       << ", \"frames_dropped\": " << framesDropped()
+       << ", \"deadline_misses\": " << deadlineMisses()
+       << ", \"fleet_fps\": " << fleetFps()
+       << ", \"miss_rate\": " << missRate() << ",\n"
+       << "    \"latency_ms\": " << aggregateJson(fleetLatencyMs())
+       << ",\n    \"queue_wait_ms\": " << aggregateJson(fleetQueueWaitMs())
+       << ",\n    \"render_ms\": " << aggregateJson(fleetRenderMs())
+       << "},\n  \"sessions\": [\n";
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+        const SessionStats &s = sessions[i];
+        os << "    {\"session\": " << s.session << ", \"scene\": \""
+           << s.scene << "\", \"renderer\": \"" << s.renderer
+           << "\", \"fps_target\": " << s.fps_target
+           << ", \"frames_total\": " << s.frames_total
+           << ", \"frames_rendered\": " << s.frames_rendered
+           << ", \"frames_dropped\": " << s.frames_dropped
+           << ", \"deadline_misses\": " << s.deadline_misses
+           << ", \"achieved_fps\": " << s.achieved_fps
+           << ", \"checksum\": " << s.checksum
+           << ",\n     \"latency_ms\": " << aggregateJson(s.latency_ms)
+           << ",\n     \"queue_wait_ms\": "
+           << aggregateJson(s.queue_wait_ms)
+           << ",\n     \"render_ms\": " << aggregateJson(s.render_ms)
+           << "}" << (i + 1 < sessions.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+void
+ServeReport::print(std::FILE *out) const
+{
+    std::fprintf(out,
+                 "serve: policy %s, %d workers, wall %.1f ms%s\n",
+                 policy.c_str(), workers, wall_ms,
+                 drained ? " (drained before completion)" : "");
+    std::fprintf(out,
+                 "%-4s %-10s %-5s %7s %5s %5s %5s %8s %8s %8s %8s %8s\n",
+                 "id", "scene", "rend", "target", "done", "drop", "miss",
+                 "fps", "lat_p50", "lat_p99", "wait_p50", "rend_p50");
+    for (const SessionStats &s : sessions)
+        std::fprintf(out,
+                     "%-4d %-10s %-5s %7.1f %5d %5d %5d %8.2f %8.2f "
+                     "%8.2f %8.2f %8.2f\n",
+                     s.session, s.scene.c_str(), s.renderer.c_str(),
+                     s.fps_target, s.frames_rendered, s.frames_dropped,
+                     s.deadline_misses, s.achieved_fps, s.latency_ms.p50,
+                     s.latency_ms.p99, s.queue_wait_ms.p50,
+                     s.render_ms.p50);
+    Aggregate lat = fleetLatencyMs();
+    std::fprintf(out,
+                 "fleet: %d/%d frames rendered (%d dropped), fleet FPS "
+                 "%.2f, miss rate %.1f%%\n"
+                 "fleet latency ms: mean %.2f p50 %.2f p90 %.2f p99 %.2f "
+                 "p99.9 %.2f max %.2f\n",
+                 framesRendered(), framesTotal(), framesDropped(),
+                 fleetFps(), 100.0 * missRate(), lat.mean, lat.p50,
+                 lat.p90, lat.p99, lat.p999, lat.max);
+}
+
+} // namespace gcc3d

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-session and fleet SLO reporting for the serving subsystem.
+ *
+ * The scheduler records one FrameRecord per frame (queue wait, render
+ * latency, deadline outcome, checksum); this module aggregates those
+ * into the questions a serving operator asks: per-session and fleet
+ * p50/p90/p99/p99.9 latency, achieved FPS against the target,
+ * deadline-miss rate, and dropped frames under overload — plus JSON
+ * export (the BENCH_serve.json building block) and a human-readable
+ * report table.
+ */
+
+#ifndef GCC3D_SERVE_SERVE_STATS_H
+#define GCC3D_SERVE_SERVE_STATS_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/result_table.h"
+#include "serve/session.h"
+
+namespace gcc3d {
+
+/** Aggregated serving outcome of one session. */
+struct SessionStats
+{
+    int session = 0;
+    std::string scene;
+    std::string renderer;       ///< "tile" or "gw"
+    double fps_target = 0.0;    ///< 0 = best effort
+
+    int frames_total = 0;
+    int frames_rendered = 0;
+    int frames_dropped = 0;
+    int deadline_misses = 0;    ///< rendered but past deadline
+
+    /** Rendered frames over the fleet serving wall time. */
+    double achieved_fps = 0.0;
+
+    /**
+     * Sum of per-frame checksums in frame order (dropped frames
+     * contribute 0) — deterministic, so a scheduled run is compared
+     * against serial rendering by a single double.
+     */
+    double checksum = 0.0;
+
+    Aggregate queue_wait_ms;    ///< over rendered frames
+    Aggregate render_ms;        ///< over rendered frames
+    Aggregate latency_ms;       ///< released -> completed
+
+    std::vector<FrameRecord> frames;  ///< per-frame detail, frame order
+};
+
+/** Aggregate @p frames (already in frame order) for @p session. */
+SessionStats summarizeSession(const Session &session,
+                              std::vector<FrameRecord> frames,
+                              double wall_ms);
+
+/** The full outcome of one FrameScheduler::run. */
+struct ServeReport
+{
+    std::string policy;   ///< scheduler policy name
+    int workers = 0;
+    double wall_ms = 0.0;
+    bool drained = false; ///< true when stopped before completion
+
+    std::vector<SessionStats> sessions;
+
+    int framesTotal() const;
+    int framesRendered() const;
+    int framesDropped() const;
+    int deadlineMisses() const;
+
+    /** Fleet throughput: rendered frames / serving wall time. */
+    double fleetFps() const;
+
+    /**
+     * SLO violations (late renders + dropped frames) over all served
+     * frames of deadline-bearing sessions — dropped frames count as
+     * missed, so overload shedding cannot make the rate look good.
+     */
+    double missRate() const;
+
+    /** Fleet-wide latency/queue/render aggregates (rendered frames). */
+    Aggregate fleetLatencyMs() const;
+    Aggregate fleetQueueWaitMs() const;
+    Aggregate fleetRenderMs() const;
+
+    /** JSON object (fleet summary + per-session entries). */
+    std::string toJson() const;
+
+    /** Human-readable SLO report. */
+    void print(std::FILE *out = stdout) const;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_SERVE_SERVE_STATS_H

@@ -1,0 +1,68 @@
+#include "serve/session.h"
+
+#include <stdexcept>
+
+#include "runtime/sweep_runner.h"
+
+namespace gcc3d {
+
+std::string
+sessionRendererName(SessionRenderer renderer)
+{
+    switch (renderer) {
+    case SessionRenderer::Tile:
+        return "tile";
+    case SessionRenderer::GaussianWise:
+        return "gw";
+    }
+    return "unknown";
+}
+
+SessionRenderer
+sessionRendererFromName(const std::string &name)
+{
+    if (name == "tile")
+        return SessionRenderer::Tile;
+    if (name == "gw" || name == "gaussian-wise")
+        return SessionRenderer::GaussianWise;
+    throw std::invalid_argument("unknown session renderer: " + name);
+}
+
+Session::Session(SessionConfig config, SceneHandle scene)
+    : config_(std::move(config)), scene_(std::move(scene)),
+      tile_(config_.tile), gw_(config_.gw)
+{
+    if (!scene_.cloud || !scene_.trajectory)
+        throw std::invalid_argument("session needs a complete scene handle");
+    if (config_.frames < 1)
+        throw std::invalid_argument("session needs at least one frame");
+    if (static_cast<std::size_t>(config_.frames) >
+        scene_.trajectory->frameCount())
+        throw std::invalid_argument(
+            "session trajectory shorter than requested frames");
+    if (config_.fps_target < 0.0)
+        throw std::invalid_argument("fps target must be >= 0");
+}
+
+double
+Session::periodMs() const
+{
+    return config_.fps_target > 0.0 ? 1000.0 / config_.fps_target : 0.0;
+}
+
+double
+Session::renderFrame(int frame) const
+{
+    if (frame < 0 || frame >= config_.frames)
+        throw std::out_of_range("session frame index out of range");
+    const Camera &cam =
+        scene_.trajectory->frame(static_cast<std::size_t>(frame));
+    if (config_.renderer == SessionRenderer::Tile) {
+        StandardFlowStats stats;
+        return imageChecksum(tile_.render(*scene_.cloud, cam, stats));
+    }
+    GaussianWiseStats stats;
+    return imageChecksum(gw_.render(*scene_.cloud, cam, stats));
+}
+
+} // namespace gcc3d

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * One client's render session.
+ *
+ * A Session binds a client id to shared immutable scene state (from
+ * the SceneRegistry), a Trajectory-driven camera stream, and a
+ * renderer configuration — either the standard tile-wise renderer or
+ * the Gaussian-wise (GCC-dataflow) renderer, with Compatibility Mode
+ * and conditional processing as per-session knobs.  Frames are pure
+ * functions of (scene, trajectory frame, config): rendering frame i
+ * of a session yields the same pixels whether it runs serially, on a
+ * scheduler worker, or interleaved with other sessions — the property
+ * the serving benchmark cross-checks by checksum.
+ */
+
+#ifndef GCC3D_SERVE_SESSION_H
+#define GCC3D_SERVE_SESSION_H
+
+#include <string>
+
+#include "render/gaussian_wise_renderer.h"
+#include "render/tile_renderer.h"
+#include "serve/scene_registry.h"
+
+namespace gcc3d {
+
+/** Which functional renderer a session streams through. */
+enum class SessionRenderer
+{
+    Tile,         ///< standard dataflow (tile-wise)
+    GaussianWise, ///< GCC dataflow (Gaussian-wise)
+};
+
+/** Lower-case renderer name ("tile", "gw"). */
+std::string sessionRendererName(SessionRenderer renderer);
+
+/** Parse a renderer name ("tile", "gw", "gaussian-wise"); throws. */
+SessionRenderer sessionRendererFromName(const std::string &name);
+
+/** Full description of one client's stream. */
+struct SessionConfig
+{
+    int id = 0;                 ///< client id, unique within a fleet
+    SceneSpec spec;             ///< scene viewed (resolved preset)
+    float scale = 1.0f;         ///< population scale in (0, 1]
+    int frames = 8;             ///< frames requested along the path
+
+    SessionRenderer renderer = SessionRenderer::Tile;
+    TileRendererConfig tile;    ///< used when renderer == Tile
+    GaussianWiseConfig gw;      ///< used when renderer == GaussianWise
+
+    /**
+     * Per-session FPS target; frame i's deadline is (i+1)/fps_target
+     * after serving starts.  0 = best effort (no deadlines, never
+     * counted as missed).
+     */
+    double fps_target = 0.0;
+};
+
+/** The outcome of rendering (or dropping) one session frame. */
+struct FrameRecord
+{
+    int frame = 0;               ///< trajectory frame index
+    bool rendered = false;       ///< false = dropped under overload
+    bool deadline_missed = false;
+    double queue_wait_ms = 0.0;  ///< admissible -> dispatched
+    double render_ms = 0.0;      ///< render call wall time
+    double latency_ms = 0.0;     ///< released -> completed (SLO metric)
+    double checksum = 0.0;       ///< pixel fingerprint (0 when dropped)
+};
+
+/**
+ * A live session: config + shared scene handle + renderer instances.
+ *
+ * Thread safety: renderFrame() is const and keeps all frame state on
+ * the stack (both renderers document the same), so any worker may
+ * render any session's frame; the scheduler still serves each
+ * session's frames in order, one in flight, as a client consuming a
+ * stream would.
+ */
+class Session
+{
+  public:
+    /**
+     * @param config  the stream description
+     * @param scene   shared handle; its trajectory must cover
+     *                config.frames frames
+     */
+    Session(SessionConfig config, SceneHandle scene);
+
+    const SessionConfig &config() const { return config_; }
+    int id() const { return config_.id; }
+    int frameCount() const { return config_.frames; }
+    const SceneHandle &scene() const { return scene_; }
+
+    /** Frame period implied by the FPS target (0 when best-effort). */
+    double periodMs() const;
+
+    /**
+     * Render trajectory frame @p frame through the configured
+     * renderer and return the image checksum.  Pure: identical
+     * arguments give bit-identical pixels on any thread.
+     */
+    double renderFrame(int frame) const;
+
+  private:
+    SessionConfig config_;
+    SceneHandle scene_;
+    TileRenderer tile_;
+    GaussianWiseRenderer gw_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_SERVE_SESSION_H

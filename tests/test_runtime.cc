@@ -264,10 +264,49 @@ TEST(Aggregate, PercentilesUseLinearInterpolation)
     EXPECT_DOUBLE_EQ(a.max, 40.0);
     EXPECT_DOUBLE_EQ(a.p50, 25.0);
     EXPECT_DOUBLE_EQ(a.p90, 37.0);
+    EXPECT_DOUBLE_EQ(a.p99, 39.7);
+    EXPECT_DOUBLE_EQ(a.p999, 39.97);
 
     Aggregate empty = aggregate({});
     EXPECT_EQ(empty.count, 0u);
     EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(Aggregate, PercentileEdgeCases)
+{
+    // Empty input: percentile() and every Aggregate field stay zero
+    // instead of reading past the end.
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    Aggregate empty = aggregate({});
+    EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+    EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+    EXPECT_DOUBLE_EQ(empty.p999, 0.0);
+    EXPECT_DOUBLE_EQ(empty.min, 0.0);
+    EXPECT_DOUBLE_EQ(empty.max, 0.0);
+
+    // A single sample is every percentile.
+    std::vector<double> one = {42.0};
+    for (double q : {0.0, 50.0, 90.0, 99.0, 99.9, 100.0})
+        EXPECT_DOUBLE_EQ(percentile(one, q), 42.0) << "q=" << q;
+    Aggregate single = aggregate({42.0});
+    EXPECT_EQ(single.count, 1u);
+    EXPECT_DOUBLE_EQ(single.mean, 42.0);
+    EXPECT_DOUBLE_EQ(single.p50, 42.0);
+    EXPECT_DOUBLE_EQ(single.p999, 42.0);
+
+    // Out-of-range quantiles clamp instead of extrapolating.
+    std::vector<double> sorted = {1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(sorted, -5.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(sorted, 150.0), 2.0);
+
+    // p99.9 sits between p99 and max on a long tail.
+    std::vector<double> tail;
+    for (int i = 1; i <= 1000; ++i)
+        tail.push_back(static_cast<double>(i));
+    Aggregate t = aggregate(tail);
+    EXPECT_GT(t.p999, t.p99);
+    EXPECT_LT(t.p999, t.max);
+    EXPECT_NEAR(t.p999, 999.001, 1e-9);
 }
 
 JobResult

@@ -72,6 +72,28 @@ TEST(Trajectory, ForSceneProducesValidFrames)
     }
 }
 
+TEST(Trajectory, ClampsNonPositiveFrameCounts)
+{
+    // Degenerate frame counts clamp to one frame instead of returning
+    // an empty path callers would index out of bounds.
+    Camera proto(64, 64, 0.9f);
+    for (int frames : {0, -1, -100}) {
+        Trajectory orbit =
+            Trajectory::orbit(proto, Vec3(0, 0, 0), 3.0f, 0.5f, frames);
+        EXPECT_EQ(orbit.frameCount(), 1u) << "orbit frames=" << frames;
+
+        Trajectory dolly =
+            Trajectory::dolly(proto, Vec3(0, 0, -2), Vec3(0, 0, 2),
+                              Vec3(0, 0, 5), frames);
+        EXPECT_EQ(dolly.frameCount(), 1u) << "dolly frames=" << frames;
+        EXPECT_EQ(dolly.frame(0).position(), Vec3(0, 0, -2));
+
+        Trajectory scene =
+            Trajectory::forScene(scenePreset(SceneId::Lego), frames);
+        EXPECT_EQ(scene.frameCount(), 1u) << "forScene frames=" << frames;
+    }
+}
+
 TEST(Trajectory, SingleFrameDolly)
 {
     Camera proto(64, 64, 0.9f);
