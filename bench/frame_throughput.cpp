@@ -19,10 +19,17 @@
  * pass + Cmode sub-views).  All paths are bit-identical, and the
  * benchmark cross-checks their image checksums.
  *
+ * Every variant also reports a per-stage wall-clock breakdown
+ * (preprocess / binning / rasterize, from StageTimes) so
+ * BENCH_frame.json records where the cycles went; with --fast-alpha
+ * the opt-in simdExp alpha path is timed as extra `tile-fa` / `gw-fa`
+ * variants and validated by PSNR against the exact image (reported,
+ * and required to clear 55 dB).
+ *
  * Usage:
  *   frame_throughput [--scenes LIST] [--frames N] [--reps N]
  *                    [--renderers tile,gw] [--reference]
- *                    [--threads LIST] [--subview N]
+ *                    [--threads LIST] [--subview N] [--fast-alpha]
  *                    [--workers N] [--scale F] [--out FILE]
  *
  * Scale comes from --scale or GCC3D_SCALE (1.0 = paper populations).
@@ -32,6 +39,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -42,6 +50,7 @@
 
 #include "bench_util.h"
 #include "render/gaussian_wise_renderer.h"
+#include "render/metrics.h"
 #include "render/tile_renderer.h"
 #include "runtime/thread_pool.h"
 #include "scene/trajectory.h"
@@ -75,6 +84,8 @@ usage(const char *argv0)
         "                   (adds a <renderer>-tN variant per count)\n"
         "  --subview N      Gaussian-wise Cmode sub-view side; 0 =\n"
         "                   full view (default: 128)\n"
+        "  --fast-alpha     also time the simdExp fast-alpha paths\n"
+        "                   (tile-fa/gw-fa variants + PSNR check)\n"
         "  --workers N      pool for the base tile/gw variants;\n"
         "                   <2 = serial (default: 1)\n"
         "  --scale F        population scale in (0,1] (default:\n"
@@ -88,11 +99,14 @@ usage(const char *argv0)
 struct Variant
 {
     std::string name;     ///< row label, e.g. "gw-t4"
-    std::string family;   ///< "tile" or "gw" (checksum group)
+    std::string family;   ///< checksum group (tile/gw/tile-fa/gw-fa)
     bool reference = false;
     ThreadPool *pool = nullptr;
     int threads = 0;      ///< 0 = not part of the thread sweep
+    bool fast = false;    ///< fast-alpha (simdExp) configuration
     double check = 0.0;   ///< checksum summed over all timed frames
+    StageTimes stage_sum; ///< per-stage ms summed over timed frames
+    std::size_t stage_samples = 0;
 };
 
 } // namespace
@@ -109,6 +123,7 @@ main(int argc, char **argv)
     int workers = 1;
     int subview = 128;
     bool reference = false;
+    bool fast_alpha = false;
     float scale = benchScale();
 
     for (int i = 1; i < argc; ++i) {
@@ -134,6 +149,8 @@ main(int argc, char **argv)
             renderers_arg = value();
         } else if (flag == "--reference") {
             reference = true;
+        } else if (flag == "--fast-alpha") {
+            fast_alpha = true;
         } else if (flag == "--threads") {
             threads_arg = value();
         } else if (flag == "--subview") {
@@ -201,10 +218,11 @@ main(int argc, char **argv)
     bench::banner("frame_throughput",
                   "host frames/s of the functional renderers", scale);
     std::printf("frames/scene %d, reps %d, base workers %d, gw sub-view "
-                "%d%s%s\n",
+                "%d%s%s%s\n",
                 frames, reps, workers, subview,
                 reference ? ", scalar references timed" : "",
-                thread_counts.empty() ? "" : ", thread sweep on");
+                thread_counts.empty() ? "" : ", thread sweep on",
+                fast_alpha ? ", fast-alpha timed" : "");
 
     ThreadPool base_pool(workers);
     ThreadPool *pool_or_null = workers > 1 ? &base_pool : nullptr;
@@ -241,9 +259,28 @@ main(int argc, char **argv)
         double speedup_vs_t1;  ///< from ms_min (noise-robust)
     };
     std::vector<ScalingRow> scaling;
+    struct PsnrRow
+    {
+        std::string scene;
+        std::string renderer;
+        double psnr_db;
+    };
+    std::vector<PsnrRow> psnr_rows;
+    struct StageRow
+    {
+        double pre_ms = 0.0;
+        double bin_ms = 0.0;
+        double raster_ms = 0.0;
+    };
+    // (scene, variant) -> mean per-stage ms over the timed samples.
+    std::map<std::pair<std::string, std::string>, StageRow> stage_rows;
 
     GaussianWiseConfig gw_cfg;
     gw_cfg.subview_size = subview;
+    GaussianWiseConfig gw_fa_cfg = gw_cfg;
+    gw_fa_cfg.fast_alpha = true;
+    TileRendererConfig tile_fa_cfg;
+    tile_fa_cfg.fast_alpha = true;
 
     for (SceneId id : scenes) {
         SceneSpec spec = scenePreset(id);
@@ -257,55 +294,82 @@ main(int argc, char **argv)
 
         std::vector<Variant> variants;
         if (run_tile) {
-            variants.push_back({"tile", "tile", false, pool_or_null, 0,
-                                0.0});
+            variants.push_back(
+                {"tile", "tile", false, pool_or_null, 0, false});
             if (reference)
                 variants.push_back(
-                    {"tile-ref", "tile", true, nullptr, 0, 0.0});
+                    {"tile-ref", "tile", true, nullptr, 0, false});
             for (int t : thread_counts)
                 variants.push_back(
                     {"tile-t" + std::to_string(t), "tile", false,
-                     t > 1 ? sweep_pools.at(t).get() : nullptr, t, 0.0});
+                     t > 1 ? sweep_pools.at(t).get() : nullptr, t,
+                     false});
+            if (fast_alpha)
+                variants.push_back({"tile-fa", "tile-fa", false,
+                                    pool_or_null, 0, true});
         }
         if (run_gw) {
-            variants.push_back({"gw", "gw", false, pool_or_null, 0, 0.0});
+            variants.push_back(
+                {"gw", "gw", false, pool_or_null, 0, false});
             if (reference)
                 variants.push_back(
-                    {"gw-ref", "gw", true, nullptr, 0, 0.0});
+                    {"gw-ref", "gw", true, nullptr, 0, false});
             for (int t : thread_counts)
                 variants.push_back(
                     {"gw-t" + std::to_string(t), "gw", false,
-                     t > 1 ? sweep_pools.at(t).get() : nullptr, t, 0.0});
+                     t > 1 ? sweep_pools.at(t).get() : nullptr, t,
+                     false});
+            if (fast_alpha)
+                variants.push_back(
+                    {"gw-fa", "gw-fa", false, pool_or_null, 0, true});
         }
 
         TileRenderer tile_renderer;
+        TileRenderer tile_renderer_fa(tile_fa_cfg);
         GaussianWiseRenderer gw_renderer(gw_cfg);
+        GaussianWiseRenderer gw_renderer_fa(gw_fa_cfg);
 
-        auto render_once = [&](Variant &v,
-                               int frame) -> std::pair<double, double> {
+        auto is_tile_family = [](const Variant &v) {
+            return v.family.rfind("tile", 0) == 0;
+        };
+        auto render_once = [&](Variant &v, int frame,
+                               bool record) -> std::pair<double, double> {
             const Camera &cam =
                 traj.frame(static_cast<std::size_t>(frame));
             auto start = std::chrono::steady_clock::now();
             Image img;
-            if (v.family == "tile") {
+            StageTimes stage;
+            if (is_tile_family(v)) {
                 StandardFlowStats st;
+                const TileRenderer &r =
+                    v.fast ? tile_renderer_fa : tile_renderer;
                 img = v.reference
-                          ? tile_renderer.renderReference(cloud, cam, st)
-                          : tile_renderer.render(cloud, cam, st, v.pool);
+                          ? r.renderReference(cloud, cam, st)
+                          : r.render(cloud, cam, st, v.pool);
+                stage = st.stage;
             } else {
                 GaussianWiseStats st;
+                const GaussianWiseRenderer &r =
+                    v.fast ? gw_renderer_fa : gw_renderer;
                 img = v.reference
-                          ? gw_renderer.renderReference(cloud, cam, st)
-                          : gw_renderer.render(cloud, cam, st, v.pool);
+                          ? r.renderReference(cloud, cam, st)
+                          : r.render(cloud, cam, st, v.pool);
+                stage = st.stage;
             }
             double ms = nowMsSince(start);
+            if (record) {
+                v.stage_sum.preprocess_ms += stage.preprocess_ms;
+                v.stage_sum.binning_ms += stage.binning_ms;
+                v.stage_sum.raster_ms += stage.raster_ms;
+                ++v.stage_samples;
+            }
             return {ms, imageChecksum(img)};
         };
 
         for (Variant &v : variants) {
             if (scene_names.size() == 1)
                 variant_names.push_back(v.name);
-            render_once(v, 0);  // warm-up: page in the cloud
+            render_once(v, 0, false);  // warm-up: page in the cloud
         }
         // Reps interleave round-robin across variants so slow windows
         // on a shared host penalize every variant equally instead of
@@ -313,7 +377,7 @@ main(int argc, char **argv)
         for (int rep = 0; rep < reps; ++rep) {
             for (Variant &v : variants) {
                 for (int f = 0; f < frames; ++f) {
-                    auto [ms, check] = render_once(v, f);
+                    auto [ms, check] = render_once(v, f, true);
                     JobResult r;
                     r.id = next_id++;
                     r.ok = true;
@@ -332,10 +396,50 @@ main(int argc, char **argv)
             }
         }
 
+        // Record per-stage means while the variants are in scope.
+        for (const Variant &v : variants) {
+            if (v.stage_samples == 0)
+                continue;
+            const double n = static_cast<double>(v.stage_samples);
+            stage_rows[{scene, v.name}] = {
+                v.stage_sum.preprocess_ms / n,
+                v.stage_sum.binning_ms / n,
+                v.stage_sum.raster_ms / n};
+        }
+
+        // Fast-alpha accuracy: PSNR of the simdExp image against the
+        // exact image (frame 0); the contract is >= 55 dB.
+        if (fast_alpha) {
+            const Camera &cam0 = traj.frame(0);
+            auto clamp_inf = [](double p) {
+                return std::isinf(p) ? 999.0 : p;
+            };
+            if (run_tile) {
+                StandardFlowStats s1, s2;
+                double p = clamp_inf(
+                    psnr(tile_renderer.render(cloud, cam0, s1),
+                         tile_renderer_fa.render(cloud, cam0, s2)));
+                std::printf("%-10s tile fast-alpha PSNR: %.1f dB\n",
+                            scene.c_str(), p);
+                psnr_rows.push_back({scene, "tile", p});
+            }
+            if (run_gw) {
+                GaussianWiseStats s1, s2;
+                double p = clamp_inf(
+                    psnr(gw_renderer.render(cloud, cam0, s1),
+                         gw_renderer_fa.render(cloud, cam0, s2)));
+                std::printf("%-10s gw   fast-alpha PSNR: %.1f dB\n",
+                            scene.c_str(), p);
+                psnr_rows.push_back({scene, "gw", p});
+            }
+        }
+
         // Every variant of a renderer family is bit-identical
         // (optimized vs scalar reference, serial vs any worker
-        // count); their summed checksums must agree exactly.
-        for (const char *family : {"tile", "gw"}) {
+        // count); their summed checksums must agree exactly.  The
+        // fast-alpha variants form their own families: approximate,
+        // but still deterministic run to run.
+        for (const char *family : {"tile", "gw", "tile-fa", "gw-fa"}) {
             const Variant *first = nullptr;
             for (const Variant &v : variants) {
                 if (v.family != family)
@@ -399,17 +503,24 @@ main(int argc, char **argv)
             std::printf("%-10s %-9s %8.2f %8.2f %8.2f %8.2f %8.1f\n",
                         scene.c_str(), ren.c_str(), ms.mean, ms.p50,
                         ms.p90, ms.p99, fps.p50);
-            char line[512];
+            char line[768];
+            auto stage_it = stage_rows.find({scene, ren});
+            const StageRow stage_mean =
+                stage_it != stage_rows.end() ? stage_it->second
+                                             : StageRow{};
             std::snprintf(
                 line, sizeof line,
                 "%s    {\"scene\": \"%s\", \"renderer\": \"%s\", "
                 "\"samples\": %zu, \"ms_mean\": %.4f, "
                 "\"ms_p50\": %.4f, \"ms_p90\": %.4f, "
                 "\"ms_p99\": %.4f, \"ms_min\": %.4f, "
-                "\"fps_mean\": %.4f, \"fps_p50\": %.4f}",
+                "\"fps_mean\": %.4f, \"fps_p50\": %.4f, "
+                "\"pre_ms_mean\": %.4f, \"bin_ms_mean\": %.4f, "
+                "\"raster_ms_mean\": %.4f}",
                 first_row ? "" : ",\n", scene.c_str(), ren.c_str(),
                 ms.count, ms.mean, ms.p50, ms.p90, ms.p99, ms.min,
-                fps.mean, fps.p50);
+                fps.mean, fps.p50, stage_mean.pre_ms,
+                stage_mean.bin_ms, stage_mean.raster_ms);
             json += line;
             first_row = false;
         }
@@ -461,6 +572,21 @@ main(int argc, char **argv)
                           "\"renderer\": \"%s\", \"speedup\": %.4f}",
                           first ? "" : ",\n", s.scene.c_str(),
                           s.renderer.c_str(), s.speedup);
+            json += line;
+            first = false;
+        }
+        json += "\n  ]";
+    }
+    if (!psnr_rows.empty()) {
+        json += ",\n  \"fast_alpha_psnr\": [\n";
+        bool first = true;
+        for (const PsnrRow &p : psnr_rows) {
+            char line[200];
+            std::snprintf(line, sizeof line,
+                          "%s    {\"scene\": \"%s\", "
+                          "\"renderer\": \"%s\", \"psnr_db\": %.4f}",
+                          first ? "" : ",\n", p.scene.c_str(),
+                          p.renderer.c_str(), p.psnr_db);
             json += line;
             first = false;
         }

@@ -1,20 +1,35 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the library's hot kernels:
- * projection (Eq. 1), SH evaluation (Eq. 2), EXP LUT (Sec. 4.4),
- * alpha-based boundary identification (Algorithm 1), and the bitonic
- * sorting network.  These back the per-operation cost assumptions of
- * the cycle models and catch performance regressions.
+ * projection (Eq. 1), SH evaluation (Eq. 2), exponential evaluation
+ * (hardware EXP LUT vs libm vs the SIMD polynomial), alpha-based
+ * boundary identification (Algorithm 1), the bitonic sorting network,
+ * and the SIMD-vs-scalar conic row kernels the rasterization inner
+ * loops are built on.  These back the per-operation cost assumptions
+ * of the cycle models and catch performance regressions.
+ *
+ * Exp outcome on this codebase (the ExpLut satellite audit): ExpLut
+ * exists to model the GCC Alpha Unit's fixed-point datapath and is
+ * used only by core/alpha_unit (cycle sim); no host-side render hot
+ * path consumes it — the renderers use std::exp (exact paths) or
+ * simd::simdExp (fast-alpha).  The BM_Exp* trio documents why: the
+ * LUT's fixed-point quantization costs more than libm's exp on a
+ * modern host, and the vectorized polynomial beats both per value.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
 #include <random>
 #include <vector>
 
 #include "core/sort_unit.h"
 #include "gsmath/exp_lut.h"
 #include "gsmath/sh.h"
+#include "gsmath/simd.h"
 #include "render/boundary.h"
 #include "render/preprocess.h"
 #include "scene/scene_generator.h"
@@ -74,8 +89,102 @@ BM_ExpLut(benchmark::State &state)
         if (x < -5.5f)
             x = -0.01f;
     }
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExpLut);
+
+void
+BM_ExpStd(benchmark::State &state)
+{
+    float x = -0.01f;
+    for (auto _ : state) {
+        float y = std::exp(x);
+        benchmark::DoNotOptimize(y);
+        x -= 0.001f;
+        if (x < -5.5f)
+            x = -0.01f;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExpStd);
+
+void
+BM_ExpSimd(benchmark::State &state)
+{
+    // One simdExp call evaluates kWidth exponentials; items/s is the
+    // per-value throughput comparable with BM_ExpLut / BM_ExpStd.
+    float lanes[simd::kWidth];
+    for (int l = 0; l < simd::kWidth; ++l)
+        lanes[l] = -0.01f - 0.7f * static_cast<float>(l);
+    simd::FloatV x = simd::FloatV::load(lanes);
+    const simd::FloatV step(-0.001f);
+    const simd::FloatV reset(-5.5f * simd::kWidth);
+    for (auto _ : state) {
+        simd::FloatV y = simd::simdExp(x);
+        benchmark::DoNotOptimize(y);
+        x = x + step;
+        if ((x < reset).any())
+            x = simd::FloatV::load(lanes);
+    }
+    state.SetItemsProcessed(state.iterations() * simd::kWidth);
+}
+BENCHMARK(BM_ExpSimd);
+
+/**
+ * The rasterizers' row kernel: conic quadratic q over a pixel row
+ * plus the cutoff mask.  Scalar transcription vs the simd.h loop the
+ * renderers actually run (identical per-lane operations).
+ */
+void
+BM_ConicRowScalar(benchmark::State &state)
+{
+    const int row_w = static_cast<int>(state.range(0));
+    const float c00 = 0.02f, c01 = 0.005f, c10 = 0.005f, c11 = 0.03f;
+    const float cx = 31.7f, cy = 12.3f, cutoff = 8.5f;
+    std::int64_t passing = 0;
+    for (auto _ : state) {
+        const float dy = 10.5f - cy;
+        for (int x = 0; x < row_w; ++x) {
+            float dx = (static_cast<float>(x) + 0.5f) - cx;
+            float q = dx * (c00 * dx + c01 * dy) +
+                      dy * (c10 * dx + c11 * dy);
+            if (q > cutoff)
+                continue;
+            ++passing;
+        }
+        benchmark::DoNotOptimize(passing);
+    }
+    state.SetItemsProcessed(state.iterations() * row_w);
+}
+BENCHMARK(BM_ConicRowScalar)->Arg(8)->Arg(64);
+
+void
+BM_ConicRowSimd(benchmark::State &state)
+{
+    const int row_w = static_cast<int>(state.range(0));
+    const simd::FloatV c00(0.02f), c01(0.005f), c10(0.005f),
+        c11(0.03f);
+    const simd::FloatV cx(31.7f), cutoff(8.5f), half(0.5f);
+    const float cy = 12.3f;
+    std::int64_t passing = 0;
+    for (auto _ : state) {
+        const simd::FloatV dy(10.5f - cy);
+        for (int x = 0; x < row_w; x += simd::kWidth) {
+            const int nlane =
+                std::min<int>(simd::kWidth, row_w - x);
+            simd::FloatV dx =
+                (simd::FloatV::iotaFrom(x) + half) - cx;
+            simd::FloatV q = dx * (c00 * dx + c01 * dy) +
+                             dy * (c10 * dx + c11 * dy);
+            unsigned bits = simd::MaskV::firstN(nlane).bits() &
+                            ~(q > cutoff).bits();
+            passing += std::popcount(bits);
+        }
+        benchmark::DoNotOptimize(passing);
+    }
+    state.SetItemsProcessed(state.iterations() * row_w);
+}
+BENCHMARK(BM_ConicRowSimd)->Arg(8)->Arg(64);
 
 void
 BM_BoundaryBlockTraversal(benchmark::State &state)

@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "gsmath/simd.h"
+
 namespace gcc3d {
 
 /**
@@ -43,6 +45,33 @@ orderedKeyFromFloat(float f)
     if (u == 0x80000000u)
         u = 0;  // -0.0f sorts identically to +0.0f
     return (u & 0x80000000u) != 0 ? ~u : (u | 0x80000000u);
+}
+
+/**
+ * Vectorized orderedKeyFromFloat over an array: @p dst[i] =
+ * orderedKeyFromFloat(@p src[i]) for i in [0, n).  The mapping is
+ * pure integer bit manipulation, so the SIMD main loop is exactly
+ * equivalent to the scalar tail (and bit-identical to calling the
+ * scalar function n times — tests/test_sort_keys.cc locks that in).
+ */
+inline void
+orderedKeysFromFloats(const float *src, std::uint32_t *dst,
+                      std::size_t n)
+{
+    using namespace simd;
+    const IntV neg_zero(static_cast<std::int32_t>(0x80000000u));
+    std::size_t i = 0;
+    for (; i + kWidth <= n; i += kWidth) {
+        IntV u = bitcastToInt(FloatV::load(src + i));
+        // -0.0f normalizes to +0.0f so equal floats share a key.
+        u = selectInt(cmpEq(u, neg_zero), IntV(0), u);
+        // Negative floats flip every bit, non-negative ones just set
+        // the sign bit: u ^ (sign-smear | 0x80000000).
+        IntV key = u ^ (u.shiftRightArith<31>() | neg_zero);
+        key.store(reinterpret_cast<std::int32_t *>(dst + i));
+    }
+    for (; i < n; ++i)
+        dst[i] = orderedKeyFromFloat(src[i]);
 }
 
 /** Pack a sort key and its payload into one radix-sortable word. */

@@ -24,6 +24,7 @@
 #define GCC3D_RENDER_BOUNDARY_H
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <deque>
@@ -32,6 +33,7 @@
 #include <vector>
 
 #include "gsmath/ellipse.h"
+#include "gsmath/simd.h"
 
 namespace gcc3d {
 
@@ -197,12 +199,25 @@ class BlockTraversal
      *    alpha threshold (the tile renderer's row-interval bound);
      *    pixels outside provably fail E(p), and the block's alpha
      *    evaluations are accounted analytically, so the reported
-     *    stats and the visit sequence are unchanged.
+     *    stats and the visit sequence are unchanged;
+     *  - each row interval is evaluated kWidth pixels at a time
+     *    through the gsmath SIMD layer — every lane runs the exact
+     *    scalar op sequence, so q (and every E(p) decision) stays
+     *    bit-identical to the scalar reference.
      *
-     * @p visit   callable (int x, int y, float q) for passing pixels
+     * With PassAlpha = true (the renderers' opt-in fast-alpha mode)
+     * the traversal additionally evaluates alpha for the whole lane
+     * group with the vectorized polynomial exponential and hands the
+     * visitor alpha = min(0.99, omega * simdExp(-q/2)) instead of q.
+     * Walk order, pass/fail decisions and stats are unchanged; only
+     * the alpha value is approximate (simdExp contract: relative
+     * error < 3e-7).
+     *
+     * @p visit   callable (int x, int y, float q_or_alpha)
      * @p block_visit callable (int bx, int by)
      */
-    template <typename Visit, typename BlockVisit>
+    template <bool PassAlpha = false, typename Visit,
+              typename BlockVisit>
     BoundaryStats
     traverseWith(const Ellipse &e, float omega,
                  const std::vector<std::uint8_t> *t_mask, Visit &&visit,
@@ -248,12 +263,6 @@ class BlockTraversal
         const float fc00 = e.conic(0, 0), fc01 = e.conic(0, 1);
         const float fc10 = e.conic(1, 0), fc11 = e.conic(1, 1);
         const float fcx = e.center.x, fcy = e.center.y;
-        auto q_at = [&](int x, int y) {
-            float dx = (static_cast<float>(x) + 0.5f) - fcx;
-            float dy = (static_cast<float>(y) + 0.5f) - fcy;
-            return dx * (fc00 * dx + fc01 * dy) +
-                   dy * (fc10 * dx + fc11 * dy);
-        };
 
         // A block is enqueued only if the runtime identifier's
         // boundary test says the elliptical footprint can reach it —
@@ -295,21 +304,17 @@ class BlockTraversal
             for (int dx = -1; dx <= 1; ++dx)
                 push(cbx + dx, cby + dy);
 
-        // Row-interval bound: per row, pixels with q <= cutoff form
-        // one interval of the quadratic A dx^2 + (c01+c10) dy dx +
-        // c11 dy^2.  Solving it in double against a margin-inflated
-        // cutoff and widening by a pixel keeps every pixel the scalar
-        // float evaluation could pass (the margin absorbs float-vs-
-        // double rounding, including the disc < 0 whole-row skip),
-        // while the dead tails of peripheral blocks are skipped.
-        const double qa = fc00;
-        const double qb_dy = static_cast<double>(fc01) + fc10;
-        const double qc_dy = fc11;
-        const double cx_d = fcx;
-        const double cy_d = fcy;
-        const double cutoff_pad =
-            static_cast<double>(cutoff) + 1e-3 * (1.0 + cutoff);
-        const bool solve_rows = qa > 1e-30;
+        // Broadcast conic/center/cutoff once per splat for the
+        // vectorized row scans.  (An earlier revision solved a
+        // per-row quadratic interval in double to skip dead row
+        // tails; with blocks only block_size_ pixels wide and the
+        // row evaluated kWidth lanes per step, the sqrt-per-row
+        // solve cost more than the tails it saved, so every row now
+        // just evaluates masked — same q bits, same decisions.)
+        const simd::FloatV c00v(fc00), c01v(fc01), c10v(fc10),
+            c11v(fc11);
+        const simd::FloatV cxv(fcx), cutoff_v(cutoff), half_v(0.5f);
+        const simd::FloatV omega_v(omega);
 
         while (!queue.empty()) {
             auto [bx, by] = queue.front();
@@ -333,79 +338,53 @@ class BlockTraversal
                 stats.alpha_evals +=
                     static_cast<std::int64_t>(x1 - x0 + 1) *
                     (y1 - y0 + 1);
-                // q is convex, so its maximum over the block sits at
-                // a corner: when all four corners pass the cutoff the
-                // block is interior and the per-row interval solve is
-                // pure overhead.
-                bool solve_block = solve_rows;
-                if (solve_block && q_at(x0, y0) <= cutoff &&
-                    q_at(x1, y0) <= cutoff && q_at(x0, y1) <= cutoff &&
-                    q_at(x1, y1) <= cutoff)
-                    solve_block = false;
                 bool visited_block = false;
                 for (int y = y0; y <= y1; ++y) {
-                    int row_x0 = x0;
-                    int row_x1 = x1;
-                    if (solve_block) {
-                        const double dy =
-                            (static_cast<double>(y) + 0.5) - cy_d;
-                        const double qb = qb_dy * dy;
-                        const double qc = qc_dy * dy * dy - cutoff_pad;
-                        const double disc = qb * qb - 4.0 * qa * qc;
-                        if (disc < 0.0)
-                            continue;  // whole row provably fails E(p)
-                        const double sq = std::sqrt(disc);
-                        const double lo =
-                            cx_d - 0.5 + (-qb - sq) / (2.0 * qa) - 1.0;
-                        const double hi =
-                            cx_d - 0.5 + (-qb + sq) / (2.0 * qa) + 2.0;
-                        if (lo > row_x0)
-                            row_x0 = static_cast<int>(lo);
-                        if (hi < row_x1)
-                            row_x1 = static_cast<int>(hi);
-                    }
-                    // Two-phase row scan: the pure evaluation loop
-                    // auto-vectorizes (each lane runs the exact
-                    // scalar operation sequence, so q is bit-equal),
-                    // then passing pixels are visited in order.
-                    constexpr int kRowBuf = 64;
-                    float qrow[kRowBuf];
-                    const int row_w = row_x1 - row_x0 + 1;
-                    if (row_w > 0 && row_w <= kRowBuf) {
-                        const float fdy =
-                            (static_cast<float>(y) + 0.5f) - fcy;
-                        for (int i = 0; i < row_w; ++i) {
-                            float dx = (static_cast<float>(row_x0 + i) +
-                                        0.5f) -
-                                       fcx;
-                            qrow[i] = dx * (fc00 * dx + fc01 * fdy) +
-                                      fdy * (fc10 * dx + fc11 * fdy);
-                        }
-                        for (int i = 0; i < row_w; ++i) {
-                            float q = qrow[i];
-                            if (q > cutoff)
-                                continue;
+                    const int row_x0 = x0;
+                    const int row_x1 = x1;
+                    // Vectorized row scan: q for kWidth pixels per
+                    // step, each lane the exact scalar op sequence
+                    // (bit-equal q).  The pass mask mirrors the
+                    // scalar `q > cutoff -> skip` comparison exactly,
+                    // then passing lanes are visited in x order.
+                    const float fdy =
+                        (static_cast<float>(y) + 0.5f) - fcy;
+                    const simd::FloatV dyv(fdy);
+                    for (int x = row_x0; x <= row_x1;
+                         x += simd::kWidth) {
+                        const int nlane = std::min<int>(
+                            simd::kWidth, row_x1 - x + 1);
+                        simd::FloatV dxv =
+                            (simd::FloatV::iotaFrom(x) + half_v) - cxv;
+                        simd::FloatV qv =
+                            dxv * (c00v * dxv + c01v * dyv) +
+                            dyv * (c10v * dxv + c11v * dyv);
+                        unsigned bits =
+                            simd::MaskV::firstN(nlane).bits() &
+                            ~(qv > cutoff_v).bits();
+                        if (bits == 0)
+                            continue;
+                        float qa_lane[simd::kWidth];
+                        if constexpr (PassAlpha)
+                            simd::min(simd::FloatV(0.99f),
+                                      omega_v *
+                                          simd::simdExp(
+                                              qv *
+                                              simd::FloatV(-0.5f)))
+                                .store(qa_lane);
+                        else
+                            qv.store(qa_lane);
+                        do {
+                            const int i = std::countr_zero(bits);
+                            bits &= bits - 1;
                             ++stats.influence_pixels;
                             if (!visited_block) {
                                 ++stats.active_blocks;
                                 block_visit(bx, by);
                                 visited_block = true;
                             }
-                            visit(row_x0 + i, y, q);
-                        }
-                    } else {
-                        for (int x = row_x0; x <= row_x1; ++x) {
-                            float q = q_at(x, y);
-                            if (q > cutoff)
-                                continue;
-                            ++stats.influence_pixels;
-                            if (!visited_block) {
-                                ++stats.active_blocks;
-                                block_visit(bx, by);
-                                visited_block = true;
-                            }
-                            visit(x, y, q);
-                        }
+                            visit(x + i, y, qa_lane[i]);
+                        } while (bits != 0);
                     }
                 }
             }

@@ -1,6 +1,7 @@
 #include "render/gaussian_wise_renderer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <utility>
@@ -11,6 +12,14 @@
 namespace gcc3d {
 
 namespace {
+
+using StageClock = std::chrono::steady_clock;
+
+double
+msBetween(StageClock::time_point a, StageClock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
 
 /**
  * Per-candidate milestone flags collected while a (sub-)view renders.
@@ -260,6 +269,7 @@ GaussianWiseRenderer::renderView(const GaussianCloud &cloud,
     // alias float members under type-based aliasing, forcing reloads.
     const float termination_t = config_.termination_t;
     const int block_size = config_.block_size;
+    const bool fast_alpha = config_.fast_alpha;
     std::int64_t live = static_cast<std::int64_t>(view_w) * view_h;
 
     // ---- Stages II-IV, group by group, near to far. ----
@@ -369,32 +379,51 @@ GaussianWiseRenderer::renderView(const GaussianCloud &cloud,
             // references, so per-pixel increments would be memory
             // read-modify-writes in the hottest loop.
             std::int64_t splat_blends = 0;
-            BoundaryStats bs = traversal.traverseWith(
-                local, opacity, &scratch.t_mask,
-                [&](int x, int y, float q) {
-                    float &t = transmittance[
-                        static_cast<std::size_t>(y) * view_w + x];
-                    if (t < termination_t)
-                        return;
-                    // Lazy alpha: the exp is paid only for live
-                    // pixels, with the traversal's exact expression.
-                    float a = std::min(0.99f,
-                                       opacity * std::exp(-0.5f * q));
-                    ++splat_blends;
-                    image.at(view_x0 + x, view_y0 + y) +=
-                        color * (a * t);
-                    t *= 1.0f - a;
-                    if (t < termination_t) {
-                        --live;
-                        std::size_t bi =
-                            static_cast<std::size_t>(y / block_size) *
-                                bx_n +
-                            (x / block_size);
-                        if (--block_live[bi] == 0)
-                            t_mask[bi] = 1;
-                    }
-                },
-                [](int, int) {});
+            auto blend_body = [&](int x, int y, float a, float &t) {
+                ++splat_blends;
+                image.at(view_x0 + x, view_y0 + y) += color * (a * t);
+                t *= 1.0f - a;
+                if (t < termination_t) {
+                    --live;
+                    std::size_t bi =
+                        static_cast<std::size_t>(y / block_size) *
+                            bx_n +
+                        (x / block_size);
+                    if (--block_live[bi] == 0)
+                        t_mask[bi] = 1;
+                }
+            };
+            BoundaryStats bs;
+            if (fast_alpha) {
+                // Fast-alpha: the traversal hands back a vectorized
+                // polynomial alpha (simdExp) per passing pixel.
+                bs = traversal.traverseWith<true>(
+                    local, opacity, &scratch.t_mask,
+                    [&](int x, int y, float a) {
+                        float &t = transmittance[
+                            static_cast<std::size_t>(y) * view_w + x];
+                        if (t < termination_t)
+                            return;
+                        blend_body(x, y, a, t);
+                    },
+                    [](int, int) {});
+            } else {
+                bs = traversal.traverseWith(
+                    local, opacity, &scratch.t_mask,
+                    [&](int x, int y, float q) {
+                        float &t = transmittance[
+                            static_cast<std::size_t>(y) * view_w + x];
+                        if (t < termination_t)
+                            return;
+                        // Lazy alpha: the exp is paid only for live
+                        // pixels, with the traversal's exact
+                        // expression.
+                        float a = std::min(
+                            0.99f, opacity * std::exp(-0.5f * q));
+                        blend_body(x, y, a, t);
+                    },
+                    [](int, int) {});
+            }
             stats.alpha_evals += bs.alpha_evals;
             stats.visited_blocks += bs.visited_blocks;
             stats.influence_pixels += bs.influence_pixels;
@@ -619,10 +648,12 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
     if (config_.subview_size <= 0 ||
         (config_.subview_size >= cam.width() &&
          config_.subview_size >= cam.height())) {
-        // ---- Full view: Stage I depth pass (fanned out over the
-        // pool in deterministic chunks), then one view.  Stages
-        // II-IV stream depth groups sequentially by construction, so
-        // this pass is the only full-view stage the pool can help.
+        // ---- Full view: Stage I depth pass (vectorized world-to-
+        // view z, fanned out over the pool in deterministic chunks),
+        // then one view.  Stages II-IV stream depth groups
+        // sequentially by construction, so this pass is the only
+        // full-view stage the pool can help.
+        const auto t_start = StageClock::now();
         struct DepthChunk
         {
             std::int64_t depth_culled = 0;
@@ -636,10 +667,14 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
                 DepthChunk &out = chunks[c];
                 out.candidates.reserve(end - begin);
                 out.depths.reserve(end - begin);
+                // SIMD z pass (bit-identical per element to the
+                // scalar worldToView), then the scalar pivot filter.
+                std::vector<float> z(end - begin);
+                viewDepthsZ(cloud, cam, begin, end, z.data());
                 for (std::size_t i = begin; i < end; ++i) {
                     const std::uint32_t id =
                         static_cast<std::uint32_t>(i);
-                    float d = cam.worldToView(cloud[id].mean).z;
+                    float d = z[i - begin];
                     if (d < config_.depth_pivot) {
                         ++out.depth_culled;
                         continue;
@@ -659,11 +694,15 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
             depths.insert(depths.end(), c.depths.begin(),
                           c.depths.end());
         }
+        const auto t_preprocessed = StageClock::now();
+        stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
         std::vector<std::uint8_t> flags(candidates.size(), 0);
         renderView(cloud, cam, candidates, depths, nullptr, 0, 0,
                    cam.width(), cam.height(), image, stats, flags,
                    localScratch());
         classifyFlags(flags, stats);
+        stats.stage.raster_ms +=
+            msBetween(t_preprocessed, StageClock::now());
         return image;
     }
 
@@ -676,6 +715,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
     const int sy = (cam.height() + sub - 1) / sub;
     const std::size_t num_subviews = static_cast<std::size_t>(sx) * sy;
 
+    const auto t_start = StageClock::now();
     SplatCache cache;
     cache.index_of_id.assign(cloud.size(), SplatCache::kNone);
     std::vector<std::vector<std::uint32_t>> bins(num_subviews);
@@ -692,9 +732,13 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         [&](std::size_t c, std::size_t begin, std::size_t end) {
             BinChunk &out = chunks[c];
             out.bins.resize(num_subviews);
+            // SIMD z pass (bit-identical per element to the scalar
+            // worldToView), then the scalar pivot filter.
+            std::vector<float> z(end - begin);
+            viewDepthsZ(cloud, cam, begin, end, z.data());
             for (std::size_t i = begin; i < end; ++i) {
                 const std::uint32_t id = static_cast<std::uint32_t>(i);
-                float d = cam.worldToView(cloud[id].mean).z;
+                float d = z[i - begin];
                 if (d < config_.depth_pivot) {
                     ++out.depth_culled;
                     continue;
@@ -719,6 +763,8 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
             }
         },
         [&](std::size_t chunk_count) { chunks.resize(chunk_count); });
+    const auto t_preprocessed = StageClock::now();
+    stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
 
     // Chunk-ordered merge: bins stay sorted by id, exactly as a
     // serial pass would build them.
@@ -740,6 +786,8 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
     chunks.shrink_to_fit();
     for (const auto &bin : bins)
         stats.bin_records += static_cast<std::int64_t>(bin.size());
+    const auto t_binned = StageClock::now();
+    stats.stage.binning_ms += msBetween(t_preprocessed, t_binned);
 
     // ---- Render the sub-views: disjoint pixel regions, so they run
     // concurrently; stats merge in row-major sub-view order, making
@@ -791,6 +839,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
             flags_by_id[bins[v][i]] |= outs[v].flags[i];
     }
     classifyFlags(flags_by_id, stats);
+    stats.stage.raster_ms += msBetween(t_binned, StageClock::now());
     return image;
 }
 
@@ -805,6 +854,7 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
     if (config_.subview_size <= 0 ||
         (config_.subview_size >= cam.width() &&
          config_.subview_size >= cam.height())) {
+        const auto t_start = StageClock::now();
         std::vector<std::uint32_t> candidates;
         std::vector<float> depths;
         for (std::uint32_t id = 0; id < cloud.size(); ++id) {
@@ -816,15 +866,20 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
             candidates.push_back(id);
             depths.push_back(d);
         }
+        const auto t_preprocessed = StageClock::now();
+        stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
         std::vector<std::uint8_t> flags(candidates.size(), 0);
         renderViewReference(cloud, cam, candidates, depths, 0, 0,
                             cam.width(), cam.height(), image, stats,
                             flags);
         classifyFlags(flags, stats);
+        stats.stage.raster_ms +=
+            msBetween(t_preprocessed, StageClock::now());
         return image;
     }
 
     // ---- Compatibility Mode: scalar 2D spatial binning. ----
+    const auto t_start = StageClock::now();
     const int sub = config_.subview_size;
     const int sx = (cam.width() + sub - 1) / sub;
     const int sy = (cam.height() + sub - 1) / sub;
@@ -850,6 +905,10 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
                 ++stats.bin_records;
             }
     }
+    // Projection and binning are one interleaved loop here; attribute
+    // it to preprocess (the breakdown of interest is the fast path's).
+    const auto t_preprocessed = StageClock::now();
+    stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
 
     std::vector<std::uint8_t> flags_by_id(cloud.size(), 0);
     for (int by = 0; by < sy; ++by) {
@@ -873,6 +932,7 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
         }
     }
     classifyFlags(flags_by_id, stats);
+    stats.stage.raster_ms += msBetween(t_preprocessed, StageClock::now());
     return image;
 }
 

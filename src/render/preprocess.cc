@@ -1,8 +1,38 @@
 #include "render/preprocess.h"
 
+#include "gsmath/simd.h"
 #include "runtime/parallel_for.h"
 
 namespace gcc3d {
+
+void
+viewDepthsZ(const GaussianCloud &cloud, const Camera &cam,
+            std::size_t begin, std::size_t end, float *out)
+{
+    const Mat4 &m = cam.viewMatrix();
+    // z row of transformPoint: ((m20*x + m21*y) + m22*z) + m23*1 —
+    // the SIMD evaluation preserves this association per lane, and
+    // m23*1.0f is bitwise m23, so each lane equals the scalar call.
+    const simd::FloatV m20(m(2, 0)), m21(m(2, 1)), m22(m(2, 2));
+    const simd::FloatV m23(m(2, 3));
+
+    std::size_t i = begin;
+    float mx[simd::kWidth], my[simd::kWidth], mz[simd::kWidth];
+    for (; i + simd::kWidth <= end; i += simd::kWidth) {
+        for (int l = 0; l < simd::kWidth; ++l) {
+            const Vec3 &p = cloud[i + l].mean;
+            mx[l] = p.x;
+            my[l] = p.y;
+            mz[l] = p.z;
+        }
+        simd::FloatV z = m20 * simd::FloatV::load(mx) +
+                         m21 * simd::FloatV::load(my) +
+                         m22 * simd::FloatV::load(mz) + m23;
+        z.store(out + (i - begin));
+    }
+    for (; i < end; ++i)
+        out[i - begin] = cam.worldToView(cloud[i].mean).z;
+}
 
 std::optional<Splat>
 projectGaussian(const Gaussian &g, std::uint32_t id, const Camera &cam,

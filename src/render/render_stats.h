@@ -18,10 +18,25 @@
 
 namespace gcc3d {
 
+/**
+ * Wall-clock breakdown of one rendered frame by pipeline stage,
+ * filled by the renderers (both fast and reference paths) so
+ * bench/frame_throughput can report where the cycles went.  Pure
+ * measurement — no test compares these, and they accumulate across
+ * frames when one stats object is reused.
+ */
+struct StageTimes
+{
+    double preprocess_ms = 0.0; ///< projection / SH / depth passes
+    double binning_ms = 0.0;    ///< tile CSR build or Cmode bin merge
+    double raster_ms = 0.0;     ///< sort + alpha + blend (and merges)
+};
+
 /** Counters for the standard (preprocess-then-render) dataflow. */
 struct StandardFlowStats
 {
     PreprocessStats pre;            ///< projection-stage counters
+    StageTimes stage;               ///< per-stage wall clock
 
     std::int64_t kv_pairs = 0;      ///< Gaussian-tile pairs built
     std::int64_t tile_fetches = 0;  ///< splat loads summed over tiles
@@ -117,6 +132,8 @@ struct GroupActivity
  */
 struct GaussianWiseStats
 {
+    StageTimes stage;                  ///< per-stage wall clock
+
     // ---- Population counters (unique-Gaussian, each <= total). ----
     std::int64_t total = 0;            ///< Gaussians in the model
     std::int64_t depth_culled = 0;     ///< Stage I z-pivot culls

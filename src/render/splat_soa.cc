@@ -142,12 +142,13 @@ SplatSoA::build(const std::vector<Splat> &splats, BoundingMode mode,
     SplatSoA soa;
     const std::size_t n = splats.size();
     soa.blend.reserve(n);
-    soa.depth_key.reserve(n);
     soa.range.reserve(n);
     soa.obb_refine = mode == BoundingMode::Obb3Sigma;
     if (soa.obb_refine)
         soa.obb.reserve(n);
     const int max_dim = width + height;
+    std::vector<float> depths;
+    depths.reserve(n);
 
     for (const Splat &s : splats) {
         Blend b;
@@ -190,12 +191,17 @@ SplatSoA::build(const std::vector<Splat> &splats, BoundingMode mode,
         b.sb_y1 = sb.y1;
 
         soa.blend.push_back(b);
-        soa.depth_key.push_back(orderedKeyFromFloat(s.depth));
+        depths.push_back(s.depth);
         soa.range.push_back(
             tileRangeFor(s, mode, tile_size, width, height));
         if (soa.obb_refine)
             soa.obb.push_back(obbParamsFor(s));
     }
+    // Depth keys in one vectorized pass over the gathered depths
+    // (integer bit manipulation; bit-identical to the scalar
+    // orderedKeyFromFloat per element).
+    soa.depth_key.resize(n);
+    orderedKeysFromFloats(depths.data(), soa.depth_key.data(), n);
     return soa;
 }
 

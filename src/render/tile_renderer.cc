@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
+#include "gsmath/simd.h"
 #include "gsmath/sort_keys.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
@@ -12,6 +14,24 @@
 namespace gcc3d {
 
 namespace {
+
+using StageClock = std::chrono::steady_clock;
+
+double
+msBetween(StageClock::time_point a, StageClock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/**
+ * Dispatch grain of the per-tile rasterization fan-out: a chunk must
+ * cover at least this many pixels of tiles, or pool dispatch costs
+ * more than the chunk's work and the frame runs inline on the caller
+ * (the parallel_for grain heuristic; small frames previously fanned
+ * out one-tile chunks whose submit/future overhead showed up as the
+ * flat-to-negative thread scaling in BENCH_frame.json).
+ */
+constexpr std::size_t kMinPixelsPerRasterChunk = 4096;
 
 /**
  * Bitonic-sorter pass accounting shared by both render paths: a
@@ -73,10 +93,13 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         static_cast<std::size_t>(tiles_x) * tiles_y;
 
     // ---- Stage 1: preprocess every Gaussian (decoupled). ----
+    const auto t_start = StageClock::now();
     std::vector<Splat> splats = preprocessAll(cloud, cam, stats.pre, pool);
     SplatSoA soa = SplatSoA::build(splats, config_.bounding, tile,
                                    config_.alpha_cutoff, width, height);
     const std::size_t n = soa.size();
+    const auto t_preprocessed = StageClock::now();
+    stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
 
     // ---- Tile binning: CSR built in two passes over a flat pair
     // list.  Pass 1 walks each splat's coverage exactly once (the
@@ -125,6 +148,8 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         pair_kv.clear();
         pair_kv.shrink_to_fit();
     }
+    const auto t_binned = StageClock::now();
+    stats.stage.binning_ms += msBetween(t_preprocessed, t_binned);
 
     // ---- Stage 2: render tile by tile in scanline order.  Tiles own
     // disjoint pixel regions and disjoint CSR slices, so contiguous
@@ -150,11 +175,18 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
 
     // More chunks than workers smooths the load imbalance between
     // crowded and empty tiles; chunk boundaries stay deterministic.
+    // The pixel-derived grain keeps every chunk heavy enough to
+    // amortize dispatch — a frame smaller than two grains runs
+    // inline on the caller thread.
     const bool fan_out = pool != nullptr && pool->workerCount() >= 2;
+    const std::size_t grain_tiles = std::max<std::size_t>(
+        1, kMinPixelsPerRasterChunk /
+               (static_cast<std::size_t>(tile) * tile));
     auto tile_ranges = chunkRanges(
-        num_tiles, fan_out ? pool->workerCount() * 4 : 1, 1);
+        num_tiles, fan_out ? pool->workerCount() * 4 : 1, grain_tiles);
     std::vector<TileChunkOut> chunk_out(tile_ranges.size());
 
+    const bool fast_alpha = config_.fast_alpha;
     auto render_tiles = [&](std::size_t c, std::size_t t_begin,
                             std::size_t t_end) {
         TileChunkOut &out = chunk_out[c];
@@ -239,93 +271,96 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
                 const int rx1 = std::min(x1 - 1, b.it_x1);
                 const int ry0 = std::max(y0, b.it_y0);
                 const int ry1 = std::min(y1 - 1, b.it_y1);
-                // Row-interval bound: per row, pixels with
-                // q(x) <= q_skip form one interval of the quadratic
-                // A dx^2 + (c01+c10) dy dx + c11 dy^2.  Solving it in
-                // double and widening by a pixel keeps every pixel
-                // the reference path could blend (outside it q
-                // exceeds the margin-padded cutoff crossing), while
-                // skipping the dead tails entirely.
-                const double qa = b.c00;
-                const double qb_dy =
-                    static_cast<double>(b.c01) + b.c10;
-                const double qc_dy = b.c11;
-                bool solve_rows = qa > 1e-30 &&
-                                  b.q_skip <
-                                      std::numeric_limits<
-                                          float>::infinity();
-                if (solve_rows && rx0 <= rx1 && ry0 <= ry1) {
-                    // q is a convex quadratic, so its maximum over
-                    // the rect sits at a corner: when all four
-                    // corners are inside the q_skip level set, every
-                    // row spans the full rect and the per-row
-                    // interval solve is pure overhead.
-                    auto q_at = [&](int x, int y) {
-                        float dx = (static_cast<float>(x) + 0.5f) -
-                                   b.cx;
-                        float dy = (static_cast<float>(y) + 0.5f) -
-                                   b.cy;
-                        return dx * (b.c00 * dx + b.c01 * dy) +
-                               dy * (b.c10 * dx + b.c11 * dy);
-                    };
-                    if (q_at(rx0, ry0) <= b.q_skip &&
-                        q_at(rx1, ry0) <= b.q_skip &&
-                        q_at(rx0, ry1) <= b.q_skip &&
-                        q_at(rx1, ry1) <= b.q_skip)
-                        solve_rows = false;
-                }
+                // Conic and thresholds broadcast once per splat; the
+                // row loop below evaluates q for kWidth pixels per
+                // step with each lane running the scalar op sequence
+                // exactly (same dx/dy derivation, same multiply/add
+                // order), so the pass/fail decisions — and therefore
+                // the image and stats — are bit-identical to the
+                // scalar reference.
+                const simd::FloatV c00v(b.c00), c01v(b.c01);
+                const simd::FloatV c10v(b.c10), c11v(b.c11);
+                const simd::FloatV cxv(b.cx);
+                const simd::FloatV q_skip_v(b.q_skip);
+                const simd::FloatV half_v(0.5f);
+                // (An earlier revision solved a per-row quadratic
+                // interval in double to trim dead row tails; with
+                // rows clipped to the tile and evaluated kWidth
+                // lanes per step under the q_skip mask, the
+                // sqrt-per-row solve cost more than the tails it
+                // saved — the mask makes the same pass/fail
+                // decisions bit-identically.)
                 for (int y = ry0; y <= ry1; ++y) {
                     if (row_live[y - y0] == 0)
                         continue;  // every pixel in the row terminated
                     const float py = static_cast<float>(y) + 0.5f;
-                    int row_x0 = rx0;
-                    int row_x1 = rx1;
-                    if (solve_rows) {
-                        const double dy = py - b.cy;
-                        const double qb = qb_dy * dy;
-                        const double qc =
-                            qc_dy * dy * dy - b.q_skip;
-                        const double disc = qb * qb - 4.0 * qa * qc;
-                        if (disc < 0.0)
-                            continue;  // whole row provably dead
-                        const double sq = std::sqrt(disc);
-                        const double lo =
-                            b.cx - 0.5 + (-qb - sq) / (2.0 * qa) - 1.0;
-                        const double hi =
-                            b.cx - 0.5 + (-qb + sq) / (2.0 * qa) + 2.0;
-                        if (lo > row_x0)
-                            row_x0 = static_cast<int>(lo);
-                        if (hi < row_x1)
-                            row_x1 = static_cast<int>(hi);
-                    }
-                    for (int x = row_x0; x <= row_x1; ++x) {
-                        float &t =
-                            tile_t[static_cast<std::size_t>(y - y0) *
-                                       tile + (x - x0)];
-                        if (t < config_.termination_t)
-                            continue;
-                        float dx = (static_cast<float>(x) + 0.5f) - b.cx;
-                        float dy = py - b.cy;
-                        float q = dx * (b.c00 * dx + b.c01 * dy) +
-                                  dy * (b.c10 * dx + b.c11 * dy);
-                        if (q > b.q_skip)
-                            continue;  // provably below the cutoff
-                        float a = b.opacity * std::exp(-0.5f * q);
-                        if (a > 0.99f)
-                            a = 0.99f;
-                        if (a < config_.alpha_cutoff)
-                            continue;
-                        ++st.blend_ops;
-                        contributed[si >> 6] |= std::uint64_t{1}
-                                                << (si & 63);
-                        image.at(x, y) += Vec3(b.r, b.g, b.b) * (a * t);
-                        t *= 1.0f - a;
-                        if (t < config_.termination_t) {
-                            --live;
-                            --row_live[y - y0];
-                            --sub_live[((y - y0) / kSub) * sub_n +
-                                       (x - x0) / kSub];
-                        }
+                    const int row_x0 = rx0;
+                    const int row_x1 = rx1;
+                    const float dy_row = py - b.cy;
+                    const simd::FloatV dyv(dy_row);
+                    float *trow =
+                        tile_t.data() +
+                        static_cast<std::size_t>(y - y0) * tile;
+                    for (int x = row_x0; x <= row_x1;
+                         x += simd::kWidth) {
+                        const int nlane = std::min<int>(
+                            simd::kWidth, row_x1 - x + 1);
+                        simd::FloatV dx =
+                            (simd::FloatV::iotaFrom(x) + half_v) - cxv;
+                        simd::FloatV q =
+                            dx * (c00v * dx + c01v * dyv) +
+                            dyv * (c10v * dx + c11v * dyv);
+                        // Mirrors the scalar `q > q_skip -> skip`
+                        // comparison exactly (incl. NaN ordering).
+                        unsigned bits =
+                            simd::MaskV::firstN(nlane).bits() &
+                            ~(q > q_skip_v).bits();
+                        if (bits == 0)
+                            continue;  // all lanes provably sub-cutoff
+                        float qlane[simd::kWidth];
+                        float alane[simd::kWidth];
+                        if (fast_alpha)
+                            simd::min(simd::FloatV(0.99f),
+                                      simd::FloatV(b.opacity) *
+                                          simd::simdExp(
+                                              q * simd::FloatV(-0.5f)))
+                                .store(alane);
+                        else
+                            q.store(qlane);
+                        // Surviving lanes compact into the exact
+                        // scalar alpha/blend path, front-to-back in x
+                        // order.
+                        do {
+                            const int i = std::countr_zero(bits);
+                            bits &= bits - 1;
+                            const int px = x + i;
+                            float &t = trow[px - x0];
+                            if (t < config_.termination_t)
+                                continue;
+                            float a;
+                            if (fast_alpha) {
+                                a = alane[i];
+                            } else {
+                                a = b.opacity *
+                                    std::exp(-0.5f * qlane[i]);
+                                if (a > 0.99f)
+                                    a = 0.99f;
+                            }
+                            if (a < config_.alpha_cutoff)
+                                continue;
+                            ++st.blend_ops;
+                            contributed[si >> 6] |= std::uint64_t{1}
+                                                    << (si & 63);
+                            image.at(px, y) +=
+                                Vec3(b.r, b.g, b.b) * (a * t);
+                            t *= 1.0f - a;
+                            if (t < config_.termination_t) {
+                                --live;
+                                --row_live[y - y0];
+                                --sub_live[((y - y0) / kSub) * sub_n +
+                                           (px - x0) / kSub];
+                            }
+                        } while (bits != 0);
                     }
                 }
             }
@@ -357,6 +392,7 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         stats.fetched_gaussians += std::popcount(fetched_any[w]);
         stats.rendered_gaussians += std::popcount(contributed_any[w]);
     }
+    stats.stage.raster_ms += msBetween(t_binned, StageClock::now());
     return image;
 }
 
@@ -372,7 +408,10 @@ TileRenderer::renderReference(const GaussianCloud &cloud,
     const int tiles_y = (height + tile - 1) / tile;
 
     // ---- Stage 1: preprocess every Gaussian (decoupled). ----
+    const auto t_start = StageClock::now();
     std::vector<Splat> splats = preprocessAll(cloud, cam, stats.pre);
+    const auto t_preprocessed = StageClock::now();
+    stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
 
     // ---- Tile binning: build Gaussian-tile KV pairs. ----
     std::vector<std::vector<std::uint32_t>> tile_lists(
@@ -399,6 +438,9 @@ TileRenderer::renderReference(const GaussianCloud &cloud,
             }
         }
     }
+
+    const auto t_binned = StageClock::now();
+    stats.stage.binning_ms += msBetween(t_preprocessed, t_binned);
 
     // ---- Stage 2: render tile by tile in scanline order. ----
     Image image(width, height);
@@ -500,6 +542,7 @@ TileRenderer::renderReference(const GaussianCloud &cloud,
             }
         }
     }
+    stats.stage.raster_ms += msBetween(t_binned, StageClock::now());
     return image;
 }
 

@@ -25,9 +25,12 @@ namespace gcc3d {
 
 /**
  * Split [0, n) into at most @p max_chunks contiguous half-open ranges
- * of at least @p min_per_chunk elements (the last chunk absorbs the
- * remainder).  Deterministic in its arguments; returns an empty list
- * for n == 0.
+ * of at least @p min_per_chunk elements each.  @p min_per_chunk is
+ * the *dispatch grain*: a chunk smaller than it cannot amortize the
+ * pool's submit/future overhead, so the split never produces one —
+ * in particular, n < 2 * min_per_chunk yields a single chunk, which
+ * runChunks runs inline on the caller thread (no pool round-trip at
+ * all).  Deterministic in its arguments; empty list for n == 0.
  */
 inline std::vector<std::pair<std::size_t, std::size_t>>
 chunkRanges(std::size_t n, int max_chunks, std::size_t min_per_chunk)
@@ -39,7 +42,12 @@ chunkRanges(std::size_t n, int max_chunks, std::size_t min_per_chunk)
         max_chunks = 1;
     if (min_per_chunk < 1)
         min_per_chunk = 1;
-    std::size_t chunks = (n + min_per_chunk - 1) / min_per_chunk;
+    // Floor division: ceil would manufacture chunks *smaller* than
+    // the grain (e.g. 10 items at grain 4 -> three chunks of 3/3/4),
+    // exactly the dispatch overhead the grain exists to prevent.
+    std::size_t chunks = n / min_per_chunk;
+    if (chunks < 1)
+        chunks = 1;
     if (chunks > static_cast<std::size_t>(max_chunks))
         chunks = static_cast<std::size_t>(max_chunks);
     std::size_t per = n / chunks;

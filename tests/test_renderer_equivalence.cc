@@ -12,6 +12,7 @@
 
 #include <cstring>
 
+#include "render/metrics.h"
 #include "render/tile_renderer.h"
 #include "runtime/thread_pool.h"
 #include "test_util.h"
@@ -237,6 +238,58 @@ TEST(RendererEquivalence, RenderWithPoolMatchesWithout)
     Image pooled = renderer.render(cloud, cam, st_pooled, &pool);
     EXPECT_TRUE(imagesBitIdentical(serial, pooled));
     expectStatsIdentical(st_serial, st_pooled);
+}
+
+TEST(RendererEquivalence,
+     VectorizedPathMatchesReferenceAcrossTileSizesAndWorkers)
+{
+    // The SIMD default path must stay bit-identical to the scalar
+    // reference at every tile size the simulators use and at every
+    // worker count (serial, 2, 8) — lane tails, row masks and the
+    // compacted blend all change shape with the tile size.
+    GaussianCloud cloud = generateScene(test::tinySpec(13, 4000), 1.0f);
+    Camera cam = makeCamera(test::tinySpec(13, 4000));
+
+    for (int tile : {8, 16, 32, 64}) {
+        TileRendererConfig cfg;
+        cfg.tile_size = tile;
+        TileRenderer renderer(cfg);
+        StandardFlowStats st_ref;
+        Image ref = renderer.renderReference(cloud, cam, st_ref);
+        for (int workers : {1, 2, 8}) {
+            ThreadPool pool(workers);
+            StandardFlowStats st;
+            Image img = renderer.render(cloud, cam, st,
+                                        workers > 1 ? &pool : nullptr);
+            EXPECT_TRUE(imagesBitIdentical(ref, img))
+                << "tile " << tile << ", workers " << workers;
+            expectStatsIdentical(st_ref, st);
+        }
+    }
+}
+
+TEST(RendererEquivalence, FastAlphaMeetsPsnrBoundOnPresetScenes)
+{
+    // --fast-alpha trades bit-exactness for the vectorized polynomial
+    // exp; its accuracy contract is perceptual: >= 55 dB PSNR against
+    // the exact image on every preset scene.
+    TileRendererConfig fast_cfg;
+    fast_cfg.fast_alpha = true;
+    TileRenderer exact;
+    TileRenderer fast(fast_cfg);
+    for (SceneId id : {SceneId::Palace, SceneId::Lego, SceneId::Train}) {
+        SceneSpec spec = scenePreset(id);
+        GaussianCloud cloud = generateScene(spec, 0.02f);
+        Camera cam = makeCamera(spec);
+        StandardFlowStats s1, s2;
+        Image img_exact = exact.render(cloud, cam, s1);
+        Image img_fast = fast.render(cloud, cam, s2);
+        EXPECT_GE(psnr(img_exact, img_fast), 55.0) << sceneName(id);
+        // (No stats equality here: the q-mask decisions match, but
+        // termination-dependent counters like alpha_evals may shift
+        // by a pixel when the approximate alpha moves t across the
+        // termination threshold.)
+    }
 }
 
 } // namespace

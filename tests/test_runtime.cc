@@ -13,6 +13,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/parallel_for.h"
@@ -417,6 +418,52 @@ TEST(ParallelFor, ChunkRangesPartitionExactly)
     // min_per_chunk bounds the split: 25 elements at >=10 per chunk
     // never fan out to more than 3 chunks.
     EXPECT_LE(chunkRanges(25, 16, 10).size(), 3u);
+}
+
+TEST(ParallelFor, ChunkRangesRespectTheDispatchGrain)
+{
+    // min_per_chunk is the dispatch grain: no chunk may be smaller.
+    // The previous ceil-division split manufactured sub-grain chunks
+    // (e.g. 10 items at grain 4 -> 3/3/4) whose pool dispatch cost
+    // more than the work they carried.
+    for (std::size_t n :
+         {std::size_t{1}, std::size_t{7}, std::size_t{10},
+          std::size_t{25}, std::size_t{100}, std::size_t{1001}}) {
+        for (std::size_t grain :
+             {std::size_t{1}, std::size_t{4}, std::size_t{10},
+              std::size_t{64}}) {
+            for (int workers : {1, 2, 8, 16}) {
+                auto ranges = chunkRanges(n, workers, grain);
+                std::size_t covered = 0;
+                for (const auto &[begin, end] : ranges) {
+                    covered += end - begin;
+                    if (ranges.size() > 1)
+                        EXPECT_GE(end - begin, grain)
+                            << "n=" << n << " grain=" << grain
+                            << " workers=" << workers;
+                }
+                EXPECT_EQ(covered, n);
+            }
+        }
+    }
+    // Below two grains there is nothing worth dispatching: a single
+    // chunk, which runChunks runs inline on the caller.
+    EXPECT_EQ(chunkRanges(7, 8, 4).size(), 1u);
+}
+
+TEST(ParallelFor, SmallWorkRunsInlineOnTheCallerThread)
+{
+    // Work under two grains must never round-trip through the pool:
+    // the single chunk executes on the calling thread itself.
+    ThreadPool pool(4);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen;
+    forEachChunk(&pool, 100, 64,
+                 [&](std::size_t, std::size_t, std::size_t) {
+                     seen.push_back(std::this_thread::get_id());
+                 });
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], caller);
 }
 
 TEST(ParallelFor, ForEachChunkVisitsEveryIndexOnce)

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Unit tests of the portable SIMD layer (src/gsmath/simd.h).
+ *
+ * The layer's contract is that every lane of every operation performs
+ * the exact scalar IEEE-754 single-precision operation, so the tests
+ * compare each vector op bit-for-bit against the scalar expression on
+ * a battery of lanes that includes NaN, infinities, denormals and
+ * signed zeros.  Whatever backend CMake selected (avx2 / sse2 / neon
+ * / scalar) must pass identically; the CI scalar-fallback leg builds
+ * with -DGCC3D_SIMD=off to keep that backend honest too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "gsmath/simd.h"
+
+namespace gcc3d {
+namespace {
+
+using simd::FloatV;
+using simd::IntV;
+using simd::kWidth;
+using simd::MaskV;
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+const float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kDenorm = std::numeric_limits<float>::denorm_min();
+
+/** Edge-case battery cycled through every lane position. */
+std::vector<float>
+specialValues()
+{
+    return {0.0f,      -0.0f,     1.0f,     -1.0f,   0.5f,
+            -2.5f,     kInf,      -kInf,    kNan,    kDenorm,
+            -kDenorm,  1e-38f,    3.3e38f,  -3.3e38f, 42.75f,
+            -1234.5f,  1e-45f,    0.99f,    255.0f,  -255.0f};
+}
+
+/** Bitwise float equality (NaN == NaN as long as the bits agree). */
+bool
+bitEqual(float a, float b)
+{
+    return std::memcmp(&a, &b, sizeof(float)) == 0;
+}
+
+/**
+ * Run @p vec_op / @p scalar_op over every kWidth-window of the
+ * battery and require bit-identical lanes.
+ */
+template <typename VecOp, typename ScalarOp>
+void
+checkBinaryOp(const char *name, VecOp vec_op, ScalarOp scalar_op)
+{
+    std::vector<float> vals = specialValues();
+    // Also pair every value against every other value.
+    for (std::size_t ai = 0; ai < vals.size(); ++ai) {
+        float a_lanes[kWidth > 0 ? kWidth : 1] = {};
+        float b_lanes[kWidth > 0 ? kWidth : 1] = {};
+        for (std::size_t bi = 0; bi < vals.size(); bi += kWidth) {
+            for (int l = 0; l < kWidth; ++l) {
+                a_lanes[l] = vals[ai];
+                b_lanes[l] = vals[(bi + l) % vals.size()];
+            }
+            FloatV r = vec_op(FloatV::load(a_lanes),
+                              FloatV::load(b_lanes));
+            float out[kWidth];
+            r.store(out);
+            for (int l = 0; l < kWidth; ++l) {
+                float want = scalar_op(a_lanes[l], b_lanes[l]);
+                EXPECT_TRUE(bitEqual(out[l], want))
+                    << name << " lane " << l << ": " << a_lanes[l]
+                    << " op " << b_lanes[l] << " -> " << out[l]
+                    << ", want " << want;
+            }
+        }
+    }
+}
+
+TEST(Simd, BackendReportsAName)
+{
+    ASSERT_NE(simd::backendName(), nullptr);
+    EXPECT_TRUE(kWidth == 4 || kWidth == 8) << simd::backendName();
+}
+
+TEST(Simd, ArithmeticLaneExact)
+{
+    checkBinaryOp(
+        "add", [](FloatV a, FloatV b) { return a + b; },
+        [](float a, float b) { return a + b; });
+    checkBinaryOp(
+        "sub", [](FloatV a, FloatV b) { return a - b; },
+        [](float a, float b) { return a - b; });
+    checkBinaryOp(
+        "mul", [](FloatV a, FloatV b) { return a * b; },
+        [](float a, float b) { return a * b; });
+    checkBinaryOp(
+        "div", [](FloatV a, FloatV b) { return a / b; },
+        [](float a, float b) { return a / b; });
+}
+
+TEST(Simd, MinMaxFollowTheSseRule)
+{
+    // min(a,b) = a < b ? a : b; max(a,b) = a > b ? a : b.  The second
+    // operand wins on NaN and on equal-comparing values (so
+    // min(+0,-0) is -0, the second operand).
+    checkBinaryOp(
+        "min",
+        [](FloatV a, FloatV b) { return simd::min(a, b); },
+        [](float a, float b) { return a < b ? a : b; });
+    checkBinaryOp(
+        "max",
+        [](FloatV a, FloatV b) { return simd::max(a, b); },
+        [](float a, float b) { return a > b ? a : b; });
+}
+
+TEST(Simd, ComparisonsLaneExactIncludingNaN)
+{
+    std::vector<float> vals = specialValues();
+    float a_lanes[kWidth], b_lanes[kWidth];
+    for (std::size_t ai = 0; ai < vals.size(); ++ai) {
+        for (std::size_t bi = 0; bi < vals.size(); bi += kWidth) {
+            for (int l = 0; l < kWidth; ++l) {
+                a_lanes[l] = vals[ai];
+                b_lanes[l] = vals[(bi + l) % vals.size()];
+            }
+            FloatV a = FloatV::load(a_lanes);
+            FloatV b = FloatV::load(b_lanes);
+            unsigned le = (a <= b).bits();
+            unsigned lt = (a < b).bits();
+            unsigned gt = (a > b).bits();
+            unsigned ge = (a >= b).bits();
+            unsigned eq = (a == b).bits();
+            for (int l = 0; l < kWidth; ++l) {
+                unsigned bit = 1u << l;
+                EXPECT_EQ((le & bit) != 0, a_lanes[l] <= b_lanes[l]);
+                EXPECT_EQ((lt & bit) != 0, a_lanes[l] < b_lanes[l]);
+                EXPECT_EQ((gt & bit) != 0, a_lanes[l] > b_lanes[l]);
+                EXPECT_EQ((ge & bit) != 0, a_lanes[l] >= b_lanes[l]);
+                EXPECT_EQ((eq & bit) != 0, a_lanes[l] == b_lanes[l]);
+            }
+        }
+    }
+}
+
+TEST(Simd, MaskOpsAndFirstN)
+{
+    for (int n = 0; n <= kWidth + 1; ++n) {
+        MaskV m = MaskV::firstN(n);
+        int clamped = n > kWidth ? kWidth : n;
+        EXPECT_EQ(m.bits(), (clamped >= 32 ? ~0u : (1u << clamped) - 1u))
+            << "firstN(" << n << ")";
+        EXPECT_EQ(m.count(), clamped);
+        EXPECT_EQ(m.any(), clamped > 0);
+        EXPECT_EQ(m.none(), clamped == 0);
+    }
+    MaskV a = MaskV::firstN(kWidth / 2);
+    MaskV b = MaskV::firstN(kWidth);
+    EXPECT_EQ((a & b).bits(), a.bits());
+    EXPECT_EQ((a | b).bits(), b.bits());
+}
+
+TEST(Simd, SelectPicksPerLane)
+{
+    float a_lanes[kWidth], b_lanes[kWidth];
+    for (int l = 0; l < kWidth; ++l) {
+        a_lanes[l] = static_cast<float>(l + 1);
+        b_lanes[l] = -static_cast<float>(l + 1);
+    }
+    for (int n = 0; n <= kWidth; ++n) {
+        FloatV r = simd::select(MaskV::firstN(n),
+                                FloatV::load(a_lanes),
+                                FloatV::load(b_lanes));
+        for (int l = 0; l < kWidth; ++l)
+            EXPECT_EQ(r.lane(l), l < n ? a_lanes[l] : b_lanes[l]);
+    }
+}
+
+TEST(Simd, LoadStoreTails)
+{
+    float src[kWidth];
+    for (int l = 0; l < kWidth; ++l)
+        src[l] = static_cast<float>(10 + l);
+    for (int n = 0; n <= kWidth; ++n) {
+        FloatV v = FloatV::loadPartial(src, n);
+        for (int l = 0; l < kWidth; ++l)
+            EXPECT_EQ(v.lane(l), l < n ? src[l] : 0.0f)
+                << "loadPartial n=" << n << " lane " << l;
+
+        float dst[kWidth];
+        for (int l = 0; l < kWidth; ++l)
+            dst[l] = -1.0f;
+        FloatV::load(src).storePartial(dst, n);
+        for (int l = 0; l < kWidth; ++l)
+            EXPECT_EQ(dst[l], l < n ? src[l] : -1.0f)
+                << "storePartial n=" << n << " lane " << l;
+    }
+}
+
+TEST(Simd, IotaFromMatchesScalarCast)
+{
+    for (int x0 : {0, 1, 7, 1023, -5, 1 << 20}) {
+        FloatV v = FloatV::iotaFrom(x0);
+        for (int l = 0; l < kWidth; ++l)
+            EXPECT_EQ(v.lane(l), static_cast<float>(x0 + l));
+    }
+}
+
+TEST(Simd, IntOpsLaneExact)
+{
+    const std::int32_t vals[] = {0, 1, -1, 127, -128,
+                                 std::numeric_limits<std::int32_t>::max(),
+                                 std::numeric_limits<std::int32_t>::min(),
+                                 0x7f800000, static_cast<std::int32_t>(
+                                                 0x80000000u)};
+    std::int32_t a_lanes[kWidth], b_lanes[kWidth];
+    const int nv = static_cast<int>(std::size(vals));
+    for (int ai = 0; ai < nv; ++ai) {
+        for (int bi = 0; bi < nv; bi += kWidth) {
+            for (int l = 0; l < kWidth; ++l) {
+                a_lanes[l] = vals[ai];
+                b_lanes[l] = vals[(bi + l) % nv];
+            }
+            IntV a = IntV::load(a_lanes);
+            IntV b = IntV::load(b_lanes);
+            std::int32_t out[kWidth];
+
+            (a + b).store(out);
+            for (int l = 0; l < kWidth; ++l)
+                EXPECT_EQ(out[l],
+                          static_cast<std::int32_t>(
+                              static_cast<std::uint32_t>(a_lanes[l]) +
+                              static_cast<std::uint32_t>(b_lanes[l])));
+
+            (a | b).store(out);
+            for (int l = 0; l < kWidth; ++l)
+                EXPECT_EQ(out[l], a_lanes[l] | b_lanes[l]);
+
+            (a ^ b).store(out);
+            for (int l = 0; l < kWidth; ++l)
+                EXPECT_EQ(out[l], a_lanes[l] ^ b_lanes[l]);
+
+            (a & b).store(out);
+            for (int l = 0; l < kWidth; ++l)
+                EXPECT_EQ(out[l], a_lanes[l] & b_lanes[l]);
+
+            a.shiftLeft<3>().store(out);
+            for (int l = 0; l < kWidth; ++l)
+                EXPECT_EQ(out[l],
+                          static_cast<std::int32_t>(
+                              static_cast<std::uint32_t>(a_lanes[l])
+                              << 3));
+
+            a.shiftRightArith<31>().store(out);
+            for (int l = 0; l < kWidth; ++l)
+                EXPECT_EQ(out[l], a_lanes[l] >> 31);
+
+            unsigned eq = simd::cmpEq(a, b).bits();
+            for (int l = 0; l < kWidth; ++l)
+                EXPECT_EQ((eq & (1u << l)) != 0,
+                          a_lanes[l] == b_lanes[l]);
+        }
+    }
+}
+
+TEST(Simd, BitcastsRoundTrip)
+{
+    std::vector<float> vals = specialValues();
+    float lanes[kWidth];
+    for (std::size_t i = 0; i < vals.size(); i += kWidth) {
+        for (int l = 0; l < kWidth; ++l)
+            lanes[l] = vals[(i + l) % vals.size()];
+        FloatV f = FloatV::load(lanes);
+        FloatV back = simd::bitcastToFloat(simd::bitcastToInt(f));
+        float out[kWidth];
+        back.store(out);
+        for (int l = 0; l < kWidth; ++l)
+            EXPECT_TRUE(bitEqual(out[l], lanes[l])) << "lane " << l;
+    }
+}
+
+TEST(Simd, RoundToIntTiesToEven)
+{
+    const float vals[] = {0.5f, 1.5f, 2.5f, -0.5f, -1.5f, -2.5f,
+                          0.49f, 0.51f, 3.0f, -3.0f, 1e6f, -1e6f};
+    float lanes[kWidth];
+    for (std::size_t i = 0; i < std::size(vals); i += kWidth) {
+        for (int l = 0; l < kWidth; ++l)
+            lanes[l] = vals[(i + l) % std::size(vals)];
+        std::int32_t out[kWidth];
+        simd::roundToInt(FloatV::load(lanes)).store(out);
+        for (int l = 0; l < kWidth; ++l)
+            EXPECT_EQ(out[l], static_cast<std::int32_t>(
+                                  std::nearbyintf(lanes[l])))
+                << "round(" << lanes[l] << ")";
+    }
+}
+
+TEST(Simd, ToFloatIsExactConversion)
+{
+    std::int32_t lanes[kWidth];
+    for (int l = 0; l < kWidth; ++l)
+        lanes[l] = (l + 1) * 12345 - 7;
+    FloatV f = simd::toFloat(IntV::load(lanes));
+    for (int l = 0; l < kWidth; ++l)
+        EXPECT_EQ(f.lane(l), static_cast<float>(lanes[l]));
+}
+
+TEST(Simd, SimdExpLaneIdenticalToScalarTranscription)
+{
+    std::mt19937 rng(17);
+    std::uniform_real_distribution<float> u(-90.0f, 5.0f);
+    float lanes[kWidth];
+    for (int iter = 0; iter < 2000; ++iter) {
+        for (int l = 0; l < kWidth; ++l)
+            lanes[l] = u(rng);
+        FloatV r = simd::simdExp(FloatV::load(lanes));
+        for (int l = 0; l < kWidth; ++l) {
+            float want = simd::simdExpScalar(lanes[l]);
+            EXPECT_TRUE(bitEqual(r.lane(l), want))
+                << "exp(" << lanes[l] << "): " << r.lane(l) << " vs "
+                << want;
+        }
+    }
+    // Edge inputs: clamped, never 0/inf/NaN-producing.
+    const float edges[] = {0.0f, -0.0f, -87.33f, -500.0f, -kInf,
+                           100.0f, kInf};
+    for (float e : edges) {
+        float lane0[kWidth] = {};
+        lane0[0] = e;
+        float got = simd::simdExp(FloatV::load(lane0)).lane(0);
+        EXPECT_TRUE(bitEqual(got, simd::simdExpScalar(e)))
+            << "edge " << e;
+        EXPECT_TRUE(std::isfinite(got));
+        EXPECT_GT(got, 0.0f);
+    }
+}
+
+TEST(Simd, SimdExpAccuracyVsStdExp)
+{
+    // The fast-alpha renderers feed exponents in [-6, 0]; the layer
+    // contract covers the whole clamp interval.
+    std::mt19937 rng(29);
+    std::uniform_real_distribution<float> u(-87.0f, 0.0f);
+    double max_rel = 0.0;
+    for (int iter = 0; iter < 20000; ++iter) {
+        float x = iter < 1000 ? -6.0f * iter / 1000.0f : u(rng);
+        double want = std::exp(static_cast<double>(x));
+        double got = simd::simdExpScalar(x);
+        double rel = std::abs(got - want) / want;
+        max_rel = std::max(max_rel, rel);
+    }
+    EXPECT_LT(max_rel, 3e-7);
+    EXPECT_EQ(simd::simdExpScalar(0.0f), 1.0f);
+}
+
+} // namespace
+} // namespace gcc3d
