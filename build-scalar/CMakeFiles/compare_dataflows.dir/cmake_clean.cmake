@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_dataflows.dir/examples/compare_dataflows.cpp.o"
+  "CMakeFiles/compare_dataflows.dir/examples/compare_dataflows.cpp.o.d"
+  "compare_dataflows"
+  "compare_dataflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_dataflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

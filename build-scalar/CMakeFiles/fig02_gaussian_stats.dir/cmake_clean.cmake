@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_gaussian_stats.dir/bench/fig02_gaussian_stats.cpp.o"
+  "CMakeFiles/fig02_gaussian_stats.dir/bench/fig02_gaussian_stats.cpp.o.d"
+  "fig02_gaussian_stats"
+  "fig02_gaussian_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_gaussian_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

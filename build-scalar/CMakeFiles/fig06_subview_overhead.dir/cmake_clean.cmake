@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_subview_overhead.dir/bench/fig06_subview_overhead.cpp.o"
+  "CMakeFiles/fig06_subview_overhead.dir/bench/fig06_subview_overhead.cpp.o.d"
+  "fig06_subview_overhead"
+  "fig06_subview_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_subview_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

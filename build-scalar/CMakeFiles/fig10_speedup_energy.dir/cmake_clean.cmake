@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_speedup_energy.dir/bench/fig10_speedup_energy.cpp.o"
+  "CMakeFiles/fig10_speedup_energy.dir/bench/fig10_speedup_energy.cpp.o.d"
+  "fig10_speedup_energy"
+  "fig10_speedup_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_speedup_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ablation.dir/bench/fig11_ablation.cpp.o"
+  "CMakeFiles/fig11_ablation.dir/bench/fig11_ablation.cpp.o.d"
+  "fig11_ablation"
+  "fig11_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

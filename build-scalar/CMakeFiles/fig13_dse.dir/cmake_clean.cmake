@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dse.dir/bench/fig13_dse.cpp.o"
+  "CMakeFiles/fig13_dse.dir/bench/fig13_dse.cpp.o.d"
+  "fig13_dse"
+  "fig13_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bandwidth.dir/bench/fig14_bandwidth.cpp.o"
+  "CMakeFiles/fig14_bandwidth.dir/bench/fig14_bandwidth.cpp.o.d"
+  "fig14_bandwidth"
+  "fig14_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_gpu_dataflow.dir/bench/fig15_gpu_dataflow.cpp.o"
+  "CMakeFiles/fig15_gpu_dataflow.dir/bench/fig15_gpu_dataflow.cpp.o.d"
+  "fig15_gpu_dataflow"
+  "fig15_gpu_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_gpu_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_throughput.dir/bench/frame_throughput.cpp.o"
+  "CMakeFiles/frame_throughput.dir/bench/frame_throughput.cpp.o.d"
+  "frame_throughput"
+  "frame_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

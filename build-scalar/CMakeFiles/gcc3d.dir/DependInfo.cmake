@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alpha_unit.cc" "CMakeFiles/gcc3d.dir/src/core/alpha_unit.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/core/alpha_unit.cc.o.d"
+  "/root/repo/src/core/blending_unit.cc" "CMakeFiles/gcc3d.dir/src/core/blending_unit.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/core/blending_unit.cc.o.d"
+  "/root/repo/src/core/depth_grouping.cc" "CMakeFiles/gcc3d.dir/src/core/depth_grouping.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/core/depth_grouping.cc.o.d"
+  "/root/repo/src/core/gcc_sim.cc" "CMakeFiles/gcc3d.dir/src/core/gcc_sim.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/core/gcc_sim.cc.o.d"
+  "/root/repo/src/core/projection_unit.cc" "CMakeFiles/gcc3d.dir/src/core/projection_unit.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/core/projection_unit.cc.o.d"
+  "/root/repo/src/core/sh_unit.cc" "CMakeFiles/gcc3d.dir/src/core/sh_unit.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/core/sh_unit.cc.o.d"
+  "/root/repo/src/core/sort_unit.cc" "CMakeFiles/gcc3d.dir/src/core/sort_unit.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/core/sort_unit.cc.o.d"
+  "/root/repo/src/gpu/gpu_model.cc" "CMakeFiles/gcc3d.dir/src/gpu/gpu_model.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/gpu/gpu_model.cc.o.d"
+  "/root/repo/src/gscore/gscore_sim.cc" "CMakeFiles/gcc3d.dir/src/gscore/gscore_sim.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/gscore/gscore_sim.cc.o.d"
+  "/root/repo/src/gsmath/ellipse.cc" "CMakeFiles/gcc3d.dir/src/gsmath/ellipse.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/gsmath/ellipse.cc.o.d"
+  "/root/repo/src/gsmath/exp_lut.cc" "CMakeFiles/gcc3d.dir/src/gsmath/exp_lut.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/gsmath/exp_lut.cc.o.d"
+  "/root/repo/src/gsmath/sh.cc" "CMakeFiles/gcc3d.dir/src/gsmath/sh.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/gsmath/sh.cc.o.d"
+  "/root/repo/src/render/boundary.cc" "CMakeFiles/gcc3d.dir/src/render/boundary.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/render/boundary.cc.o.d"
+  "/root/repo/src/render/gaussian_wise_renderer.cc" "CMakeFiles/gcc3d.dir/src/render/gaussian_wise_renderer.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/render/gaussian_wise_renderer.cc.o.d"
+  "/root/repo/src/render/image.cc" "CMakeFiles/gcc3d.dir/src/render/image.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/render/image.cc.o.d"
+  "/root/repo/src/render/metrics.cc" "CMakeFiles/gcc3d.dir/src/render/metrics.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/render/metrics.cc.o.d"
+  "/root/repo/src/render/preprocess.cc" "CMakeFiles/gcc3d.dir/src/render/preprocess.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/render/preprocess.cc.o.d"
+  "/root/repo/src/render/splat_soa.cc" "CMakeFiles/gcc3d.dir/src/render/splat_soa.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/render/splat_soa.cc.o.d"
+  "/root/repo/src/render/tile_renderer.cc" "CMakeFiles/gcc3d.dir/src/render/tile_renderer.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/render/tile_renderer.cc.o.d"
+  "/root/repo/src/runtime/result_table.cc" "CMakeFiles/gcc3d.dir/src/runtime/result_table.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/runtime/result_table.cc.o.d"
+  "/root/repo/src/runtime/sweep_runner.cc" "CMakeFiles/gcc3d.dir/src/runtime/sweep_runner.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/runtime/sweep_runner.cc.o.d"
+  "/root/repo/src/runtime/thread_pool.cc" "CMakeFiles/gcc3d.dir/src/runtime/thread_pool.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/runtime/thread_pool.cc.o.d"
+  "/root/repo/src/scene/camera.cc" "CMakeFiles/gcc3d.dir/src/scene/camera.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/scene/camera.cc.o.d"
+  "/root/repo/src/scene/scene_generator.cc" "CMakeFiles/gcc3d.dir/src/scene/scene_generator.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/scene/scene_generator.cc.o.d"
+  "/root/repo/src/scene/scene_io.cc" "CMakeFiles/gcc3d.dir/src/scene/scene_io.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/scene/scene_io.cc.o.d"
+  "/root/repo/src/scene/scene_presets.cc" "CMakeFiles/gcc3d.dir/src/scene/scene_presets.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/scene/scene_presets.cc.o.d"
+  "/root/repo/src/scene/trajectory.cc" "CMakeFiles/gcc3d.dir/src/scene/trajectory.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/scene/trajectory.cc.o.d"
+  "/root/repo/src/serve/fleet.cc" "CMakeFiles/gcc3d.dir/src/serve/fleet.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/serve/fleet.cc.o.d"
+  "/root/repo/src/serve/frame_scheduler.cc" "CMakeFiles/gcc3d.dir/src/serve/frame_scheduler.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/serve/frame_scheduler.cc.o.d"
+  "/root/repo/src/serve/scene_registry.cc" "CMakeFiles/gcc3d.dir/src/serve/scene_registry.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/serve/scene_registry.cc.o.d"
+  "/root/repo/src/serve/serve_stats.cc" "CMakeFiles/gcc3d.dir/src/serve/serve_stats.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/serve/serve_stats.cc.o.d"
+  "/root/repo/src/serve/session.cc" "CMakeFiles/gcc3d.dir/src/serve/session.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/serve/session.cc.o.d"
+  "/root/repo/src/sim/area_model.cc" "CMakeFiles/gcc3d.dir/src/sim/area_model.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/sim/area_model.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "CMakeFiles/gcc3d.dir/src/sim/dram.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/sim/dram.cc.o.d"
+  "/root/repo/src/sim/energy_model.cc" "CMakeFiles/gcc3d.dir/src/sim/energy_model.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/sim/energy_model.cc.o.d"
+  "/root/repo/src/sim/pipeline.cc" "CMakeFiles/gcc3d.dir/src/sim/pipeline.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/sim/pipeline.cc.o.d"
+  "/root/repo/src/sim/sram.cc" "CMakeFiles/gcc3d.dir/src/sim/sram.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/sim/sram.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "CMakeFiles/gcc3d.dir/src/sim/stats.cc.o" "gcc" "CMakeFiles/gcc3d.dir/src/sim/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcc3d.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcc3d_batch.dir/apps/gcc3d_batch.cpp.o"
+  "CMakeFiles/gcc3d_batch.dir/apps/gcc3d_batch.cpp.o.d"
+  "gcc3d_batch"
+  "gcc3d_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcc3d_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcc3d_serve.dir/apps/gcc3d_serve.cpp.o"
+  "CMakeFiles/gcc3d_serve.dir/apps/gcc3d_serve.cpp.o.d"
+  "gcc3d_serve"
+  "gcc3d_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcc3d_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_gallery.dir/examples/render_gallery.cpp.o"
+  "CMakeFiles/render_gallery.dir/examples/render_gallery.cpp.o.d"
+  "render_gallery"
+  "render_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

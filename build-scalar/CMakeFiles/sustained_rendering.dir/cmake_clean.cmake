@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustained_rendering.dir/examples/sustained_rendering.cpp.o"
+  "CMakeFiles/sustained_rendering.dir/examples/sustained_rendering.cpp.o.d"
+  "sustained_rendering"
+  "sustained_rendering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustained_rendering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_rendered_pixels.dir/bench/table01_rendered_pixels.cpp.o"
+  "CMakeFiles/table01_rendered_pixels.dir/bench/table01_rendered_pixels.cpp.o.d"
+  "table01_rendered_pixels"
+  "table01_rendered_pixels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_rendered_pixels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table01_rendered_pixels.
+# This may be replaced when dependencies are built.

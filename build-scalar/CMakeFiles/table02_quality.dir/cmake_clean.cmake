@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_quality.dir/bench/table02_quality.cpp.o"
+  "CMakeFiles/table02_quality.dir/bench/table02_quality.cpp.o.d"
+  "table02_quality"
+  "table02_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_accel_comparison.dir/bench/table03_accel_comparison.cpp.o"
+  "CMakeFiles/table03_accel_comparison.dir/bench/table03_accel_comparison.cpp.o.d"
+  "table03_accel_comparison"
+  "table03_accel_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_accel_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

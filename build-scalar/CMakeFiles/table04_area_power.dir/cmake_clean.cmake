@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_area_power.dir/bench/table04_area_power.cpp.o"
+  "CMakeFiles/table04_area_power.dir/bench/table04_area_power.cpp.o.d"
+  "table04_area_power"
+  "table04_area_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

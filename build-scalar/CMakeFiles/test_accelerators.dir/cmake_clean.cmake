@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accelerators.dir/tests/test_accelerators.cc.o"
+  "CMakeFiles/test_accelerators.dir/tests/test_accelerators.cc.o.d"
+  "test_accelerators"
+  "test_accelerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boundary.dir/tests/test_boundary.cc.o"
+  "CMakeFiles/test_boundary.dir/tests/test_boundary.cc.o.d"
+  "test_boundary"
+  "test_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

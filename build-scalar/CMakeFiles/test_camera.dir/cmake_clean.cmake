@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_camera.dir/tests/test_camera.cc.o"
+  "CMakeFiles/test_camera.dir/tests/test_camera.cc.o.d"
+  "test_camera"
+  "test_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

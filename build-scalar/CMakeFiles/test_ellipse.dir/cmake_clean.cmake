@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ellipse.dir/tests/test_ellipse.cc.o"
+  "CMakeFiles/test_ellipse.dir/tests/test_ellipse.cc.o.d"
+  "test_ellipse"
+  "test_ellipse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ellipse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp_lut.dir/tests/test_exp_lut.cc.o"
+  "CMakeFiles/test_exp_lut.dir/tests/test_exp_lut.cc.o.d"
+  "test_exp_lut"
+  "test_exp_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gaussian_wise_renderer.dir/tests/test_gaussian_wise_renderer.cc.o"
+  "CMakeFiles/test_gaussian_wise_renderer.dir/tests/test_gaussian_wise_renderer.cc.o.d"
+  "test_gaussian_wise_renderer"
+  "test_gaussian_wise_renderer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gaussian_wise_renderer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gaussian_wise_renderer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_model.dir/tests/test_gpu_model.cc.o"
+  "CMakeFiles/test_gpu_model.dir/tests/test_gpu_model.cc.o.d"
+  "test_gpu_model"
+  "test_gpu_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gw_equivalence.dir/tests/test_gw_equivalence.cc.o"
+  "CMakeFiles/test_gw_equivalence.dir/tests/test_gw_equivalence.cc.o.d"
+  "test_gw_equivalence"
+  "test_gw_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gw_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

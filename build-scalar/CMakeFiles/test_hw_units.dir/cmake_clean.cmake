@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_units.dir/tests/test_hw_units.cc.o"
+  "CMakeFiles/test_hw_units.dir/tests/test_hw_units.cc.o.d"
+  "test_hw_units"
+  "test_hw_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mat.dir/tests/test_mat.cc.o"
+  "CMakeFiles/test_mat.dir/tests/test_mat.cc.o.d"
+  "test_mat"
+  "test_mat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quat.dir/tests/test_quat.cc.o"
+  "CMakeFiles/test_quat.dir/tests/test_quat.cc.o.d"
+  "test_quat"
+  "test_quat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

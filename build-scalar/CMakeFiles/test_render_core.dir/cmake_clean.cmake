@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render_core.dir/tests/test_render_core.cc.o"
+  "CMakeFiles/test_render_core.dir/tests/test_render_core.cc.o.d"
+  "test_render_core"
+  "test_render_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

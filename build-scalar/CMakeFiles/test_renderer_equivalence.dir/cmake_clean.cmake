@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_renderer_equivalence.dir/tests/test_renderer_equivalence.cc.o"
+  "CMakeFiles/test_renderer_equivalence.dir/tests/test_renderer_equivalence.cc.o.d"
+  "test_renderer_equivalence"
+  "test_renderer_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_renderer_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scene.dir/tests/test_scene.cc.o"
+  "CMakeFiles/test_scene.dir/tests/test_scene.cc.o.d"
+  "test_scene"
+  "test_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

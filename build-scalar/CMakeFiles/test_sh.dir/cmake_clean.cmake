@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sh.dir/tests/test_sh.cc.o"
+  "CMakeFiles/test_sh.dir/tests/test_sh.cc.o.d"
+  "test_sh"
+  "test_sh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_substrate.dir/tests/test_sim_substrate.cc.o"
+  "CMakeFiles/test_sim_substrate.dir/tests/test_sim_substrate.cc.o.d"
+  "test_sim_substrate"
+  "test_sim_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

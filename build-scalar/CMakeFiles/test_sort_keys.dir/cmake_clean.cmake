@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sort_keys.dir/tests/test_sort_keys.cc.o"
+  "CMakeFiles/test_sort_keys.dir/tests/test_sort_keys.cc.o.d"
+  "test_sort_keys"
+  "test_sort_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sort_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_renderer.dir/tests/test_tile_renderer.cc.o"
+  "CMakeFiles/test_tile_renderer.dir/tests/test_tile_renderer.cc.o.d"
+  "test_tile_renderer"
+  "test_tile_renderer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_renderer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vec.dir/tests/test_vec.cc.o"
+  "CMakeFiles/test_vec.dir/tests/test_vec.cc.o.d"
+  "test_vec"
+  "test_vec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
