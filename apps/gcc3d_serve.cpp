@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "lod/lod_builder.h"
 #include "serve/fleet.h"
 #include "serve/frame_scheduler.h"
 
@@ -54,6 +55,17 @@ usage(const char *argv0)
         "                    GCC3D_SCALE env or 1.0)\n"
         "  --cache-dir DIR   .gsc scene cache; repeated runs skip\n"
         "                    scene generation (results unchanged)\n"
+        "  --lod FILE        serve the .gsc v2 LOD scene at FILE under\n"
+        "                    the memory budget instead of generating\n"
+        "                    resident clouds (scene list still sets\n"
+        "                    the camera paths)\n"
+        "  --memory-budget M leaf-chunk residency budget in MiB\n"
+        "                    (default: 256)\n"
+        "  --lod-tau F       LOD cut angular threshold in radians\n"
+        "                    (default: 0.08; smaller = more detail)\n"
+        "  --city N          view the N-splat City corridor preset\n"
+        "                    (with --lod, a missing FILE is built by\n"
+        "                    the streamed LOD builder first)\n"
         "  --json FILE       write the serve report as JSON\n"
         "  --quiet           suppress the per-session table\n",
         argv0);
@@ -69,11 +81,15 @@ main(int argc, char **argv)
     std::string policy_arg = "fifo";
     std::string cache_dir;
     std::string json_path;
+    std::string lod_path;
     int sessions = 8;
     int frames = 8;
     int threads = 0;
     int subview = 128;
     double fps_target = 0.0;
+    double budget_mib = 256.0;
+    double lod_tau = 0.08;
+    long long city = 0;
     bool drop_late = false;
     bool quiet = false;
     float scale = benchScale();
@@ -112,6 +128,14 @@ main(int argc, char **argv)
             scale = static_cast<float>(std::atof(value().c_str()));
         } else if (flag == "--cache-dir") {
             cache_dir = value();
+        } else if (flag == "--lod") {
+            lod_path = value();
+        } else if (flag == "--memory-budget") {
+            budget_mib = std::atof(value().c_str());
+        } else if (flag == "--lod-tau") {
+            lod_tau = std::atof(value().c_str());
+        } else if (flag == "--city") {
+            city = std::atoll(value().c_str());
         } else if (flag == "--json") {
             json_path = value();
         } else if (flag == "--quiet") {
@@ -144,11 +168,40 @@ main(int argc, char **argv)
         fleet_spec.renderers.clear();
         for (const std::string &name : splitList(renderers_arg))
             fleet_spec.renderers.push_back(sessionRendererFromName(name));
-        for (SceneId id : bench::parseSceneList(scenes_arg))
-            fleet_spec.scenes.push_back(scenePreset(id));
+        if (city > 0)
+            fleet_spec.scenes.push_back(
+                citySpec(static_cast<std::size_t>(city)));
+        else
+            for (SceneId id : bench::parseSceneList(scenes_arg))
+                fleet_spec.scenes.push_back(scenePreset(id));
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
+    }
+    if (!lod_path.empty()) {
+        if (budget_mib <= 0.0 || lod_tau <= 0.0) {
+            std::fprintf(stderr,
+                         "--memory-budget and --lod-tau must be > 0\n");
+            return 2;
+        }
+        fleet_spec.lod_path = lod_path;
+        fleet_spec.lod_budget_bytes =
+            static_cast<std::size_t>(budget_mib * (1 << 20));
+        fleet_spec.lod_cut.tau = static_cast<float>(lod_tau);
+        // The City corridor is too large to generate in RAM: a missing
+        // LOD file is built once by the streamed builder and reused.
+        if (city > 0 && !isGscV2File(lod_path)) {
+            std::printf("building %s: %lld-splat City LOD file "
+                        "(streamed)...\n",
+                        lod_path.c_str(), city);
+            if (!buildLodFileStreamed(fleet_spec.scenes.front(),
+                                      static_cast<std::uint64_t>(city),
+                                      lod_path, LodBuildConfig{})) {
+                std::fprintf(stderr, "failed to build %s\n",
+                             lod_path.c_str());
+                return 1;
+            }
+        }
     }
     if (fleet_spec.scenes.empty() || fleet_spec.renderers.empty()) {
         std::fprintf(stderr, "empty scene or renderer list\n");
@@ -172,6 +225,23 @@ main(int argc, char **argv)
         ThreadPool pool(workers);
         FrameScheduler scheduler(sched);
         ServeReport report = scheduler.run(fleet, pool);
+
+        if (!fleet.empty() && fleet.front().scene().lod) {
+            const LodScene &lod = *fleet.front().scene().lod;
+            ResidencyManager::Stats rs = lod.residencyStats();
+            std::printf(
+                "lod scene: %llu splats in %zu chunks, budget %.1f MiB, "
+                "peak resident %.1f MiB (+%.1f MiB proxies), %llu "
+                "faults / %llu hits / %llu evictions\n",
+                static_cast<unsigned long long>(lod.totalCount()),
+                lod.chunkCount(),
+                static_cast<double>(lod.budgetBytes()) / (1 << 20),
+                static_cast<double>(rs.peak_resident_bytes) / (1 << 20),
+                static_cast<double>(lod.alwaysResidentBytes()) / (1 << 20),
+                static_cast<unsigned long long>(rs.faults),
+                static_cast<unsigned long long>(rs.hits),
+                static_cast<unsigned long long>(rs.evictions));
+        }
 
         if (!quiet)
             report.print();

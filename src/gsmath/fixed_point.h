@@ -114,6 +114,16 @@ class FixedPoint
  */
 using AlphaFixed = FixedPoint<4, 20>;
 
+/**
+ * Normalized-coordinate format of the .gsc v2 scene container: Q1.15
+ * (sign + 15 fractional bits, raw fits an int16).  Chunk-local
+ * positions and quaternion components are mapped into [-1, 1] and
+ * quantized to 2^-15 steps, so the worst-case position error is
+ * half_extent * 2^-15 per axis (the +1.0 edge saturates at
+ * 1 - 2^-15, which stays inside that bound).
+ */
+using UnitFixed = FixedPoint<1, 15>;
+
 } // namespace gcc3d
 
 #endif // GCC3D_GSMATH_FIXED_POINT_H

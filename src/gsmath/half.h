@@ -1,0 +1,106 @@
+/**
+ * @file
+ * IEEE 754 binary16 (fp16) conversions.
+ *
+ * The .gsc v2 scene format stores spherical-harmonic color
+ * coefficients as fp16: trained SH coefficients live in a few units
+ * around zero, where half precision carries ~3 decimal digits — far
+ * below the color quantization any 8-bit display applies, and half
+ * the bytes of fp32.  These are pure bit-manipulation converters
+ * (no F16C dependency) so every backend, including the forced-scalar
+ * CI leg, decodes identically.
+ */
+
+#ifndef GCC3D_GSMATH_HALF_H
+#define GCC3D_GSMATH_HALF_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace gcc3d {
+
+/**
+ * Convert @p f to fp16 bits with round-to-nearest-even.  Values above
+ * the finite fp16 range saturate to +/-65504 (not infinity) so that a
+ * decoded scene never injects infs into the render; NaN maps to a
+ * quiet fp16 NaN.
+ */
+inline std::uint16_t
+floatToHalf(float f)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    const std::uint32_t sign = (bits >> 16) & 0x8000u;
+    std::uint32_t abs = bits & 0x7fffffffu;
+
+    if (abs >= 0x7f800000u) {  // inf or NaN
+        if (abs > 0x7f800000u)
+            return static_cast<std::uint16_t>(sign | 0x7e00u);  // qNaN
+        return static_cast<std::uint16_t>(sign | 0x7bffu);  // inf -> 65504
+    }
+    if (abs >= 0x477ff000u) {
+        // Rounds to >= 2^16: saturate to the largest finite half.
+        return static_cast<std::uint16_t>(sign | 0x7bffu);
+    }
+    if (abs < 0x38800000u) {  // subnormal half (|f| < 2^-14) or zero
+        if (abs < 0x33000000u)  // < 2^-25: rounds to zero
+            return static_cast<std::uint16_t>(sign);
+        // Add the implicit leading 1, shift into the 10-bit subnormal
+        // mantissa position, round to nearest even.  The 24-bit
+        // significand sits at 2^23; the subnormal unit is 2^-24, so
+        // the drop count is exactly 126 - exponent field (14..24).
+        const int shift = 126 - static_cast<int>(abs >> 23);
+        std::uint32_t mant = (abs & 0x007fffffu) | 0x00800000u;
+        const std::uint32_t drop = static_cast<std::uint32_t>(shift);
+        const std::uint32_t halfway = 1u << (drop - 1);
+        const std::uint32_t rest = mant & ((1u << drop) - 1u);
+        mant >>= drop;
+        if (rest > halfway || (rest == halfway && (mant & 1u)))
+            ++mant;
+        return static_cast<std::uint16_t>(sign | mant);
+    }
+    // Normal range: rebias exponent (127 -> 15), round mantissa to 10
+    // bits with round-to-nearest-even; mantissa carry bumps the
+    // exponent naturally.
+    std::uint32_t half = ((abs - 0x38000000u) >> 13);
+    const std::uint32_t rest = abs & 0x1fffu;
+    if (rest > 0x1000u || (rest == 0x1000u && (half & 1u)))
+        ++half;
+    return static_cast<std::uint16_t>(sign | half);
+}
+
+/** Convert fp16 bits to float (exact; every half is representable). */
+inline float
+halfToFloat(std::uint16_t h)
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1fu;
+    std::uint32_t mant = h & 0x3ffu;
+
+    std::uint32_t bits;
+    if (exp == 0) {
+        if (mant == 0) {
+            bits = sign;  // +/- zero
+        } else {
+            // Subnormal half: normalize into a float exponent.
+            int e = -1;
+            do {
+                ++e;
+                mant <<= 1;
+            } while ((mant & 0x400u) == 0);
+            bits = sign | static_cast<std::uint32_t>(127 - 15 - e) << 23 |
+                   ((mant & 0x3ffu) << 13);
+        }
+    } else if (exp == 0x1f) {
+        bits = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+    } else {
+        bits = sign | ((exp + 127 - 15) << 23) | (mant << 13);
+    }
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+} // namespace gcc3d
+
+#endif // GCC3D_GSMATH_HALF_H

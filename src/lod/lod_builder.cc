@@ -1,0 +1,461 @@
+#include "lod/lod_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+namespace gcc3d {
+
+namespace {
+
+/**
+ * Cyclic Jacobi eigensolver for a symmetric 3x3 matrix, in double so
+ * that near-degenerate covariances (thin splats merged along a line)
+ * still come out with an orthogonal eigenbasis.  On return @p a is
+ * (numerically) diagonal — the eigenvalues — and the columns of @p v
+ * are the corresponding eigenvectors.
+ */
+void
+jacobiEigen3(double a[3][3], double v[3][3])
+{
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            v[i][j] = (i == j) ? 1.0 : 0.0;
+
+    for (int sweep = 0; sweep < 32; ++sweep) {
+        double off = std::fabs(a[0][1]) + std::fabs(a[0][2]) +
+                     std::fabs(a[1][2]);
+        if (off < 1e-30)
+            break;
+        for (int p = 0; p < 2; ++p) {
+            for (int q = p + 1; q < 3; ++q) {
+                if (std::fabs(a[p][q]) < 1e-300)
+                    continue;
+                double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                double t = (theta >= 0 ? 1.0 : -1.0) /
+                           (std::fabs(theta) +
+                            std::sqrt(theta * theta + 1.0));
+                double c = 1.0 / std::sqrt(t * t + 1.0);
+                double s = t * c;
+                for (int k = 0; k < 3; ++k) {
+                    double akp = a[k][p], akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for (int k = 0; k < 3; ++k) {
+                    double apk = a[p][k], aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for (int k = 0; k < 3; ++k) {
+                    double vkp = v[k][p], vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Rotation matrix (columns = orthonormal basis) to quaternion,
+ * Shepperd's method: branch on the largest diagonal term so the
+ * divisor is always well away from zero.
+ */
+Quat
+quatFromMatrix(const Mat3 &r)
+{
+    float t = r(0, 0) + r(1, 1) + r(2, 2);
+    Quat q;
+    if (t > 0.0f) {
+        float s = std::sqrt(t + 1.0f) * 2.0f;
+        q.w = 0.25f * s;
+        q.x = (r(2, 1) - r(1, 2)) / s;
+        q.y = (r(0, 2) - r(2, 0)) / s;
+        q.z = (r(1, 0) - r(0, 1)) / s;
+    } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+        float s = std::sqrt(1.0f + r(0, 0) - r(1, 1) - r(2, 2)) * 2.0f;
+        q.w = (r(2, 1) - r(1, 2)) / s;
+        q.x = 0.25f * s;
+        q.y = (r(0, 1) + r(1, 0)) / s;
+        q.z = (r(0, 2) + r(2, 0)) / s;
+    } else if (r(1, 1) > r(2, 2)) {
+        float s = std::sqrt(1.0f + r(1, 1) - r(0, 0) - r(2, 2)) * 2.0f;
+        q.w = (r(0, 2) - r(2, 0)) / s;
+        q.x = (r(0, 1) + r(1, 0)) / s;
+        q.y = 0.25f * s;
+        q.z = (r(1, 2) + r(2, 1)) / s;
+    } else {
+        float s = std::sqrt(1.0f + r(2, 2) - r(0, 0) - r(1, 1)) * 2.0f;
+        q.w = (r(1, 0) - r(0, 1)) / s;
+        q.x = (r(0, 2) + r(2, 0)) / s;
+        q.y = (r(1, 2) + r(2, 1)) / s;
+        q.z = 0.25f * s;
+    }
+    return q.normalized();
+}
+
+/** Mean cross-sectional area (up to the constant pi/3 factor). */
+float
+meanArea(const Vec3 &s)
+{
+    return s.x * s.y + s.y * s.z + s.z * s.x;
+}
+
+/** Grid dimensions whose cell count approximates @p cells over the box. */
+void
+gridDims(const Vec3 &lo, const Vec3 &hi, std::size_t cells, int dims[3])
+{
+    Vec3 ext(std::max(hi.x - lo.x, 1e-6f), std::max(hi.y - lo.y, 1e-6f),
+             std::max(hi.z - lo.z, 1e-6f));
+    double vol = static_cast<double>(ext.x) * ext.y * ext.z;
+    double h = std::cbrt(vol / static_cast<double>(std::max<std::size_t>(
+                                   cells, 1)));
+    const float e[3] = {ext.x, ext.y, ext.z};
+    for (int i = 0; i < 3; ++i) {
+        dims[i] = static_cast<int>(std::ceil(e[i] / h));
+        dims[i] = std::clamp(dims[i], 1, 1024);
+    }
+}
+
+/** Flat cell index of @p p in the [@p lo, @p hi] grid, clamped inside. */
+std::uint64_t
+cellKey(const Vec3 &p, const Vec3 &lo, const Vec3 &hi, const int dims[3])
+{
+    const float pv[3] = {p.x, p.y, p.z};
+    const float lov[3] = {lo.x, lo.y, lo.z};
+    const float hiv[3] = {hi.x, hi.y, hi.z};
+    std::uint64_t key = 0;
+    for (int i = 0; i < 3; ++i) {
+        float span = std::max(hiv[i] - lov[i], 1e-6f);
+        int c = static_cast<int>((pv[i] - lov[i]) / span *
+                                 static_cast<float>(dims[i]));
+        c = std::clamp(c, 0, dims[i] - 1);
+        key = key * static_cast<std::uint64_t>(dims[i]) +
+              static_cast<std::uint64_t>(c);
+    }
+    return key;
+}
+
+/** AABB of the means of @p gs (assumed non-empty). */
+void
+meanBounds(const std::vector<Gaussian> &gs, Vec3 &lo, Vec3 &hi)
+{
+    lo = hi = gs.front().mean;
+    for (const Gaussian &g : gs) {
+        lo = lo.cwiseMin(g.mean);
+        hi = hi.cwiseMax(g.mean);
+    }
+}
+
+/**
+ * Build the per-chunk proxy pyramid: level 1 merges the leaves
+ * ~proxy_base:1, each further level re-merges the previous one 8:1.
+ * Every level of a non-empty chunk has at least one proxy.
+ */
+std::vector<std::vector<Gaussian>>
+buildPyramid(const std::vector<Gaussian> &leaves, const Vec3 &lo,
+             const Vec3 &hi, const LodBuildConfig &config)
+{
+    std::vector<std::vector<Gaussian>> pyramid;
+    pyramid.reserve(static_cast<std::size_t>(config.proxy_levels));
+    const std::vector<Gaussian> *prev = &leaves;
+    std::size_t target =
+        std::max<std::size_t>(leaves.size() /
+                                  std::max<std::size_t>(config.proxy_base, 2),
+                              1);
+    for (int level = 0; level < config.proxy_levels; ++level) {
+        pyramid.push_back(buildProxyLevel(*prev, lo, hi, target));
+        prev = &pyramid.back();
+        target = std::max<std::size_t>(target / 8, 1);
+    }
+    return pyramid;
+}
+
+/** Finish a buffered cell into a chunk draft and write it. */
+bool
+flushCell(GscV2Writer &writer, std::vector<std::uint32_t> &&indices,
+          std::vector<Gaussian> &&gaussians, const LodBuildConfig &config)
+{
+    if (gaussians.empty())
+        return true;
+    GscChunkDraft draft;
+    draft.indices = std::move(indices);
+    draft.gaussians = std::move(gaussians);
+    meanBounds(draft.gaussians, draft.lo, draft.hi);
+    draft.proxies =
+        buildPyramid(draft.gaussians, draft.lo, draft.hi, config);
+    return writer.writeChunk(draft);
+}
+
+} // namespace
+
+Gaussian
+mergeGaussians(const std::vector<Gaussian> &src,
+               const std::uint32_t *members, std::size_t count)
+{
+    if (count == 1)
+        return src[members[0]];
+
+    // First moment pass: weights and the weighted mean.
+    double wsum = 0.0;
+    double mu[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < count; ++i) {
+        const Gaussian &g = src[members[i]];
+        double w = static_cast<double>(g.opacity) *
+                   std::max(meanArea(g.scale), 1e-20f);
+        wsum += w;
+        mu[0] += w * g.mean.x;
+        mu[1] += w * g.mean.y;
+        mu[2] += w * g.mean.z;
+    }
+    bool degenerate = !(wsum > 0.0) || !std::isfinite(wsum);
+    if (degenerate)
+        wsum = static_cast<double>(count);
+
+    Gaussian out;
+    double m2[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+    double sh[kShCoeffsTotal] = {};
+    double opacity_area = 0.0;
+
+    auto accumulate = [&](const Gaussian &g, double w) {
+        double m[3] = {g.mean.x, g.mean.y, g.mean.z};
+        Mat3 cov = g.covariance3d();
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                m2[r][c] +=
+                    w * (static_cast<double>(cov(static_cast<size_t>(r),
+                                                 static_cast<size_t>(c))) +
+                         m[r] * m[c]);
+        for (std::size_t k = 0; k < kShCoeffsTotal; ++k)
+            sh[k] += w * static_cast<double>(g.sh[k]);
+        opacity_area += static_cast<double>(g.opacity) *
+                        std::max(meanArea(g.scale), 1e-20f);
+    };
+
+    if (degenerate) {
+        mu[0] = mu[1] = mu[2] = 0.0;
+        for (std::size_t i = 0; i < count; ++i) {
+            const Gaussian &g = src[members[i]];
+            mu[0] += g.mean.x;
+            mu[1] += g.mean.y;
+            mu[2] += g.mean.z;
+        }
+    }
+    for (int k = 0; k < 3; ++k)
+        mu[k] /= wsum;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const Gaussian &g = src[members[i]];
+        double w = degenerate ? 1.0
+                              : static_cast<double>(g.opacity) *
+                                    std::max(meanArea(g.scale), 1e-20f);
+        accumulate(g, w);
+    }
+
+    // Second moment of the mixture: law of total covariance.
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c)
+            m2[r][c] = m2[r][c] / wsum - mu[r] * mu[c];
+    // Symmetrize against fp drift before the eigensolve.
+    for (int r = 0; r < 3; ++r)
+        for (int c = r + 1; c < 3; ++c) {
+            double s = 0.5 * (m2[r][c] + m2[c][r]);
+            m2[r][c] = m2[c][r] = s;
+        }
+
+    double evec[3][3];
+    jacobiEigen3(m2, evec);
+    // Right-handed eigenbasis so the quaternion conversion is valid.
+    double det =
+        evec[0][0] * (evec[1][1] * evec[2][2] - evec[1][2] * evec[2][1]) -
+        evec[0][1] * (evec[1][0] * evec[2][2] - evec[1][2] * evec[2][0]) +
+        evec[0][2] * (evec[1][0] * evec[2][1] - evec[1][1] * evec[2][0]);
+    if (det < 0.0)
+        for (int r = 0; r < 3; ++r)
+            evec[r][2] = -evec[r][2];
+
+    out.mean = Vec3(static_cast<float>(mu[0]), static_cast<float>(mu[1]),
+                    static_cast<float>(mu[2]));
+    out.scale =
+        Vec3(static_cast<float>(std::sqrt(std::max(m2[0][0], 1e-12))),
+             static_cast<float>(std::sqrt(std::max(m2[1][1], 1e-12))),
+             static_cast<float>(std::sqrt(std::max(m2[2][2], 1e-12))));
+    Mat3 rot(static_cast<float>(evec[0][0]), static_cast<float>(evec[0][1]),
+             static_cast<float>(evec[0][2]), static_cast<float>(evec[1][0]),
+             static_cast<float>(evec[1][1]), static_cast<float>(evec[1][2]),
+             static_cast<float>(evec[2][0]), static_cast<float>(evec[2][1]),
+             static_cast<float>(evec[2][2]));
+    out.rotation = quatFromMatrix(rot);
+
+    for (std::size_t k = 0; k < kShCoeffsTotal; ++k)
+        out.sh[k] = static_cast<float>(sh[k] / wsum);
+
+    // Conserve total opacity x area: the proxy covers the members'
+    // aggregate footprint, so its opacity is their opacity-area sum
+    // over its own area.
+    float proxy_area = std::max(meanArea(out.scale), 1e-20f);
+    out.opacity = std::clamp(
+        static_cast<float>(opacity_area / static_cast<double>(proxy_area)),
+        0.02f, 0.99f);
+    return out;
+}
+
+std::vector<Gaussian>
+buildProxyLevel(const std::vector<Gaussian> &src, const Vec3 &lo,
+                const Vec3 &hi, std::size_t target)
+{
+    std::vector<Gaussian> out;
+    if (src.empty())
+        return out;
+
+    // std::map keeps cell iteration (and so proxy order) deterministic.
+    // Real scenes are clustered, so a grid sized for uniform density
+    // leaves most cells empty and merges whole clusters into single
+    // proxies; refine the requested cell count by the observed
+    // occupancy until the populated count approaches the target.
+    const std::size_t want = std::max<std::size_t>(target, 1);
+    std::map<std::uint64_t, std::vector<std::uint32_t>> cells;
+    double request = static_cast<double>(want);
+    for (int iter = 0;; ++iter) {
+        int dims[3];
+        gridDims(lo, hi, static_cast<std::size_t>(request), dims);
+        cells.clear();
+        for (std::size_t i = 0; i < src.size(); ++i)
+            cells[cellKey(src[i].mean, lo, hi, dims)].push_back(
+                static_cast<std::uint32_t>(i));
+        if (iter >= 3 || cells.size() * 3 >= want * 2 ||
+            cells.size() >= src.size() || request >= 1e9)
+            break;
+        request *= static_cast<double>(want) /
+                   static_cast<double>(cells.size());
+    }
+
+    out.reserve(cells.size());
+    for (const auto &cell : cells)
+        out.push_back(
+            mergeGaussians(src, cell.second.data(), cell.second.size()));
+    return out;
+}
+
+bool
+buildLodFile(const GaussianCloud &cloud, const std::string &path,
+             const LodBuildConfig &config)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return false;
+    GscV2Writer writer(os, cloud.name(), config.proxy_levels,
+                       config.quantize);
+
+    if (!cloud.empty()) {
+        Vec3 lo, hi;
+        cloud.bounds(lo, hi);
+        int dims[3];
+        std::size_t cells =
+            std::max<std::size_t>(cloud.size() /
+                                      std::max<std::size_t>(
+                                          config.chunk_target, 1),
+                                  1);
+        gridDims(lo, hi, cells, dims);
+
+        std::map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+        for (std::size_t i = 0; i < cloud.size(); ++i)
+            buckets[cellKey(cloud[i].mean, lo, hi, dims)].push_back(
+                static_cast<std::uint32_t>(i));
+
+        for (auto &bucket : buckets) {
+            std::vector<Gaussian> gs;
+            gs.reserve(bucket.second.size());
+            for (std::uint32_t idx : bucket.second)
+                gs.push_back(cloud[idx]);
+            if (!flushCell(writer, std::move(bucket.second), std::move(gs),
+                           config))
+                return false;
+        }
+    }
+    return writer.finish() && static_cast<bool>(os);
+}
+
+bool
+buildLodFileStreamed(const SceneSpec &spec, std::uint64_t count,
+                     const std::string &path, const LodBuildConfig &config)
+{
+    std::size_t batch = std::max<std::size_t>(config.stream_batch, 1024);
+
+    // Pass 1: bounds of the means, one batch in memory at a time.
+    Vec3 lo(0, 0, 0), hi(0, 0, 0);
+    bool first = true;
+    for (std::uint64_t begin = 0; begin < count; begin += batch) {
+        std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(batch, count - begin));
+        GaussianCloud part = generateSceneBatch(spec, begin, n);
+        Vec3 plo, phi;
+        part.bounds(plo, phi);
+        if (first) {
+            lo = plo;
+            hi = phi;
+            first = false;
+        } else {
+            lo = lo.cwiseMin(plo);
+            hi = hi.cwiseMax(phi);
+        }
+    }
+
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return false;
+    GscV2Writer writer(os, spec.name, config.proxy_levels, config.quantize);
+    if (count == 0)
+        return writer.finish() && static_cast<bool>(os);
+
+    int dims[3];
+    gridDims(lo, hi,
+             std::max<std::uint64_t>(
+                 count / std::max<std::size_t>(config.chunk_target, 1), 1),
+             dims);
+
+    // Pass 2: regenerate, bucket into grid cells, and flush the fullest
+    // cell whenever the total buffered population exceeds flush_cap.
+    // A cell flushed early simply yields several chunks for its region.
+    struct Cell
+    {
+        std::vector<std::uint32_t> indices;
+        std::vector<Gaussian> gaussians;
+    };
+    std::map<std::uint64_t, Cell> cells;
+    std::size_t buffered = 0;
+
+    for (std::uint64_t begin = 0; begin < count; begin += batch) {
+        std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(batch, count - begin));
+        GaussianCloud part = generateSceneBatch(spec, begin, n);
+        for (std::size_t i = 0; i < part.size(); ++i) {
+            Cell &cell = cells[cellKey(part[i].mean, lo, hi, dims)];
+            cell.indices.push_back(static_cast<std::uint32_t>(begin + i));
+            cell.gaussians.push_back(part[i]);
+            ++buffered;
+        }
+        while (buffered > std::max<std::size_t>(config.flush_cap, batch)) {
+            auto largest = cells.begin();
+            for (auto it = cells.begin(); it != cells.end(); ++it)
+                if (it->second.gaussians.size() >
+                    largest->second.gaussians.size())
+                    largest = it;
+            buffered -= largest->second.gaussians.size();
+            if (!flushCell(writer, std::move(largest->second.indices),
+                           std::move(largest->second.gaussians), config))
+                return false;
+            cells.erase(largest);
+        }
+    }
+    for (auto &cell : cells)
+        if (!flushCell(writer, std::move(cell.second.indices),
+                       std::move(cell.second.gaussians), config))
+            return false;
+    return writer.finish() && static_cast<bool>(os);
+}
+
+} // namespace gcc3d

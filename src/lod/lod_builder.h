@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Clustered LOD hierarchy builder for .gsc v2 scene files.
+ *
+ * The builder partitions a scene's Gaussians into spatially coherent
+ * leaf chunks (a uniform grid over the bounds of the means) and, per
+ * chunk, merges spatially close Gaussians into coarse *proxy*
+ * Gaussians level by level: level 1 merges ~proxy_base leaves per
+ * proxy through a sub-grid of the chunk, and each further level
+ * re-merges the previous level ~8:1.  A merge is moment-matched —
+ * the proxy's mean is the weighted mean of its members, and its
+ * covariance matches the second moment of the member mixture (law of
+ * total covariance), decomposed back into scale + rotation via a
+ * symmetric 3x3 eigensolver — so a far-away region rendered from
+ * proxies keeps its aggregate position, footprint and color.
+ *
+ * Proxies ride in the v2 footer (always resident at load time);
+ * leaves stay on disk until the residency manager faults them in.
+ * Two build paths share all of this:
+ *
+ *  - buildLodFile(cloud, ...): partitions an in-memory cloud
+ *    (presets, tests);
+ *  - buildLodFileStreamed(spec, count, ...): generates the scene in
+ *    deterministic batches (generateSceneBatch) and flushes chunks as
+ *    cells fill, bounding peak memory — the only way a 10M+-splat
+ *    scene gets built here.
+ */
+
+#ifndef GCC3D_LOD_LOD_BUILDER_H
+#define GCC3D_LOD_LOD_BUILDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scene/scene_generator.h"
+#include "scene/scene_io.h"
+
+namespace gcc3d {
+
+/** Knobs of the LOD build (defaults fit the preset scenes). */
+struct LodBuildConfig
+{
+    /** Target leaf Gaussians per chunk (grid resolution derives
+     *  from it; dense cells may exceed it). */
+    std::size_t chunk_target = 4096;
+
+    /** Proxy pyramid depth above the leaves (0 = leaves only). */
+    int proxy_levels = 3;
+
+    /** Leaf-to-proxy merge ratio at level 1; each further level
+     *  merges the previous one ~8:1. */
+    std::size_t proxy_base = 64;
+
+    /** Quantized v2 records (118 B) vs raw fp32 (236 B). */
+    bool quantize = true;
+
+    /** Streamed build: Gaussians generated per batch. */
+    std::size_t stream_batch = 65536;
+
+    /** Streamed build: max Gaussians buffered across open cells
+     *  before the fullest cell is force-flushed. */
+    std::size_t flush_cap = 1u << 20;
+};
+
+/**
+ * Moment-matched merge of @p count Gaussians (indices @p members into
+ * @p src) into one proxy.  Members are weighted by opacity x mean
+ * cross-sectional area, the dominant term of each Gaussian's screen
+ * contribution.  Preserved quantities (up to fp and the eigensolver
+ * tolerance): weighted mean, weighted second moment (covariance of
+ * the mixture), weighted SH color, and total opacity x area (the
+ * proxy's opacity is the member sum re-normalized by the proxy's own
+ * area, clamped to (0, 0.99]).
+ */
+Gaussian mergeGaussians(const std::vector<Gaussian> &src,
+                        const std::uint32_t *members, std::size_t count);
+
+/**
+ * Merge @p src down to roughly @p target proxies by sub-gridding the
+ * AABB [@p lo, @p hi] of their means and merging per cell.  Returns
+ * at least one proxy for a non-empty input.
+ */
+std::vector<Gaussian> buildProxyLevel(const std::vector<Gaussian> &src,
+                                      const Vec3 &lo, const Vec3 &hi,
+                                      std::size_t target);
+
+/**
+ * Partition @p cloud into spatial chunks, build each chunk's proxy
+ * pyramid, and write the complete v2 LOD file to @p path.
+ * @return false on I/O error.
+ */
+bool buildLodFile(const GaussianCloud &cloud, const std::string &path,
+                  const LodBuildConfig &config = {});
+
+/**
+ * Streamed build of a @p count-Gaussian scene from @p spec (sampled
+ * via generateSceneBatch) directly into the v2 LOD file at @p path,
+ * never holding more than ~flush_cap Gaussians plus the proxy pyramid
+ * in memory.  Deterministic for a given (spec, count, config).
+ * @return false on I/O error.
+ */
+bool buildLodFileStreamed(const SceneSpec &spec, std::uint64_t count,
+                          const std::string &path,
+                          const LodBuildConfig &config = {});
+
+} // namespace gcc3d
+
+#endif // GCC3D_LOD_LOD_BUILDER_H

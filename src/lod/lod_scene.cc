@@ -1,0 +1,143 @@
+#include "lod/lod_scene.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gcc3d {
+
+namespace {
+
+/** Euclidean distance from @p p to the AABB [@p lo, @p hi]. */
+float
+aabbDistance(const Vec3 &p, const Vec3 &lo, const Vec3 &hi)
+{
+    float dx = std::max({lo.x - p.x, 0.0f, p.x - hi.x});
+    float dy = std::max({lo.y - p.y, 0.0f, p.y - hi.y});
+    float dz = std::max({lo.z - p.z, 0.0f, p.z - hi.z});
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+/**
+ * Level the cut renders a chunk at: 0 (leaves) when the chunk's
+ * diagonal subtends >= tau from the camera, one proxy level deeper
+ * per halving of the subtended angle below tau.
+ */
+int
+selectLevel(const Vec3 &cam, const Vec3 &lo, const Vec3 &hi,
+            const LodCutParams &params, int max_level)
+{
+    if (params.force_level >= 0)
+        return std::min(params.force_level, max_level);
+    if (max_level == 0)
+        return 0;
+    Vec3 diag = hi - lo;
+    float diameter = diag.norm();
+    float d = aabbDistance(cam, lo, hi);
+    // Inside or touching the chunk: always full detail.
+    if (d <= 1e-6f)
+        return 0;
+    float angular = params.bias * diameter / d;
+    if (angular >= params.tau || !(angular > 0.0f))
+        return 0;
+    int level =
+        1 + static_cast<int>(std::floor(std::log2(params.tau / angular)));
+    return std::min(level, max_level);
+}
+
+} // namespace
+
+float
+lodPsnrFloorDb(int level)
+{
+    // Floors = the per-level minimum measured across the
+    // Palace/Lego/Train presets at paper scale (bench/lod_scale,
+    // BENCH_lod.json) minus ~2 dB margin; the contract is declared at
+    // GCC3D_SCALE=1, which is what CI enforces.  The forced-level
+    // render is a stress view — every chunk at the coarse level from
+    // the evaluation camera — not the far-field configuration the
+    // distance cut actually produces, so these are regression
+    // tripwires, not perceptual-quality promises.  Level 0 carries
+    // quantization noise only.
+    if (level <= 0)
+        return 45.0f;
+    switch (level) {
+      case 1: return 16.0f;
+      case 2: return 13.5f;
+      default: return 12.0f;
+    }
+}
+
+LodScene::LodScene(const std::string &path, std::size_t budget_bytes)
+    : stream_(path, std::ios::binary), residency_(budget_bytes)
+{
+    if (!stream_)
+        throw std::runtime_error("cannot open scene file: " + path);
+    reader_ = std::make_unique<GscV2Reader>(stream_);
+    for (std::size_t i = 0; i < reader_->chunkCount(); ++i)
+        for (const auto &level : reader_->chunk(i).proxies)
+            proxy_bytes_ += level.size() * Gaussian::kTotalBytes;
+}
+
+std::shared_ptr<const ResidentChunk>
+LodScene::loadLeaf(std::size_t index)
+{
+    return residency_.acquire(index, [this, index](ResidentChunk &chunk) {
+        std::lock_guard<std::mutex> lock(stream_mutex_);
+        reader_->loadChunk(stream_, index, chunk.gaussians, chunk.indices);
+    });
+}
+
+GaussianCloud
+LodScene::buildCut(const Camera &camera, const LodCutParams &params,
+                   LodCutStats *stats)
+{
+    GaussianCloud cut(reader_->name());
+    LodCutStats local;
+    const Vec3 &cam = camera.position();
+
+    for (std::size_t i = 0; i < reader_->chunkCount(); ++i) {
+        const GscV2ChunkInfo &info = reader_->chunk(i);
+        int level = selectLevel(cam, info.lo, info.hi, params,
+                                reader_->proxyLevels());
+        if (level == 0) {
+            std::shared_ptr<const ResidentChunk> leaf = loadLeaf(i);
+            for (const Gaussian &g : leaf->gaussians)
+                cut.add(g);
+            ++local.leaf_chunks;
+            local.leaf_gaussians += leaf->gaussians.size();
+        } else {
+            const std::vector<Gaussian> &proxies =
+                info.proxies[static_cast<std::size_t>(level - 1)];
+            for (const Gaussian &g : proxies)
+                cut.add(g);
+            ++local.proxy_chunks;
+        }
+    }
+    local.cut_gaussians = cut.size();
+    if (stats != nullptr)
+        *stats = local;
+    return cut;
+}
+
+GaussianCloud
+LodScene::fullCloud()
+{
+    GaussianCloud cloud(reader_->name());
+    cloud.gaussians().resize(
+        static_cast<std::size_t>(reader_->totalCount()));
+
+    std::vector<Gaussian> gaussians;
+    std::vector<std::uint32_t> indices;
+    for (std::size_t i = 0; i < reader_->chunkCount(); ++i) {
+        {
+            std::lock_guard<std::mutex> lock(stream_mutex_);
+            reader_->loadChunk(stream_, i, gaussians, indices);
+        }
+        for (std::size_t k = 0; k < gaussians.size(); ++k)
+            cloud.gaussians()[indices[k]] = gaussians[k];
+    }
+    return cloud;
+}
+
+} // namespace gcc3d

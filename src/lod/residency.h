@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Budgeted leaf-chunk residency for .gsc v2 LOD scenes.
+ *
+ * The proxy pyramid of a v2 file is small and always resident; the
+ * leaf chunks — the bulk of a large scene — stay on disk until a
+ * frame's LOD cut needs them.  ResidencyManager faults leaf chunks in
+ * on demand, keeps them in a strict-LRU cache, and evicts oldest-first
+ * so that cached decoded bytes never exceed an explicit budget.
+ *
+ * Two properties matter beyond plain caching:
+ *
+ *  - Handouts are shared_ptr: eviction only drops the cache's
+ *    reference, so a chunk a frame is still rendering from is never
+ *    pulled out from under it (its memory is freed when the last
+ *    frame releases it — the budget bounds *cached* bytes).
+ *  - A chunk larger than the whole budget is decoded as a *transient*
+ *    load: returned to the caller but never cached.  Which chunks a
+ *    cut renders therefore depends only on the camera, never on cache
+ *    state — the serving layer's "scheduling never changes pixels"
+ *    checksum guarantee survives budget pressure.
+ */
+
+#ifndef GCC3D_LOD_RESIDENCY_H
+#define GCC3D_LOD_RESIDENCY_H
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scene/gaussian.h"
+
+namespace gcc3d {
+
+/** A decoded leaf chunk held by the residency cache. */
+struct ResidentChunk
+{
+    std::vector<Gaussian> gaussians;
+    std::vector<std::uint32_t> indices;  ///< original scene indices
+
+    /** Decoded size accounted against the budget (fp32 records). */
+    std::size_t
+    bytes() const
+    {
+        return gaussians.size() * Gaussian::kTotalBytes;
+    }
+};
+
+/**
+ * LRU cache of decoded leaf chunks under a hard byte budget.
+ *
+ * Thread-safe: concurrent acquire() calls from serving sessions are
+ * serialized internally.  Eviction order is deterministic for a fixed
+ * access sequence (strict LRU, ties impossible by construction).
+ */
+class ResidencyManager
+{
+  public:
+    /** Counters for benches and tests (monotonic except resident_*). */
+    struct Stats
+    {
+        std::uint64_t faults = 0;           ///< chunk decodes (cache misses)
+        std::uint64_t hits = 0;             ///< cache hits
+        std::uint64_t evictions = 0;        ///< chunks dropped by LRU
+        std::uint64_t transient_loads = 0;  ///< over-budget, never cached
+        std::size_t resident_bytes = 0;     ///< currently cached bytes
+        std::size_t peak_resident_bytes = 0;
+    };
+
+    /**
+     * @param budget_bytes hard ceiling on cached decoded bytes; 0
+     *        disables caching entirely (every load is transient).
+     */
+    explicit ResidencyManager(std::size_t budget_bytes)
+        : budget_(budget_bytes) {}
+
+    /**
+     * Return chunk @p index, decoding it via @p loader on a miss.
+     * The loader must fill the ResidentChunk it is given and is called
+     * outside no other lock than the manager's own.
+     */
+    template <typename Loader>
+    std::shared_ptr<const ResidentChunk>
+    acquire(std::size_t index, Loader &&loader)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = map_.find(index);
+            if (it != map_.end()) {
+                ++stats_.hits;
+                // Move to the back of the recency list (most recent).
+                lru_.splice(lru_.end(), lru_, it->second.lru_it);
+                return it->second.chunk;
+            }
+        }
+
+        auto chunk = std::make_shared<ResidentChunk>();
+        loader(*chunk);
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.faults;
+        auto it = map_.find(index);
+        if (it != map_.end()) {
+            // Another thread decoded it while we did; keep theirs.
+            lru_.splice(lru_.end(), lru_, it->second.lru_it);
+            return it->second.chunk;
+        }
+        if (chunk->bytes() > budget_) {
+            ++stats_.transient_loads;
+            return chunk;
+        }
+        while (stats_.resident_bytes + chunk->bytes() > budget_)
+            evictOldestLocked();
+        lru_.push_back(index);
+        map_[index] = Entry{chunk, std::prev(lru_.end())};
+        stats_.resident_bytes += chunk->bytes();
+        stats_.peak_resident_bytes =
+            std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+        return chunk;
+    }
+
+    /** Drop every cached chunk (outstanding handouts stay valid). */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        while (!lru_.empty())
+            evictOldestLocked();
+    }
+
+    std::size_t budgetBytes() const { return budget_; }
+
+    Stats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const ResidentChunk> chunk;
+        std::list<std::size_t>::iterator lru_it;
+    };
+
+    void
+    evictOldestLocked()
+    {
+        auto it = map_.find(lru_.front());
+        stats_.resident_bytes -= it->second.chunk->bytes();
+        ++stats_.evictions;
+        map_.erase(it);
+        lru_.pop_front();
+    }
+
+    std::size_t budget_;
+    mutable std::mutex mutex_;
+    std::list<std::size_t> lru_;  ///< front = oldest, back = most recent
+    std::unordered_map<std::size_t, Entry> map_;
+    Stats stats_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_LOD_RESIDENCY_H

@@ -111,6 +111,92 @@ makeClusters(const SceneSpec &spec, std::mt19937_64 &rng)
     return clusters;
 }
 
+/**
+ * Per-Gaussian sampling state shared by the whole-scene and batched
+ * generators.  The distribution objects are members (not locals) so
+ * that their internal state — e.g. the cached second Box-Muller
+ * normal draw — persists across samples exactly as it did when the
+ * loop body lived inline in generateScene; the draw sequence, and
+ * with it every generated scene, is unchanged.
+ */
+struct SampleContext
+{
+    const SceneSpec &spec;
+    const std::vector<Cluster> &clusters;
+    float compensation;
+    std::uniform_real_distribution<float> u01{0.0f, 1.0f};
+    std::normal_distribution<float> n01{0.0f, 1.0f};
+    std::lognormal_distribution<float> scale_dist;
+    std::uniform_int_distribution<std::size_t> pick;
+
+    SampleContext(const SceneSpec &s, const std::vector<Cluster> &c,
+                  float comp)
+        : spec(s), clusters(c), compensation(comp),
+          scale_dist(s.log_scale_mean, s.log_scale_sigma),
+          pick(0, c.size() - 1)
+    {
+    }
+
+    Gaussian
+    sample(std::mt19937_64 &rng)
+    {
+        const Cluster &c = clusters[pick(rng)];
+
+        Gaussian g;
+        g.mean = c.center + Vec3(n01(rng), n01(rng), n01(rng)) * c.sigma;
+        if (spec.layout != SceneLayout::Object)
+            g.mean.y = std::max(g.mean.y, 0.0f);
+
+        // Log-normal base scale with per-axis anisotropy; world scale
+        // is proportional to the scene extent so that footprints keep
+        // their pixel size across scene archetypes.
+        float base = scale_dist(rng) * spec.extent * compensation;
+        auto axis = [&]() {
+            return base * std::exp(spec.anisotropy * n01(rng));
+        };
+        g.scale = Vec3(axis(), axis(), axis());
+
+        g.rotation =
+            Quat(n01(rng), n01(rng), n01(rng), n01(rng)).normalized();
+
+        // Bimodal opacity: trained 3DGS models keep a high-opacity
+        // core population (after pruning) plus a translucent detail
+        // tail.
+        if (u01(rng) < spec.high_opacity_fraction)
+            g.opacity = spec.high_opacity_min +
+                        (0.99f - spec.high_opacity_min) * u01(rng);
+        else
+            g.opacity = 0.02f + 0.6f * u01(rng);
+
+        // Color: cluster palette + jitter in the DC term, small random
+        // higher-order coefficients that shrink with band index.
+        Vec3 albedo =
+            c.palette + Vec3(n01(rng), n01(rng), n01(rng)) * 0.08f;
+        albedo.x = std::clamp(albedo.x, 0.02f, 0.98f);
+        albedo.y = std::clamp(albedo.y, 0.02f, 0.98f);
+        albedo.z = std::clamp(albedo.z, 0.02f, 0.98f);
+        g.setBaseColor(albedo);
+        for (int ch = 0; ch < 3; ++ch) {
+            for (int k = 1; k < kShCoeffsPerChannel; ++k) {
+                int band = k < 4 ? 1 : (k < 9 ? 2 : 3);
+                float s = spec.sh_detail / static_cast<float>(band);
+                g.sh[ch * kShCoeffsPerChannel + k] = s * n01(rng);
+            }
+        }
+        return g;
+    }
+};
+
+/** Finalizing mix of splitmix64 — decorrelates (seed, begin) keys. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t begin)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (begin + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 } // namespace
 
 std::size_t
@@ -164,12 +250,6 @@ generateScene(const SceneSpec &spec, float scale)
 
     std::vector<Cluster> clusters = makeClusters(spec, rng);
 
-    std::uniform_real_distribution<float> u01(0.0f, 1.0f);
-    std::normal_distribution<float> n01(0.0f, 1.0f);
-    std::lognormal_distribution<float> scale_dist(spec.log_scale_mean,
-                                                  spec.log_scale_sigma);
-    std::uniform_int_distribution<std::size_t> pick(0, clusters.size() - 1);
-
     // Footprint compensation for reduced populations: at scale < 1 the
     // per-Gaussian footprint grows by scale^-1/2 (capped) so that total
     // screen coverage — and with it the occlusion/early-termination
@@ -178,50 +258,31 @@ generateScene(const SceneSpec &spec, float scale)
     float compensation =
         std::min(3.0f, 1.0f / std::sqrt(std::max(scale, 1e-3f)));
 
-    for (std::size_t i = 0; i < count; ++i) {
-        const Cluster &c = clusters[pick(rng)];
+    SampleContext ctx(spec, clusters, compensation);
+    for (std::size_t i = 0; i < count; ++i)
+        cloud.add(ctx.sample(rng));
+    return cloud;
+}
 
-        Gaussian g;
-        g.mean = c.center + Vec3(n01(rng), n01(rng), n01(rng)) * c.sigma;
-        if (spec.layout != SceneLayout::Object)
-            g.mean.y = std::max(g.mean.y, 0.0f);
+GaussianCloud
+generateSceneBatch(const SceneSpec &spec, std::uint64_t begin,
+                   std::size_t count)
+{
+    GaussianCloud cloud(spec.name);
+    cloud.reserve(count);
 
-        // Log-normal base scale with per-axis anisotropy; world scale
-        // is proportional to the scene extent so that footprints keep
-        // their pixel size across scene archetypes.
-        float base = scale_dist(rng) * spec.extent * compensation;
-        auto axis = [&]() {
-            return base * std::exp(spec.anisotropy * n01(rng));
-        };
-        g.scale = Vec3(axis(), axis(), axis());
+    // The cluster layout comes from the spec seed alone (the same
+    // draws generateScene performs before its first Gaussian), so all
+    // batches of a scene agree on where its content is.
+    std::mt19937_64 cluster_rng(spec.seed);
+    std::vector<Cluster> clusters = makeClusters(spec, cluster_rng);
 
-        g.rotation = Quat(n01(rng), n01(rng), n01(rng), n01(rng)).normalized();
-
-        // Bimodal opacity: trained 3DGS models keep a high-opacity core
-        // population (after pruning) plus a translucent detail tail.
-        if (u01(rng) < spec.high_opacity_fraction)
-            g.opacity = spec.high_opacity_min +
-                        (0.99f - spec.high_opacity_min) * u01(rng);
-        else
-            g.opacity = 0.02f + 0.6f * u01(rng);
-
-        // Color: cluster palette + jitter in the DC term, small random
-        // higher-order coefficients that shrink with band index.
-        Vec3 albedo = c.palette + Vec3(n01(rng), n01(rng), n01(rng)) * 0.08f;
-        albedo.x = std::clamp(albedo.x, 0.02f, 0.98f);
-        albedo.y = std::clamp(albedo.y, 0.02f, 0.98f);
-        albedo.z = std::clamp(albedo.z, 0.02f, 0.98f);
-        g.setBaseColor(albedo);
-        for (int ch = 0; ch < 3; ++ch) {
-            for (int k = 1; k < kShCoeffsPerChannel; ++k) {
-                int band = k < 4 ? 1 : (k < 9 ? 2 : 3);
-                float s = spec.sh_detail / static_cast<float>(band);
-                g.sh[ch * kShCoeffsPerChannel + k] = s * n01(rng);
-            }
-        }
-
-        cloud.add(g);
-    }
+    // Each batch samples from its own stream keyed on (seed, begin):
+    // reproducible in any generation order, no shared state.
+    std::mt19937_64 rng(mixSeed(spec.seed, begin));
+    SampleContext ctx(spec, clusters, 1.0f);
+    for (std::size_t i = 0; i < count; ++i)
+        cloud.add(ctx.sample(rng));
     return cloud;
 }
 

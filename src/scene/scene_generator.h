@@ -94,6 +94,22 @@ struct SceneSpec
 GaussianCloud generateScene(const SceneSpec &spec, float scale = 1.0f);
 
 /**
+ * Generate @p count Gaussians of the population described by @p spec
+ * starting at global index @p begin, without materializing the rest
+ * of the scene.  The cluster layout is identical to generateScene's
+ * (it is drawn from the spec seed before any Gaussian), and each
+ * batch draws from an independent deterministic stream keyed on
+ * (seed, begin) — so a scene streamed in fixed-size batches is fully
+ * reproducible, batches can be generated in any order, and scenes of
+ * 10M+ Gaussians never need to exist in RAM at once.  Note the
+ * resulting population is a *different sample* of the same
+ * distribution than generateScene(spec) — the streamed LOD builder is
+ * its only intended consumer, and keys its output files accordingly.
+ */
+GaussianCloud generateSceneBatch(const SceneSpec &spec, std::uint64_t begin,
+                                 std::size_t count);
+
+/**
  * The exact population generateScene(spec, scale) produces: the
  * scaled count, floored to at least 16.  Scene caching keys and
  * validates cache files with it.

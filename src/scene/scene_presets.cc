@@ -157,6 +157,33 @@ scenePreset(SceneId id)
     return s;
 }
 
+SceneSpec
+citySpec(std::size_t gaussian_count)
+{
+    // An elongated urban corridor far past any paper preset: the
+    // fly-through workload of ROADMAP item 3.  Many small clusters
+    // spread over a deep street layout give real spatial sparsity, so
+    // the distance-dependent LOD cut has something to cut.
+    SceneSpec s;
+    s.name = "City";
+    s.layout = SceneLayout::Street;
+    s.seed = 1107;
+    s.gaussian_count = gaussian_count;
+    s.cluster_count = 4096;
+    s.extent = 14.0f;
+    s.cluster_sigma = 0.5f;
+    s.log_scale_mean = -7.0f;
+    s.log_scale_sigma = 0.55f;
+    s.anisotropy = 0.45f;
+    s.high_opacity_fraction = 0.75f;
+    s.high_opacity_min = 0.78f;
+    s.image_width = 980;
+    s.image_height = 545;
+    s.fov_x = 1.05f;
+    s.camera_height = 0.25f;
+    return s;
+}
+
 float
 benchScale()
 {

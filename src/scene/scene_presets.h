@@ -45,6 +45,16 @@ std::string sceneName(SceneId id);
 SceneId sceneFromName(const std::string &name);
 
 /**
+ * The city-scale fly-through preset behind bench/lod_scale and the
+ * --city serving flag: a Street-layout corridor with @p gaussian_count
+ * splats (default 10M — ~30x the largest paper preset, far past what
+ * a full-precision in-RAM GaussianCloud serves comfortably).  Not a
+ * paper scene, so it is deliberately outside SceneId/allScenes(); it
+ * exists to exercise the .gsc v2 + clustered-LOD + residency path.
+ */
+SceneSpec citySpec(std::size_t gaussian_count = 10000000);
+
+/**
  * Population scale used by benchmarks; reads the GCC3D_SCALE
  * environment variable (default 1.0 = paper-scale populations).
  * Unit tests pass explicit small scales instead.

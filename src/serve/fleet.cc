@@ -29,8 +29,13 @@ buildFleet(const FleetSpec &spec, SceneRegistry &registry)
         cfg.tile = spec.tile;
         cfg.gw = spec.gw;
         cfg.fps_target = spec.fps_target;
+        cfg.lod_cut = spec.lod_cut;
         SceneHandle handle =
-            registry.acquire(cfg.spec, cfg.scale, cfg.frames);
+            spec.lod_path.empty()
+                ? registry.acquire(cfg.spec, cfg.scale, cfg.frames)
+                : registry.acquireLod(spec.lod_path,
+                                      spec.lod_budget_bytes, cfg.spec,
+                                      cfg.frames);
         fleet.emplace_back(std::move(cfg), std::move(handle));
     }
     return fleet;

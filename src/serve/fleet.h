@@ -37,6 +37,19 @@ struct FleetSpec
 
     TileRendererConfig tile;
     GaussianWiseConfig gw;
+
+    /**
+     * When non-empty, every session serves the .gsc v2 LOD scene at
+     * this path (built by src/lod/lod_builder) instead of generating
+     * its scene; the scene list still supplies the camera paths.
+     */
+    std::string lod_path;
+
+    /** Leaf-chunk residency budget for the LOD scene (bytes). */
+    std::size_t lod_budget_bytes = 256u << 20;
+
+    /** Cut selection shared by every LOD session. */
+    LodCutParams lod_cut;
 };
 
 /**

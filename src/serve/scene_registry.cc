@@ -7,6 +7,27 @@
 
 namespace gcc3d {
 
+namespace {
+
+/**
+ * Trajectory cache key: the scene identity plus every camera field
+ * (and the frame count) that the cloud key deliberately excludes.
+ */
+std::string
+trajectoryKey(const std::string &scene_key, const SceneSpec &spec,
+              int frames)
+{
+    char cam[128];
+    std::snprintf(cam, sizeof cam, "#f%d#%dx%d|%.9g|%.9g|%.9g", frames,
+                  spec.image_width, spec.image_height,
+                  static_cast<double>(spec.fov_x),
+                  static_cast<double>(spec.camera_distance),
+                  static_cast<double>(spec.camera_height));
+    return scene_key + cam;
+}
+
+} // namespace
+
 SceneHandle
 SceneRegistry::acquire(const SceneSpec &spec, float scale, int frames)
 {
@@ -19,15 +40,7 @@ SceneRegistry::acquire(const SceneSpec &spec, float scale, int frames)
     // specs share a cloud exactly when generation would produce the
     // same one.
     const std::string ckey = sceneGenKey(spec, scale);
-    // Trajectories additionally depend on the camera fields (and the
-    // frame count), which the cloud key deliberately excludes.
-    char cam[128];
-    std::snprintf(cam, sizeof cam, "#f%d#%dx%d|%.9g|%.9g|%.9g", frames,
-                  spec.image_width, spec.image_height,
-                  static_cast<double>(spec.fov_x),
-                  static_cast<double>(spec.camera_distance),
-                  static_cast<double>(spec.camera_height));
-    const std::string tkey = ckey + cam;
+    const std::string tkey = trajectoryKey(ckey, spec, frames);
 
     // One registry-wide mutex: builds of distinct scenes serialize,
     // which is acceptable because serving fleets reuse few scenes and
@@ -42,6 +55,40 @@ SceneRegistry::acquire(const SceneSpec &spec, float scale, int frames)
         cit = clouds_.emplace(ckey, std::move(cloud)).first;
     }
     handle.cloud = cit->second;
+
+    auto tit = trajectories_.find(tkey);
+    if (tit == trajectories_.end()) {
+        auto traj = std::make_shared<const Trajectory>(
+            Trajectory::forScene(spec, frames));
+        tit = trajectories_.emplace(tkey, std::move(traj)).first;
+    }
+    handle.trajectory = tit->second;
+    return handle;
+}
+
+SceneHandle
+SceneRegistry::acquireLod(const std::string &path,
+                          std::size_t budget_bytes, const SceneSpec &spec,
+                          int frames)
+{
+    if (frames < 1)
+        throw std::invalid_argument("session needs at least one frame");
+
+    // The file is the scene identity; the budget changes residency
+    // behaviour (though never pixels), so each budget gets its own
+    // LodScene and cache.
+    const std::string lkey = path + "#b" + std::to_string(budget_bytes);
+    const std::string tkey = trajectoryKey(lkey, spec, frames);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    SceneHandle handle;
+
+    auto lit = lod_scenes_.find(lkey);
+    if (lit == lod_scenes_.end()) {
+        auto lod = std::make_shared<LodScene>(path, budget_bytes);
+        lit = lod_scenes_.emplace(lkey, std::move(lod)).first;
+    }
+    handle.lod = lit->second;
 
     auto tit = trajectories_.find(tkey);
     if (tit == trajectories_.end()) {

@@ -24,15 +24,24 @@
 #include <mutex>
 #include <string>
 
+#include "lod/lod_scene.h"
 #include "scene/scene_generator.h"
 #include "scene/trajectory.h"
 
 namespace gcc3d {
 
-/** Refcounted handles to one scene's immutable serving state. */
+/**
+ * Refcounted handles to one scene's serving state.  Exactly one of
+ * cloud/lod is set: cloud for fully-resident scenes, lod for .gsc v2
+ * LOD scenes served under a memory budget (sessions build a per-frame
+ * cut instead of sharing one cloud).  The LodScene is shared across
+ * sessions — its residency cache is thread-safe, and cut content is a
+ * pure function of the camera, so sharing never changes pixels.
+ */
 struct SceneHandle
 {
     std::shared_ptr<const GaussianCloud> cloud;
+    std::shared_ptr<LodScene> lod;
     std::shared_ptr<const Trajectory> trajectory;
 };
 
@@ -54,6 +63,18 @@ class SceneRegistry
      */
     SceneHandle acquire(const SceneSpec &spec, float scale, int frames);
 
+    /**
+     * The shared handle for the .gsc v2 LOD scene at @p path served
+     * under @p budget_bytes of leaf-chunk residency; @p spec supplies
+     * the camera path (trajectory + image size), not the content.
+     * Sessions asking for the same (path, budget) share one LodScene
+     * and with it one residency cache.  Throws what LodScene's
+     * constructor throws on a missing or malformed file.
+     */
+    SceneHandle acquireLod(const std::string &path,
+                           std::size_t budget_bytes, const SceneSpec &spec,
+                           int frames);
+
     /** Distinct clouds built so far (deduplication observability). */
     std::size_t cloudCount() const;
 
@@ -66,6 +87,7 @@ class SceneRegistry
     std::string cache_dir_;
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_ptr<const GaussianCloud>> clouds_;
+    std::map<std::string, std::shared_ptr<LodScene>> lod_scenes_;
     std::map<std::string, std::shared_ptr<const Trajectory>> trajectories_;
 };
 

@@ -32,7 +32,7 @@ Session::Session(SessionConfig config, SceneHandle scene)
     : config_(std::move(config)), scene_(std::move(scene)),
       tile_(config_.tile), gw_(config_.gw)
 {
-    if (!scene_.cloud || !scene_.trajectory)
+    if ((!scene_.cloud && !scene_.lod) || !scene_.trajectory)
         throw std::invalid_argument("session needs a complete scene handle");
     if (config_.frames < 1)
         throw std::invalid_argument("session needs at least one frame");
@@ -57,12 +57,20 @@ Session::renderFrame(int frame) const
         throw std::out_of_range("session frame index out of range");
     const Camera &cam =
         scene_.trajectory->frame(static_cast<std::size_t>(frame));
+    // LOD sessions render the camera's cut; resident-cloud sessions
+    // render the shared cloud.  Both are pure in (scene, camera).
+    GaussianCloud cut;
+    const GaussianCloud *cloud = scene_.cloud.get();
+    if (scene_.lod) {
+        cut = scene_.lod->buildCut(cam, config_.lod_cut);
+        cloud = &cut;
+    }
     if (config_.renderer == SessionRenderer::Tile) {
         StandardFlowStats stats;
-        return imageChecksum(tile_.render(*scene_.cloud, cam, stats));
+        return imageChecksum(tile_.render(*cloud, cam, stats));
     }
     GaussianWiseStats stats;
-    return imageChecksum(gw_.render(*scene_.cloud, cam, stats));
+    return imageChecksum(gw_.render(*cloud, cam, stats));
 }
 
 } // namespace gcc3d

@@ -49,6 +49,9 @@ struct SessionConfig
     TileRendererConfig tile;    ///< used when renderer == Tile
     GaussianWiseConfig gw;      ///< used when renderer == GaussianWise
 
+    /** LOD cut selection, used when the scene handle is a LodScene. */
+    LodCutParams lod_cut;
+
     /**
      * Per-session FPS target; frame i's deadline is (i+1)/fps_target
      * after serving starts.  0 = best effort (no deadlines, never
@@ -99,7 +102,10 @@ class Session
     /**
      * Render trajectory frame @p frame through the configured
      * renderer and return the image checksum.  Pure: identical
-     * arguments give bit-identical pixels on any thread.
+     * arguments give bit-identical pixels on any thread.  LOD
+     * sessions first build the frame's cut (a pure function of the
+     * camera — residency cache state never changes it), so the
+     * purity guarantee survives budget pressure.
      */
     double renderFrame(int frame) const;
 

@@ -1,0 +1,426 @@
+/** @file Tests for the clustered LOD subsystem (src/lod/). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <random>
+#include <vector>
+
+#include "lod/lod_builder.h"
+#include "lod/lod_scene.h"
+#include "lod/residency.h"
+#include "render/metrics.h"
+#include "render/tile_renderer.h"
+#include "runtime/sweep_runner.h"
+#include "test_util.h"
+
+namespace gcc3d {
+namespace {
+
+std::string
+tempLodPath(const std::string &tag)
+{
+    return ::testing::TempDir() + "/lod-" + tag + ".gsc";
+}
+
+// ---- moment-matched merging ----
+
+TEST(LodMerge, SingleMemberIsIdentity)
+{
+    std::vector<Gaussian> src = {test::makeGaussian(Vec3(1, 2, 3), 0.2f)};
+    std::uint32_t idx = 0;
+    Gaussian m = mergeGaussians(src, &idx, 1);
+    EXPECT_EQ(m.mean, src[0].mean);
+    EXPECT_EQ(m.scale, src[0].scale);
+    EXPECT_EQ(m.opacity, src[0].opacity);
+    EXPECT_EQ(m.sh, src[0].sh);
+}
+
+TEST(LodMerge, PreservesWeightedMoments)
+{
+    // A spread of Gaussians with varied scale/opacity: the proxy must
+    // match the mixture's weighted mean and second moment.
+    std::vector<Gaussian> src;
+    std::vector<std::uint32_t> idx;
+    std::mt19937 rng(3);
+    std::uniform_real_distribution<float> u(0.0f, 1.0f);
+    for (int i = 0; i < 40; ++i) {
+        Gaussian g = test::makeGaussian(
+            Vec3(u(rng) * 2.0f, u(rng), u(rng) - 0.5f),
+            0.02f + 0.1f * u(rng), 0.2f + 0.7f * u(rng));
+        g.scale.y *= 1.0f + u(rng);  // anisotropic members
+        src.push_back(g);
+        idx.push_back(static_cast<std::uint32_t>(i));
+    }
+    Gaussian m = mergeGaussians(src, idx.data(), idx.size());
+
+    auto area = [](const Vec3 &s) {
+        return s.x * s.y + s.y * s.z + s.z * s.x;
+    };
+    double wsum = 0.0, mean[3] = {0, 0, 0};
+    double m2[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+    double oa = 0.0;
+    for (const Gaussian &g : src) {
+        double w = static_cast<double>(g.opacity) * area(g.scale);
+        double p[3] = {g.mean.x, g.mean.y, g.mean.z};
+        Mat3 cov = g.covariance3d();
+        wsum += w;
+        for (int r = 0; r < 3; ++r) {
+            mean[r] += w * p[r];
+            for (int c = 0; c < 3; ++c)
+                m2[r][c] += w * (cov(static_cast<size_t>(r),
+                                     static_cast<size_t>(c)) +
+                                 p[r] * p[c]);
+        }
+        oa += static_cast<double>(g.opacity) * area(g.scale);
+    }
+    for (int r = 0; r < 3; ++r)
+        mean[r] /= wsum;
+
+    // Mean invariant.
+    EXPECT_NEAR(m.mean.x, mean[0], 1e-4);
+    EXPECT_NEAR(m.mean.y, mean[1], 1e-4);
+    EXPECT_NEAR(m.mean.z, mean[2], 1e-4);
+
+    // Second-moment invariant: the proxy's covariance equals the
+    // mixture covariance (trace compared; the full matrix is rotated
+    // into the eigenbasis, so compare rotation-invariant quantities).
+    Mat3 pcov = m.covariance3d();
+    double mix_trace = 0.0;
+    for (int r = 0; r < 3; ++r)
+        mix_trace += m2[r][r] / wsum - mean[r] * mean[r];
+    double proxy_trace = pcov(0, 0) + pcov(1, 1) + pcov(2, 2);
+    EXPECT_NEAR(proxy_trace, mix_trace, mix_trace * 0.02);
+
+    // Opacity x area conservation (up to the [0.02, 0.99] clamp).
+    double proxy_oa = static_cast<double>(m.opacity) * area(m.scale);
+    if (m.opacity < 0.985f)
+        EXPECT_NEAR(proxy_oa, oa, oa * 0.05);
+    EXPECT_GT(m.opacity, 0.0f);
+    EXPECT_LE(m.opacity, 0.99f);
+}
+
+TEST(LodMerge, CollinearMembersStayFinite)
+{
+    // Degenerate case: members on a line; the eigensolver must still
+    // produce finite scales and a unit rotation.
+    std::vector<Gaussian> src;
+    std::vector<std::uint32_t> idx;
+    for (int i = 0; i < 8; ++i) {
+        src.push_back(test::makeGaussian(
+            Vec3(static_cast<float>(i) * 0.1f, 0, 0), 1e-4f));
+        idx.push_back(static_cast<std::uint32_t>(i));
+    }
+    Gaussian m = mergeGaussians(src, idx.data(), idx.size());
+    EXPECT_TRUE(std::isfinite(m.scale.x));
+    EXPECT_TRUE(std::isfinite(m.scale.y));
+    EXPECT_TRUE(std::isfinite(m.scale.z));
+    EXPECT_GT(m.scale.x * m.scale.y * m.scale.z, 0.0f);
+    EXPECT_NEAR(m.rotation.norm(), 1.0f, 1e-4f);
+}
+
+TEST(LodBuilder, ProxyLevelShrinksPopulation)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(31, 2000), 1.0f);
+    Vec3 lo, hi;
+    cloud.bounds(lo, hi);
+    std::vector<Gaussian> proxies =
+        buildProxyLevel(cloud.gaussians(), lo, hi, 32);
+    EXPECT_GE(proxies.size(), 1u);
+    EXPECT_LT(proxies.size(), cloud.size() / 4);
+    // Deterministic: same inputs, same proxies.
+    std::vector<Gaussian> again =
+        buildProxyLevel(cloud.gaussians(), lo, hi, 32);
+    ASSERT_EQ(again.size(), proxies.size());
+    for (std::size_t i = 0; i < proxies.size(); ++i)
+        EXPECT_EQ(again[i].mean, proxies[i].mean);
+}
+
+// ---- LOD file + scene ----
+
+TEST(LodScene, LodOffDecodeIsBitIdenticalToSource)
+{
+    // The acceptance contract: a lossless v2 LOD file with LOD
+    // disabled reproduces the source cloud bit for bit, and renders
+    // bit-identical pixels.
+    GaussianCloud cloud = generateScene(test::tinySpec(32, 1500), 1.0f);
+    const std::string path = tempLodPath("bitexact");
+    LodBuildConfig cfg;
+    cfg.chunk_target = 128;
+    cfg.proxy_levels = 2;
+    cfg.quantize = false;
+    ASSERT_TRUE(buildLodFile(cloud, path, cfg));
+
+    LodScene lod(path, 16u << 20);
+    ASSERT_EQ(lod.totalCount(), cloud.size());
+    GaussianCloud full = lod.fullCloud();
+    ASSERT_EQ(full.size(), cloud.size());
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        EXPECT_EQ(full[i].mean, cloud[i].mean);
+        EXPECT_EQ(full[i].scale, cloud[i].scale);
+        EXPECT_EQ(full[i].rotation.w, cloud[i].rotation.w);
+        EXPECT_EQ(full[i].rotation.x, cloud[i].rotation.x);
+        EXPECT_EQ(full[i].rotation.y, cloud[i].rotation.y);
+        EXPECT_EQ(full[i].rotation.z, cloud[i].rotation.z);
+        EXPECT_EQ(full[i].opacity, cloud[i].opacity);
+        EXPECT_EQ(full[i].sh, cloud[i].sh);
+    }
+
+    // loadCloud on the same file (the v1-compatible entry point) sees
+    // the identical cloud too.
+    GaussianCloud negotiated = loadCloudFile(path);
+    ASSERT_EQ(negotiated.size(), cloud.size());
+    EXPECT_EQ(negotiated[0].mean, cloud[0].mean);
+
+    Camera cam = test::frontCamera();
+    TileRenderer renderer{TileRendererConfig{}};
+    StandardFlowStats s1, s2;
+    double a = imageChecksum(renderer.render(cloud, cam, s1));
+    double b = imageChecksum(renderer.render(full, cam, s2));
+    EXPECT_EQ(a, b);
+
+    std::filesystem::remove(path);
+}
+
+TEST(LodScene, ForcedLeafCutEqualsFullScene)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(33, 1200), 1.0f);
+    const std::string path = tempLodPath("leafcut");
+    LodBuildConfig cfg;
+    cfg.chunk_target = 100;
+    cfg.quantize = false;
+    ASSERT_TRUE(buildLodFile(cloud, path, cfg));
+
+    LodScene lod(path, 16u << 20);
+    LodCutParams params;
+    params.force_level = 0;
+    LodCutStats stats;
+    GaussianCloud cut = lod.buildCut(test::frontCamera(), params, &stats);
+    // Every Gaussian present (chunk order differs from source order).
+    EXPECT_EQ(cut.size(), cloud.size());
+    EXPECT_EQ(stats.leaf_gaussians, cloud.size());
+    EXPECT_EQ(stats.proxy_chunks, 0u);
+    EXPECT_EQ(stats.leaf_chunks, lod.chunkCount());
+
+    std::filesystem::remove(path);
+}
+
+TEST(LodScene, CoarserLevelsShrinkTheCut)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(34, 2000), 1.0f);
+    const std::string path = tempLodPath("levels");
+    LodBuildConfig cfg;
+    cfg.chunk_target = 200;
+    cfg.proxy_levels = 3;
+    cfg.proxy_base = 16;
+    ASSERT_TRUE(buildLodFile(cloud, path, cfg));
+
+    LodScene lod(path, 16u << 20);
+    Camera cam = test::frontCamera();
+    std::size_t prev = cloud.size() + 1;
+    for (int level = 0; level <= lod.proxyLevels(); ++level) {
+        LodCutParams params;
+        params.force_level = level;
+        GaussianCloud cut = lod.buildCut(cam, params);
+        EXPECT_LT(cut.size(), prev) << "level " << level;
+        EXPECT_GE(cut.size(), 1u);
+        prev = cut.size();
+    }
+
+    std::filesystem::remove(path);
+}
+
+TEST(LodScene, CutIsIndependentOfCacheState)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(35, 1500), 1.0f);
+    const std::string path = tempLodPath("purecut");
+    LodBuildConfig cfg;
+    cfg.chunk_target = 64;
+    cfg.quantize = false;
+    ASSERT_TRUE(buildLodFile(cloud, path, cfg));
+
+    // A tiny budget (single chunk at best) and a roomy one must
+    // produce identical cuts for the same camera.
+    LodScene tight(path, 64u * 1024);
+    LodScene roomy(path, 64u << 20);
+    LodCutParams params;
+    params.force_level = 0;
+    Camera cam = test::frontCamera();
+    GaussianCloud a = tight.buildCut(cam, params);
+    GaussianCloud warm = roomy.buildCut(cam, params);
+    GaussianCloud b = roomy.buildCut(cam, params);  // cache now warm
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].mean, b[i].mean);
+
+    // The tight budget was honoured while producing the same data.
+    EXPECT_LE(tight.residencyStats().peak_resident_bytes, 64u * 1024);
+
+    std::filesystem::remove(path);
+}
+
+TEST(LodScene, QuantizedCutRendersCloseToSource)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(36, 1500), 1.0f);
+    const std::string path = tempLodPath("psnr");
+    LodBuildConfig cfg;
+    cfg.chunk_target = 128;
+    ASSERT_TRUE(buildLodFile(cloud, path, cfg));  // quantized
+
+    LodScene lod(path, 16u << 20);
+    LodCutParams params;
+    params.force_level = 0;
+    Camera cam = test::frontCamera();
+    TileRenderer renderer{TileRendererConfig{}};
+    StandardFlowStats s1, s2;
+    Image ref = renderer.render(cloud, cam, s1);
+    Image got = renderer.render(lod.buildCut(cam, params), cam, s2);
+    // Quantization noise only: far above any proxy-level floor.
+    EXPECT_GT(psnr(ref, got), 45.0);
+
+    std::filesystem::remove(path);
+}
+
+// ---- streamed builder ----
+
+TEST(LodBuilder, StreamedBuildIsDeterministicAndComplete)
+{
+    SceneSpec spec = test::tinySpec(37, 5000);
+    const std::string p1 = tempLodPath("stream1");
+    const std::string p2 = tempLodPath("stream2");
+    LodBuildConfig cfg;
+    cfg.chunk_target = 256;
+    cfg.stream_batch = 1024;   // force many batches
+    cfg.flush_cap = 2048;      // force mid-build flushes
+    ASSERT_TRUE(buildLodFileStreamed(spec, 5000, p1, cfg));
+    ASSERT_TRUE(buildLodFileStreamed(spec, 5000, p2, cfg));
+
+    // Byte-identical across runs.
+    std::ifstream f1(p1, std::ios::binary), f2(p2, std::ios::binary);
+    std::string d1((std::istreambuf_iterator<char>(f1)),
+                   std::istreambuf_iterator<char>());
+    std::string d2((std::istreambuf_iterator<char>(f2)),
+                   std::istreambuf_iterator<char>());
+    EXPECT_EQ(d1, d2);
+    EXPECT_FALSE(d1.empty());
+
+    // Every generated Gaussian present exactly once.
+    LodScene lod(p1, 16u << 20);
+    EXPECT_EQ(lod.totalCount(), 5000u);
+    EXPECT_EQ(lod.fullCloud().size(), 5000u);
+
+    std::filesystem::remove(p1);
+    std::filesystem::remove(p2);
+}
+
+// ---- residency manager ----
+
+/** Loader that makes an n-Gaussian chunk and counts invocations. */
+struct CountingLoader
+{
+    std::size_t n;
+    int *calls;
+    void
+    operator()(ResidentChunk &chunk) const
+    {
+        ++*calls;
+        chunk.gaussians.resize(n);
+        chunk.indices.resize(n);
+    }
+};
+
+TEST(Residency, BudgetNeverExceededAndLruEvicts)
+{
+    const std::size_t chunk_bytes = 10 * Gaussian::kTotalBytes;
+    // Room for exactly 3 chunks.
+    ResidencyManager mgr(3 * chunk_bytes);
+    int calls = 0;
+    auto touch = [&](std::size_t i) {
+        mgr.acquire(i, CountingLoader{10, &calls});
+    };
+
+    // Fixed access pattern: fill 0,1,2; touch 0; fault 3 -> evicts 1
+    // (LRU), not 0; fault 1 again -> evicts 2.
+    touch(0);
+    touch(1);
+    touch(2);
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(mgr.stats().resident_bytes, 3 * chunk_bytes);
+
+    touch(0);  // hit, refreshes 0
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(mgr.stats().hits, 1u);
+
+    touch(3);  // evicts 1
+    EXPECT_EQ(calls, 4);
+    touch(0);  // still resident
+    touch(2);  // still resident
+    EXPECT_EQ(calls, 4);
+    touch(1);  // was evicted: faults again, evicts 3 (oldest now)
+    EXPECT_EQ(calls, 5);
+    touch(3);  // faults again
+    EXPECT_EQ(calls, 6);
+
+    ResidencyManager::Stats s = mgr.stats();
+    EXPECT_EQ(s.faults, 6u);
+    EXPECT_EQ(s.evictions, 3u);
+    EXPECT_LE(s.resident_bytes, mgr.budgetBytes());
+    EXPECT_LE(s.peak_resident_bytes, mgr.budgetBytes());
+}
+
+TEST(Residency, DeterministicEvictionOrder)
+{
+    // The same access pattern always yields the same hit/miss/evict
+    // counters (strict LRU has no ties or randomness).
+    auto run = [] {
+        ResidencyManager mgr(4 * 100 * Gaussian::kTotalBytes);
+        int calls = 0;
+        const std::size_t pattern[] = {0, 1, 2, 3, 4, 1, 5, 0,
+                                       2, 6, 3, 1, 7, 0, 4, 2};
+        for (std::size_t i : pattern)
+            mgr.acquire(i, CountingLoader{100, &calls});
+        return mgr.stats();
+    };
+    ResidencyManager::Stats a = run();
+    ResidencyManager::Stats b = run();
+    EXPECT_EQ(a.faults, b.faults);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.resident_bytes, b.resident_bytes);
+    EXPECT_GT(a.evictions, 0u);
+}
+
+TEST(Residency, OverBudgetChunkLoadsTransiently)
+{
+    ResidencyManager mgr(5 * Gaussian::kTotalBytes);
+    int calls = 0;
+    // 10 x 236 B chunk exceeds the whole budget: served but not cached.
+    auto big = mgr.acquire(0, CountingLoader{10, &calls});
+    EXPECT_EQ(big->gaussians.size(), 10u);
+    EXPECT_EQ(mgr.stats().transient_loads, 1u);
+    EXPECT_EQ(mgr.stats().resident_bytes, 0u);
+    // Asking again re-decodes (never cached)...
+    mgr.acquire(0, CountingLoader{10, &calls});
+    EXPECT_EQ(calls, 2);
+    // ...but the first handout is still alive and intact.
+    EXPECT_EQ(big->indices.size(), 10u);
+}
+
+TEST(Residency, HandoutSurvivesEviction)
+{
+    ResidencyManager mgr(2 * Gaussian::kTotalBytes);
+    int calls = 0;
+    auto held = mgr.acquire(0, CountingLoader{2, &calls});
+    mgr.acquire(1, CountingLoader{2, &calls});  // evicts chunk 0
+    EXPECT_EQ(mgr.stats().evictions, 1u);
+    // The evicted chunk's data is still valid through our handle.
+    EXPECT_EQ(held->gaussians.size(), 2u);
+    EXPECT_EQ(held->bytes(), 2 * Gaussian::kTotalBytes);
+}
+
+} // namespace
+} // namespace gcc3d

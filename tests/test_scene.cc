@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
+#include <random>
 #include <sstream>
 
 #include "scene/scene_io.h"
@@ -225,6 +228,234 @@ TEST(SceneIo, RejectsCorruptedCountWithoutAllocating)
     buf.write(reinterpret_cast<const char *>(&count), sizeof count);
     buf.write("bad", 3);
     EXPECT_THROW(loadCloud(buf), std::runtime_error);
+}
+
+TEST(SceneIoV2, LosslessRoundTripIsBitExact)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(21, 300), 1.0f);
+    GscV2Options opt;
+    opt.quantize = false;
+    opt.chunk_target = 64;  // force multiple chunks
+    std::stringstream buf;
+    ASSERT_TRUE(saveCloudV2(cloud, buf, opt));
+
+    GaussianCloud back = loadCloud(buf);
+    ASSERT_EQ(back.size(), cloud.size());
+    EXPECT_EQ(back.name(), cloud.name());
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        EXPECT_EQ(back[i].mean, cloud[i].mean);
+        EXPECT_EQ(back[i].scale, cloud[i].scale);
+        EXPECT_EQ(back[i].rotation.w, cloud[i].rotation.w);
+        EXPECT_EQ(back[i].rotation.x, cloud[i].rotation.x);
+        EXPECT_EQ(back[i].rotation.y, cloud[i].rotation.y);
+        EXPECT_EQ(back[i].rotation.z, cloud[i].rotation.z);
+        EXPECT_EQ(back[i].opacity, cloud[i].opacity);
+        EXPECT_EQ(back[i].sh, cloud[i].sh);
+    }
+}
+
+TEST(SceneIoV2, QuantizedRoundTripWithinDocumentedBounds)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(22, 300), 1.0f);
+    GscV2Options opt;
+    opt.quantize = true;
+    opt.chunk_target = 64;
+    std::stringstream buf;
+    ASSERT_TRUE(saveCloudV2(cloud, buf, opt));
+    // Quantized records are 118 B + u32 index vs 236 + u32: the
+    // payload shrinks accordingly (header/footer overhead is small).
+    EXPECT_LT(buf.str().size(), cloud.sizeBytes() * 6 / 10);
+
+    GaussianCloud back = loadCloud(buf);
+    ASSERT_EQ(back.size(), cloud.size());
+    Vec3 lo, hi;
+    cloud.bounds(lo, hi);
+    // Chunk frames are at most the scene AABB, so the scene-level
+    // half-extent bounds every chunk's position step from above.
+    Vec3 half = (hi - lo) * 0.5f;
+    const float kUnitStep = 1.0f / 32768.0f;
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        // Documented bound: half_extent * 2^-15 per axis (the +1 edge
+        // saturates at a full step); the 1e-6 term absorbs the fp
+        // rounding of the chunk frame itself.
+        EXPECT_NEAR(back[i].mean.x, cloud[i].mean.x,
+                    std::max(half.x, 1e-5f) * kUnitStep +
+                        std::abs(cloud[i].mean.x) * 1e-6f);
+        EXPECT_NEAR(back[i].mean.y, cloud[i].mean.y,
+                    std::max(half.y, 1e-5f) * kUnitStep +
+                        std::abs(cloud[i].mean.y) * 1e-6f);
+        EXPECT_NEAR(back[i].mean.z, cloud[i].mean.z,
+                    std::max(half.z, 1e-5f) * kUnitStep +
+                        std::abs(cloud[i].mean.z) * 1e-6f);
+        // Log-quantized scales: relative error within half the ln-step
+        // of the [-14, 6] range (~1.6e-4), with slack for fp.
+        EXPECT_NEAR(back[i].scale.x, cloud[i].scale.x,
+                    cloud[i].scale.x * 4e-4f);
+        EXPECT_NEAR(back[i].opacity, cloud[i].opacity,
+                    cloud[i].opacity * 4e-4f + 1e-5f);
+        // Unit quaternions agree up to the Q1.15 step per component.
+        float dot = back[i].rotation.w * cloud[i].rotation.normalized().w +
+                    back[i].rotation.x * cloud[i].rotation.normalized().x +
+                    back[i].rotation.y * cloud[i].rotation.normalized().y +
+                    back[i].rotation.z * cloud[i].rotation.normalized().z;
+        EXPECT_GT(std::abs(dot), 0.9999f);
+        // SH coefficients survive fp16 (relative error <= 2^-11).
+        for (std::size_t k = 0; k < kShCoeffsTotal; ++k)
+            EXPECT_NEAR(back[i].sh[k], cloud[i].sh[k],
+                        std::abs(cloud[i].sh[k]) * 1e-3f + 1e-6f);
+    }
+}
+
+TEST(SceneIoV2, EmptyCloudRoundTrips)
+{
+    GaussianCloud empty("nothing");
+    std::stringstream buf;
+    ASSERT_TRUE(saveCloudV2(empty, buf));
+    GaussianCloud back = loadCloud(buf);
+    EXPECT_EQ(back.size(), 0u);
+    EXPECT_EQ(back.name(), "nothing");
+}
+
+TEST(SceneIoV2, DetectsV2Magic)
+{
+    const std::string dir = ::testing::TempDir();
+    GaussianCloud cloud = generateScene(test::tinySpec(23, 40), 1.0f);
+    const std::string v1 = dir + "/fmt-v1.gsc";
+    const std::string v2 = dir + "/fmt-v2.gsc";
+    ASSERT_TRUE(saveCloudFile(cloud, v1));
+    ASSERT_TRUE(saveCloudV2File(cloud, v2));
+    EXPECT_FALSE(isGscV2File(v1));
+    EXPECT_TRUE(isGscV2File(v2));
+    EXPECT_FALSE(isGscV2File(dir + "/fmt-missing.gsc"));
+    // Both load through the same negotiating entry point.
+    EXPECT_EQ(loadCloudFile(v1).size(), cloud.size());
+    EXPECT_EQ(loadCloudFile(v2).size(), cloud.size());
+}
+
+/** A valid small v2 image to corrupt, plus its private layout. */
+std::string
+v2Image(bool quantize = false)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(24, 100), 1.0f);
+    GscV2Options opt;
+    opt.quantize = quantize;
+    opt.chunk_target = 32;
+    std::stringstream buf;
+    if (!saveCloudV2(cloud, buf, opt))
+        return {};
+    return buf.str();
+}
+
+void
+expectLoadThrows(std::string data)
+{
+    std::stringstream buf(std::move(data));
+    EXPECT_THROW(loadCloud(buf), std::runtime_error);
+}
+
+TEST(SceneIoV2, RejectsBadMagicVersionAndFlags)
+{
+    std::string good = v2Image();
+    ASSERT_FALSE(good.empty());
+
+    std::string bad_magic = good;
+    bad_magic[3] = '3';  // "GSC3"
+    expectLoadThrows(bad_magic);
+
+    std::string bad_version = good;
+    bad_version[4] = 9;  // u32 version at offset 4
+    expectLoadThrows(bad_version);
+
+    std::string bad_flags = good;
+    bad_flags[9] = 0x80;  // unknown flag bit in u32 at offset 8
+    expectLoadThrows(bad_flags);
+}
+
+TEST(SceneIoV2, RejectsTruncationAnywhere)
+{
+    std::string good = v2Image(true);
+    ASSERT_FALSE(good.empty());
+    // Cuts in the header, the name, the payload and the footer: every
+    // prefix must fail cleanly (never crash, never return junk).
+    for (std::size_t keep :
+         {std::size_t(2), std::size_t(17), std::size_t(41),
+          good.size() / 3, good.size() / 2, good.size() - 3}) {
+        ASSERT_LT(keep, good.size());
+        expectLoadThrows(good.substr(0, keep));
+    }
+}
+
+TEST(SceneIoV2, RejectsChunkCountMismatch)
+{
+    std::string good = v2Image();
+    ASSERT_FALSE(good.empty());
+    std::uint64_t footer_off = 0;
+    std::memcpy(&footer_off, good.data() + 24, sizeof footer_off);
+    ASSERT_LT(footer_off + 8, good.size());
+
+    // The footer's chunk count (right after "GSCF") must cross-check
+    // against the header's.
+    std::string mismatch = good;
+    std::uint32_t fcount = 0;
+    std::memcpy(&fcount, mismatch.data() + footer_off + 4, sizeof fcount);
+    ++fcount;
+    std::memcpy(mismatch.data() + footer_off + 4, &fcount, sizeof fcount);
+    expectLoadThrows(mismatch);
+
+    std::string bad_fmagic = good;
+    bad_fmagic[footer_off] = 'X';
+    expectLoadThrows(bad_fmagic);
+}
+
+TEST(SceneIoV2, RejectsOversizedHeaderFields)
+{
+    std::string good = v2Image();
+    ASSERT_FALSE(good.empty());
+
+    auto patch32 = [&](std::size_t off, std::uint32_t v) {
+        std::string bad = good;
+        std::memcpy(bad.data() + off, &v, sizeof v);
+        return bad;
+    };
+    expectLoadThrows(patch32(12, 0x7fffffffu));  // name_len: absurd
+    expectLoadThrows(patch32(32, 0x00ffffffu));  // proxy_levels: absurd
+    expectLoadThrows(patch32(36, 0x7fffffffu));  // chunk_count: absurd
+
+    // footer_offset pointing past EOF must be caught up front.
+    std::string bad_footer = good;
+    std::uint64_t huge = good.size() + 1024;
+    std::memcpy(bad_footer.data() + 24, &huge, sizeof huge);
+    expectLoadThrows(bad_footer);
+}
+
+TEST(SceneIoV2, RejectsDuplicateLeafIndex)
+{
+    std::string good = v2Image(false);  // lossless: record = u32 + 236 B
+    ASSERT_FALSE(good.empty());
+    std::uint32_t name_len = 0;
+    std::memcpy(&name_len, good.data() + 12, sizeof name_len);
+    std::size_t payload = 40 + name_len;
+
+    // Overwrite the second record's source index with the first's:
+    // the decoded indices no longer form a permutation.
+    std::string dup = good;
+    std::memcpy(dup.data() + payload + 240, dup.data() + payload, 4);
+    expectLoadThrows(dup);
+}
+
+TEST(SceneIoV2, HeaderFuzzNeverCrashes)
+{
+    // 256 deterministic random header blobs behind a valid magic:
+    // every one must be rejected by validation, not by crashing.
+    std::mt19937_64 rng(0xf00du);
+    std::uniform_int_distribution<int> byte(0, 255);
+    for (int round = 0; round < 256; ++round) {
+        std::string blob = "GSC2";
+        std::size_t len = 4 + static_cast<std::size_t>(rng() % 96);
+        for (std::size_t i = 4; i < len; ++i)
+            blob.push_back(static_cast<char>(byte(rng)));
+        expectLoadThrows(std::move(blob));
+    }
 }
 
 TEST(SceneIo, CacheSkipsGenerationAndSurvivesCorruption)
