@@ -66,6 +66,16 @@ usage(const char *argv0)
         "  --city N          view the N-splat City corridor preset\n"
         "                    (with --lod, a missing FILE is built by\n"
         "                    the streamed LOD builder first)\n"
+        "  --temporal K      temporal coherence for tile resident-\n"
+        "                    cloud sessions: 0 = off, 1 = exact\n"
+        "                    incremental mode (bit-identical), K > 1\n"
+        "                    = render every K-th frame exactly and\n"
+        "                    reproject the rest (>= 40 dB contract)\n"
+        "                    (default: 0)\n"
+        "  --traj-arc F      fraction of each scene's camera path the\n"
+        "                    trajectories cover in the same frame\n"
+        "                    count (default: 1.0; temporal streams\n"
+        "                    use smaller arcs for headset-like steps)\n"
         "  --json FILE       write the serve report as JSON\n"
         "  --quiet           suppress the per-session table\n",
         argv0);
@@ -90,6 +100,8 @@ main(int argc, char **argv)
     double budget_mib = 256.0;
     double lod_tau = 0.08;
     long long city = 0;
+    int temporal = 0;
+    double traj_arc = 1.0;
     bool drop_late = false;
     bool quiet = false;
     float scale = benchScale();
@@ -136,6 +148,10 @@ main(int argc, char **argv)
             lod_tau = std::atof(value().c_str());
         } else if (flag == "--city") {
             city = std::atoll(value().c_str());
+        } else if (flag == "--temporal") {
+            temporal = std::atoi(value().c_str());
+        } else if (flag == "--traj-arc") {
+            traj_arc = std::atof(value().c_str());
         } else if (flag == "--json") {
             json_path = value();
         } else if (flag == "--quiet") {
@@ -153,6 +169,11 @@ main(int argc, char **argv)
                      ">= 0 and --scale in (0, 1]\n");
         return 2;
     }
+    if (temporal < 0 || traj_arc <= 0.0 || traj_arc > 1.0) {
+        std::fprintf(stderr, "--temporal must be >= 0 and --traj-arc "
+                             "in (0, 1]\n");
+        return 2;
+    }
 
     FleetSpec fleet_spec;
     fleet_spec.sessions = sessions;
@@ -160,6 +181,8 @@ main(int argc, char **argv)
     fleet_spec.scale = scale;
     fleet_spec.fps_target = fps_target;
     fleet_spec.gw.subview_size = subview < 0 ? 0 : subview;
+    fleet_spec.temporal = temporal;
+    fleet_spec.traj_arc = static_cast<float>(traj_arc);
 
     SchedulerOptions sched;
     sched.drop_late = drop_late;

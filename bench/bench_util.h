@@ -15,13 +15,31 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "gsmath/simd.h"
 #include "runtime/result_table.h"
 #include "runtime/sweep_runner.h"
 #include "scene/scene_presets.h"
 
 namespace gcc3d::bench {
+
+/**
+ * Host metadata as a JSON object fragment, embedded in every
+ * committed BENCH_*.json header so snapshot numbers are interpretable
+ * later: thread-scaling rows that all read ~1.0x mean something very
+ * different on a 1-core container than on a workstation, and SIMD
+ * speedups depend on the compiled backend.
+ */
+inline std::string
+hostJson()
+{
+    return "{\"hardware_concurrency\": " +
+           std::to_string(std::thread::hardware_concurrency()) +
+           ", \"simd_backend\": \"" + simd::backendName() +
+           "\", \"simd_width\": " + std::to_string(simd::kWidth) + "}";
+}
 
 /**
  * Worker threads for harness sweeps: the GCC3D_WORKERS environment

@@ -26,11 +26,24 @@
  * variants and validated by PSNR against the exact image (reported,
  * and required to clear 55 dB).
  *
+ * With --trajectory a temporal-coherence section replays a slow-orbit
+ * held camera stream (forSceneArc(--arc) with each pose held --hold
+ * frames, --traj-frames distinct poses) through three tile pipelines:
+ * cold stateless rendering, exact temporal mode (--temporal ignored;
+ * every frame exact, incremental binning + dirty-tile reuse,
+ * checksum-verified bit-identical to cold), and warp mode (every
+ * --temporal-th frame exact, the rest reprojected, >= 40 dB PSNR
+ * against cold enforced per frame).  Contract violations fail the
+ * run; speedups and TemporalCounters go to the "temporal" JSON
+ * section.
+ *
  * Usage:
  *   frame_throughput [--scenes LIST] [--frames N] [--reps N]
  *                    [--renderers tile,gw] [--reference]
  *                    [--threads LIST] [--subview N] [--fast-alpha]
  *                    [--workers N] [--scale F] [--out FILE]
+ *                    [--trajectory] [--temporal K] [--hold H]
+ *                    [--arc F] [--traj-frames N]
  *
  * Scale comes from --scale or GCC3D_SCALE (1.0 = paper populations).
  * --workers > 1 runs the base tile/gw variants on a thread pool (the
@@ -42,6 +55,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -88,6 +102,17 @@ usage(const char *argv0)
         "                   (tile-fa/gw-fa variants + PSNR check)\n"
         "  --workers N      pool for the base tile/gw variants;\n"
         "                   <2 = serial (default: 1)\n"
+        "  --trajectory     temporal-coherence section: cold vs exact\n"
+        "                   temporal vs warp over a slow held camera\n"
+        "                   stream (tile renderer only)\n"
+        "  --temporal K     warp mode renders every K-th frame exactly\n"
+        "                   (default: 4)\n"
+        "  --hold H         display frames per camera pose in the\n"
+        "                   stream (default: 2)\n"
+        "  --arc F          fraction of the natural camera path the\n"
+        "                   stream covers (default: 0.001)\n"
+        "  --traj-frames N  distinct camera poses in the stream\n"
+        "                   (default: 8)\n"
         "  --scale F        population scale in (0,1] (default:\n"
         "                   GCC3D_SCALE env or 1.0)\n"
         "  --out FILE       JSON output path (default:\n"
@@ -122,6 +147,11 @@ main(int argc, char **argv)
     int reps = 3;
     int workers = 1;
     int subview = 128;
+    int temporal_every = 4;
+    int hold = 2;
+    int traj_frames = 8;
+    double traj_arc = 0.001;
+    bool trajectory = false;
     bool reference = false;
     bool fast_alpha = false;
     float scale = benchScale();
@@ -157,6 +187,16 @@ main(int argc, char **argv)
             subview = std::atoi(value().c_str());
         } else if (flag == "--workers") {
             workers = std::atoi(value().c_str());
+        } else if (flag == "--trajectory") {
+            trajectory = true;
+        } else if (flag == "--temporal") {
+            temporal_every = std::atoi(value().c_str());
+        } else if (flag == "--hold") {
+            hold = std::atoi(value().c_str());
+        } else if (flag == "--arc") {
+            traj_arc = std::atof(value().c_str());
+        } else if (flag == "--traj-frames") {
+            traj_frames = std::atoi(value().c_str());
         } else if (flag == "--scale") {
             scale = static_cast<float>(std::atof(value().c_str()));
         } else if (flag == "--out") {
@@ -170,6 +210,13 @@ main(int argc, char **argv)
     if (frames < 1 || reps < 1 || scale <= 0.0f || scale > 1.0f) {
         std::fprintf(stderr, "--frames/--reps must be >= 1 and "
                              "--scale in (0, 1]\n");
+        return 2;
+    }
+    if (temporal_every < 2 || hold < 1 || traj_frames < 2 ||
+        traj_arc <= 0.0 || traj_arc > 1.0) {
+        std::fprintf(stderr,
+                     "--temporal must be >= 2, --hold >= 1, "
+                     "--traj-frames >= 2 and --arc in (0, 1]\n");
         return 2;
     }
     if (subview < 0)
@@ -274,6 +321,23 @@ main(int argc, char **argv)
     };
     // (scene, variant) -> mean per-stage ms over the timed samples.
     std::map<std::pair<std::string, std::string>, StageRow> stage_rows;
+    struct TemporalRow
+    {
+        std::string scene;
+        int stream_frames = 0;
+        double step_translation = 0.0;  ///< max per-pose camera delta
+        double step_rotation_rad = 0.0;
+        double cold_ms_mean = 0.0;
+        double exact_ms_mean = 0.0;
+        double exact_speedup = 0.0;
+        bool exact_identical = true;
+        double warp_ms_mean = 0.0;
+        double warp_speedup = 0.0;
+        double warp_min_psnr_db = 0.0;
+        TemporalCounters exact_counters;
+        TemporalCounters warp_counters;
+    };
+    std::vector<TemporalRow> temporal_rows;
 
     GaussianWiseConfig gw_cfg;
     gw_cfg.subview_size = subview;
@@ -458,6 +522,118 @@ main(int argc, char **argv)
                 }
             }
         }
+
+        // ---- Temporal-coherence section: a slow held camera stream
+        // through cold / exact-temporal / warp rendering. ----
+        if (trajectory && run_tile) {
+            Trajectory path = Trajectory::forSceneArc(
+                spec, traj_frames, static_cast<float>(traj_arc));
+            Trajectory stream;
+            for (const Camera &cam : path.frames())
+                for (int h = 0; h < hold; ++h)
+                    stream.add(cam);
+            const int n = static_cast<int>(stream.frameCount());
+            const CameraDelta step = path.maxCameraDelta();
+
+            TemporalRow trow;
+            trow.scene = scene;
+            trow.stream_frames = n;
+            trow.step_translation = step.translation;
+            trow.step_rotation_rad = step.rotation_rad;
+
+            // Cold baseline: the stateless per-frame renderer, with
+            // per-frame checksums as the bit-identity oracle.
+            std::vector<double> cold_check(
+                static_cast<std::size_t>(n));
+            double cold_ms = 0.0;
+            for (int f = 0; f < n; ++f) {
+                StandardFlowStats st;
+                auto start = std::chrono::steady_clock::now();
+                Image img = tile_renderer.render(
+                    cloud, stream.frame(static_cast<std::size_t>(f)),
+                    st, pool_or_null);
+                cold_ms += nowMsSince(start);
+                cold_check[static_cast<std::size_t>(f)] =
+                    imageChecksum(img);
+            }
+
+            // Exact temporal mode: every frame exact, bit-identical
+            // to cold by contract.
+            TemporalCache exact_cache;
+            exact_cache.options.every = 1;
+            double exact_ms = 0.0;
+            for (int f = 0; f < n; ++f) {
+                StandardFlowStats st;
+                auto start = std::chrono::steady_clock::now();
+                Image img = tile_renderer.renderTemporal(
+                    cloud, stream.frame(static_cast<std::size_t>(f)),
+                    st, exact_cache, pool_or_null);
+                exact_ms += nowMsSince(start);
+                if (imageChecksum(img) !=
+                    cold_check[static_cast<std::size_t>(f)]) {
+                    std::fprintf(stderr,
+                                 "ERROR: %s exact temporal frame %d "
+                                 "diverged from the cold render\n",
+                                 scene.c_str(), f);
+                    trow.exact_identical = false;
+                    checks_ok = false;
+                }
+            }
+            trow.exact_counters = exact_cache.counters();
+
+            // Warp mode: every K-th frame exact, the rest reprojected
+            // under the >= 40 dB contract (cold re-render per frame is
+            // the untimed PSNR reference).
+            TemporalCache warp_cache;
+            warp_cache.options.every = temporal_every;
+            double warp_ms = 0.0;
+            double min_psnr = std::numeric_limits<double>::infinity();
+            for (int f = 0; f < n; ++f) {
+                const Camera &cam =
+                    stream.frame(static_cast<std::size_t>(f));
+                StandardFlowStats st;
+                auto start = std::chrono::steady_clock::now();
+                Image img = tile_renderer.renderTemporal(
+                    cloud, cam, st, warp_cache, pool_or_null);
+                warp_ms += nowMsSince(start);
+                StandardFlowStats cold_st;
+                Image cold_img =
+                    tile_renderer.render(cloud, cam, cold_st,
+                                         pool_or_null);
+                min_psnr = std::min(min_psnr, psnrDb(cold_img, img));
+            }
+            trow.warp_counters = warp_cache.counters();
+            if (min_psnr < 40.0) {
+                std::fprintf(stderr,
+                             "ERROR: %s warp mode min PSNR %.2f dB "
+                             "breaks the >= 40 dB contract\n",
+                             scene.c_str(), min_psnr);
+                checks_ok = false;
+            }
+
+            trow.cold_ms_mean = cold_ms / n;
+            trow.exact_ms_mean = exact_ms / n;
+            trow.warp_ms_mean = warp_ms / n;
+            trow.exact_speedup =
+                exact_ms > 0.0 ? cold_ms / exact_ms : 0.0;
+            trow.warp_speedup = warp_ms > 0.0 ? cold_ms / warp_ms : 0.0;
+            trow.warp_min_psnr_db =
+                std::isinf(min_psnr) ? 999.0 : min_psnr;
+
+            std::printf(
+                "%-10s temporal stream: %d frames (%d poses x hold "
+                "%d, arc %.3f, step %.4f / %.4f rad)\n"
+                "%-10s   cold %.2f ms, exact %.2f ms (%.2fx, "
+                "bit-identical %s), warp %.2f ms (%.2fx, min PSNR "
+                "%.1f dB)\n",
+                scene.c_str(), n, traj_frames, hold, traj_arc,
+                step.translation, step.rotation_rad, scene.c_str(),
+                trow.cold_ms_mean, trow.exact_ms_mean,
+                trow.exact_speedup,
+                trow.exact_identical ? "yes" : "NO", trow.warp_ms_mean,
+                trow.warp_speedup, trow.warp_min_psnr_db);
+            temporal_rows.push_back(std::move(trow));
+        }
     }
 
     // ---- Aggregate and report through ResultTable. ----
@@ -472,6 +648,7 @@ main(int argc, char **argv)
     bench::rule();
 
     std::string json = "{\n  \"bench\": \"frame_throughput\",\n";
+    json += "  \"host\": " + bench::hostJson() + ",\n";
     {
         char head[200];
         std::snprintf(head, sizeof head,
@@ -610,6 +787,62 @@ main(int argc, char **argv)
             first = false;
         }
         json += "\n  ]";
+    }
+    if (!temporal_rows.empty()) {
+        auto counters_json = [](const TemporalCounters &c) {
+            char buf[512];
+            std::snprintf(
+                buf, sizeof buf,
+                "{\"frames\": %llu, \"exact\": %llu, \"copied\": %llu, "
+                "\"warped\": %llu, \"full_rebuilds\": %llu, "
+                "\"incremental\": %llu, \"tiles_total\": %llu, "
+                "\"tiles_reused\": %llu, \"tiles_rastered\": %llu, "
+                "\"tiles_patched\": %llu, \"tiles_resorted\": %llu, "
+                "\"splats_changed\": %llu}",
+                static_cast<unsigned long long>(c.frames),
+                static_cast<unsigned long long>(c.exact_frames),
+                static_cast<unsigned long long>(c.copied_frames),
+                static_cast<unsigned long long>(c.warped_frames),
+                static_cast<unsigned long long>(c.full_rebuilds),
+                static_cast<unsigned long long>(c.incremental_frames),
+                static_cast<unsigned long long>(c.tiles_total),
+                static_cast<unsigned long long>(c.tiles_reused),
+                static_cast<unsigned long long>(c.tiles_rastered),
+                static_cast<unsigned long long>(c.tiles_patched),
+                static_cast<unsigned long long>(c.tiles_resorted),
+                static_cast<unsigned long long>(c.splats_changed));
+            return std::string(buf);
+        };
+        char head[200];
+        std::snprintf(head, sizeof head,
+                      ",\n  \"temporal\": {\"every\": %d, \"hold\": %d, "
+                      "\"arc\": %.4f, \"poses\": %d, \"rows\": [\n",
+                      temporal_every, hold, traj_arc, traj_frames);
+        json += head;
+        bool first = true;
+        for (const TemporalRow &t : temporal_rows) {
+            char line[640];
+            std::snprintf(
+                line, sizeof line,
+                "%s    {\"scene\": \"%s\", \"stream_frames\": %d, "
+                "\"step_translation\": %.6f, \"step_rotation_rad\": "
+                "%.6f,\n     \"cold_ms_mean\": %.4f, \"exact_ms_mean\": "
+                "%.4f, \"exact_speedup\": %.4f, \"exact_bit_identical\": "
+                "%s,\n     \"warp_ms_mean\": %.4f, \"warp_speedup\": "
+                "%.4f, \"warp_min_psnr_db\": %.4f,\n",
+                first ? "" : ",\n", t.scene.c_str(), t.stream_frames,
+                t.step_translation, t.step_rotation_rad, t.cold_ms_mean,
+                t.exact_ms_mean, t.exact_speedup,
+                t.exact_identical ? "true" : "false", t.warp_ms_mean,
+                t.warp_speedup, t.warp_min_psnr_db);
+            json += line;
+            json += "     \"exact_counters\": " +
+                    counters_json(t.exact_counters) +
+                    ",\n     \"warp_counters\": " +
+                    counters_json(t.warp_counters) + "}";
+            first = false;
+        }
+        json += "\n  ]}";
     }
     json += "\n}\n";
 

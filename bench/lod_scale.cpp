@@ -369,6 +369,7 @@ main(int argc, char **argv)
     std::ostringstream json;
     json.precision(10);
     json << "{\n  \"bench\": \"lod_scale\",\n"
+         << "  \"host\": " << bench::hostJson() << ",\n"
          << "  \"scale\": " << static_cast<double>(scale) << ",\n"
          << "  \"scenes\": [\n";
     for (std::size_t i = 0; i < scene_rows.size(); ++i) {

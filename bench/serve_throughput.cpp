@@ -22,18 +22,29 @@
  *
  * A non-zero --fps-target adds a paced EDF run with deadline-miss
  * accounting on top of the best-effort throughput runs.
+ *
+ * --temporal K streams tile resident-cloud sessions through the
+ * temporal coherence engine (see src/render/temporal_cache.h).  The
+ * checksum cross-check still holds — serial baseline and scheduled
+ * runs replay identical frame sequences through reset caches — and an
+ * extra validation pass renders every temporal scene cold to enforce
+ * the fidelity contract: K = 1 must be bit-identical, K > 1 must stay
+ * >= 40 dB PSNR on every frame.  Contract violations fail the run.
  */
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "render/metrics.h"
 #include "serve/fleet.h"
 #include "serve/frame_scheduler.h"
 
@@ -59,6 +70,13 @@ usage(const char *argv0)
         "  --fps-target F   adds a paced EDF run with deadline\n"
         "                   accounting (default: 0 = skip)\n"
         "  --subview N      gw Cmode sub-view side (default: 128)\n"
+        "  --temporal K     temporal coherence for tile resident-cloud\n"
+        "                   sessions: 0 = off, 1 = exact incremental\n"
+        "                   (bit-identical, validated), K > 1 = exact\n"
+        "                   every K-th frame + reprojection (>= 40 dB\n"
+        "                   contract, validated) (default: 0)\n"
+        "  --traj-arc F     fraction of each scene's camera path the\n"
+        "                   trajectories cover (default: 1.0)\n"
         "  --scale F        population scale in (0,1] (default:\n"
         "                   GCC3D_SCALE env or 1.0)\n"
         "  --out FILE       JSON output path (default:\n"
@@ -98,6 +116,8 @@ main(int argc, char **argv)
     int frames = 6;
     int threads = 0;
     int subview = 128;
+    int temporal = 0;
+    double traj_arc = 1.0;
     double fps_target = 0.0;
     float scale = benchScale();
 
@@ -130,6 +150,10 @@ main(int argc, char **argv)
             fps_target = std::atof(value().c_str());
         } else if (flag == "--subview") {
             subview = std::atoi(value().c_str());
+        } else if (flag == "--temporal") {
+            temporal = std::atoi(value().c_str());
+        } else if (flag == "--traj-arc") {
+            traj_arc = std::atof(value().c_str());
         } else if (flag == "--scale") {
             scale = static_cast<float>(std::atof(value().c_str()));
         } else if (flag == "--out") {
@@ -147,12 +171,19 @@ main(int argc, char **argv)
                      ">= 0 and --scale in (0, 1]\n");
         return 2;
     }
+    if (temporal < 0 || traj_arc <= 0.0 || traj_arc > 1.0) {
+        std::fprintf(stderr, "--temporal must be >= 0 and --traj-arc "
+                             "in (0, 1]\n");
+        return 2;
+    }
 
     FleetSpec fleet_spec;
     fleet_spec.sessions = sessions;
     fleet_spec.frames = frames;
     fleet_spec.scale = scale;
     fleet_spec.gw.subview_size = subview < 0 ? 0 : subview;
+    fleet_spec.temporal = temporal;
+    fleet_spec.traj_arc = static_cast<float>(traj_arc);
 
     std::vector<SchedulerPolicy> policies;
     try {
@@ -237,6 +268,64 @@ main(int argc, char **argv)
                     row.checksums_match ? "" : "  CHECKSUM MISMATCH");
     }
 
+    // Fidelity-contract validation for temporal mode: replay one
+    // representative session per distinct scene, comparing every
+    // temporal frame against a cold stateless render of the same
+    // camera.  --temporal 1 must be bit-identical; --temporal K>1 must
+    // hold >= 40 dB PSNR on every frame.
+    struct TemporalCheck
+    {
+        std::string scene;
+        double min_psnr_db = std::numeric_limits<double>::infinity();
+        bool bit_identical = true;
+        bool ok = true;
+    };
+    std::vector<TemporalCheck> temporal_checks;
+    bool temporal_ok = true;
+    if (temporal >= 1) {
+        std::set<std::string> seen;
+        std::printf("\ntemporal fidelity (every=%d, arc %.3f):\n",
+                    temporal, traj_arc);
+        for (const Session &s : fleet) {
+            if (s.temporalCache() == nullptr ||
+                !seen.insert(s.config().spec.name).second)
+                continue;
+            TileRenderer renderer(s.config().tile);
+            TemporalCache cache;
+            cache.options.every = temporal;
+            TemporalCheck chk;
+            chk.scene = s.config().spec.name;
+            for (int f = 0; f < s.frameCount(); ++f) {
+                const Camera &cam = s.scene().trajectory->frame(
+                    static_cast<std::size_t>(f));
+                StandardFlowStats cold_stats, warm_stats;
+                Image cold =
+                    renderer.render(*s.scene().cloud, cam, cold_stats);
+                Image warm = renderer.renderTemporal(
+                    *s.scene().cloud, cam, warm_stats, cache);
+                chk.min_psnr_db =
+                    std::min(chk.min_psnr_db, psnrDb(cold, warm));
+                chk.bit_identical =
+                    chk.bit_identical &&
+                    std::memcmp(cold.pixels().data(),
+                                warm.pixels().data(),
+                                cold.pixelCount() * sizeof(Vec3)) == 0;
+            }
+            chk.ok = temporal == 1 ? chk.bit_identical
+                                   : chk.min_psnr_db >= 40.0;
+            temporal_ok = temporal_ok && chk.ok;
+            std::printf("  %-10s min PSNR %8.2f dB, bit-identical %s "
+                        "-> %s\n",
+                        chk.scene.c_str(),
+                        std::isinf(chk.min_psnr_db) ? 999.0
+                                                    : chk.min_psnr_db,
+                        chk.bit_identical ? "yes" : "no",
+                        chk.ok ? "ok" : "CONTRACT VIOLATED");
+            temporal_checks.push_back(std::move(chk));
+        }
+        all_ok = all_ok && temporal_ok;
+    }
+
     // Optional paced run: every session carries an FPS target and EDF
     // schedules by deadline, reporting the achieved SLO.
     std::string paced_json;
@@ -273,6 +362,7 @@ main(int argc, char **argv)
     std::ostringstream json;
     json.precision(10);
     json << "{\n  \"bench\": \"serve_throughput\",\n"
+         << "  \"host\": " << bench::hostJson() << ",\n"
          << "  \"scale\": " << static_cast<double>(scale) << ",\n"
          << "  \"sessions\": " << sessions << ",\n"
          << "  \"frames\": " << frames << ",\n"
@@ -280,6 +370,8 @@ main(int argc, char **argv)
          << "  \"hardware_workers\": " << ThreadPool::hardwareWorkers()
          << ",\n  \"renderer_mix\": \"" << renderers_arg << "\",\n"
          << "  \"scenes\": \"" << scenes_arg << "\",\n"
+         << "  \"temporal\": " << temporal << ",\n"
+         << "  \"traj_arc\": " << traj_arc << ",\n"
          << "  \"shared_clouds\": " << registry.cloudCount() << ",\n"
          << "  \"serial\": {\"wall_ms\": " << base.wall_ms
          << ", \"fleet_fps\": " << base.fleet_fps << "},\n"
@@ -297,6 +389,21 @@ main(int argc, char **argv)
              << "}" << (i + 1 < policy_rows.size() ? "," : "") << "\n";
     }
     json << "  ]";
+    if (temporal >= 1) {
+        json << ",\n  \"temporal_fidelity\": [\n";
+        for (std::size_t i = 0; i < temporal_checks.size(); ++i) {
+            const TemporalCheck &c = temporal_checks[i];
+            json << "    {\"scene\": \"" << c.scene
+                 << "\", \"min_psnr_db\": "
+                 << (std::isinf(c.min_psnr_db) ? 999.0 : c.min_psnr_db)
+                 << ", \"bit_identical\": "
+                 << (c.bit_identical ? "true" : "false")
+                 << ", \"contract_ok\": " << (c.ok ? "true" : "false")
+                 << "}" << (i + 1 < temporal_checks.size() ? "," : "")
+                 << "\n";
+        }
+        json << "  ]";
+    }
     json << paced_json;
     json << ",\n  \"checksums_ok\": " << (all_ok ? "true" : "false")
          << "\n}\n";
@@ -309,7 +416,10 @@ main(int argc, char **argv)
         }
         std::printf("wrote %s\n", out_path.c_str());
     }
-    if (!all_ok)
+    if (!temporal_ok)
+        std::fprintf(stderr, "ERROR: temporal mode violated its "
+                             "fidelity contract\n");
+    else if (!all_ok)
         std::fprintf(stderr, "ERROR: scheduled checksums diverged from "
                              "the serial baseline\n");
     return all_ok ? 0 : 1;

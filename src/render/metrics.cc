@@ -44,10 +44,20 @@ mse(const Image &a, const Image &b)
 double
 psnr(const Image &a, const Image &b)
 {
+    // Guard before the log: a zero (or negative, which mse() cannot
+    // produce but the guard covers anyway) MSE means bit-identical
+    // content — return the documented sentinel instead of feeding
+    // log10 a division by zero.
     double m = mse(a, b);
     if (m <= 0.0)
         return std::numeric_limits<double>::infinity();
     return 10.0 * std::log10(1.0 / m);
+}
+
+double
+psnrDb(const Image &a, const Image &b)
+{
+    return psnr(a, b);
 }
 
 double

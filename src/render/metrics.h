@@ -25,6 +25,18 @@ double mse(const Image &a, const Image &b);
 double psnr(const Image &a, const Image &b);
 
 /**
+ * psnr() under its quality-contract name.  Guaranteed total for
+ * same-shaped inputs: bit-identical images (which temporal exact
+ * mode produces constantly) return the +infinity sentinel rather
+ * than dividing by a zero MSE, and any pixel difference returns a
+ * finite dB value.  Callers serializing to JSON must clamp the
+ * sentinel to a finite stand-in (the benches use 999.0); comparisons
+ * against a contract floor (e.g. the >= 40 dB temporal warp gate)
+ * need no special case — +inf passes naturally.
+ */
+double psnrDb(const Image &a, const Image &b);
+
+/**
  * Mean SSIM over 8x8 luma windows with the standard constants
  * (k1 = 0.01, k2 = 0.03, L = 1).  1.0 means identical.
  */

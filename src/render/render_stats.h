@@ -30,6 +30,7 @@ struct StageTimes
     double preprocess_ms = 0.0; ///< projection / SH / depth passes
     double binning_ms = 0.0;    ///< tile CSR build or Cmode bin merge
     double raster_ms = 0.0;     ///< sort + alpha + blend (and merges)
+    double warp_ms = 0.0;       ///< temporal reprojection synthesis
 };
 
 /** Counters for the standard (preprocess-then-render) dataflow. */

@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "gsmath/simd.h"
@@ -46,6 +47,263 @@ bitonicPassKeys(std::size_t list_len)
     while ((std::int64_t{1} << (passes - 1)) < chunks)
         ++passes;
     return static_cast<std::int64_t>(list_len) * passes;
+}
+
+/** Sub-tile granularity of the VRU array-pass accounting. */
+constexpr int kSub = 8;
+
+/** Reusable per-worker buffers of the tile raster kernel. */
+struct TileScratch
+{
+    std::vector<float> tile_t;   ///< per-pixel transmittance
+    std::vector<int> sub_live;   ///< live-pixel counts per 8x8 subtile
+    std::vector<int> row_live;   ///< live-pixel counts per tile row
+};
+
+/**
+ * Rasterize one tile from its depth-sorted entry list — the shared
+ * kernel of render() and renderTemporal(), so a dirty tile re-blended
+ * by the temporal path is bit-identical to the cold render of the
+ * same list.  The tile's pixels in @p image must be zero on entry
+ * (cold frames start from a zeroed image; the temporal path clears a
+ * dirty tile's block before calling).  Writes stay inside the tile's
+ * pixel region, so disjoint tiles rasterize concurrently.
+ *
+ * When @p depth_out is non-null (with @p splat_depth supplying the
+ * per-slot view depths), the kernel also records a per-pixel surface
+ * depth for the reprojection warp: the depth of the splat that first
+ * drags the pixel's transmittance below one half — the pixel's median
+ * surface — falling back to the first contributor for pixels that
+ * never get that opaque.  The tile's depth_out block must be zero on
+ * entry, like the pixels.  Blending math and stats are untouched, so
+ * bit-identity with the depth-less call is preserved.
+ */
+void
+rasterOneTile(const TileRendererConfig &config, const SplatSoA &soa,
+              const std::uint64_t *entries, std::size_t list_len,
+              int bx, int by, int width, int height, Image &image,
+              StandardFlowStats &st, std::uint64_t *contributed,
+              std::uint64_t *fetched, TileScratch &scratch,
+              const float *splat_depth = nullptr,
+              float *depth_out = nullptr)
+{
+    const int tile = config.tile_size;
+    const int sub_n = (tile + kSub - 1) / kSub;
+    const bool fast_alpha = config.fast_alpha;
+
+    int x0 = bx * tile;
+    int y0 = by * tile;
+    int x1 = std::min(x0 + tile, width);
+    int y1 = std::min(y0 + tile, height);
+    int live = (x1 - x0) * (y1 - y0);
+    scratch.tile_t.assign(static_cast<std::size_t>(tile) * tile, 1.0f);
+    std::vector<float> &tile_t = scratch.tile_t;
+
+    // Per-subtile live-pixel counts (8x8 granularity): the VRU
+    // processes one subtile per array pass in lockstep.  Per-row
+    // counts let the blend loop skip rows whose every pixel already
+    // terminated.
+    scratch.sub_live.assign(static_cast<std::size_t>(sub_n) * sub_n, 0);
+    scratch.row_live.assign(static_cast<std::size_t>(tile), 0);
+    std::vector<int> &sub_live = scratch.sub_live;
+    std::vector<int> &row_live = scratch.row_live;
+    for (int y = y0; y < y1; ++y) {
+        row_live[y - y0] = x1 - x0;
+        for (int x = x0; x < x1; ++x)
+            ++sub_live[((y - y0) / kSub) * sub_n + (x - x0) / kSub];
+    }
+
+    for (std::size_t e = 0; e < list_len; ++e) {
+        if (live == 0)
+            break;  // whole tile terminated: skip the rest
+        const std::uint32_t si = packedValue(entries[e]);
+        ++st.tile_fetches;
+        fetched[si >> 6] |= std::uint64_t{1} << (si & 63);
+        const SplatSoA::Blend &b = soa.blend[si];
+
+        // Array passes: live subtiles the splat's bounds reach.
+        for (int sy = 0; sy < sub_n; ++sy) {
+            for (int sx = 0; sx < sub_n; ++sx) {
+                if (sub_live[sy * sub_n + sx] == 0)
+                    continue;
+                int rx0 = x0 + sx * kSub;
+                int ry0 = y0 + sy * kSub;
+                if (b.sb_x1 < rx0 || b.sb_x0 > rx0 + kSub - 1 ||
+                    b.sb_y1 < ry0 || b.sb_y0 > ry0 + kSub - 1)
+                    continue;
+                ++st.subtile_passes;
+            }
+        }
+
+        // The reference path alpha-tests every live pixel of the
+        // tile; pixels outside the cutoff-safe rect are provably
+        // below the alpha cutoff, so only the rect is walked and the
+        // skipped evaluations are accounted from the live count
+        // (identical totals, less work).
+        st.alpha_evals += live;
+        st.pixels_touched += live;
+        const int rx0 = std::max(x0, b.it_x0);
+        const int rx1 = std::min(x1 - 1, b.it_x1);
+        const int ry0 = std::max(y0, b.it_y0);
+        const int ry1 = std::min(y1 - 1, b.it_y1);
+        // Conic and thresholds broadcast once per splat; the row
+        // loop below evaluates q for kWidth pixels per step with
+        // each lane running the scalar op sequence exactly (same
+        // dx/dy derivation, same multiply/add order), so the
+        // pass/fail decisions — and therefore the image and stats —
+        // are bit-identical to the scalar reference.
+        const simd::FloatV c00v(b.c00), c01v(b.c01);
+        const simd::FloatV c10v(b.c10), c11v(b.c11);
+        const simd::FloatV cxv(b.cx);
+        const simd::FloatV q_skip_v(b.q_skip);
+        const simd::FloatV half_v(0.5f);
+        // (An earlier revision solved a per-row quadratic interval
+        // in double to trim dead row tails; with rows clipped to the
+        // tile and evaluated kWidth lanes per step under the q_skip
+        // mask, the sqrt-per-row solve cost more than the tails it
+        // saved — the mask makes the same pass/fail decisions
+        // bit-identically.)
+        for (int y = ry0; y <= ry1; ++y) {
+            if (row_live[y - y0] == 0)
+                continue;  // every pixel in the row terminated
+            const float py = static_cast<float>(y) + 0.5f;
+            const int row_x0 = rx0;
+            const int row_x1 = rx1;
+            const float dy_row = py - b.cy;
+            const simd::FloatV dyv(dy_row);
+            float *trow =
+                tile_t.data() + static_cast<std::size_t>(y - y0) * tile;
+            for (int x = row_x0; x <= row_x1; x += simd::kWidth) {
+                const int nlane =
+                    std::min<int>(simd::kWidth, row_x1 - x + 1);
+                simd::FloatV dx =
+                    (simd::FloatV::iotaFrom(x) + half_v) - cxv;
+                simd::FloatV q = dx * (c00v * dx + c01v * dyv) +
+                                 dyv * (c10v * dx + c11v * dyv);
+                // Mirrors the scalar `q > q_skip -> skip` comparison
+                // exactly (incl. NaN ordering).
+                unsigned bits = simd::MaskV::firstN(nlane).bits() &
+                                ~(q > q_skip_v).bits();
+                if (bits == 0)
+                    continue;  // all lanes provably sub-cutoff
+                float qlane[simd::kWidth];
+                float alane[simd::kWidth];
+                if (fast_alpha)
+                    simd::min(simd::FloatV(0.99f),
+                              simd::FloatV(b.opacity) *
+                                  simd::simdExp(q * simd::FloatV(-0.5f)))
+                        .store(alane);
+                else
+                    q.store(qlane);
+                // Surviving lanes compact into the exact scalar
+                // alpha/blend path, front-to-back in x order.
+                do {
+                    const int i = std::countr_zero(bits);
+                    bits &= bits - 1;
+                    const int px = x + i;
+                    float &t = trow[px - x0];
+                    if (t < config.termination_t)
+                        continue;
+                    float a;
+                    if (fast_alpha) {
+                        a = alane[i];
+                    } else {
+                        a = b.opacity * std::exp(-0.5f * qlane[i]);
+                        if (a > 0.99f)
+                            a = 0.99f;
+                    }
+                    if (a < config.alpha_cutoff)
+                        continue;
+                    ++st.blend_ops;
+                    contributed[si >> 6] |= std::uint64_t{1} << (si & 63);
+                    image.at(px, y) += Vec3(b.r, b.g, b.b) * (a * t);
+                    const float t_prev = t;
+                    t *= 1.0f - a;
+                    if (depth_out != nullptr) {
+                        float &dz =
+                            depth_out[static_cast<std::size_t>(y) *
+                                          width +
+                                      px];
+                        if (dz == 0.0f ||
+                            (t_prev >= 0.5f && t < 0.5f))
+                            dz = splat_depth[si];
+                    }
+                    if (t < config.termination_t) {
+                        --live;
+                        --row_live[y - y0];
+                        --sub_live[((y - y0) / kSub) * sub_n +
+                                   (px - x0) / kSub];
+                    }
+                } while (bits != 0);
+            }
+        }
+    }
+}
+
+/**
+ * Synthesize a frame at @p dst_cam by backward-warping the exact
+ * frame rendered at @p src_cam (tier 3 of the temporal engine).
+ *
+ * Each destination pixel is lifted to view space at the exact frame's
+ * per-pixel median-surface depth (captured by rasterOneTile), carried
+ * to world space, re-projected into the exact camera and bilinearly
+ * sampled.  Pixels nothing contributed to (depth sentinel 0) and
+ * points that land behind the exact camera's near plane fall back to
+ * a straight same-pixel copy — trajectory steps between exact frames
+ * are small, so the copy is a close approximation there too.
+ */
+Image
+warpFromExact(const Camera &src_cam, const Image &src,
+              const std::vector<float> &depth, const Camera &dst_cam)
+{
+    const int width = dst_cam.width();
+    const int height = dst_cam.height();
+    Image out(width, height);
+    const float fx = dst_cam.focalX();
+    const float fy = dst_cam.focalY();
+    const float hw = 0.5f * static_cast<float>(width);
+    const float hh = 0.5f * static_cast<float>(height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            // The source depth at the same pixel coordinate stands in
+            // for the (unknown) destination depth — the cameras are a
+            // sub-degree step apart, where the depth field is close
+            // to coordinate-invariant away from occlusion edges.
+            const float d =
+                depth[static_cast<std::size_t>(y) * width + x];
+            if (d <= 0.0f) {
+                out.at(x, y) = src.at(x, y);
+                continue;
+            }
+            const Vec3 v((static_cast<float>(x) + 0.5f - hw) * d / fx,
+                         (static_cast<float>(y) + 0.5f - hh) * d / fy,
+                         d);
+            const Vec3 pe = src_cam.worldToView(dst_cam.viewToWorld(v));
+            if (pe.z <= src_cam.nearPlane()) {
+                out.at(x, y) = src.at(x, y);
+                continue;
+            }
+            const Vec2 pp = src_cam.viewToPixel(pe);
+            // Pixel centers sit at i + 0.5, so the continuous sample
+            // coordinate is the projected position minus half a pixel.
+            const float sx = std::clamp(pp.x - 0.5f, 0.0f,
+                                        static_cast<float>(width - 1));
+            const float sy = std::clamp(pp.y - 0.5f, 0.0f,
+                                        static_cast<float>(height - 1));
+            const int ix = static_cast<int>(sx);
+            const int iy = static_cast<int>(sy);
+            const int jx = std::min(ix + 1, width - 1);
+            const int jy = std::min(iy + 1, height - 1);
+            const float ax = sx - static_cast<float>(ix);
+            const float ay = sy - static_cast<float>(iy);
+            out.at(x, y) =
+                src.at(ix, iy) * ((1.0f - ax) * (1.0f - ay)) +
+                src.at(jx, iy) * (ax * (1.0f - ay)) +
+                src.at(ix, jy) * ((1.0f - ax) * ay) +
+                src.at(jx, jy) * (ax * ay);
+        }
+    }
+    return out;
 }
 
 } // namespace
@@ -158,8 +416,6 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
     // (fetched / rendered) come from OR-merged per-chunk maps, making
     // image and stats bit-identical to the serial sweep. ----
     Image image(width, height);
-    constexpr int kSub = 8;
-    const int sub_n = (tile + kSub - 1) / kSub;
 
     // Unique-splat membership is tracked per chunk in word bitmaps
     // (n/8 bytes instead of n), so per-chunk memory and the OR-merge
@@ -186,20 +442,14 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         num_tiles, fan_out ? pool->workerCount() * 4 : 1, grain_tiles);
     std::vector<TileChunkOut> chunk_out(tile_ranges.size());
 
-    const bool fast_alpha = config_.fast_alpha;
     auto render_tiles = [&](std::size_t c, std::size_t t_begin,
                             std::size_t t_end) {
         TileChunkOut &out = chunk_out[c];
         out.contributed.assign(map_words, 0);
         out.fetched.assign(map_words, 0);
         StandardFlowStats &st = out.stats;
-        std::uint64_t *contributed = out.contributed.data();
-        std::uint64_t *fetched = out.fetched.data();
-        std::vector<float> tile_t(static_cast<std::size_t>(tile) * tile);
         std::vector<std::uint64_t> sort_scratch;
-        std::vector<int> sub_live(static_cast<std::size_t>(sub_n) *
-                                  sub_n);
-        std::vector<int> row_live(static_cast<std::size_t>(tile));
+        TileScratch scratch;
 
         for (std::size_t t_idx = t_begin; t_idx < t_end; ++t_idx) {
             const int bx = static_cast<int>(t_idx % tiles_x);
@@ -218,152 +468,10 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
             st.sorted_keys += static_cast<std::int64_t>(list_len);
             st.sort_pass_keys += bitonicPassKeys(list_len);
 
-            int x0 = bx * tile;
-            int y0 = by * tile;
-            int x1 = std::min(x0 + tile, width);
-            int y1 = std::min(y0 + tile, height);
-            int live = (x1 - x0) * (y1 - y0);
-            std::fill(tile_t.begin(), tile_t.end(), 1.0f);
-
-            // Per-subtile live-pixel counts (8x8 granularity): the
-            // VRU processes one subtile per array pass in lockstep.
-            // Per-row counts let the blend loop skip rows whose every
-            // pixel already terminated.
-            std::fill(sub_live.begin(), sub_live.end(), 0);
-            std::fill(row_live.begin(), row_live.end(), 0);
-            for (int y = y0; y < y1; ++y) {
-                row_live[y - y0] = x1 - x0;
-                for (int x = x0; x < x1; ++x)
-                    ++sub_live[((y - y0) / kSub) * sub_n +
-                               (x - x0) / kSub];
-            }
-
-            for (std::size_t e = begin; e < end; ++e) {
-                if (live == 0)
-                    break;  // whole tile terminated: skip the rest
-                const std::uint32_t si = packedValue(entries[e]);
-                ++st.tile_fetches;
-                fetched[si >> 6] |= std::uint64_t{1} << (si & 63);
-                const SplatSoA::Blend &b = soa.blend[si];
-
-                // Array passes: live subtiles the splat's bounds reach.
-                for (int sy = 0; sy < sub_n; ++sy) {
-                    for (int sx = 0; sx < sub_n; ++sx) {
-                        if (sub_live[sy * sub_n + sx] == 0)
-                            continue;
-                        int rx0 = x0 + sx * kSub;
-                        int ry0 = y0 + sy * kSub;
-                        if (b.sb_x1 < rx0 || b.sb_x0 > rx0 + kSub - 1 ||
-                            b.sb_y1 < ry0 || b.sb_y0 > ry0 + kSub - 1)
-                            continue;
-                        ++st.subtile_passes;
-                    }
-                }
-
-                // The reference path alpha-tests every live pixel of
-                // the tile; pixels outside the cutoff-safe rect are
-                // provably below the alpha cutoff, so only the rect
-                // is walked and the skipped evaluations are accounted
-                // from the live count (identical totals, less work).
-                st.alpha_evals += live;
-                st.pixels_touched += live;
-                const int rx0 = std::max(x0, b.it_x0);
-                const int rx1 = std::min(x1 - 1, b.it_x1);
-                const int ry0 = std::max(y0, b.it_y0);
-                const int ry1 = std::min(y1 - 1, b.it_y1);
-                // Conic and thresholds broadcast once per splat; the
-                // row loop below evaluates q for kWidth pixels per
-                // step with each lane running the scalar op sequence
-                // exactly (same dx/dy derivation, same multiply/add
-                // order), so the pass/fail decisions — and therefore
-                // the image and stats — are bit-identical to the
-                // scalar reference.
-                const simd::FloatV c00v(b.c00), c01v(b.c01);
-                const simd::FloatV c10v(b.c10), c11v(b.c11);
-                const simd::FloatV cxv(b.cx);
-                const simd::FloatV q_skip_v(b.q_skip);
-                const simd::FloatV half_v(0.5f);
-                // (An earlier revision solved a per-row quadratic
-                // interval in double to trim dead row tails; with
-                // rows clipped to the tile and evaluated kWidth
-                // lanes per step under the q_skip mask, the
-                // sqrt-per-row solve cost more than the tails it
-                // saved — the mask makes the same pass/fail
-                // decisions bit-identically.)
-                for (int y = ry0; y <= ry1; ++y) {
-                    if (row_live[y - y0] == 0)
-                        continue;  // every pixel in the row terminated
-                    const float py = static_cast<float>(y) + 0.5f;
-                    const int row_x0 = rx0;
-                    const int row_x1 = rx1;
-                    const float dy_row = py - b.cy;
-                    const simd::FloatV dyv(dy_row);
-                    float *trow =
-                        tile_t.data() +
-                        static_cast<std::size_t>(y - y0) * tile;
-                    for (int x = row_x0; x <= row_x1;
-                         x += simd::kWidth) {
-                        const int nlane = std::min<int>(
-                            simd::kWidth, row_x1 - x + 1);
-                        simd::FloatV dx =
-                            (simd::FloatV::iotaFrom(x) + half_v) - cxv;
-                        simd::FloatV q =
-                            dx * (c00v * dx + c01v * dyv) +
-                            dyv * (c10v * dx + c11v * dyv);
-                        // Mirrors the scalar `q > q_skip -> skip`
-                        // comparison exactly (incl. NaN ordering).
-                        unsigned bits =
-                            simd::MaskV::firstN(nlane).bits() &
-                            ~(q > q_skip_v).bits();
-                        if (bits == 0)
-                            continue;  // all lanes provably sub-cutoff
-                        float qlane[simd::kWidth];
-                        float alane[simd::kWidth];
-                        if (fast_alpha)
-                            simd::min(simd::FloatV(0.99f),
-                                      simd::FloatV(b.opacity) *
-                                          simd::simdExp(
-                                              q * simd::FloatV(-0.5f)))
-                                .store(alane);
-                        else
-                            q.store(qlane);
-                        // Surviving lanes compact into the exact
-                        // scalar alpha/blend path, front-to-back in x
-                        // order.
-                        do {
-                            const int i = std::countr_zero(bits);
-                            bits &= bits - 1;
-                            const int px = x + i;
-                            float &t = trow[px - x0];
-                            if (t < config_.termination_t)
-                                continue;
-                            float a;
-                            if (fast_alpha) {
-                                a = alane[i];
-                            } else {
-                                a = b.opacity *
-                                    std::exp(-0.5f * qlane[i]);
-                                if (a > 0.99f)
-                                    a = 0.99f;
-                            }
-                            if (a < config_.alpha_cutoff)
-                                continue;
-                            ++st.blend_ops;
-                            contributed[si >> 6] |= std::uint64_t{1}
-                                                    << (si & 63);
-                            image.at(px, y) +=
-                                Vec3(b.r, b.g, b.b) * (a * t);
-                            t *= 1.0f - a;
-                            if (t < config_.termination_t) {
-                                --live;
-                                --row_live[y - y0];
-                                --sub_live[((y - y0) / kSub) * sub_n +
-                                           (px - x0) / kSub];
-                            }
-                        } while (bits != 0);
-                    }
-                }
-            }
+            rasterOneTile(config_, soa, entries.data() + begin,
+                          list_len, bx, by, width, height, image, st,
+                          out.contributed.data(), out.fetched.data(),
+                          scratch);
         }
     };
 
@@ -394,6 +502,383 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
     }
     stats.stage.raster_ms += msBetween(t_binned, StageClock::now());
     return image;
+}
+
+Image
+TileRenderer::renderTemporal(const GaussianCloud &cloud,
+                             const Camera &cam,
+                             StandardFlowStats &stats,
+                             TemporalCache &cache,
+                             ThreadPool *pool) const
+{
+    const int width = cam.width();
+    const int height = cam.height();
+    const int tile = config_.tile_size;
+    const int tiles_x = (width + tile - 1) / tile;
+    const int tiles_y = (height + tile - 1) / tile;
+    const std::size_t num_tiles =
+        static_cast<std::size_t>(tiles_x) * tiles_y;
+    TemporalCounters &tc = cache.counters_;
+    ++tc.frames;
+
+    // ---- Snapshot check: any change of viewport, renderer config or
+    // scene population invalidates every cached tier. ----
+    if (cache.valid_ &&
+        (cache.width_ != width || cache.height_ != height ||
+         cache.tile_size_ != tile ||
+         cache.bounding_ != config_.bounding ||
+         cache.termination_t_ != config_.termination_t ||
+         cache.alpha_cutoff_ != config_.alpha_cutoff ||
+         cache.fast_alpha_ != config_.fast_alpha ||
+         cache.cloud_size_ != cloud.size())) {
+        cache.valid_ = false;
+        cache.exact_valid_ = false;
+        cache.warp_cached_ = false;
+    }
+    if (cache.options.every <= 1) {
+        cache.exact_valid_ = false;
+        cache.warp_cached_ = false;
+    }
+
+    // ---- Held camera: the previous exact output is this frame's
+    // exact output, bit for bit. ----
+    if (cache.valid_ && camerasBitIdentical(cache.camera_, cam)) {
+        ++tc.copied_frames;
+        return cache.image_;
+    }
+
+    // ---- Tier 3: synthesize by reprojection unless the cadence or
+    // the trust region demands an exact frame. ----
+    if (cache.options.every > 1 && cache.exact_valid_ &&
+        cache.warp_phase_ > 0) {
+        const CameraDelta d = cameraDelta(cache.exact_camera_, cam);
+        if (d.translation <= cache.options.max_warp_translation &&
+            d.rotation_rad <= cache.options.max_warp_rotation) {
+            if (cache.warp_cached_ &&
+                camerasBitIdentical(cache.warp_camera_, cam)) {
+                ++tc.copied_frames;
+                return cache.warp_image_;
+            }
+            const auto t_warp = StageClock::now();
+            Image out = warpFromExact(cache.exact_camera_,
+                                      cache.exact_image_,
+                                      cache.depth_, cam);
+            stats.stage.warp_ms +=
+                msBetween(t_warp, StageClock::now());
+            ++tc.warped_frames;
+            --cache.warp_phase_;
+            cache.warp_cached_ = true;
+            cache.warp_camera_ = cam;
+            cache.warp_image_ = out;
+            return out;
+        }
+        // Camera moved past the trust region: render exactly below,
+        // which also resets the warp cadence.
+    }
+
+    // ---- Exact frame: preprocess + SoA (identical to render()). ----
+    const auto t_start = StageClock::now();
+    std::vector<Splat> splats = preprocessAll(cloud, cam, stats.pre, pool);
+    SplatSoA soa = SplatSoA::build(splats, config_.bounding, tile,
+                                   config_.alpha_cutoff, width, height);
+    const std::size_t n = soa.size();
+    std::vector<std::uint32_t> ids(n);
+    std::vector<float> depths(n);
+    for (std::size_t si = 0; si < n; ++si) {
+        ids[si] = splats[si].id;
+        depths[si] = splats[si].depth;
+    }
+    const auto t_preprocessed = StageClock::now();
+    stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
+
+    // ---- Per-splat coverage lists (the CSR row inputs): the same
+    // walk render()'s pair emission does, kept per splat so next
+    // frame can diff row by row. ----
+    std::vector<std::uint32_t> cov_offsets(n + 1, 0);
+    std::vector<std::uint32_t> cov_tiles;
+    cov_tiles.reserve(cache.cov_tiles_.size());
+    for (std::size_t si = 0; si < n; ++si) {
+        const TileRange &r = soa.range[si];
+        for (int by = r.by0; by <= r.by1; ++by) {
+            for (int bx = r.bx0; bx <= r.bx1; ++bx) {
+                if (soa.obb_refine) {
+                    float tx0 = static_cast<float>(bx * tile);
+                    float ty0 = static_cast<float>(by * tile);
+                    if (!obbOverlapsTile(soa.obb[si], tx0, ty0,
+                                         tx0 + tile, ty0 + tile))
+                        continue;
+                }
+                cov_tiles.push_back(
+                    static_cast<std::uint32_t>(by) * tiles_x + bx);
+            }
+        }
+        cov_offsets[si + 1] =
+            static_cast<std::uint32_t>(cov_tiles.size());
+    }
+    stats.kv_pairs += static_cast<std::int64_t>(cov_tiles.size());
+
+    ++tc.exact_frames;
+    std::vector<std::uint32_t> dirty_tiles;
+
+    // Warp mode additionally maintains the per-pixel depth buffer the
+    // reprojection samples; clean tiles keep last frame's depths, so
+    // the incremental path also requires a valid buffer to inherit.
+    const bool want_depth = cache.options.every > 1;
+
+    // The incremental diff assumes frame-to-frame identity of the
+    // splat population (same source Gaussians surviving culling, in
+    // the same SoA slots); any mismatch falls back to a full rebuild
+    // inside the temporal path.
+    const bool incremental = cache.valid_ && cache.ids_ == ids &&
+                             (!want_depth || cache.depth_valid_);
+    if (!incremental) {
+        // ---- Cold path: rebuild every per-tile list. ----
+        ++tc.full_rebuilds;
+        cache.tile_entries_.assign(num_tiles, {});
+        for (std::size_t si = 0; si < n; ++si) {
+            const std::uint64_t kv = packKeyValue(
+                soa.depth_key[si], static_cast<std::uint32_t>(si));
+            for (std::uint32_t c = cov_offsets[si];
+                 c < cov_offsets[si + 1]; ++c)
+                cache.tile_entries_[cov_tiles[c]].push_back(kv);
+        }
+        // Ascending packed (key, si) order is exactly the stable
+        // radix order the cold renderer produces (monotone key in
+        // the high half, unique ascending-emitted si in the low
+        // half), so plain sort reproduces it bit for bit.
+        for (std::size_t t = 0; t < num_tiles; ++t) {
+            auto &v = cache.tile_entries_[t];
+            if (v.empty())
+                continue;
+            std::sort(v.begin(), v.end());
+            stats.sorted_keys += static_cast<std::int64_t>(v.size());
+            stats.sort_pass_keys += bitonicPassKeys(v.size());
+            dirty_tiles.push_back(static_cast<std::uint32_t>(t));
+        }
+        cache.image_ = Image(width, height);
+        if (want_depth)
+            cache.depth_.assign(
+                static_cast<std::size_t>(width) * height, 0.0f);
+    } else {
+        // ---- Incremental path: diff each splat against last frame
+        // and patch only what changed. ----
+        ++tc.incremental_frames;
+        tc.tiles_total += static_cast<std::int64_t>(num_tiles);
+        std::vector<std::uint8_t> dirty(num_tiles, 0);
+        std::vector<std::uint8_t> patched(num_tiles, 0);
+        std::vector<std::uint8_t> fullsort(num_tiles, 0);
+        std::vector<std::uint8_t> keyfix(num_tiles, 0);
+        std::vector<std::uint32_t> appended(num_tiles, 0);
+
+        for (std::size_t si = 0; si < n; ++si) {
+            const bool blend_changed =
+                std::memcmp(&soa.blend[si], &cache.soa_.blend[si],
+                            sizeof(SplatSoA::Blend)) != 0;
+            const bool key_changed =
+                soa.depth_key[si] != cache.soa_.depth_key[si];
+            const std::uint32_t *ob =
+                cache.cov_tiles_.data() + cache.cov_offsets_[si];
+            const std::uint32_t *oe =
+                cache.cov_tiles_.data() + cache.cov_offsets_[si + 1];
+            const std::uint32_t *nb = cov_tiles.data() + cov_offsets[si];
+            const std::uint32_t *ne =
+                cov_tiles.data() + cov_offsets[si + 1];
+            if (!blend_changed && !key_changed && oe - ob == ne - nb &&
+                std::memcmp(ob, nb,
+                            static_cast<std::size_t>(oe - ob) *
+                                sizeof(std::uint32_t)) == 0)
+                continue;  // splat fully unchanged
+            if (blend_changed)
+                ++tc.splats_changed;
+            const std::uint64_t kv_old = packKeyValue(
+                cache.soa_.depth_key[si], static_cast<std::uint32_t>(si));
+            const std::uint64_t kv_new = packKeyValue(
+                soa.depth_key[si], static_cast<std::uint32_t>(si));
+            // Both coverage lists ascend in tile index (the (by, bx)
+            // emission walk), so a merge walk yields the exact set
+            // difference.
+            while (ob != oe || nb != ne) {
+                if (nb == ne || (ob != oe && *ob < *nb)) {
+                    // Left this tile: erase its old entry.  The
+                    // sorted prefix excludes entries appended this
+                    // frame (they sit past end - appended).
+                    auto &v = cache.tile_entries_[*ob];
+                    auto it = std::lower_bound(
+                        v.begin(), v.end() - appended[*ob], kv_old);
+                    v.erase(it);
+                    dirty[*ob] = 1;
+                    patched[*ob] = 1;
+                    ++ob;
+                } else if (ob == oe || *nb < *ob) {
+                    // Entered this tile: append; the tile re-sorts.
+                    auto &v = cache.tile_entries_[*nb];
+                    v.push_back(kv_new);
+                    ++appended[*nb];
+                    fullsort[*nb] = 1;
+                    dirty[*nb] = 1;
+                    patched[*nb] = 1;
+                    ++nb;
+                } else {
+                    if (blend_changed)
+                        dirty[*ob] = 1;
+                    if (key_changed)
+                        keyfix[*ob] = 1;
+                    ++ob;
+                    ++nb;
+                }
+            }
+        }
+
+        // Per-tile fix-up: rewrite stale depth keys from the current
+        // frame (stored entries must always carry current keys — the
+        // next frame's erase lookups depend on it), then restore the
+        // ascending invariant where it broke.
+        auto rewrite_keys = [&](std::vector<std::uint64_t> &v) {
+            for (std::uint64_t &kv : v) {
+                const std::uint32_t si = packedValue(kv);
+                kv = packKeyValue(soa.depth_key[si], si);
+            }
+        };
+        for (std::size_t t = 0; t < num_tiles; ++t) {
+            auto &v = cache.tile_entries_[t];
+            if (fullsort[t]) {
+                rewrite_keys(v);
+                std::sort(v.begin(), v.end());
+                stats.sorted_keys +=
+                    static_cast<std::int64_t>(v.size());
+                stats.sort_pass_keys += bitonicPassKeys(v.size());
+                ++tc.tiles_resorted;
+            } else if (keyfix[t]) {
+                rewrite_keys(v);
+                // Still ascending after the rewrite: the old position
+                // order is the unique sorted order of the new keys,
+                // so the blend order — and the tile's pixels, if
+                // nothing else changed — are untouched.
+                if (!std::is_sorted(v.begin(), v.end())) {
+                    std::sort(v.begin(), v.end());
+                    stats.sorted_keys +=
+                        static_cast<std::int64_t>(v.size());
+                    stats.sort_pass_keys += bitonicPassKeys(v.size());
+                    dirty[t] = 1;
+                    ++tc.tiles_resorted;
+                }
+            }
+        }
+        for (std::size_t t = 0; t < num_tiles; ++t) {
+            if (patched[t])
+                ++tc.tiles_patched;
+            if (dirty[t])
+                dirty_tiles.push_back(static_cast<std::uint32_t>(t));
+        }
+        tc.tiles_reused += static_cast<std::int64_t>(num_tiles) -
+                           static_cast<std::int64_t>(dirty_tiles.size());
+    }
+    tc.tiles_rastered += static_cast<std::int64_t>(dirty_tiles.size());
+    const auto t_binned = StageClock::now();
+    stats.stage.binning_ms += msBetween(t_preprocessed, t_binned);
+
+    // ---- Re-rasterize only the dirty tiles, straight into the
+    // retained composited image (clean tiles keep their pixels).
+    // Same chunk fan-out and deterministic merge as render();
+    // unique-population counters cover the rastered tiles only. ----
+    Image &image = cache.image_;
+    const std::size_t map_words = (n + 63) / 64;
+    struct TileChunkOut
+    {
+        StandardFlowStats stats;
+        std::vector<std::uint64_t> contributed;
+        std::vector<std::uint64_t> fetched;
+    };
+    const bool fan_out = pool != nullptr && pool->workerCount() >= 2;
+    const std::size_t grain_tiles = std::max<std::size_t>(
+        1, kMinPixelsPerRasterChunk /
+               (static_cast<std::size_t>(tile) * tile));
+    auto tile_ranges =
+        chunkRanges(dirty_tiles.size(),
+                    fan_out ? pool->workerCount() * 4 : 1, grain_tiles);
+    std::vector<TileChunkOut> chunk_out(tile_ranges.size());
+    float *depth_buf = want_depth ? cache.depth_.data() : nullptr;
+    auto raster_dirty = [&](std::size_t c, std::size_t d_begin,
+                            std::size_t d_end) {
+        TileChunkOut &out = chunk_out[c];
+        out.contributed.assign(map_words, 0);
+        out.fetched.assign(map_words, 0);
+        TileScratch scratch;
+        for (std::size_t i = d_begin; i < d_end; ++i) {
+            const std::uint32_t t_idx = dirty_tiles[i];
+            const int bx = static_cast<int>(t_idx % tiles_x);
+            const int by = static_cast<int>(t_idx / tiles_x);
+            const int x0 = bx * tile;
+            const int y0 = by * tile;
+            const int x1 = std::min(x0 + tile, width);
+            const int y1 = std::min(y0 + tile, height);
+            for (int y = y0; y < y1; ++y) {
+                for (int x = x0; x < x1; ++x)
+                    image.at(x, y) = Vec3(0, 0, 0);
+                if (depth_buf != nullptr)
+                    for (int x = x0; x < x1; ++x)
+                        depth_buf[static_cast<std::size_t>(y) * width +
+                                  x] = 0.0f;
+            }
+            const auto &v = cache.tile_entries_[t_idx];
+            if (!v.empty())
+                rasterOneTile(config_, soa, v.data(), v.size(), bx, by,
+                              width, height, image, out.stats,
+                              out.contributed.data(),
+                              out.fetched.data(), scratch,
+                              want_depth ? depths.data() : nullptr,
+                              depth_buf);
+        }
+    };
+    runChunks(fan_out ? pool : nullptr, tile_ranges, raster_dirty);
+
+    std::vector<std::uint64_t> contributed_any(map_words, 0);
+    std::vector<std::uint64_t> fetched_any(map_words, 0);
+    for (const TileChunkOut &out : chunk_out) {
+        stats.tile_fetches += out.stats.tile_fetches;
+        stats.subtile_passes += out.stats.subtile_passes;
+        stats.alpha_evals += out.stats.alpha_evals;
+        stats.pixels_touched += out.stats.pixels_touched;
+        stats.blend_ops += out.stats.blend_ops;
+        for (std::size_t w = 0; w < map_words; ++w) {
+            contributed_any[w] |= out.contributed[w];
+            fetched_any[w] |= out.fetched[w];
+        }
+    }
+    for (std::size_t w = 0; w < map_words; ++w) {
+        stats.fetched_gaussians += std::popcount(fetched_any[w]);
+        stats.rendered_gaussians += std::popcount(contributed_any[w]);
+    }
+    stats.stage.raster_ms += msBetween(t_binned, StageClock::now());
+
+    // ---- Retain this frame's state for the next one. ----
+    cache.valid_ = true;
+    cache.width_ = width;
+    cache.height_ = height;
+    cache.tile_size_ = tile;
+    cache.bounding_ = config_.bounding;
+    cache.termination_t_ = config_.termination_t;
+    cache.alpha_cutoff_ = config_.alpha_cutoff;
+    cache.fast_alpha_ = config_.fast_alpha;
+    cache.cloud_size_ = cloud.size();
+    cache.camera_ = cam;
+    cache.soa_ = std::move(soa);
+    cache.ids_ = std::move(ids);
+    cache.depths_ = std::move(depths);
+    cache.cov_offsets_ = std::move(cov_offsets);
+    cache.cov_tiles_ = std::move(cov_tiles);
+    cache.depth_valid_ = want_depth;
+
+    if (cache.options.every > 1) {
+        // Warp-source snapshot: this exact frame anchors the next
+        // every-1 synthesized frames.
+        cache.exact_valid_ = true;
+        cache.exact_camera_ = cam;
+        cache.exact_image_ = cache.image_;
+        cache.warp_phase_ = cache.options.every - 1;
+        cache.warp_cached_ = false;
+    }
+    return cache.image_;
 }
 
 Image

@@ -40,6 +40,7 @@
 #include "render/preprocess.h"
 #include "render/render_stats.h"
 #include "render/splat_soa.h"
+#include "render/temporal_cache.h"
 #include "scene/camera.h"
 #include "scene/gaussian_cloud.h"
 
@@ -115,6 +116,36 @@ class TileRenderer
     Image render(const GaussianCloud &cloud, const Camera &cam,
                  StandardFlowStats &stats,
                  ThreadPool *pool = nullptr) const;
+
+    /**
+     * Render a frame of a trajectory stream with temporal coherence.
+     *
+     * @p cache carries the cross-frame state (see temporal_cache.h
+     * for the tier breakdown and ownership rules).  With
+     * cache.options.every == 1 the output is bit-identical to
+     * render() of the same (cloud, cam) no matter what the cache
+     * held — unchanged tiles copy last frame's composited pixels, a
+     * bit-equal camera copies the whole frame, and any scene/config
+     * change falls back to a full rebuild.  With every == k > 1,
+     * only every k-th frame renders exactly; frames in between are
+     * synthesized by per-tile reprojection from the last exact frame
+     * (>= 40 dB PSNR contract, bench-enforced).
+     *
+     * Stats semantics: the flow counters report the work actually
+     * performed this frame (a reused tile contributes no sorts or
+     * blends; a copied or warped frame contributes almost nothing),
+     * so savings show up in the counters as well as the clock.
+     * Unique-population counters (fetched/rendered Gaussians) cover
+     * only the re-rasterized tiles.  cache.counters() attributes
+     * frames and tiles to the path that produced them.
+     *
+     * Frames of one cache must be rendered sequentially (external
+     * happens-before); @p pool only fans out the preprocess stage
+     * and dirty-tile rasterization, never frame-level state.
+     */
+    Image renderTemporal(const GaussianCloud &cloud, const Camera &cam,
+                         StandardFlowStats &stats, TemporalCache &cache,
+                         ThreadPool *pool = nullptr) const;
 
     /**
      * Render a frame through the retained reference implementation

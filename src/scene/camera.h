@@ -12,6 +12,10 @@
 #ifndef GCC3D_SCENE_CAMERA_H
 #define GCC3D_SCENE_CAMERA_H
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
 #include "gsmath/mat.h"
 #include "gsmath/vec.h"
 
@@ -73,6 +77,19 @@ class Camera
     }
 
     /**
+     * Camera/view-space point -> world space: the rigid inverse
+     * R^T (v - t) of the lookAt view matrix (used by the temporal
+     * reprojection warp to carry a pixel's depth plane between
+     * nearby viewpoints).
+     */
+    Vec3
+    viewToWorld(const Vec3 &v) const
+    {
+        Vec3 t(view_(0, 3), view_(1, 3), view_(2, 3));
+        return view_.topLeft3x3().transposed() * (v - t);
+    }
+
+    /**
      * Jacobian J of the perspective projection at view-space point v
      * (the 2x3 EWA Jacobian padded to 3x3 with a zero row), used in
      * Sigma' = J W Sigma W^T J^T (Eq. 1, right).
@@ -104,6 +121,56 @@ class Camera
     Mat4 view_ = Mat4::identity();
     Vec3 position_;
 };
+
+/**
+ * Bitwise pose/intrinsics equality: true iff rendering through @p a
+ * and @p b is guaranteed to produce bit-identical frames of the same
+ * scene.  Field-wise memcmp (not object memcmp) so padding bytes
+ * never produce false negatives; NaN fields compare by bits, which
+ * is the conservative direction for a cache hit test.
+ */
+inline bool
+camerasBitIdentical(const Camera &a, const Camera &b)
+{
+    auto feq = [](float x, float y) {
+        return std::memcmp(&x, &y, sizeof(float)) == 0;
+    };
+    if (a.width() != b.width() || a.height() != b.height())
+        return false;
+    if (!feq(a.focalX(), b.focalX()) || !feq(a.focalY(), b.focalY()) ||
+        !feq(a.nearPlane(), b.nearPlane()))
+        return false;
+    return std::memcmp(&a.viewMatrix(), &b.viewMatrix(),
+                       sizeof(Mat4)) == 0 &&
+           std::memcmp(&a.position(), &b.position(), sizeof(Vec3)) == 0;
+}
+
+/** Pose change between two cameras, split into its rigid components. */
+struct CameraDelta
+{
+    float translation = 0.0f;   ///< |pos_b - pos_a|, world units
+    float rotation_rad = 0.0f;  ///< angle of R_b R_a^T, radians
+};
+
+/**
+ * Pose delta from @p a to @p b: the camera-center displacement and
+ * the geodesic rotation angle between the two view orientations
+ * (angle of the relative rotation R_b R_a^T, via its trace).  Used by
+ * Trajectory's step-size accessors and the temporal warp trust region.
+ */
+inline CameraDelta
+cameraDelta(const Camera &a, const Camera &b)
+{
+    CameraDelta d;
+    d.translation = (b.position() - a.position()).norm();
+    const Mat3 rel =
+        b.viewMatrix().topLeft3x3() *
+        a.viewMatrix().topLeft3x3().transposed();
+    const float tr = rel(0, 0) + rel(1, 1) + rel(2, 2);
+    const float c = std::clamp((tr - 1.0f) * 0.5f, -1.0f, 1.0f);
+    d.rotation_rad = std::acos(c);
+    return d;
+}
 
 } // namespace gcc3d
 

@@ -7,12 +7,12 @@ namespace gcc3d {
 
 Trajectory
 Trajectory::orbit(const Camera &proto, const Vec3 &center, float radius,
-                  float height, int frames)
+                  float height, int frames, float fraction)
 {
     frames = std::max(frames, 1);
     Trajectory t;
     for (int i = 0; i < frames; ++i) {
-        float phi = 2.0f * static_cast<float>(M_PI) *
+        float phi = 2.0f * static_cast<float>(M_PI) * fraction *
                     static_cast<float>(i) / static_cast<float>(frames);
         Vec3 eye(center.x + radius * std::cos(phi), center.y + height,
                  center.z + radius * std::sin(phi));
@@ -25,7 +25,7 @@ Trajectory::orbit(const Camera &proto, const Vec3 &center, float radius,
 
 Trajectory
 Trajectory::dolly(const Camera &proto, const Vec3 &from, const Vec3 &to,
-                  const Vec3 &look_at, int frames)
+                  const Vec3 &look_at, int frames, float fraction)
 {
     frames = std::max(frames, 1);
     Trajectory t;
@@ -33,7 +33,7 @@ Trajectory::dolly(const Camera &proto, const Vec3 &from, const Vec3 &to,
         float s = frames > 1 ? static_cast<float>(i) /
                                    static_cast<float>(frames - 1)
                              : 0.0f;
-        Vec3 eye = from + (to - from) * s;
+        Vec3 eye = from + (to - from) * (s * fraction);
         Camera cam = proto;
         cam.lookAt(eye, look_at);
         t.add(cam);
@@ -44,21 +44,29 @@ Trajectory::dolly(const Camera &proto, const Vec3 &from, const Vec3 &to,
 Trajectory
 Trajectory::forScene(const SceneSpec &spec, int frames)
 {
+    return forSceneArc(spec, frames, 1.0f);
+}
+
+Trajectory
+Trajectory::forSceneArc(const SceneSpec &spec, int frames,
+                        float fraction)
+{
     Camera proto = makeCamera(spec);
     float e = spec.extent;
     switch (spec.layout) {
       case SceneLayout::Object:
         return orbit(proto, Vec3(0, 0, 0),
                      spec.camera_distance * e * 1.28f,
-                     spec.camera_height * e, frames);
+                     spec.camera_height * e, frames, fraction);
       case SceneLayout::Street:
         return dolly(proto, Vec3(-0.6f * e, spec.camera_height * e, 0),
                      Vec3(1.4f * e, spec.camera_height * e, 0),
-                     Vec3(3.0f * e, 0.25f * e, 0), frames);
+                     Vec3(3.0f * e, 0.25f * e, 0), frames, fraction);
       case SceneLayout::Room:
         return dolly(proto, Vec3(-0.7f * e, 0.4f * e, -0.7f * e),
                      Vec3(0.0f, 0.4f * e, -0.4f * e),
-                     Vec3(0.6f * e, 0.3f * e, 0.6f * e), frames);
+                     Vec3(0.6f * e, 0.3f * e, 0.6f * e), frames,
+                     fraction);
     }
     return Trajectory();
 }

@@ -30,12 +30,14 @@ buildFleet(const FleetSpec &spec, SceneRegistry &registry)
         cfg.gw = spec.gw;
         cfg.fps_target = spec.fps_target;
         cfg.lod_cut = spec.lod_cut;
+        cfg.temporal = spec.temporal;
         SceneHandle handle =
             spec.lod_path.empty()
-                ? registry.acquire(cfg.spec, cfg.scale, cfg.frames)
+                ? registry.acquire(cfg.spec, cfg.scale, cfg.frames,
+                                   spec.traj_arc)
                 : registry.acquireLod(spec.lod_path,
                                       spec.lod_budget_bytes, cfg.spec,
-                                      cfg.frames);
+                                      cfg.frames, spec.traj_arc);
         fleet.emplace_back(std::move(cfg), std::move(handle));
     }
     return fleet;
@@ -46,6 +48,11 @@ renderSerial(const std::vector<Session> &sessions)
 {
     SerialBaseline base;
     base.checksums.reserve(sessions.size());
+    // Fresh temporal state for this replay: fleets are reused across
+    // baseline and policy runs, and every run must see the same frame
+    // sequence to reproduce the same checksums.
+    for (const Session &s : sessions)
+        s.resetTemporal();
     auto start = std::chrono::steady_clock::now();
     int rendered = 0;
     for (const Session &s : sessions) {

@@ -50,6 +50,21 @@ struct FleetSpec
 
     /** Cut selection shared by every LOD session. */
     LodCutParams lod_cut;
+
+    /**
+     * Temporal-coherence mode applied to every Tile resident-cloud
+     * session (SessionConfig::temporal): 0 = off, 1 = exact
+     * incremental mode, k > 1 = reproject the in-between frames.
+     */
+    int temporal = 0;
+
+    /**
+     * Fraction of each scene's natural camera path the trajectories
+     * cover (Trajectory::forSceneArc); 1.0 is the full path.
+     * Temporal serving replays shrink this so per-frame camera steps
+     * model a headset stream rather than a whirlwind tour.
+     */
+    float traj_arc = 1.0f;
 };
 
 /**

@@ -84,6 +84,12 @@ struct FrameScheduler::SessionState
 ServeReport
 FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
 {
+    // Fresh temporal-cache state for this run: fleets are reused
+    // across policy runs, and every replay of the trajectory must see
+    // the same frame sequence to reproduce the serial checksums.
+    for (const Session &s : sessions)
+        s.resetTemporal();
+
     const SchedClock::time_point t0 = SchedClock::now();
     auto now_ms = [t0] {
         return std::chrono::duration<double, std::milli>(

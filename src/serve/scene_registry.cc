@@ -15,21 +15,23 @@ namespace {
  */
 std::string
 trajectoryKey(const std::string &scene_key, const SceneSpec &spec,
-              int frames)
+              int frames, float traj_arc)
 {
-    char cam[128];
-    std::snprintf(cam, sizeof cam, "#f%d#%dx%d|%.9g|%.9g|%.9g", frames,
-                  spec.image_width, spec.image_height,
+    char cam[160];
+    std::snprintf(cam, sizeof cam, "#f%d#%dx%d|%.9g|%.9g|%.9g|a%.9g",
+                  frames, spec.image_width, spec.image_height,
                   static_cast<double>(spec.fov_x),
                   static_cast<double>(spec.camera_distance),
-                  static_cast<double>(spec.camera_height));
+                  static_cast<double>(spec.camera_height),
+                  static_cast<double>(traj_arc));
     return scene_key + cam;
 }
 
 } // namespace
 
 SceneHandle
-SceneRegistry::acquire(const SceneSpec &spec, float scale, int frames)
+SceneRegistry::acquire(const SceneSpec &spec, float scale, int frames,
+                       float traj_arc)
 {
     if (scale <= 0.0f || scale > 1.0f)
         throw std::invalid_argument("scene scale must be in (0, 1]");
@@ -40,7 +42,7 @@ SceneRegistry::acquire(const SceneSpec &spec, float scale, int frames)
     // specs share a cloud exactly when generation would produce the
     // same one.
     const std::string ckey = sceneGenKey(spec, scale);
-    const std::string tkey = trajectoryKey(ckey, spec, frames);
+    const std::string tkey = trajectoryKey(ckey, spec, frames, traj_arc);
 
     // One registry-wide mutex: builds of distinct scenes serialize,
     // which is acceptable because serving fleets reuse few scenes and
@@ -59,7 +61,7 @@ SceneRegistry::acquire(const SceneSpec &spec, float scale, int frames)
     auto tit = trajectories_.find(tkey);
     if (tit == trajectories_.end()) {
         auto traj = std::make_shared<const Trajectory>(
-            Trajectory::forScene(spec, frames));
+            Trajectory::forSceneArc(spec, frames, traj_arc));
         tit = trajectories_.emplace(tkey, std::move(traj)).first;
     }
     handle.trajectory = tit->second;
@@ -69,7 +71,7 @@ SceneRegistry::acquire(const SceneSpec &spec, float scale, int frames)
 SceneHandle
 SceneRegistry::acquireLod(const std::string &path,
                           std::size_t budget_bytes, const SceneSpec &spec,
-                          int frames)
+                          int frames, float traj_arc)
 {
     if (frames < 1)
         throw std::invalid_argument("session needs at least one frame");
@@ -78,7 +80,7 @@ SceneRegistry::acquireLod(const std::string &path,
     // behaviour (though never pixels), so each budget gets its own
     // LodScene and cache.
     const std::string lkey = path + "#b" + std::to_string(budget_bytes);
-    const std::string tkey = trajectoryKey(lkey, spec, frames);
+    const std::string tkey = trajectoryKey(lkey, spec, frames, traj_arc);
 
     std::lock_guard<std::mutex> lock(mutex_);
     SceneHandle handle;
@@ -93,7 +95,7 @@ SceneRegistry::acquireLod(const std::string &path,
     auto tit = trajectories_.find(tkey);
     if (tit == trajectories_.end()) {
         auto traj = std::make_shared<const Trajectory>(
-            Trajectory::forScene(spec, frames));
+            Trajectory::forSceneArc(spec, frames, traj_arc));
         tit = trajectories_.emplace(tkey, std::move(traj)).first;
     }
     handle.trajectory = tit->second;

@@ -57,11 +57,18 @@ class SceneRegistry
     SceneRegistry &operator=(const SceneRegistry &) = delete;
 
     /**
-     * The shared handle for (spec, scale, frames); built on first
-     * use.  Throws what scene generation/loading throws (on scale out
-     * of (0, 1] for instance); a failed build is not cached.
+     * The shared handle for (spec, scale, frames, traj_arc); built on
+     * first use.  @p traj_arc is the fraction of the scene's natural
+     * camera path the trajectory covers in the same frame count
+     * (Trajectory::forSceneArc) — 1.0 is the full path; smaller
+     * values give the slow-motion streams temporal serving replays.
+     * The arc is part of the trajectory key but not the cloud key, so
+     * sessions at different arcs still share the cloud.  Throws what
+     * scene generation/loading throws (on scale out of (0, 1] for
+     * instance); a failed build is not cached.
      */
-    SceneHandle acquire(const SceneSpec &spec, float scale, int frames);
+    SceneHandle acquire(const SceneSpec &spec, float scale, int frames,
+                        float traj_arc = 1.0f);
 
     /**
      * The shared handle for the .gsc v2 LOD scene at @p path served
@@ -73,7 +80,7 @@ class SceneRegistry
      */
     SceneHandle acquireLod(const std::string &path,
                            std::size_t budget_bytes, const SceneSpec &spec,
-                           int frames);
+                           int frames, float traj_arc = 1.0f);
 
     /** Distinct clouds built so far (deduplication observability). */
     std::size_t cloudCount() const;

@@ -33,6 +33,10 @@ summarizeSession(const Session &session, std::vector<FrameRecord> frames,
     s.renderer = sessionRendererName(cfg.renderer);
     s.fps_target = cfg.fps_target;
     s.frames_total = cfg.frames;
+    if (const TemporalCache *tc = session.temporalCache()) {
+        s.temporal = cfg.temporal;
+        s.temporal_counters = tc->counters();
+    }
 
     std::vector<double> waits, renders, latencies;
     for (const FrameRecord &f : frames) {
@@ -169,6 +173,24 @@ ServeReport::toJson() const
            << ", \"deadline_misses\": " << s.deadline_misses
            << ", \"achieved_fps\": " << s.achieved_fps
            << ", \"checksum\": " << s.checksum
+           << ", \"temporal\": " << s.temporal
+           << ",\n     \"temporal_counters\": {\"frames\": "
+           << s.temporal_counters.frames
+           << ", \"exact\": " << s.temporal_counters.exact_frames
+           << ", \"copied\": " << s.temporal_counters.copied_frames
+           << ", \"warped\": " << s.temporal_counters.warped_frames
+           << ", \"full_rebuilds\": " << s.temporal_counters.full_rebuilds
+           << ", \"incremental\": "
+           << s.temporal_counters.incremental_frames
+           << ", \"tiles_total\": " << s.temporal_counters.tiles_total
+           << ", \"tiles_reused\": " << s.temporal_counters.tiles_reused
+           << ", \"tiles_rastered\": "
+           << s.temporal_counters.tiles_rastered
+           << ", \"tiles_patched\": " << s.temporal_counters.tiles_patched
+           << ", \"tiles_resorted\": "
+           << s.temporal_counters.tiles_resorted
+           << ", \"splats_changed\": "
+           << s.temporal_counters.splats_changed << "}"
            << ",\n     \"latency_ms\": " << aggregateJson(s.latency_ms)
            << ",\n     \"queue_wait_ms\": "
            << aggregateJson(s.queue_wait_ms)

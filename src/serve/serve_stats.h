@@ -50,6 +50,15 @@ struct SessionStats
     Aggregate render_ms;        ///< over rendered frames
     Aggregate latency_ms;       ///< released -> completed
 
+    /**
+     * Temporal-coherence attribution, snapshotted from the session's
+     * TemporalCache at summary time (all zero when the session runs
+     * without one).  `temporal` echoes the configured mode so SLO
+     * output can attribute the time saved.
+     */
+    int temporal = 0;                 ///< configured every-k (0 = off)
+    TemporalCounters temporal_counters;
+
     std::vector<FrameRecord> frames;  ///< per-frame detail, frame order
 };
 

@@ -42,6 +42,11 @@ Session::Session(SessionConfig config, SceneHandle scene)
             "session trajectory shorter than requested frames");
     if (config_.fps_target < 0.0)
         throw std::invalid_argument("fps target must be >= 0");
+    if (config_.temporal >= 1 &&
+        config_.renderer == SessionRenderer::Tile && !scene_.lod) {
+        temporal_ = std::make_unique<TemporalCache>();
+        temporal_->options.every = config_.temporal;
+    }
 }
 
 double
@@ -67,6 +72,9 @@ Session::renderFrame(int frame) const
     }
     if (config_.renderer == SessionRenderer::Tile) {
         StandardFlowStats stats;
+        if (temporal_)
+            return imageChecksum(
+                tile_.renderTemporal(*cloud, cam, stats, *temporal_));
         return imageChecksum(tile_.render(*cloud, cam, stats));
     }
     GaussianWiseStats stats;

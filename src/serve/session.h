@@ -16,9 +16,11 @@
 #ifndef GCC3D_SERVE_SESSION_H
 #define GCC3D_SERVE_SESSION_H
 
+#include <memory>
 #include <string>
 
 #include "render/gaussian_wise_renderer.h"
+#include "render/temporal_cache.h"
 #include "render/tile_renderer.h"
 #include "serve/scene_registry.h"
 
@@ -58,6 +60,18 @@ struct SessionConfig
      * counted as missed).
      */
     double fps_target = 0.0;
+
+    /**
+     * Temporal-coherence mode for Tile resident-cloud sessions:
+     * 0 disables it (the stateless render() path); k >= 1 streams
+     * frames through a per-session TemporalCache with
+     * options.every = k — 1 is exact incremental mode (bit-identical
+     * to stateless rendering), k > 1 synthesizes the in-between
+     * frames by reprojection under the >= 40 dB PSNR contract.
+     * Ignored by GaussianWise sessions and by LOD sessions, whose
+     * per-frame cut rebuild would invalidate the cache every frame.
+     */
+    int temporal = 0;
 };
 
 /** The outcome of rendering (or dropping) one session frame. */
@@ -79,7 +93,11 @@ struct FrameRecord
  * the stack (both renderers document the same), so any worker may
  * render any session's frame; the scheduler still serves each
  * session's frames in order, one in flight, as a client consuming a
- * stream would.
+ * stream would.  A temporal session additionally carries mutable
+ * cross-frame cache state: the in-order, one-in-flight invariant
+ * (whose mutex hand-off provides the happens-before between
+ * consecutive frames) is then a requirement, not just a fidelity
+ * choice — exactly what FrameScheduler and renderSerial() guarantee.
  */
 class Session
 {
@@ -109,11 +127,35 @@ class Session
      */
     double renderFrame(int frame) const;
 
+    /**
+     * The session's temporal cache, or null when config.temporal is
+     * 0 or the session type doesn't support one.  Counters feed the
+     * serve report; options are owned by the session.
+     */
+    const TemporalCache *temporalCache() const { return temporal_.get(); }
+
+    /**
+     * Drop the temporal cache's cross-frame state (no-op without a
+     * cache).  Called before every independent replay of the
+     * trajectory — the serial baseline and each scheduler policy run
+     * — so every replay sees the same frame sequence and reproduces
+     * the same checksums.
+     */
+    void
+    resetTemporal() const
+    {
+        if (temporal_)
+            temporal_->reset();
+    }
+
   private:
     SessionConfig config_;
     SceneHandle scene_;
     TileRenderer tile_;
     GaussianWiseRenderer gw_;
+    /** Cross-frame temporal state; mutated by const renderFrame()
+     *  under the caller's in-order one-in-flight guarantee. */
+    mutable std::unique_ptr<TemporalCache> temporal_;
 };
 
 } // namespace gcc3d

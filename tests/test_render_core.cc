@@ -54,6 +54,32 @@ TEST(Metrics, KnownMse)
     EXPECT_NEAR(psnr(a, b), 20.0, 1e-3);
 }
 
+TEST(Metrics, PsnrDbIdenticalImagesAreInfinite)
+{
+    // psnrDb never divides by zero: bit-identical images report the
+    // +inf sentinel, which compares above any finite dB threshold.
+    Image a(16, 16, Vec3(0.3f, 0.6f, 0.9f));
+    Image b = a;
+    double p = psnrDb(a, b);
+    EXPECT_TRUE(std::isinf(p));
+    EXPECT_GT(p, 0.0);
+    EXPECT_GE(p, 40.0);  // the temporal fidelity contract comparison
+
+    Image zero_a(8, 8, Vec3(0, 0, 0));
+    Image zero_b(8, 8, Vec3(0, 0, 0));
+    EXPECT_TRUE(std::isinf(psnrDb(zero_a, zero_b)));
+}
+
+TEST(Metrics, PsnrDbMatchesPsnrOnDifferingImages)
+{
+    Image a(4, 4, Vec3(0, 0, 0));
+    Image b(4, 4, Vec3(0.1f, 0.1f, 0.1f));
+    EXPECT_DOUBLE_EQ(psnrDb(a, b), psnr(a, b));
+    EXPECT_NEAR(psnrDb(a, b), 20.0, 1e-3);
+    EXPECT_THROW(psnrDb(Image(8, 8), Image(8, 9)),
+                 std::invalid_argument);
+}
+
 TEST(Metrics, SsimPenalizesStructuralChange)
 {
     Image a(32, 32, Vec3(0.2f, 0.2f, 0.2f));

@@ -15,6 +15,7 @@
 #include "render/metrics.h"
 #include "render/tile_renderer.h"
 #include "runtime/thread_pool.h"
+#include "scene/trajectory.h"
 #include "test_util.h"
 
 namespace gcc3d {
@@ -290,6 +291,180 @@ TEST(RendererEquivalence, FastAlphaMeetsPsnrBoundOnPresetScenes)
         // by a pixel when the approximate alpha moves t across the
         // termination threshold.)
     }
+}
+
+/** A slow camera stream with each pose held @p hold display frames. */
+Trajectory
+heldStream(const SceneSpec &spec, int poses, float arc, int hold)
+{
+    Trajectory path = Trajectory::forSceneArc(spec, poses, arc);
+    Trajectory stream;
+    for (const Camera &cam : path.frames())
+        for (int h = 0; h < hold; ++h)
+            stream.add(cam);
+    return stream;
+}
+
+TEST(TemporalEquivalence,
+     ExactModeMatchesColdAcrossTileSizesAndWorkers)
+{
+    // The exact temporal mode's whole contract: replaying a
+    // trajectory through the persistent cache — full rebuild, then
+    // incremental binning, dirty-tile reuse and held-frame copies —
+    // is bit-identical to rendering every frame cold, at every tile
+    // size and worker count.
+    SceneSpec spec = test::tinySpec(17, 2500);
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Trajectory stream = heldStream(spec, 4, 0.1f, 2);
+    const std::size_t n = stream.frameCount();
+
+    for (int tile : {8, 16, 32, 64}) {
+        TileRendererConfig cfg;
+        cfg.tile_size = tile;
+        TileRenderer renderer(cfg);
+        for (int workers : {1, 2, 8}) {
+            ThreadPool pool(workers);
+            ThreadPool *p = workers > 1 ? &pool : nullptr;
+            TemporalCache cache;
+            for (std::size_t f = 0; f < n; ++f) {
+                StandardFlowStats st_cold, st_warm;
+                Image cold =
+                    renderer.render(cloud, stream.frame(f), st_cold, p);
+                Image warm = renderer.renderTemporal(
+                    cloud, stream.frame(f), st_warm, cache, p);
+                EXPECT_TRUE(imagesBitIdentical(cold, warm))
+                    << "tile " << tile << ", workers " << workers
+                    << ", frame " << f;
+            }
+            const TemporalCounters &c = cache.counters();
+            EXPECT_EQ(c.frames, n);
+            EXPECT_EQ(c.copied_frames, n / 2);  // every held repeat
+            EXPECT_EQ(c.exact_frames, n - n / 2);
+            // Every exact frame is either incremental or a full
+            // rebuild (a pose change that alters the culled
+            // population forces the latter by design).
+            EXPECT_EQ(c.full_rebuilds + c.incremental_frames,
+                      c.exact_frames);
+            EXPECT_GE(c.full_rebuilds, 1u);
+            EXPECT_EQ(c.warped_frames, 0u);
+        }
+    }
+}
+
+TEST(TemporalEquivalence, CacheStateNeverChangesPixels)
+{
+    // Frame i's pixels must not depend on how the cache got there:
+    // replaying frames 0..M and rendering frame M against a fresh
+    // cache both reproduce the cold image bit-for-bit.
+    SceneSpec spec = test::tinySpec(19, 2000);
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Trajectory stream = heldStream(spec, 5, 0.08f, 1);
+    const std::size_t last = stream.frameCount() - 1;
+
+    TileRenderer renderer;
+    StandardFlowStats st;
+    Image cold = renderer.render(cloud, stream.frame(last), st);
+
+    TemporalCache replay;
+    Image via_replay;
+    for (std::size_t f = 0; f <= last; ++f)
+        via_replay = renderer.renderTemporal(cloud, stream.frame(f),
+                                             st, replay);
+
+    TemporalCache fresh;
+    Image via_fresh = renderer.renderTemporal(cloud, stream.frame(last),
+                                              st, fresh);
+
+    EXPECT_TRUE(imagesBitIdentical(cold, via_replay));
+    EXPECT_TRUE(imagesBitIdentical(cold, via_fresh));
+    EXPECT_EQ(fresh.counters().full_rebuilds, 1u);
+    EXPECT_GT(replay.counters().incremental_frames, 0u);
+}
+
+TEST(TemporalEquivalence, InvalidatesOnSceneOrConfigChange)
+{
+    // A cache can be handed a different cloud or a differently
+    // configured renderer: the snapshot check must detect it and fall
+    // back to a full rebuild instead of patching stale state.
+    SceneSpec spec = test::tinySpec(23, 1500);
+    GaussianCloud cloud_a = generateScene(spec, 1.0f);
+    GaussianCloud cloud_b = generateScene(test::tinySpec(29, 900), 1.0f);
+    Camera cam = makeCamera(spec);
+
+    TileRenderer renderer;
+    TemporalCache cache;
+    StandardFlowStats st;
+    renderer.renderTemporal(cloud_a, cam, st, cache);
+
+    // Different cloud through the same cache.
+    Image cold_b = renderer.render(cloud_b, cam, st);
+    Image warm_b = renderer.renderTemporal(cloud_b, cam, st, cache);
+    EXPECT_TRUE(imagesBitIdentical(cold_b, warm_b));
+    EXPECT_EQ(cache.counters().full_rebuilds, 2u);
+
+    // Different tile size through the same cache.
+    TileRendererConfig cfg;
+    cfg.tile_size = 64;
+    TileRenderer renderer64(cfg);
+    Image cold64 = renderer64.render(cloud_b, cam, st);
+    Image warm64 = renderer64.renderTemporal(cloud_b, cam, st, cache);
+    EXPECT_TRUE(imagesBitIdentical(cold64, warm64));
+    EXPECT_EQ(cache.counters().full_rebuilds, 3u);
+}
+
+TEST(TemporalEquivalence, HeldCameraIsCopiedInWarpMode)
+{
+    // Bit-identical repeated poses short-circuit to a copy in every
+    // mode — including between warp keyframes, where the copy must
+    // not consume warp cadence.
+    SceneSpec spec = test::tinySpec(31, 1200);
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Camera cam = makeCamera(spec);
+
+    TileRenderer renderer;
+    TemporalCache cache;
+    cache.options.every = 4;
+    StandardFlowStats st;
+    Image first = renderer.renderTemporal(cloud, cam, st, cache);
+    Image second = renderer.renderTemporal(cloud, cam, st, cache);
+    EXPECT_TRUE(imagesBitIdentical(first, second));
+    EXPECT_EQ(cache.counters().copied_frames, 1u);
+    EXPECT_EQ(cache.counters().warped_frames, 0u);
+}
+
+TEST(TemporalEquivalence, WarpModeKeyframesAreExactAndPaced)
+{
+    // --temporal K: frame 0 and every K-th distinct pose after it are
+    // exact (bit-identical to cold); the in-between frames are
+    // reprojected and must stay perceptually close on this slow path.
+    SceneSpec spec = test::tinySpec(37, 2000);
+    GaussianCloud cloud = generateScene(spec, 1.0f);
+    Trajectory stream = heldStream(spec, 7, 0.03f, 1);
+    const int every = 3;
+
+    TileRenderer renderer;
+    TemporalCache cache;
+    cache.options.every = every;
+    for (std::size_t f = 0; f < stream.frameCount(); ++f) {
+        StandardFlowStats st_cold, st_warm;
+        Image cold = renderer.render(cloud, stream.frame(f), st_cold);
+        Image warm = renderer.renderTemporal(cloud, stream.frame(f),
+                                             st_warm, cache);
+        if (f % every == 0) {
+            EXPECT_TRUE(imagesBitIdentical(cold, warm)) << "frame " << f;
+        } else {
+            // Sanity floor only: at this test's tiny image size the
+            // per-tile depth planes are very coarse.  The >= 40 dB
+            // streaming contract is enforced by frame_throughput
+            // --trajectory and serve_throughput --temporal on the
+            // preset scenes at streaming step sizes.
+            EXPECT_GE(psnrDb(cold, warm), 20.0) << "frame " << f;
+        }
+    }
+    const TemporalCounters &c = cache.counters();
+    EXPECT_EQ(c.exact_frames, 3u);   // frames 0, 3, 6
+    EXPECT_EQ(c.warped_frames, 4u);  // frames 1, 2, 4, 5
+    EXPECT_EQ(c.copied_frames, 0u);
 }
 
 } // namespace

@@ -104,5 +104,81 @@ TEST(Trajectory, SingleFrameDolly)
     EXPECT_EQ(t.frame(0).position(), Vec3(0, 0, -2));
 }
 
+TEST(Trajectory, StepDeltaMatchesCameraDelta)
+{
+    Camera proto(64, 64, 0.9f);
+    Trajectory t =
+        Trajectory::orbit(proto, Vec3(0, 0, 0), 3.0f, 0.5f, 8);
+    for (std::size_t i = 0; i + 1 < t.frameCount(); ++i) {
+        CameraDelta d = t.stepDelta(i);
+        CameraDelta ref = cameraDelta(t.frame(i), t.frame(i + 1));
+        EXPECT_EQ(d.translation, ref.translation);
+        EXPECT_EQ(d.rotation_rad, ref.rotation_rad);
+        EXPECT_GT(d.translation, 0.0f);
+        EXPECT_GT(d.rotation_rad, 0.0f);
+    }
+}
+
+TEST(Trajectory, CameraDeltaOfIdenticalPosesIsZero)
+{
+    Camera proto(64, 64, 0.9f);
+    Trajectory t =
+        Trajectory::orbit(proto, Vec3(1, 2, 3), 4.0f, 1.0f, 4);
+    for (std::size_t i = 0; i < t.frameCount(); ++i) {
+        CameraDelta d = cameraDelta(t.frame(i), t.frame(i));
+        EXPECT_EQ(d.translation, 0.0f);
+        EXPECT_NEAR(d.rotation_rad, 0.0f, 1e-3f);
+    }
+}
+
+TEST(Trajectory, MaxCameraDeltaBoundsEveryStep)
+{
+    SceneSpec spec = scenePreset(SceneId::Lego);
+    Trajectory t = Trajectory::forScene(spec, 10);
+    CameraDelta m = t.maxCameraDelta();
+    EXPECT_GT(m.translation, 0.0f);
+    for (std::size_t i = 0; i + 1 < t.frameCount(); ++i) {
+        CameraDelta d = t.stepDelta(i);
+        EXPECT_LE(d.translation, m.translation);
+        EXPECT_LE(d.rotation_rad, m.rotation_rad);
+    }
+
+    // Degenerate paths have no steps and report zero deltas.
+    Trajectory single = Trajectory::forScene(spec, 1);
+    CameraDelta z = single.maxCameraDelta();
+    EXPECT_EQ(z.translation, 0.0f);
+    EXPECT_EQ(z.rotation_rad, 0.0f);
+}
+
+TEST(Trajectory, ForSceneArcShrinksStepDeltas)
+{
+    // Covering a quarter of the path in the same frame count shrinks
+    // each per-step pose change by about the same factor — the knob
+    // the temporal benches rely on for slow-motion streams.
+    for (SceneId id : {SceneId::Lego, SceneId::Train}) {
+        SceneSpec spec = scenePreset(id);
+        Trajectory full = Trajectory::forSceneArc(spec, 8, 1.0f);
+        Trajectory quarter = Trajectory::forSceneArc(spec, 8, 0.25f);
+        ASSERT_EQ(full.frameCount(), quarter.frameCount());
+        CameraDelta mf = full.maxCameraDelta();
+        CameraDelta mq = quarter.maxCameraDelta();
+        EXPECT_LT(mq.translation, mf.translation) << spec.name;
+        EXPECT_GT(mq.translation, 0.0f) << spec.name;
+    }
+}
+
+TEST(Trajectory, ForSceneArcFullFractionIsForScene)
+{
+    for (SceneId id : {SceneId::Lego, SceneId::Playroom}) {
+        SceneSpec spec = scenePreset(id);
+        Trajectory a = Trajectory::forScene(spec, 6);
+        Trajectory b = Trajectory::forSceneArc(spec, 6, 1.0f);
+        ASSERT_EQ(a.frameCount(), b.frameCount());
+        for (std::size_t i = 0; i < a.frameCount(); ++i)
+            EXPECT_TRUE(camerasBitIdentical(a.frame(i), b.frame(i)))
+                << spec.name << " frame " << i;
+    }
+}
+
 } // namespace
 } // namespace gcc3d
