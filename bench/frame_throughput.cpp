@@ -130,7 +130,7 @@ struct Variant
     int threads = 0;      ///< 0 = not part of the thread sweep
     bool fast = false;    ///< fast-alpha (simdExp) configuration
     double check = 0.0;   ///< checksum summed over all timed frames
-    StageTimes stage_sum; ///< per-stage ms summed over timed frames
+    StageTimes stage_sum{}; ///< per-stage ms summed over timed frames
     std::size_t stage_samples = 0;
 };
 

@@ -83,7 +83,7 @@ std::shared_ptr<const ResidentChunk>
 LodScene::loadLeaf(std::size_t index)
 {
     return residency_.acquire(index, [this, index](ResidentChunk &chunk) {
-        std::lock_guard<std::mutex> lock(stream_mutex_);
+        MutexLock lock(stream_mutex_);
         reader_->loadChunk(stream_, index, chunk.gaussians, chunk.indices);
     });
 }
@@ -131,7 +131,7 @@ LodScene::fullCloud()
     std::vector<std::uint32_t> indices;
     for (std::size_t i = 0; i < reader_->chunkCount(); ++i) {
         {
-            std::lock_guard<std::mutex> lock(stream_mutex_);
+            MutexLock lock(stream_mutex_);
             reader_->loadChunk(stream_, i, gaussians, indices);
         }
         for (std::size_t k = 0; k < gaussians.size(); ++k)

@@ -23,10 +23,11 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "lod/residency.h"
+#include "runtime/mutex.h"
+#include "runtime/thread_annotations.h"
 #include "scene/camera.h"
 #include "scene/gaussian_cloud.h"
 #include "scene/scene_io.h"
@@ -116,11 +117,15 @@ class LodScene
   private:
     std::shared_ptr<const ResidentChunk> loadLeaf(std::size_t index);
 
-    std::ifstream stream_;
-    std::mutex stream_mutex_;
+    /** Chunk decodes seek the one stream; the mutex serializes them. */
+    std::ifstream stream_ GUARDED_BY(stream_mutex_);
+    Mutex stream_mutex_;
+    /** Directory + proxy pyramid: immutable after construction.  Its
+     *  loadChunk() only mutates the stream passed in, which callers
+     *  hand over under stream_mutex_. */
     std::unique_ptr<GscV2Reader> reader_;
-    ResidencyManager residency_;
-    std::size_t proxy_bytes_ = 0;
+    ResidencyManager residency_;  ///< internally synchronized
+    std::size_t proxy_bytes_ = 0; ///< immutable after construction
 };
 
 } // namespace gcc3d

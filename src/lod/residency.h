@@ -28,11 +28,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/mutex.h"
+#include "runtime/thread_annotations.h"
 #include "scene/gaussian.h"
 
 namespace gcc3d {
@@ -89,7 +90,7 @@ class ResidencyManager
     acquire(std::size_t index, Loader &&loader)
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             auto it = map_.find(index);
             if (it != map_.end()) {
                 ++stats_.hits;
@@ -102,7 +103,7 @@ class ResidencyManager
         auto chunk = std::make_shared<ResidentChunk>();
         loader(*chunk);
 
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++stats_.faults;
         auto it = map_.find(index);
         if (it != map_.end()) {
@@ -128,7 +129,7 @@ class ResidencyManager
     void
     clear()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         while (!lru_.empty())
             evictOldestLocked();
     }
@@ -138,7 +139,7 @@ class ResidencyManager
     Stats
     stats() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return stats_;
     }
 
@@ -150,7 +151,7 @@ class ResidencyManager
     };
 
     void
-    evictOldestLocked()
+    evictOldestLocked() REQUIRES(mutex_)
     {
         auto it = map_.find(lru_.front());
         stats_.resident_bytes -= it->second.chunk->bytes();
@@ -159,11 +160,12 @@ class ResidencyManager
         lru_.pop_front();
     }
 
-    std::size_t budget_;
-    mutable std::mutex mutex_;
-    std::list<std::size_t> lru_;  ///< front = oldest, back = most recent
-    std::unordered_map<std::size_t, Entry> map_;
-    Stats stats_;
+    std::size_t budget_;  ///< immutable after construction
+    mutable Mutex mutex_;
+    /** front = oldest, back = most recent. */
+    std::list<std::size_t> lru_ GUARDED_BY(mutex_);
+    std::unordered_map<std::size_t, Entry> map_ GUARDED_BY(mutex_);
+    Stats stats_ GUARDED_BY(mutex_);
 };
 
 } // namespace gcc3d

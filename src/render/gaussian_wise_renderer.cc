@@ -1,25 +1,17 @@
 #include "render/gaussian_wise_renderer.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <utility>
 
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
+#include "runtime/wallclock.h"
 
 namespace gcc3d {
 
 namespace {
-
-using StageClock = std::chrono::steady_clock;
-
-double
-msBetween(StageClock::time_point a, StageClock::time_point b)
-{
-    return std::chrono::duration<double, std::milli>(b - a).count();
-}
 
 /**
  * Per-candidate milestone flags collected while a (sub-)view renders.
@@ -653,7 +645,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         // then one view.  Stages II-IV stream depth groups
         // sequentially by construction, so this pass is the only
         // full-view stage the pool can help.
-        const auto t_start = StageClock::now();
+        const auto t_start = monotonicNow();
         struct DepthChunk
         {
             std::int64_t depth_culled = 0;
@@ -694,7 +686,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
             depths.insert(depths.end(), c.depths.begin(),
                           c.depths.end());
         }
-        const auto t_preprocessed = StageClock::now();
+        const auto t_preprocessed = monotonicNow();
         stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
         std::vector<std::uint8_t> flags(candidates.size(), 0);
         renderView(cloud, cam, candidates, depths, nullptr, 0, 0,
@@ -702,7 +694,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
                    localScratch());
         classifyFlags(flags, stats);
         stats.stage.raster_ms +=
-            msBetween(t_preprocessed, StageClock::now());
+            msBetween(t_preprocessed, monotonicNow());
         return image;
     }
 
@@ -715,7 +707,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
     const int sy = (cam.height() + sub - 1) / sub;
     const std::size_t num_subviews = static_cast<std::size_t>(sx) * sy;
 
-    const auto t_start = StageClock::now();
+    const auto t_start = monotonicNow();
     SplatCache cache;
     cache.index_of_id.assign(cloud.size(), SplatCache::kNone);
     std::vector<std::vector<std::uint32_t>> bins(num_subviews);
@@ -763,7 +755,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
             }
         },
         [&](std::size_t chunk_count) { chunks.resize(chunk_count); });
-    const auto t_preprocessed = StageClock::now();
+    const auto t_preprocessed = monotonicNow();
     stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
 
     // Chunk-ordered merge: bins stay sorted by id, exactly as a
@@ -786,7 +778,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
     chunks.shrink_to_fit();
     for (const auto &bin : bins)
         stats.bin_records += static_cast<std::int64_t>(bin.size());
-    const auto t_binned = StageClock::now();
+    const auto t_binned = monotonicNow();
     stats.stage.binning_ms += msBetween(t_preprocessed, t_binned);
 
     // ---- Render the sub-views: disjoint pixel regions, so they run
@@ -839,7 +831,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
             flags_by_id[bins[v][i]] |= outs[v].flags[i];
     }
     classifyFlags(flags_by_id, stats);
-    stats.stage.raster_ms += msBetween(t_binned, StageClock::now());
+    stats.stage.raster_ms += msBetween(t_binned, monotonicNow());
     return image;
 }
 
@@ -854,7 +846,7 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
     if (config_.subview_size <= 0 ||
         (config_.subview_size >= cam.width() &&
          config_.subview_size >= cam.height())) {
-        const auto t_start = StageClock::now();
+        const auto t_start = monotonicNow();
         std::vector<std::uint32_t> candidates;
         std::vector<float> depths;
         for (std::uint32_t id = 0; id < cloud.size(); ++id) {
@@ -866,7 +858,7 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
             candidates.push_back(id);
             depths.push_back(d);
         }
-        const auto t_preprocessed = StageClock::now();
+        const auto t_preprocessed = monotonicNow();
         stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
         std::vector<std::uint8_t> flags(candidates.size(), 0);
         renderViewReference(cloud, cam, candidates, depths, 0, 0,
@@ -874,12 +866,12 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
                             flags);
         classifyFlags(flags, stats);
         stats.stage.raster_ms +=
-            msBetween(t_preprocessed, StageClock::now());
+            msBetween(t_preprocessed, monotonicNow());
         return image;
     }
 
     // ---- Compatibility Mode: scalar 2D spatial binning. ----
-    const auto t_start = StageClock::now();
+    const auto t_start = monotonicNow();
     const int sub = config_.subview_size;
     const int sx = (cam.width() + sub - 1) / sub;
     const int sy = (cam.height() + sub - 1) / sub;
@@ -907,7 +899,7 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
     }
     // Projection and binning are one interleaved loop here; attribute
     // it to preprocess (the breakdown of interest is the fast path's).
-    const auto t_preprocessed = StageClock::now();
+    const auto t_preprocessed = monotonicNow();
     stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
 
     std::vector<std::uint8_t> flags_by_id(cloud.size(), 0);
@@ -932,7 +924,7 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
         }
     }
     classifyFlags(flags_by_id, stats);
-    stats.stage.raster_ms += msBetween(t_preprocessed, StageClock::now());
+    stats.stage.raster_ms += msBetween(t_preprocessed, monotonicNow());
     return image;
 }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -11,18 +10,11 @@
 #include "gsmath/sort_keys.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
+#include "runtime/wallclock.h"
 
 namespace gcc3d {
 
 namespace {
-
-using StageClock = std::chrono::steady_clock;
-
-double
-msBetween(StageClock::time_point a, StageClock::time_point b)
-{
-    return std::chrono::duration<double, std::milli>(b - a).count();
-}
 
 /**
  * Dispatch grain of the per-tile rasterization fan-out: a chunk must
@@ -351,12 +343,12 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         static_cast<std::size_t>(tiles_x) * tiles_y;
 
     // ---- Stage 1: preprocess every Gaussian (decoupled). ----
-    const auto t_start = StageClock::now();
+    const auto t_start = monotonicNow();
     std::vector<Splat> splats = preprocessAll(cloud, cam, stats.pre, pool);
     SplatSoA soa = SplatSoA::build(splats, config_.bounding, tile,
                                    config_.alpha_cutoff, width, height);
     const std::size_t n = soa.size();
-    const auto t_preprocessed = StageClock::now();
+    const auto t_preprocessed = monotonicNow();
     stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
 
     // ---- Tile binning: CSR built in two passes over a flat pair
@@ -406,7 +398,7 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         pair_kv.clear();
         pair_kv.shrink_to_fit();
     }
-    const auto t_binned = StageClock::now();
+    const auto t_binned = monotonicNow();
     stats.stage.binning_ms += msBetween(t_preprocessed, t_binned);
 
     // ---- Stage 2: render tile by tile in scanline order.  Tiles own
@@ -500,7 +492,7 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         stats.fetched_gaussians += std::popcount(fetched_any[w]);
         stats.rendered_gaussians += std::popcount(contributed_any[w]);
     }
-    stats.stage.raster_ms += msBetween(t_binned, StageClock::now());
+    stats.stage.raster_ms += msBetween(t_binned, monotonicNow());
     return image;
 }
 
@@ -559,12 +551,12 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
                 ++tc.copied_frames;
                 return cache.warp_image_;
             }
-            const auto t_warp = StageClock::now();
+            const auto t_warp = monotonicNow();
             Image out = warpFromExact(cache.exact_camera_,
                                       cache.exact_image_,
                                       cache.depth_, cam);
             stats.stage.warp_ms +=
-                msBetween(t_warp, StageClock::now());
+                msBetween(t_warp, monotonicNow());
             ++tc.warped_frames;
             --cache.warp_phase_;
             cache.warp_cached_ = true;
@@ -577,7 +569,7 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
     }
 
     // ---- Exact frame: preprocess + SoA (identical to render()). ----
-    const auto t_start = StageClock::now();
+    const auto t_start = monotonicNow();
     std::vector<Splat> splats = preprocessAll(cloud, cam, stats.pre, pool);
     SplatSoA soa = SplatSoA::build(splats, config_.bounding, tile,
                                    config_.alpha_cutoff, width, height);
@@ -588,7 +580,7 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
         ids[si] = splats[si].id;
         depths[si] = splats[si].depth;
     }
-    const auto t_preprocessed = StageClock::now();
+    const auto t_preprocessed = monotonicNow();
     stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
 
     // ---- Per-splat coverage lists (the CSR row inputs): the same
@@ -774,7 +766,7 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
                            static_cast<std::int64_t>(dirty_tiles.size());
     }
     tc.tiles_rastered += static_cast<std::int64_t>(dirty_tiles.size());
-    const auto t_binned = StageClock::now();
+    const auto t_binned = monotonicNow();
     stats.stage.binning_ms += msBetween(t_preprocessed, t_binned);
 
     // ---- Re-rasterize only the dirty tiles, straight into the
@@ -849,7 +841,7 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
         stats.fetched_gaussians += std::popcount(fetched_any[w]);
         stats.rendered_gaussians += std::popcount(contributed_any[w]);
     }
-    stats.stage.raster_ms += msBetween(t_binned, StageClock::now());
+    stats.stage.raster_ms += msBetween(t_binned, monotonicNow());
 
     // ---- Retain this frame's state for the next one. ----
     cache.valid_ = true;
@@ -893,9 +885,9 @@ TileRenderer::renderReference(const GaussianCloud &cloud,
     const int tiles_y = (height + tile - 1) / tile;
 
     // ---- Stage 1: preprocess every Gaussian (decoupled). ----
-    const auto t_start = StageClock::now();
+    const auto t_start = monotonicNow();
     std::vector<Splat> splats = preprocessAll(cloud, cam, stats.pre);
-    const auto t_preprocessed = StageClock::now();
+    const auto t_preprocessed = monotonicNow();
     stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
 
     // ---- Tile binning: build Gaussian-tile KV pairs. ----
@@ -924,7 +916,7 @@ TileRenderer::renderReference(const GaussianCloud &cloud,
         }
     }
 
-    const auto t_binned = StageClock::now();
+    const auto t_binned = monotonicNow();
     stats.stage.binning_ms += msBetween(t_preprocessed, t_binned);
 
     // ---- Stage 2: render tile by tile in scanline order. ----
@@ -1027,7 +1019,7 @@ TileRenderer::renderReference(const GaussianCloud &cloud,
             }
         }
     }
-    stats.stage.raster_ms += msBetween(t_binned, StageClock::now());
+    stats.stage.raster_ms += msBetween(t_binned, monotonicNow());
     return image;
 }
 

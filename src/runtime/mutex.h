@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Annotated mutex / lock / condition-variable wrappers.
+ *
+ * Clang's thread-safety analysis (see thread_annotations.h) can only
+ * track capability types that carry its attributes, and libstdc++'s
+ * std::mutex does not.  These zero-cost wrappers do: Mutex is a
+ * CAPABILITY around std::mutex, MutexLock / UniqueLock are
+ * SCOPED_CAPABILITY RAII guards, and CondVar adapts
+ * std::condition_variable to UniqueLock.  All concurrency in the tree
+ * goes through them so that every GUARDED_BY / REQUIRES contract is
+ * machine-checked by the clang -Wthread-safety -Werror CI leg.
+ *
+ * Condition waits are written as explicit while-loops over the
+ * guarded predicate (not the predicate-lambda overloads): the
+ * analysis cannot see that a lambda body runs with the lock held, but
+ * it checks a plain loop body like any other locked region.
+ */
+
+#ifndef GCC3D_RUNTIME_MUTEX_H
+#define GCC3D_RUNTIME_MUTEX_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "runtime/thread_annotations.h"
+
+namespace gcc3d {
+
+/**
+ * An annotated exclusive mutex.  Prefer the scoped guards below;
+ * lock()/unlock() exist for the rare hand-over-hand pattern.
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { m_.lock(); }
+    void unlock() RELEASE() { m_.unlock(); }
+    bool tryLock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /** The wrapped mutex, for condition-variable plumbing only. */
+    std::mutex &native() { return m_; }
+
+  private:
+    // gsc-lint: allow(mutex-guard) — this member IS the capability
+    // every GUARDED_BY in the tree refers to, not state guarded by one.
+    std::mutex m_;
+};
+
+/** Scoped lock held for its whole lifetime (std::lock_guard shape). */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * Scoped lock that can be dropped and re-taken mid-scope and can sit
+ * under a CondVar wait (std::unique_lock shape).  Destruction
+ * releases iff currently held.
+ */
+class SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &mutex) ACQUIRE(mutex)
+        : lock_(mutex.native())
+    {
+    }
+
+    ~UniqueLock() RELEASE() {}
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+    void lock() ACQUIRE() { lock_.lock(); }
+    void unlock() RELEASE() { lock_.unlock(); }
+
+    /** The wrapped lock, for condition-variable plumbing only. */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Condition variable over UniqueLock.  wait()/waitForMs() must be
+ * called with the lock held; both return with it held again, so from
+ * the analysis's point of view the capability is held throughout —
+ * which is exactly the guarantee the caller's predicate re-check
+ * relies on.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void wait(UniqueLock &lock) { cv_.wait(lock.native()); }
+
+    /** Wait at most @p ms milliseconds (spurious wakeups allowed). */
+    void
+    waitForMs(UniqueLock &lock, double ms)
+    {
+        cv_.wait_for(lock.native(),
+                     std::chrono::duration<double, std::milli>(ms));
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace gcc3d
+
+#endif // GCC3D_RUNTIME_MUTEX_H

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
-#include <chrono>
-#include <mutex>
 #include <stdexcept>
+
+#include "runtime/mutex.h"
+#include "runtime/thread_annotations.h"
+#include "runtime/wallclock.h"
 
 #include "core/accelerator.h"
 #include "gscore/gscore_sim.h"
@@ -130,7 +132,7 @@ SweepRunner::runJob(const SimJob &job, const SceneData &scene)
     const Camera &cam = scene.trajectory.frame(
         static_cast<std::size_t>(job.frame));
 
-    auto start = std::chrono::steady_clock::now();
+    const MonoTime start = monotonicNow();
     switch (job.backend) {
     case Backend::Gcc: {
         GccAccelerator acc(job.variant.gcc);
@@ -174,9 +176,7 @@ SweepRunner::runJob(const SimJob &job, const SceneData &scene)
         break;
     }
     }
-    auto end = std::chrono::steady_clock::now();
-    r.wall_ms =
-        std::chrono::duration<double, std::milli>(end - start).count();
+    r.wall_ms = msSince(start);
     r.ok = true;
     return r;
 }
@@ -193,10 +193,10 @@ SweepRunner::run(const SweepSpec &spec) const
     // peak memory tracks the scenes in flight, not the whole sweep.
     struct SceneSlot
     {
-        std::mutex mutex;
-        bool built = false;
-        std::string build_error;
-        std::shared_ptr<const SceneData> data;
+        Mutex mutex;
+        bool built GUARDED_BY(mutex) = false;
+        std::string build_error GUARDED_BY(mutex);
+        std::shared_ptr<const SceneData> data GUARDED_BY(mutex);
         std::atomic<std::size_t> remaining{0};
     };
     auto slots = std::make_shared<std::vector<SceneSlot>>(spec.scenes.size());
@@ -224,7 +224,7 @@ SweepRunner::run(const SweepSpec &spec) const
                 std::shared_ptr<const SceneData> scene;
                 std::string build_error;
                 {
-                    std::lock_guard<std::mutex> lock(slot.mutex);
+                    MutexLock lock(slot.mutex);
                     if (!slot.built) {
                         slot.built = true;
                         try {
@@ -260,7 +260,7 @@ SweepRunner::run(const SweepSpec &spec) const
                 scene.reset();
                 if (slot.remaining.fetch_sub(
                         1, std::memory_order_acq_rel) == 1) {
-                    std::lock_guard<std::mutex> lock(slot.mutex);
+                    MutexLock lock(slot.mutex);
                     slot.data.reset();
                 }
                 return r;

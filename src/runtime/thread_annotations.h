@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Portable Clang thread-safety-analysis annotation macros.
+ *
+ * Under Clang, these expand to the attributes consumed by
+ * -Wthread-safety, which statically proves lock contracts: a member
+ * declared GUARDED_BY(mutex_) may only be touched while mutex_ is
+ * held, a function declared REQUIRES(mutex_) may only be called with
+ * it held, and so on.  CI builds the tree with clang
+ * -Wthread-safety -Werror, so a contract violation is a build break,
+ * not a latent race.  Under every other compiler the macros expand to
+ * nothing and the annotations serve as checked documentation.
+ *
+ * The analysis only understands annotated capability types, and
+ * libstdc++'s std::mutex is not one — use gcc3d::Mutex and the lock
+ * wrappers from "runtime/mutex.h", which carry the CAPABILITY /
+ * SCOPED_CAPABILITY attributes the analysis needs.
+ *
+ * Macro names follow the Clang documentation (and Abseil's
+ * thread_annotations.h) so the vocabulary is the standard one:
+ * https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+ */
+
+#ifndef GCC3D_RUNTIME_THREAD_ANNOTATIONS_H
+#define GCC3D_RUNTIME_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__)
+#define GCC3D_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GCC3D_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability ("mutex", "role", ...). */
+#define CAPABILITY(x) GCC3D_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define SCOPED_CAPABILITY GCC3D_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding the capability. */
+#define GUARDED_BY(x) GCC3D_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by the capability. */
+#define PT_GUARDED_BY(x) GCC3D_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function callable only while holding the capabilities. */
+#define REQUIRES(...) \
+    GCC3D_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function callable only while holding the capabilities shared. */
+#define REQUIRES_SHARED(...) \
+    GCC3D_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function that acquires the capabilities and does not release them. */
+#define ACQUIRE(...) \
+    GCC3D_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Shared (reader) flavour of ACQUIRE. */
+#define ACQUIRE_SHARED(...) \
+    GCC3D_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/** Function that releases capabilities acquired earlier. */
+#define RELEASE(...) \
+    GCC3D_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Shared (reader) flavour of RELEASE. */
+#define RELEASE_SHARED(...) \
+    GCC3D_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/** Function that acquires the capability iff it returns @p ret. */
+#define TRY_ACQUIRE(...) \
+    GCC3D_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function callable only while NOT holding the capabilities. */
+#define EXCLUDES(...) GCC3D_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Documents (and checks) a global acquisition order. */
+#define ACQUIRED_BEFORE(...) \
+    GCC3D_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+    GCC3D_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Function returning a reference to the capability guarding it. */
+#define RETURN_CAPABILITY(x) GCC3D_THREAD_ANNOTATION(lock_returned(x))
+
+/** Runtime assertion that the calling thread holds the capability. */
+#define ASSERT_CAPABILITY(x) GCC3D_THREAD_ANNOTATION(assert_capability(x))
+
+/** Escape hatch: disables analysis of one function.  Every use needs
+ *  a written justification next to it. */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    GCC3D_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // GCC3D_RUNTIME_THREAD_ANNOTATIONS_H

@@ -15,26 +15,35 @@ ThreadPool::ThreadPool(int workers)
         // Thread creation failed (e.g. process thread limit): join
         // the workers already started, then let the caller see the
         // exception instead of std::terminate from ~thread.
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            stopping_ = true;
-        }
-        cv_.notify_all();
-        for (std::thread &w : workers_)
-            w.join();
+        stopAndJoin();
         throw;
     }
 }
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
+    if (joined_)
+        return;
+    stopAndJoin();
+}
+
+void
+ThreadPool::stopAndJoin()
+{
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
     for (std::thread &w : workers_)
         w.join();
+    joined_ = true;
 }
 
 int
@@ -50,8 +59,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            UniqueLock lock(mutex_);
+            while (!stopping_ && queue_.empty())
+                cv_.wait(lock);
             if (queue_.empty())
                 return;  // stopping_ && drained
             task = std::move(queue_.front());

@@ -5,24 +5,33 @@
  * The batch-simulation runtime fans sweep jobs out across a small
  * number of long-lived worker threads.  Tasks are arbitrary callables
  * submitted to a FIFO queue; submit() returns a std::future carrying
- * the callable's result (or its exception).  Destruction drains
- * nothing: outstanding tasks are completed before the workers join,
- * so futures obtained from a live pool are always eventually ready.
+ * the callable's result (or its exception).
+ *
+ * Shutdown contract: shutdown() (which the destructor calls) stops
+ * accepting new work, lets the workers finish every task already
+ * queued, then joins them — no queued task is ever discarded, so a
+ * future obtained from a successful submit() always becomes ready.
+ * Once shutdown has begun, submit() throws std::runtime_error instead
+ * of silently queueing a task that may never run.  shutdown() is
+ * idempotent but must not race itself or the destructor: call it from
+ * one owning thread, the same one that will destroy the pool.
  */
 
 #ifndef GCC3D_RUNTIME_THREAD_POOL_H
 #define GCC3D_RUNTIME_THREAD_POOL_H
 
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "runtime/mutex.h"
+#include "runtime/thread_annotations.h"
 
 namespace gcc3d {
 
@@ -36,7 +45,7 @@ class ThreadPool
      */
     explicit ThreadPool(int workers);
 
-    /** Completes all queued tasks, then joins the workers. */
+    /** Equivalent to shutdown(): drains the queue, then joins. */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -48,10 +57,27 @@ class ThreadPool
     static int hardwareWorkers();
 
     /**
+     * Stop accepting work, complete every queued task, join the
+     * workers.  Idempotent; owning-thread only (see file comment).
+     * After it returns, submit() throws and no worker is running.
+     */
+    void shutdown();
+
+    /** True once shutdown has begun; late submits are rejected. */
+    bool
+    stopping() const
+    {
+        MutexLock lock(mutex_);
+        return stopping_;
+    }
+
+    /**
      * Enqueue @p fn for execution on a worker thread.
      *
      * @return a future holding fn's return value; an exception thrown
      *         by fn is captured and rethrown on future::get().
+     * @throws std::runtime_error if shutdown has begun — a task
+     *         accepted then would have no worker guaranteed to run it.
      */
     template <typename F>
     std::future<std::invoke_result_t<std::decay_t<F>>>
@@ -62,21 +88,31 @@ class ThreadPool
             std::forward<F>(fn));
         std::future<R> result = task->get_future();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
+            if (stopping_)
+                throw std::runtime_error(
+                    "ThreadPool::submit after shutdown began");
             queue_.push([task] { (*task)(); });
         }
-        cv_.notify_one();
+        cv_.notifyOne();
         return result;
     }
 
   private:
     void workerLoop();
 
+    /** Begin stop and join every started worker (ctor failure path
+     *  and shutdown share it).  Owning-thread only. */
+    void stopAndJoin();
+
+    /** Started threads; owning thread only (ctor/shutdown/dtor). */
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
+    bool joined_ = false;  ///< owning thread only
+
+    mutable Mutex mutex_;
+    CondVar cv_;
+    std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+    bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace gcc3d

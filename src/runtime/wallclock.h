@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The one sanctioned wall-clock read in the library.
+ *
+ * The paper's determinism story is that pixels and stats are pure
+ * functions of (scene, camera, config) — wall-clock time may be
+ * *measured* (stage timings, scheduler pacing, SLO latencies) but
+ * must never *feed* rendering math.  To make that auditable, every
+ * clock read in src/ goes through monotonicNow() below; tools/gsc_lint
+ * bans raw now()/time()/clock() tokens everywhere else in the
+ * library, so a new timing-dependent code path has to either use this
+ * header (fine: timing only ever lands in reports) or carry an
+ * explicit, justified suppression.
+ */
+
+#ifndef GCC3D_RUNTIME_WALLCLOCK_H
+#define GCC3D_RUNTIME_WALLCLOCK_H
+
+#include <chrono>
+
+namespace gcc3d {
+
+/** Monotonic timestamp type used by all stage/SLO timing. */
+using MonoTime = std::chrono::steady_clock::time_point;
+
+/** The sanctioned monotonic clock read. */
+inline MonoTime
+monotonicNow()
+{
+    // gsc-lint: allow(determinism) — this is the single audited clock
+    // read the whole library funnels through; results feed timing
+    // reports and pacing only, never pixel or stats math.
+    return std::chrono::steady_clock::now();
+}
+
+/** Milliseconds from @p a to @p b. */
+inline double
+msBetween(MonoTime a, MonoTime b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/** Milliseconds elapsed since @p start. */
+inline double
+msSince(MonoTime start)
+{
+    return msBetween(start, monotonicNow());
+}
+
+} // namespace gcc3d
+
+#endif // GCC3D_RUNTIME_WALLCLOCK_H

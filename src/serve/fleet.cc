@@ -1,7 +1,8 @@
 #include "serve/fleet.h"
 
-#include <chrono>
 #include <stdexcept>
+
+#include "runtime/wallclock.h"
 
 namespace gcc3d {
 
@@ -53,7 +54,7 @@ renderSerial(const std::vector<Session> &sessions)
     // sequence to reproduce the same checksums.
     for (const Session &s : sessions)
         s.resetTemporal();
-    auto start = std::chrono::steady_clock::now();
+    const MonoTime start = monotonicNow();
     int rendered = 0;
     for (const Session &s : sessions) {
         double sum = 0.0;
@@ -63,9 +64,7 @@ renderSerial(const std::vector<Session> &sessions)
         }
         base.checksums.push_back(sum);
     }
-    base.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+    base.wall_ms = msSince(start);
     base.fleet_fps =
         base.wall_ms > 0.0 ? rendered * 1000.0 / base.wall_ms : 0.0;
     return base;

@@ -1,17 +1,16 @@
 #include "serve/frame_scheduler.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
 
+#include "runtime/wallclock.h"
+
 namespace gcc3d {
 
 namespace {
-
-using SchedClock = std::chrono::steady_clock;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
@@ -90,12 +89,8 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
     for (const Session &s : sessions)
         s.resetTemporal();
 
-    const SchedClock::time_point t0 = SchedClock::now();
-    auto now_ms = [t0] {
-        return std::chrono::duration<double, std::milli>(
-                   SchedClock::now() - t0)
-            .count();
-    };
+    const MonoTime t0 = monotonicNow();
+    auto now_ms = [t0] { return msSince(t0); };
 
     std::vector<SessionState> states(sessions.size());
     std::uint64_t seq = 0;
@@ -152,7 +147,7 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
     auto worker = [this, &states, &seq, &pick, &now_ms] {
         bool done = false;
         while (!done) {
-            std::unique_lock<std::mutex> lock(mutex_);
+            UniqueLock lock(mutex_);
             SessionState *picked = nullptr;
             while (true) {
                 if (stop_.load(std::memory_order_acquire)) {
@@ -184,9 +179,7 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
                 if (std::isinf(next_release))
                     cv_.wait(lock);
                 else
-                    cv_.wait_for(
-                        lock, std::chrono::duration<double, std::milli>(
-                                  next_release - now));
+                    cv_.waitForMs(lock, next_release - now);
             }
             if (picked == nullptr)
                 continue;  // done: fall out of the outer loop
@@ -209,7 +202,7 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
                 picked->next_frame++;
                 picked->ready_ms = dispatch;
                 picked->ready_seq = seq++;
-                cv_.notify_all();
+                cv_.notifyAll();
                 continue;
             }
 
@@ -243,7 +236,7 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
             picked->in_flight = false;
             picked->ready_ms = complete;
             picked->ready_seq = seq++;
-            cv_.notify_all();
+            cv_.notifyAll();
         }
     };
 
@@ -274,8 +267,8 @@ FrameScheduler::requestStop()
     stop_.store(true, std::memory_order_release);
     // Lock so no worker can slip between its stop check and its wait;
     // the notify then reaches every sleeping worker.
-    std::lock_guard<std::mutex> lock(mutex_);
-    cv_.notify_all();
+    MutexLock lock(mutex_);
+    cv_.notifyAll();
 }
 
 } // namespace gcc3d

@@ -33,11 +33,11 @@
 #define GCC3D_SERVE_FRAME_SCHEDULER_H
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "runtime/mutex.h"
+#include "runtime/thread_annotations.h"
 #include "runtime/thread_pool.h"
 #include "serve/serve_stats.h"
 #include "serve/session.h"
@@ -123,8 +123,22 @@ class FrameScheduler
 
     SchedulerOptions options_;
     std::atomic<bool> stop_{false};
-    std::mutex mutex_;
-    std::condition_variable cv_;
+
+    /**
+     * Guards the per-run SessionState table (a run()-local vector:
+     * every field of every SessionState, and the pick()/record logic
+     * over them, executes under mutex_ — locals cannot carry
+     * GUARDED_BY, so the contract is enforced by construction: the
+     * worker lambda only touches states inside its UniqueLock scope).
+     * Also the hand-off that makes a temporal session's mutable cache
+     * safe: releasing mutex_ after in_flight is set and re-acquiring
+     * it on completion orders consecutive frames of one session.
+     *
+     * gsc-lint: allow(mutex-guard) — the guarded data is run()-local
+     * (see above), so no *member* can carry GUARDED_BY(mutex_).
+     */
+    Mutex mutex_;
+    CondVar cv_;
 };
 
 } // namespace gcc3d

@@ -44,10 +44,7 @@ SceneRegistry::acquire(const SceneSpec &spec, float scale, int frames,
     const std::string ckey = sceneGenKey(spec, scale);
     const std::string tkey = trajectoryKey(ckey, spec, frames, traj_arc);
 
-    // One registry-wide mutex: builds of distinct scenes serialize,
-    // which is acceptable because serving fleets reuse few scenes and
-    // admission happens once per session, not per frame.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     SceneHandle handle;
 
     auto cit = clouds_.find(ckey);
@@ -82,7 +79,7 @@ SceneRegistry::acquireLod(const std::string &path,
     const std::string lkey = path + "#b" + std::to_string(budget_bytes);
     const std::string tkey = trajectoryKey(lkey, spec, frames, traj_arc);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     SceneHandle handle;
 
     auto lit = lod_scenes_.find(lkey);
@@ -105,14 +102,14 @@ SceneRegistry::acquireLod(const std::string &path,
 std::size_t
 SceneRegistry::cloudCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return clouds_.size();
 }
 
 std::size_t
 SceneRegistry::trajectoryCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return trajectories_.size();
 }
 

@@ -21,10 +21,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "lod/lod_scene.h"
+#include "runtime/mutex.h"
+#include "runtime/thread_annotations.h"
 #include "scene/scene_generator.h"
 #include "scene/trajectory.h"
 
@@ -91,11 +92,23 @@ class SceneRegistry
     const std::string &cacheDir() const { return cache_dir_; }
 
   private:
-    std::string cache_dir_;
-    mutable std::mutex mutex_;
-    std::map<std::string, std::shared_ptr<const GaussianCloud>> clouds_;
-    std::map<std::string, std::shared_ptr<LodScene>> lod_scenes_;
-    std::map<std::string, std::shared_ptr<const Trajectory>> trajectories_;
+    std::string cache_dir_;  ///< immutable after construction
+
+    /**
+     * One registry-wide mutex guards all three dedup maps: builds of
+     * distinct scenes serialize, which is acceptable because fleets
+     * reuse few scenes and admission happens once per session, not
+     * per frame.  The mapped objects themselves are immutable (or,
+     * for LodScene, internally synchronized), so only the maps need
+     * the lock.
+     */
+    mutable Mutex mutex_;
+    std::map<std::string, std::shared_ptr<const GaussianCloud>>
+        clouds_ GUARDED_BY(mutex_);
+    std::map<std::string, std::shared_ptr<LodScene>>
+        lod_scenes_ GUARDED_BY(mutex_);
+    std::map<std::string, std::shared_ptr<const Trajectory>>
+        trajectories_ GUARDED_BY(mutex_);
 };
 
 } // namespace gcc3d

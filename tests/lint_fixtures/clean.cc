@@ -1,0 +1,32 @@
+// Fixture: a well-behaved serve-layer file — downward includes only,
+// sanctioned clock, ordered containers, guarded mutex.  Must produce
+// zero findings under src/serve/good.cc with every rule enabled.
+#include <map>
+#include <string>
+
+#include "render/tile_renderer.h"
+#include "runtime/mutex.h"
+#include "runtime/thread_annotations.h"
+#include "runtime/wallclock.h"
+#include "scene/scene_generator.h"
+
+namespace gcc3d {
+
+class FixtureClean
+{
+  public:
+    double tally() const
+    {
+        double sum = 0.0;
+        MutexLock lock(mutex_);
+        for (const auto &kv : totals_)
+            sum += kv.second;
+        return sum;
+    }
+
+  private:
+    mutable Mutex mutex_;
+    std::map<std::string, double> totals_ GUARDED_BY(mutex_);
+};
+
+} // namespace gcc3d

@@ -1,0 +1,17 @@
+// Fixture: a cycle-model file reaching up into the serving layer.
+// Linted under the virtual path src/core/bad_dep.cc; the serve
+// include must produce exactly one layering finding (line 8) and the
+// sibling/downward includes none.
+#include <vector>
+
+#include "core/accelerator.h"
+#include "serve/session.h"
+#include "gsmath/vec.h"
+
+namespace gcc3d {
+int
+fixtureCoreIncludesServe()
+{
+    return 0;
+}
+} // namespace gcc3d

@@ -1,0 +1,36 @@
+// Fixture: raw clock and randomness tokens.  Linted under
+// src/render/bad_clock.cc.  Expected determinism findings: the
+// steady_clock::now() call, the rand() call, and the random_device
+// type.  The two suppressed sites at the bottom must NOT fire.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace gcc3d {
+
+double
+fixtureDeterminismTokens()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    int noise = std::rand();
+    std::random_device rd;
+    (void)t0;
+    (void)rd;
+
+    // A call named like a clock inside a string or comment must not
+    // fire: "now()" and rand() stay text here.
+    const char *label = "now() rand()";
+    (void)label;
+
+    int suppressed_same_line = std::rand();  // gsc-lint: allow(determinism)
+
+    // gsc-lint: allow(determinism) — fixture exercising the
+    // comment-block-above suppression form; the justification text
+    // spans several lines like real suppressions do.
+    int suppressed_above = std::rand();
+
+    return static_cast<double>(noise + suppressed_same_line +
+                               suppressed_above);
+}
+
+} // namespace gcc3d

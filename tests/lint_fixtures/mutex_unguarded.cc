@@ -1,0 +1,38 @@
+// Fixture: mutex members with and without GUARDED_BY.  Linted under
+// src/runtime/bad_mutex.cc.  Expected mutex-guard findings: the bare
+// std::mutex member and the bare gcc3d Mutex member.  The guarded
+// pair and the suppressed member must not fire.
+#include <mutex>
+
+#define GUARDED_BY(x) __attribute__((guarded_by(x)))
+
+namespace gcc3d {
+
+class Mutex;
+
+struct FixtureBadMutexStd
+{
+    std::mutex m_;
+    int value_ = 0;
+};
+
+struct FixtureBadMutexWrapped
+{
+    Mutex *owner;
+    Mutex lock_;
+};
+
+struct FixtureGoodMutex
+{
+    Mutex mutex_;
+    int value_ GUARDED_BY(mutex_) = 0;
+};
+
+struct FixtureSuppressedMutex
+{
+    // gsc-lint: allow(mutex-guard) — fixture: stands in for the
+    // wrapper-internal raw mutex whose guarding happens a level up.
+    std::mutex raw_;
+};
+
+} // namespace gcc3d

@@ -1,0 +1,16 @@
+// Fixture: a renderer including the runtime module.  Linted under
+// src/render/bad_dep.cc.  The sweep_runner include (line 7) is a
+// layering finding — render (rank 2) must not depend on the runtime
+// module (rank 4) — while parallel_for.h and wallclock.h are
+// concurrency/timing primitives, exempt by design, and must not fire.
+#include "runtime/parallel_for.h"
+#include "runtime/sweep_runner.h"
+#include "runtime/wallclock.h"
+
+namespace gcc3d {
+int
+fixtureRenderIncludesRuntime()
+{
+    return 0;
+}
+} // namespace gcc3d

@@ -1,0 +1,36 @@
+// Fixture: iterating unordered containers.  Linted once under
+// src/serve/bad_iter.cc (expect findings) and once under
+// src/scene/ok_iter.cc (rule is scoped to render/serve; expect none).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gcc3d {
+
+double
+fixtureUnorderedIteration()
+{
+    std::unordered_map<std::string, double> stats;
+    std::unordered_set<int> touched;
+    double sum = 0.0;
+
+    // Range-for over an unordered_map: order feeds the sum.
+    for (const auto &kv : stats)
+        sum += kv.second;
+
+    // Explicit iterator walk.
+    for (auto it = touched.begin(); it != touched.end(); ++it)
+        sum += static_cast<double>(*it);
+
+    // Keyed lookup (no iteration) must not fire.
+    sum += stats.count("x") != 0 ? stats.at("x") : 0.0;
+
+    // gsc-lint: allow(unordered-iter) — fixture: order-insensitive
+    // fold (max), the one shape where unordered iteration is sound.
+    for (int v : touched)
+        sum = sum > v ? sum : v;
+
+    return sum;
+}
+
+} // namespace gcc3d

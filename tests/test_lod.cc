@@ -98,8 +98,9 @@ TEST(LodMerge, PreservesWeightedMoments)
 
     // Opacity x area conservation (up to the [0.02, 0.99] clamp).
     double proxy_oa = static_cast<double>(m.opacity) * area(m.scale);
-    if (m.opacity < 0.985f)
+    if (m.opacity < 0.985f) {
         EXPECT_NEAR(proxy_oa, oa, oa * 0.05);
+    }
     EXPECT_GT(m.opacity, 0.0f);
     EXPECT_LE(m.opacity, 0.99f);
 }

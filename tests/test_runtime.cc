@@ -79,6 +79,39 @@ TEST(ThreadPool, DestructorDrainsQueuedTasks)
     EXPECT_EQ(done.load(), 64);
 }
 
+TEST(ThreadPool, ShutdownDrainsQueuedTasksAndIsIdempotent)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([&done] {
+            done.fetch_add(1, std::memory_order_relaxed);
+        }));
+    EXPECT_FALSE(pool.stopping());
+    pool.shutdown();
+    // Every task accepted before shutdown ran to completion...
+    EXPECT_EQ(done.load(), 64);
+    // ...and every future from a successful submit is ready.
+    for (std::future<void> &f : futures)
+        EXPECT_NO_THROW(f.get());
+    EXPECT_TRUE(pool.stopping());
+    pool.shutdown();  // second call is a no-op
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrowsInsteadOfWedging)
+{
+    ThreadPool pool(2);
+    pool.shutdown();
+    // A task accepted now would have no worker guaranteed to run it,
+    // and a caller blocking on its future would wedge forever — the
+    // pool must reject it loudly instead.
+    EXPECT_THROW(pool.submit([] { return 7; }), std::runtime_error);
+    // The rejection is stateless: it keeps rejecting, not crashing.
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
 // ---- Sweep expansion ----
 
 TEST(SweepSpec, ExpandsFullCrossProductInCanonicalOrder)
@@ -437,10 +470,11 @@ TEST(ParallelFor, ChunkRangesRespectTheDispatchGrain)
                 std::size_t covered = 0;
                 for (const auto &[begin, end] : ranges) {
                     covered += end - begin;
-                    if (ranges.size() > 1)
+                    if (ranges.size() > 1) {
                         EXPECT_GE(end - begin, grain)
                             << "n=" << n << " grain=" << grain
                             << " workers=" << workers;
+                    }
                 }
                 EXPECT_EQ(covered, n);
             }

@@ -310,8 +310,9 @@ TEST(FrameScheduler, GracefulDrainCompletesInFlightFrames)
         for (std::size_t f = 0; f < s.frames.size(); ++f) {
             EXPECT_EQ(s.frames[f].frame, static_cast<int>(f));
             EXPECT_TRUE(s.frames[f].rendered);
-            if (f < serial_frames[i].size())
+            if (f < serial_frames[i].size()) {
                 EXPECT_EQ(s.frames[f].checksum, serial_frames[i][f]);
+            }
         }
     }
     // drained is set exactly when the stop landed before the fleet

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * gsc_lint CLI.
+ *
+ * Usage:
+ *   gsc_lint --root <repo-root> [--rule <name>]... [--list-rules]
+ *   gsc_lint <file>...           (paths must be repo-relative or the
+ *                                 rule scoping will not apply)
+ *
+ * Scans src/ and apps/ under --root for .h/.cc/.cpp files, lints each
+ * one, prints findings as "file:line: [rule] message", and exits 1 if
+ * any finding survived suppression.  --rule restricts the run to the
+ * named rules (repeatable).
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + p.string());
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Repo-relative path with forward slashes. */
+std::string
+relPath(const fs::path &file, const fs::path &root)
+{
+    return fs::relative(file, root).generic_string();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root;
+    std::vector<std::string> only_rules;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const std::string &r : gsclint::ruleNames())
+                std::cout << r << "\n";
+            return 0;
+        }
+        if (arg == "--root") {
+            if (++i == argc) {
+                std::cerr << "gsc_lint: --root needs a directory\n";
+                return 2;
+            }
+            root = argv[i];
+        } else if (arg == "--rule") {
+            if (++i == argc) {
+                std::cerr << "gsc_lint: --rule needs a name\n";
+                return 2;
+            }
+            only_rules.emplace_back(argv[i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "gsc_lint: unknown option " << arg << "\n";
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    gsclint::Options options;
+    if (!only_rules.empty()) {
+        options = gsclint::Options{false, false, false, false};
+        for (const std::string &r : only_rules) {
+            bool known = false;
+            if (r == "layering")
+                options.layering = known = true;
+            else if (r == "determinism")
+                options.determinism = known = true;
+            else if (r == "unordered-iter")
+                options.unordered_iter = known = true;
+            else if (r == "mutex-guard")
+                options.mutex_guard = known = true;
+            if (!known) {
+                std::cerr << "gsc_lint: unknown rule " << r
+                          << " (see --list-rules)\n";
+                return 2;
+            }
+        }
+    }
+
+    // Collect (repo-relative path, absolute path) pairs.
+    std::vector<std::pair<std::string, fs::path>> inputs;
+    if (!root.empty()) {
+        const fs::path root_path(root);
+        for (const char *top : {"src", "apps"}) {
+            const fs::path dir = root_path / top;
+            if (!fs::exists(dir))
+                continue;
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(dir)) {
+                if (entry.is_regular_file() && isSourceFile(entry.path()))
+                    inputs.emplace_back(relPath(entry.path(), root_path),
+                                        entry.path());
+            }
+        }
+        std::sort(inputs.begin(), inputs.end());
+    }
+    for (const std::string &f : files)
+        inputs.emplace_back(f, fs::path(root.empty() ? f : root + "/" + f));
+
+    if (inputs.empty()) {
+        std::cerr << "gsc_lint: nothing to lint (use --root or list "
+                     "files)\n";
+        return 2;
+    }
+
+    int findings = 0;
+    for (const auto &[rel, abs] : inputs) {
+        std::string text;
+        try {
+            text = readFile(abs);
+        } catch (const std::exception &e) {
+            std::cerr << "gsc_lint: " << e.what() << "\n";
+            return 2;
+        }
+        for (const gsclint::Finding &f :
+             gsclint::lintSource(rel, text, options)) {
+            std::cout << gsclint::formatFinding(f) << "\n";
+            ++findings;
+        }
+    }
+
+    if (findings > 0) {
+        std::cerr << "gsc_lint: " << findings << " finding"
+                  << (findings == 1 ? "" : "s") << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,550 @@
+#include "lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace gsclint {
+
+namespace {
+
+// ---- Layering DAG ------------------------------------------------------
+//
+// Rank order of the src/ modules.  An include may only point at a
+// module of rank <= the includer's rank (or at a primitive header,
+// below).  This encodes the DAG
+//
+//   gsmath → scene → render/lod → {core, gscore, gpu} → runtime → serve
+//
+// with sim as a leaf substrate next to gsmath.  In particular nothing
+// under rank 5 may include serve — the cycle models (sim/core/gscore/
+// gpu) and both renderers must stay servable-from, never serving.
+const std::map<std::string, int> &
+moduleRanks()
+{
+    static const std::map<std::string, int> ranks = {
+        {"gsmath", 0}, {"sim", 0},    {"scene", 1}, {"render", 2},
+        {"lod", 2},    {"core", 3},   {"gscore", 3}, {"gpu", 3},
+        {"runtime", 4}, {"serve", 5},
+    };
+    return ranks;
+}
+
+// Concurrency/timing primitive headers: rank 0 regardless of living
+// in src/runtime, so the render/lod layers may use the thread pool,
+// the annotated mutexes and the sanctioned clock without the whole
+// runtime module (sweeps, sim backends) bleeding downward.
+const std::set<std::string> &
+primitiveHeaders()
+{
+    static const std::set<std::string> headers = {
+        "runtime/mutex.h",          "runtime/parallel_for.h",
+        "runtime/thread_annotations.h", "runtime/thread_pool.h",
+        "runtime/wallclock.h",
+    };
+    return headers;
+}
+
+// Identifiers that read wall clocks or nondeterministic randomness
+// when invoked as functions.
+const std::set<std::string> &
+bannedCalls()
+{
+    static const std::set<std::string> calls = {
+        "now", "time", "clock", "rand", "srand", "drand48", "random",
+    };
+    return calls;
+}
+
+// Banned wherever they appear (types, not calls).
+const std::set<std::string> &
+bannedTypes()
+{
+    static const std::set<std::string> types = {
+        "random_device",
+        "random_shuffle",
+    };
+    return types;
+}
+
+struct Token
+{
+    std::string text;
+    int line = 0;
+    bool ident = false;
+};
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Per-file scratch shared by the rules. */
+struct Source
+{
+    std::string path;
+    std::vector<Token> tokens;              ///< comments/strings stripped
+    std::vector<std::pair<int, std::string>> includes; ///< line, "a/b.h"
+    std::map<int, std::set<std::string>> allows;  ///< line -> rules
+    int line_count = 0;
+};
+
+/**
+ * Strip comments and string/char literals (preserving newlines so
+ * token lines stay true), record gsc-lint allow() directives, and
+ * tokenize.  An allow inside a comment covers every line of the
+ * comment block plus the first code line after it, so a justified
+ * multi-line suppression comment covers the statement it precedes.
+ */
+Source
+scan(const std::string &path, std::string_view text)
+{
+    Source src;
+    src.path = path;
+
+    std::string clean;
+    clean.reserve(text.size());
+
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    auto record_allow = [&](std::size_t from, std::size_t to, int at) {
+        // Scan one comment's text for "gsc-lint: allow(rule[,rule])".
+        std::string_view body = text.substr(from, to - from);
+        std::size_t pos = 0;
+        while ((pos = body.find("gsc-lint:", pos)) != std::string_view::npos) {
+            std::size_t p = body.find("allow(", pos);
+            if (p == std::string_view::npos)
+                break;
+            p += 6;
+            std::size_t close = body.find(')', p);
+            if (close == std::string_view::npos)
+                break;
+            std::string rules(body.substr(p, close - p));
+            std::size_t start = 0;
+            while (start <= rules.size()) {
+                std::size_t comma = rules.find(',', start);
+                std::string one = rules.substr(
+                    start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+                one.erase(std::remove_if(one.begin(), one.end(),
+                                         [](unsigned char c) {
+                                             return std::isspace(c);
+                                         }),
+                          one.end());
+                if (!one.empty())
+                    src.allows[at].insert(one);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            pos = close;
+        }
+    };
+
+    while (i < n) {
+        char c = text[i];
+        if (c == '\n') {
+            clean.push_back('\n');
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            std::size_t start = i;
+            int at = line;
+            while (i < n && text[i] != '\n')
+                ++i;
+            record_allow(start, i, at);
+            continue;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            std::size_t start = i;
+            int at = line;
+            i += 2;
+            while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+                if (text[i] == '\n') {
+                    clean.push_back('\n');
+                    ++line;
+                }
+                ++i;
+            }
+            if (i + 1 < n)
+                i += 2;
+            record_allow(start, i, at);
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            ++i;
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\')
+                    ++i;
+                if (i < n && text[i] == '\n') {
+                    clean.push_back('\n');
+                    ++line;
+                }
+                ++i;
+            }
+            if (i < n)
+                ++i;  // closing quote
+            clean.push_back(' ');
+            continue;
+        }
+        clean.push_back(c);
+        ++i;
+    }
+    src.line_count = line;
+
+    // Extend every allow through its comment block to the next code
+    // line: lines consisting solely of comments/whitespace pass the
+    // suppression downward.
+    {
+        std::vector<std::string> lines;
+        std::size_t start = 0;
+        for (std::size_t p = 0; p <= clean.size(); ++p) {
+            if (p == clean.size() || clean[p] == '\n') {
+                lines.push_back(clean.substr(start, p - start));
+                start = p + 1;
+            }
+        }
+        auto code_on_line = [&](int l) {
+            if (l < 1 || static_cast<std::size_t>(l) > lines.size())
+                return false;
+            const std::string &s = lines[static_cast<std::size_t>(l - 1)];
+            return std::any_of(s.begin(), s.end(), [](unsigned char c) {
+                return !std::isspace(c);
+            });
+        };
+        std::map<int, std::set<std::string>> extended = src.allows;
+        for (const auto &[l, rules] : src.allows) {
+            int cursor = l;
+            // Walk down past comment-only/blank lines, then cover the
+            // first code line reached.
+            while (cursor < src.line_count + 1 && !code_on_line(cursor + 1) &&
+                   cursor - l < 64)
+                extended[++cursor].insert(rules.begin(), rules.end());
+            extended[cursor + 1].insert(rules.begin(), rules.end());
+        }
+        src.allows = std::move(extended);
+    }
+
+    // Includes: line-oriented scan of the *raw* text (string literals
+    // are stripped from `clean`, and #include arguments are strings).
+    {
+        int at = 0;
+        std::size_t start = 0;
+        for (std::size_t p = 0; p <= text.size(); ++p) {
+            if (p != text.size() && text[p] != '\n')
+                continue;
+            ++at;  // this is line `at`, 1-based
+            std::string_view l = text.substr(start, p - start);
+            start = p + 1;
+            std::size_t h = l.find_first_not_of(" \t");
+            if (h == std::string_view::npos || l[h] != '#')
+                continue;
+            std::size_t inc = l.find("include", h);
+            if (inc == std::string_view::npos)
+                continue;
+            std::size_t q0 = l.find('"', inc);
+            if (q0 == std::string_view::npos)
+                continue;
+            std::size_t q1 = l.find('"', q0 + 1);
+            if (q1 == std::string_view::npos)
+                continue;
+            src.includes.emplace_back(
+                at, std::string(l.substr(q0 + 1, q1 - q0 - 1)));
+        }
+    }
+
+    // Tokenize the cleaned text.
+    {
+        int tl = 1;
+        for (std::size_t p = 0; p < clean.size();) {
+            char c = clean[p];
+            if (c == '\n') {
+                ++tl;
+                ++p;
+                continue;
+            }
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++p;
+                continue;
+            }
+            if (identStart(c)) {
+                std::size_t q = p + 1;
+                while (q < clean.size() && identChar(clean[q]))
+                    ++q;
+                src.tokens.push_back(
+                    {clean.substr(p, q - p), tl, true});
+                p = q;
+                continue;
+            }
+            src.tokens.push_back({std::string(1, c), tl, false});
+            ++p;
+        }
+    }
+    return src;
+}
+
+/** Module of a repo path: "src/render/x.cc" -> "render"; "" if none. */
+std::string
+moduleOf(const std::string &path)
+{
+    const std::string prefix = "src/";
+    if (path.rfind(prefix, 0) != 0)
+        return "";
+    std::size_t slash = path.find('/', prefix.size());
+    if (slash == std::string::npos)
+        return "";
+    return path.substr(prefix.size(), slash - prefix.size());
+}
+
+/** Module of an include target: "serve/session.h" -> "serve". */
+std::string
+includeModule(const std::string &include)
+{
+    std::size_t slash = include.find('/');
+    if (slash == std::string::npos)
+        return "";
+    std::string mod = include.substr(0, slash);
+    return moduleRanks().count(mod) != 0 ? mod : "";
+}
+
+void
+checkLayering(const Source &src, std::vector<Finding> &out)
+{
+    const std::string mod = moduleOf(src.path);
+    if (mod.empty() || moduleRanks().count(mod) == 0)
+        return;
+    const int rank = moduleRanks().at(mod);
+    for (const auto &[line, target] : src.includes) {
+        const std::string tmod = includeModule(target);
+        if (tmod.empty() || tmod == mod)
+            continue;
+        if (primitiveHeaders().count(target) != 0)
+            continue;
+        const int trank = moduleRanks().at(tmod);
+        if (trank > rank) {
+            std::string msg = "module '" + mod + "' (rank " +
+                              std::to_string(rank) +
+                              ") must not include '" + target +
+                              "' from higher-rank module '" + tmod +
+                              "' (rank " + std::to_string(trank) + ")";
+            if (tmod == "serve")
+                msg += "; nothing below the serving layer may depend "
+                       "on it";
+            out.push_back({src.path, line, "layering", msg});
+        }
+    }
+}
+
+void
+checkDeterminism(const Source &src, std::vector<Finding> &out)
+{
+    if (src.path.rfind("src/", 0) != 0)
+        return;
+    for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+        const Token &t = src.tokens[i];
+        if (!t.ident)
+            continue;
+        if (bannedTypes().count(t.text) != 0) {
+            out.push_back(
+                {src.path, t.line, "determinism",
+                 "'" + t.text +
+                     "' is nondeterministic; outputs must be pure "
+                     "functions of (scene, camera, config)"});
+            continue;
+        }
+        if (bannedCalls().count(t.text) != 0 &&
+            i + 1 < src.tokens.size() && src.tokens[i + 1].text == "(") {
+            out.push_back(
+                {src.path, t.line, "determinism",
+                 "raw '" + t.text +
+                     "()' call; route timing through "
+                     "runtime/wallclock.h so clock reads stay "
+                     "auditable and never feed pixel/stats math"});
+        }
+    }
+}
+
+void
+checkUnorderedIter(const Source &src, std::vector<Finding> &out)
+{
+    if (src.path.rfind("src/render/", 0) != 0 &&
+        src.path.rfind("src/serve/", 0) != 0)
+        return;
+    const std::vector<Token> &tok = src.tokens;
+
+    // Pass 1: names declared with an unordered container type.
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < tok.size(); ++i) {
+        if (tok[i].text != "unordered_map" && tok[i].text != "unordered_set")
+            continue;
+        std::size_t j = i + 1;
+        if (j < tok.size() && tok[j].text == "<") {
+            int depth = 0;
+            for (; j < tok.size(); ++j) {
+                if (tok[j].text == "<")
+                    ++depth;
+                else if (tok[j].text == ">" && --depth == 0) {
+                    ++j;
+                    break;
+                }
+            }
+        }
+        if (j < tok.size() && tok[j].ident)
+            names.insert(tok[j].text);
+    }
+    if (names.empty())
+        return;
+
+    auto flag = [&](int line, const std::string &name,
+                    const std::string &how) {
+        out.push_back(
+            {src.path, line, "unordered-iter",
+             how + " '" + name +
+                 "': unordered iteration order is nondeterministic, "
+                 "and render/serve merge per-element results into "
+                 "stats and output; iterate a sorted view or index "
+                 "order instead"});
+    };
+
+    // Pass 2a: range-for whose range expression mentions a name.
+    for (std::size_t i = 0; i + 1 < tok.size(); ++i) {
+        if (tok[i].text != "for" || tok[i + 1].text != "(")
+            continue;
+        int depth = 0;
+        std::size_t colon = 0;
+        std::size_t j = i + 1;
+        for (; j < tok.size(); ++j) {
+            if (tok[j].text == "(")
+                ++depth;
+            else if (tok[j].text == ")") {
+                if (--depth == 0)
+                    break;
+            } else if (tok[j].text == ":" && depth == 1 && colon == 0 &&
+                       (j == 0 || tok[j - 1].text != ":") &&
+                       (j + 1 >= tok.size() || tok[j + 1].text != ":")) {
+                colon = j;
+            }
+        }
+        if (colon == 0 || j >= tok.size())
+            continue;
+        for (std::size_t k = colon + 1; k < j; ++k)
+            if (tok[k].ident && names.count(tok[k].text) != 0)
+                flag(tok[k].line, tok[k].text, "range-for over");
+    }
+
+    // Pass 2b: explicit iterator walks (name.begin() / name.cbegin()).
+    for (std::size_t i = 0; i + 2 < tok.size(); ++i) {
+        if (!tok[i].ident || names.count(tok[i].text) == 0)
+            continue;
+        if (tok[i + 1].text == "." && (tok[i + 2].text == "begin" ||
+                                       tok[i + 2].text == "cbegin"))
+            flag(tok[i].line, tok[i].text, "iterator walk of");
+    }
+}
+
+void
+checkMutexGuard(const Source &src, std::vector<Finding> &out)
+{
+    if (src.path.rfind("src/", 0) != 0 && src.path.rfind("apps/", 0) != 0)
+        return;
+    const std::vector<Token> &tok = src.tokens;
+
+    // GUARDED_BY(<expr mentioning name>) occurrences.
+    std::set<std::string> guarded_exprs;
+    for (std::size_t i = 0; i + 2 < tok.size(); ++i) {
+        if (tok[i].text != "GUARDED_BY" || tok[i + 1].text != "(")
+            continue;
+        for (std::size_t j = i + 2;
+             j < tok.size() && tok[j].text != ")"; ++j)
+            if (tok[j].ident)
+                guarded_exprs.insert(tok[j].text);
+    }
+
+    // Mutex member declarations: [std ::] mutex NAME ; or Mutex NAME ;
+    for (std::size_t i = 0; i + 2 < tok.size(); ++i) {
+        bool std_mutex = tok[i].text == "mutex" && i >= 2 &&
+                         tok[i - 1].text == ":" && tok[i - 2].text == ":";
+        bool gcc3d_mutex = tok[i].text == "Mutex";
+        if (!std_mutex && !gcc3d_mutex)
+            continue;
+        if (!tok[i + 1].ident)
+            continue;  // "Mutex &m", "Mutex()" etc.
+        if (tok[i + 2].text != ";")
+            continue;
+        const std::string &name = tok[i + 1].text;
+        if (guarded_exprs.count(name) != 0)
+            continue;
+        out.push_back(
+            {src.path, tok[i + 1].line, "mutex-guard",
+             "mutex member '" + name +
+                 "' guards nothing: declare at least one member "
+                 "GUARDED_BY(" +
+                 name +
+                 ") (see runtime/thread_annotations.h) so the clang "
+                 "-Wthread-safety CI leg can check the contract"});
+    }
+}
+
+} // namespace
+
+const std::vector<std::string> &
+ruleNames()
+{
+    static const std::vector<std::string> names = {
+        "layering", "determinism", "unordered-iter", "mutex-guard"};
+    return names;
+}
+
+std::vector<Finding>
+lintSource(const std::string &path, std::string_view text,
+           const Options &options)
+{
+    Source src = scan(path, text);
+    std::vector<Finding> findings;
+    if (options.layering)
+        checkLayering(src, findings);
+    if (options.determinism)
+        checkDeterminism(src, findings);
+    if (options.unordered_iter)
+        checkUnorderedIter(src, findings);
+    if (options.mutex_guard)
+        checkMutexGuard(src, findings);
+
+    // Apply suppressions, then order by line.
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding &f : findings) {
+        auto it = src.allows.find(f.line);
+        if (it != src.allows.end() && it->second.count(f.rule) != 0)
+            continue;
+        kept.push_back(std::move(f));
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding &a, const Finding &b) {
+                  return a.line != b.line ? a.line < b.line
+                                          : a.rule < b.rule;
+              });
+    return kept;
+}
+
+std::string
+formatFinding(const Finding &finding)
+{
+    return finding.file + ":" + std::to_string(finding.line) + ": [" +
+           finding.rule + "] " + finding.message;
+}
+
+} // namespace gsclint

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * gsc_lint — repo-specific static analysis for the gcc3d tree.
+ *
+ * Off-the-shelf tools check generic C++; this pass checks the four
+ * invariants that are specific to this repository's determinism and
+ * layering story and therefore invisible to clang-tidy:
+ *
+ *  - layering        the include DAG between src/ modules
+ *                    (gsmath → scene → render/lod → runtime → serve,
+ *                    with the sim/core/gscore/gpu cycle-model stack on
+ *                    the side; nothing below serve may include serve)
+ *  - determinism     no raw wall-clock or randomness tokens in src/ —
+ *                    every clock read funnels through
+ *                    runtime/wallclock.h so timing can never feed
+ *                    pixel or stats math unaudited
+ *  - unordered-iter  no iteration over unordered_map/unordered_set in
+ *                    src/render and src/serve, where iteration order
+ *                    feeds merged stats or output
+ *  - mutex-guard     every std::mutex / gcc3d::Mutex data member must
+ *                    guard something: at least one GUARDED_BY(name)
+ *                    in the same file
+ *
+ * A finding on line L is suppressed by a comment `gsc-lint:
+ * allow(<rule>)` on L, or in a comment block immediately above L.
+ * Suppressions are expected to carry a written justification.
+ *
+ * The linter is a token scanner, not a compiler: it strips comments
+ * and string literals, then matches token patterns.  That is exactly
+ * enough for these rules, and keeps the tool dependency-free.
+ */
+
+#ifndef GCC3D_TOOLS_GSC_LINT_CORE_H
+#define GCC3D_TOOLS_GSC_LINT_CORE_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gsclint {
+
+/** One rule violation. */
+struct Finding
+{
+    std::string file;    ///< repo-relative path, forward slashes
+    int line = 0;        ///< 1-based
+    std::string rule;    ///< "layering", "determinism", ...
+    std::string message;
+};
+
+/** Rule toggles (all on by default). */
+struct Options
+{
+    bool layering = true;
+    bool determinism = true;
+    bool unordered_iter = true;
+    bool mutex_guard = true;
+};
+
+/** Every rule name, for --rule validation and --list-rules. */
+const std::vector<std::string> &ruleNames();
+
+/**
+ * Lint one source file.  @p path is the repo-relative path with
+ * forward slashes (e.g. "src/serve/session.cc"); rule scoping keys
+ * off it.  Returns findings in line order, suppressions applied.
+ */
+std::vector<Finding> lintSource(const std::string &path,
+                                std::string_view text,
+                                const Options &options = {});
+
+/** "file:line: [rule] message" */
+std::string formatFinding(const Finding &finding);
+
+} // namespace gsclint
+
+#endif // GCC3D_TOOLS_GSC_LINT_CORE_H
