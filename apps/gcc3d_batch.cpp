@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/trace_export.h"
 #include "runtime/result_table.h"
 #include "runtime/sweep_runner.h"
 #include "scene/scene_presets.h"
@@ -51,6 +52,10 @@ usage(const char *argv0)
         "                    scene generation (results unchanged)\n"
         "  --csv FILE        write per-job results as CSV\n"
         "  --json FILE       write per-job results as JSON\n"
+        "  --trace FILE      write a Chrome/Perfetto trace-event JSON\n"
+        "                    of the sweep (empty with GCC3D_OBS=OFF)\n"
+        "  --metrics-out FILE  write the observability block (stage\n"
+        "                    summaries + metrics registry) as JSON\n"
         "  --quiet           suppress the per-job table\n",
         argv0);
 }
@@ -66,6 +71,8 @@ main(int argc, char **argv)
     std::string cache_dir;
     std::string csv_path;
     std::string json_path;
+    std::string trace_path;
+    std::string metrics_path;
     int frames = 1;
     int workers = 0;
     float scale = benchScale();
@@ -101,6 +108,10 @@ main(int argc, char **argv)
             csv_path = value();
         } else if (flag == "--json") {
             json_path = value();
+        } else if (flag == "--trace") {
+            trace_path = value();
+        } else if (flag == "--metrics-out") {
+            metrics_path = value();
         } else if (flag == "--quiet") {
             quiet = true;
         } else {
@@ -205,6 +216,17 @@ main(int argc, char **argv)
     if (!json_path.empty() &&
         !ResultTable::writeFile(json_path, table.toJson())) {
         std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+        return 1;
+    }
+    // Export after run() returned (workers joined, rings quiescent).
+    if (!trace_path.empty() &&
+        !ResultTable::writeFile(trace_path, obs::traceJson())) {
+        std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+        return 1;
+    }
+    if (!metrics_path.empty() &&
+        !ResultTable::writeFile(metrics_path, obs::observabilityJson())) {
+        std::fprintf(stderr, "failed to write %s\n", metrics_path.c_str());
         return 1;
     }
     return table.failedCount() == 0 ? 0 : 1;

@@ -22,6 +22,7 @@
 
 #include "bench_util.h"
 #include "lod/lod_builder.h"
+#include "obs/trace_export.h"
 #include "serve/fleet.h"
 #include "serve/frame_scheduler.h"
 
@@ -77,6 +78,11 @@ usage(const char *argv0)
         "                    count (default: 1.0; temporal streams\n"
         "                    use smaller arcs for headset-like steps)\n"
         "  --json FILE       write the serve report as JSON\n"
+        "  --trace FILE      write a Chrome/Perfetto trace-event JSON\n"
+        "                    of the run (open in chrome://tracing or\n"
+        "                    ui.perfetto.dev; empty with GCC3D_OBS=OFF)\n"
+        "  --metrics-out FILE  write the observability block (stage\n"
+        "                    summaries + metrics registry) as JSON\n"
         "  --quiet           suppress the per-session table\n",
         argv0);
 }
@@ -91,6 +97,8 @@ main(int argc, char **argv)
     std::string policy_arg = "fifo";
     std::string cache_dir;
     std::string json_path;
+    std::string trace_path;
+    std::string metrics_path;
     std::string lod_path;
     int sessions = 8;
     int frames = 8;
@@ -154,6 +162,10 @@ main(int argc, char **argv)
             traj_arc = std::atof(value().c_str());
         } else if (flag == "--json") {
             json_path = value();
+        } else if (flag == "--trace") {
+            trace_path = value();
+        } else if (flag == "--metrics-out") {
+            metrics_path = value();
         } else if (flag == "--quiet") {
             quiet = true;
         } else {
@@ -277,6 +289,21 @@ main(int argc, char **argv)
             !ResultTable::writeFile(json_path, report.toJson())) {
             std::fprintf(stderr, "failed to write %s\n",
                          json_path.c_str());
+            return 1;
+        }
+        // Export after the scheduler's futures resolved: every worker
+        // is quiescent, so the recorder's rings are safe to read.
+        if (!trace_path.empty() &&
+            !ResultTable::writeFile(trace_path, obs::traceJson())) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        if (!metrics_path.empty() &&
+            !ResultTable::writeFile(metrics_path,
+                                    obs::observabilityJson())) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         metrics_path.c_str());
             return 1;
         }
         return 0;

@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/trace_export.h"
 #include "render/gaussian_wise_renderer.h"
 #include "render/metrics.h"
 #include "render/tile_renderer.h"
@@ -116,7 +117,11 @@ usage(const char *argv0)
         "  --scale F        population scale in (0,1] (default:\n"
         "                   GCC3D_SCALE env or 1.0)\n"
         "  --out FILE       JSON output path (default:\n"
-        "                   BENCH_frame.json; '-' disables)\n",
+        "                   BENCH_frame.json; '-' disables)\n"
+        "  --trace FILE     write a Chrome/Perfetto trace-event JSON\n"
+        "                   of the run (empty with GCC3D_OBS=OFF)\n"
+        "  --metrics-out FILE  write stage summaries + metrics\n"
+        "                   registry as JSON\n",
         argv0);
 }
 
@@ -143,6 +148,8 @@ main(int argc, char **argv)
     std::string renderers_arg = "tile,gw";
     std::string threads_arg;
     std::string out_path = "BENCH_frame.json";
+    std::string trace_path;
+    std::string metrics_path;
     int frames = 2;
     int reps = 3;
     int workers = 1;
@@ -201,6 +208,10 @@ main(int argc, char **argv)
             scale = static_cast<float>(std::atof(value().c_str()));
         } else if (flag == "--out") {
             out_path = value();
+        } else if (flag == "--trace") {
+            trace_path = value();
+        } else if (flag == "--metrics-out") {
+            metrics_path = value();
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
             usage(argv[0]);
@@ -853,6 +864,25 @@ main(int argc, char **argv)
             return 1;
         }
         std::printf("wrote %s\n", out_path.c_str());
+    }
+    // Export after every pool job resolved: workers quiescent, rings
+    // safe to read.
+    if (!trace_path.empty()) {
+        if (!ResultTable::writeFile(trace_path, obs::traceJson())) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        if (!ResultTable::writeFile(metrics_path,
+                                    obs::observabilityJson())) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", metrics_path.c_str());
     }
     return checks_ok ? 0 : 1;
 }

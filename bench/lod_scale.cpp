@@ -76,7 +76,7 @@ usage(const char *argv0)
 }
 
 double
-msSince(std::chrono::steady_clock::time_point start)
+nowMsSince(std::chrono::steady_clock::time_point start)
 {
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - start)
@@ -217,7 +217,7 @@ main(int argc, char **argv)
                          row.scene.c_str());
             return 1;
         }
-        row.build_ms = msSince(t0);
+        row.build_ms = nowMsSince(t0);
         row.file_bytes = static_cast<std::size_t>(
             std::filesystem::file_size(path));
 
@@ -247,7 +247,7 @@ main(int argc, char **argv)
             auto t1 = std::chrono::steady_clock::now();
             Image img = renderer.render(cut, cam, stats);
             LevelRow lr;
-            lr.render_ms = msSince(t1);
+            lr.render_ms = nowMsSince(t1);
             lr.level = level;
             lr.psnr_db = psnr(ref, img);
             lr.floor_db = lodPsnrFloorDb(level);
@@ -282,7 +282,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "ERROR: streamed city build failed\n");
             return 1;
         }
-        double build_ms = msSince(t0);
+        double build_ms = nowMsSince(t0);
         const std::size_t file_bytes = static_cast<std::size_t>(
             std::filesystem::file_size(path));
         const std::size_t raw_bytes = city_count * Gaussian::kTotalBytes;
@@ -308,7 +308,7 @@ main(int argc, char **argv)
         FrameScheduler scheduler(SchedulerOptions{});
         auto t1 = std::chrono::steady_clock::now();
         ServeReport report = scheduler.run(fleet, pool);
-        double serve_ms = msSince(t1);
+        double serve_ms = nowMsSince(t1);
 
         ResidencyManager::Stats rs = handle.lod->residencyStats();
         const std::size_t proxy_bytes = handle.lod->alwaysResidentBytes();

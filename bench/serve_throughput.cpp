@@ -33,6 +33,7 @@
  */
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +45,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/trace_export.h"
 #include "render/metrics.h"
 #include "serve/fleet.h"
 #include "serve/frame_scheduler.h"
@@ -80,7 +82,10 @@ usage(const char *argv0)
         "  --scale F        population scale in (0,1] (default:\n"
         "                   GCC3D_SCALE env or 1.0)\n"
         "  --out FILE       JSON output path (default:\n"
-        "                   BENCH_serve.json; '-' disables)\n",
+        "                   BENCH_serve.json; '-' disables)\n"
+        "  --trace FILE     write a Chrome/Perfetto trace-event JSON\n"
+        "                   of the whole run (empty with\n"
+        "                   GCC3D_OBS=OFF)\n",
         argv0);
 }
 
@@ -112,6 +117,7 @@ main(int argc, char **argv)
     std::string renderers_arg = "tile,gw";
     std::string policies_arg = "fifo,rr,edf";
     std::string out_path = "BENCH_serve.json";
+    std::string trace_path;
     int sessions = 8;
     int frames = 6;
     int threads = 0;
@@ -158,6 +164,8 @@ main(int argc, char **argv)
             scale = static_cast<float>(std::atof(value().c_str()));
         } else if (flag == "--out") {
             out_path = value();
+        } else if (flag == "--trace") {
+            trace_path = value();
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
             usage(argv[0]);
@@ -235,6 +243,9 @@ main(int argc, char **argv)
         bool checksums_match;
         Aggregate latency;
         Aggregate queue_wait;
+        Aggregate queue_depth;
+        std::int64_t sheds = 0;
+        std::string miss_attribution;
     };
     std::vector<PolicyRow> policy_rows;
     bool all_ok = true;
@@ -259,6 +270,9 @@ main(int argc, char **argv)
         row.checksums_match = checksumsMatch(report, base);
         row.latency = report.fleetLatencyMs();
         row.queue_wait = report.fleetQueueWaitMs();
+        row.queue_depth = report.queue_depth;
+        row.sheds = report.sheds;
+        row.miss_attribution = report.missAttribution().toJson();
         all_ok = all_ok && row.checksums_match;
         policy_rows.push_back(row);
 
@@ -353,7 +367,10 @@ main(int argc, char **argv)
            << ", \"miss_rate\": " << report.missRate()
            << ", \"frames_dropped\": " << report.framesDropped()
            << ", \"latency_ms\": " << aggregateJson(lat)
-           << ", \"checksums_match\": " << (ok ? "true" : "false")
+           << ", \"sheds\": " << report.sheds
+           << ",\n     \"miss_attribution\": "
+           << report.missAttribution().toJson()
+           << ",\n     \"checksums_match\": " << (ok ? "true" : "false")
            << "}";
         paced_json = os.str();
     }
@@ -386,6 +403,9 @@ main(int argc, char **argv)
              << (r.checksums_match ? "true" : "false")
              << ",\n     \"latency_ms\": " << aggregateJson(r.latency)
              << ",\n     \"queue_wait_ms\": " << aggregateJson(r.queue_wait)
+             << ",\n     \"queue_depth\": " << aggregateJson(r.queue_depth)
+             << ", \"sheds\": " << r.sheds
+             << ",\n     \"miss_attribution\": " << r.miss_attribution
              << "}" << (i + 1 < policy_rows.size() ? "," : "") << "\n";
     }
     json << "  ]";
@@ -405,6 +425,9 @@ main(int argc, char **argv)
         json << "  ]";
     }
     json << paced_json;
+    // Per-stage summaries + metrics registry for the whole run (all
+    // policies combined).  Empty objects when GCC3D_OBS=OFF.
+    json << ",\n  \"observability\": " << obs::observabilityJson();
     json << ",\n  \"checksums_ok\": " << (all_ok ? "true" : "false")
          << "\n}\n";
 
@@ -415,6 +438,16 @@ main(int argc, char **argv)
             return 1;
         }
         std::printf("wrote %s\n", out_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        // Workers are quiescent (scheduler runs have returned), so the
+        // recorder's rings are safe to read.
+        if (!ResultTable::writeFile(trace_path, obs::traceJson())) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", trace_path.c_str());
     }
     if (!temporal_ok)
         std::fprintf(stderr, "ERROR: temporal mode violated its "

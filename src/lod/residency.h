@@ -32,6 +32,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics_registry.h"
+#include "obs/perf_recorder.h"
 #include "runtime/mutex.h"
 #include "runtime/thread_annotations.h"
 #include "scene/gaussian.h"
@@ -78,7 +80,17 @@ class ResidencyManager
      *        disables caching entirely (every load is transient).
      */
     explicit ResidencyManager(std::size_t budget_bytes)
-        : budget_(budget_bytes) {}
+        : budget_(budget_bytes),
+          obs_hits_(obs::MetricsRegistry::global().counter(
+              "lod.residency.hits")),
+          obs_faults_(obs::MetricsRegistry::global().counter(
+              "lod.residency.faults")),
+          obs_evictions_(obs::MetricsRegistry::global().counter(
+              "lod.residency.evictions")),
+          obs_transient_(obs::MetricsRegistry::global().counter(
+              "lod.residency.transient_loads"))
+    {
+    }
 
     /**
      * Return chunk @p index, decoding it via @p loader on a miss.
@@ -94,6 +106,7 @@ class ResidencyManager
             auto it = map_.find(index);
             if (it != map_.end()) {
                 ++stats_.hits;
+                obs_hits_.add();
                 // Move to the back of the recency list (most recent).
                 lru_.splice(lru_.end(), lru_, it->second.lru_it);
                 return it->second.chunk;
@@ -101,10 +114,14 @@ class ResidencyManager
         }
 
         auto chunk = std::make_shared<ResidentChunk>();
-        loader(*chunk);
+        {
+            obs::PerfScope decode_scope(obs::Stage::ChunkDecode);
+            loader(*chunk);
+        }
 
         MutexLock lock(mutex_);
         ++stats_.faults;
+        obs_faults_.add();
         auto it = map_.find(index);
         if (it != map_.end()) {
             // Another thread decoded it while we did; keep theirs.
@@ -113,6 +130,7 @@ class ResidencyManager
         }
         if (chunk->bytes() > budget_) {
             ++stats_.transient_loads;
+            obs_transient_.add();
             return chunk;
         }
         while (stats_.resident_bytes + chunk->bytes() > budget_)
@@ -156,11 +174,20 @@ class ResidencyManager
         auto it = map_.find(lru_.front());
         stats_.resident_bytes -= it->second.chunk->bytes();
         ++stats_.evictions;
+        obs_evictions_.add();
         map_.erase(it);
         lru_.pop_front();
     }
 
     std::size_t budget_;  ///< immutable after construction
+
+    /** Registry mirrors of stats_, cached at construction (lock-free
+     *  updates; no-ops when observability is compiled out). */
+    obs::Counter &obs_hits_;
+    obs::Counter &obs_faults_;
+    obs::Counter &obs_evictions_;
+    obs::Counter &obs_transient_;
+
     mutable Mutex mutex_;
     /** front = oldest, back = most recent. */
     std::list<std::size_t> lru_ GUARDED_BY(mutex_);

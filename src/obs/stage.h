@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The closed set of pipeline stages the perf recorder attributes time
+ * to.  A fixed enum (not free-form strings) keeps the hot recording
+ * path allocation-free and gives SLO miss attribution a stable,
+ * exhaustive component vocabulary.
+ */
+
+#ifndef GCC3D_OBS_STAGE_H
+#define GCC3D_OBS_STAGE_H
+
+#include <cstdint>
+
+namespace gcc3d::obs {
+
+/** Where a recorded duration was spent. */
+enum class Stage : std::uint8_t
+{
+    Queue = 0,   ///< scheduler queue wait (admissible -> dispatched)
+    Preprocess,  ///< projection/SH/culling pass of either renderer
+    Binning,     ///< tile/sub-view binning
+    Raster,      ///< per-tile / per-sub-view rasterization
+    Warp,        ///< temporal reprojection of an in-between frame
+    Decode,      ///< LOD cut build of a frame (residency faults inside)
+    ChunkDecode, ///< one leaf-chunk decode in the residency manager
+    SceneIo,     ///< .gsc scene file read/write
+    Frame,       ///< one served frame end to end (render call)
+    Job,         ///< one batch sweep job / serial fleet replay
+};
+
+inline constexpr int kStageCount = static_cast<int>(Stage::Job) + 1;
+
+/** Stable lower-case stage name (trace events, JSON keys). */
+inline const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+    case Stage::Queue:
+        return "queue";
+    case Stage::Preprocess:
+        return "preprocess";
+    case Stage::Binning:
+        return "binning";
+    case Stage::Raster:
+        return "raster";
+    case Stage::Warp:
+        return "warp";
+    case Stage::Decode:
+        return "decode";
+    case Stage::ChunkDecode:
+        return "chunk_decode";
+    case Stage::SceneIo:
+        return "scene_io";
+    case Stage::Frame:
+        return "frame";
+    case Stage::Job:
+        return "job";
+    }
+    return "unknown";
+}
+
+} // namespace gcc3d::obs
+
+#endif // GCC3D_OBS_STAGE_H

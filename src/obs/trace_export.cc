@@ -1,0 +1,73 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "obs/metrics_registry.h"
+
+namespace gcc3d::obs {
+
+std::string
+traceJson(const PerfRecorder &recorder)
+{
+    const std::vector<PerfSample> samples = recorder.samples();
+
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << "{\"traceEvents\": [";
+
+    // Metadata events naming each recording thread, so the trace UI
+    // shows "gcc3d worker N" rows instead of bare tids.
+    std::int32_t max_thread = -1;
+    for (const PerfSample &s : samples)
+        max_thread = std::max(max_thread, s.thread);
+    bool first = true;
+    for (std::int32_t t = 0; t <= max_thread; ++t) {
+        os << (first ? "" : ",")
+           << "\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+              "\"tid\": "
+           << t << ", \"args\": {\"name\": \"gcc3d worker " << t << "\"}}";
+        first = false;
+    }
+
+    for (const PerfSample &s : samples) {
+        os << (first ? "" : ",") << "\n  {\"name\": \"" << stageName(s.stage)
+           << "\", \"cat\": \"gcc3d\", \"ph\": \"X\", \"ts\": " << s.start_us
+           << ", \"dur\": " << s.dur_ms * 1000.0
+           << ", \"pid\": 1, \"tid\": " << s.thread;
+        if (s.session >= 0 || s.frame >= 0) {
+            os << ", \"args\": {";
+            bool first_arg = true;
+            if (s.session >= 0) {
+                os << "\"session\": " << s.session;
+                first_arg = false;
+            }
+            if (s.frame >= 0)
+                os << (first_arg ? "" : ", ") << "\"frame\": " << s.frame;
+            os << "}";
+        }
+        os << "}";
+        first = false;
+    }
+
+    os << (first ? "]" : "\n ]") << ",\n \"displayTimeUnit\": \"ms\"}";
+    return os.str();
+}
+
+std::string
+traceJson()
+{
+    return traceJson(PerfRecorder::global());
+}
+
+std::string
+observabilityJson()
+{
+    std::ostringstream os;
+    os << "{\"stages\": " << perfSummaryJson(PerfRecorder::global().summary())
+       << ",\n \"metrics\": " << MetricsRegistry::global().toJson() << "}";
+    return os.str();
+}
+
+} // namespace gcc3d::obs

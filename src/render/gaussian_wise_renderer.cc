@@ -5,9 +5,9 @@
 #include <numeric>
 #include <utility>
 
+#include "obs/perf_recorder.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
-#include "runtime/wallclock.h"
 
 namespace gcc3d {
 
@@ -645,7 +645,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         // then one view.  Stages II-IV stream depth groups
         // sequentially by construction, so this pass is the only
         // full-view stage the pool can help.
-        const auto t_start = monotonicNow();
+        obs::StageTimer stage_timer;
         struct DepthChunk
         {
             std::int64_t depth_culled = 0;
@@ -686,15 +686,14 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
             depths.insert(depths.end(), c.depths.begin(),
                           c.depths.end());
         }
-        const auto t_preprocessed = monotonicNow();
-        stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
+        stage_timer.lap(obs::Stage::Preprocess,
+                        &stats.stage.preprocess_ms);
         std::vector<std::uint8_t> flags(candidates.size(), 0);
         renderView(cloud, cam, candidates, depths, nullptr, 0, 0,
                    cam.width(), cam.height(), image, stats, flags,
                    localScratch());
         classifyFlags(flags, stats);
-        stats.stage.raster_ms +=
-            msBetween(t_preprocessed, monotonicNow());
+        stage_timer.lap(obs::Stage::Raster, &stats.stage.raster_ms);
         return image;
     }
 
@@ -707,7 +706,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
     const int sy = (cam.height() + sub - 1) / sub;
     const std::size_t num_subviews = static_cast<std::size_t>(sx) * sy;
 
-    const auto t_start = monotonicNow();
+    obs::StageTimer stage_timer;
     SplatCache cache;
     cache.index_of_id.assign(cloud.size(), SplatCache::kNone);
     std::vector<std::vector<std::uint32_t>> bins(num_subviews);
@@ -755,8 +754,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
             }
         },
         [&](std::size_t chunk_count) { chunks.resize(chunk_count); });
-    const auto t_preprocessed = monotonicNow();
-    stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
+    stage_timer.lap(obs::Stage::Preprocess, &stats.stage.preprocess_ms);
 
     // Chunk-ordered merge: bins stay sorted by id, exactly as a
     // serial pass would build them.
@@ -778,8 +776,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
     chunks.shrink_to_fit();
     for (const auto &bin : bins)
         stats.bin_records += static_cast<std::int64_t>(bin.size());
-    const auto t_binned = monotonicNow();
-    stats.stage.binning_ms += msBetween(t_preprocessed, t_binned);
+    stage_timer.lap(obs::Stage::Binning, &stats.stage.binning_ms);
 
     // ---- Render the sub-views: disjoint pixel regions, so they run
     // concurrently; stats merge in row-major sub-view order, making
@@ -831,7 +828,7 @@ GaussianWiseRenderer::render(const GaussianCloud &cloud, const Camera &cam,
             flags_by_id[bins[v][i]] |= outs[v].flags[i];
     }
     classifyFlags(flags_by_id, stats);
-    stats.stage.raster_ms += msBetween(t_binned, monotonicNow());
+    stage_timer.lap(obs::Stage::Raster, &stats.stage.raster_ms);
     return image;
 }
 
@@ -846,7 +843,7 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
     if (config_.subview_size <= 0 ||
         (config_.subview_size >= cam.width() &&
          config_.subview_size >= cam.height())) {
-        const auto t_start = monotonicNow();
+        obs::StageTimer stage_timer;
         std::vector<std::uint32_t> candidates;
         std::vector<float> depths;
         for (std::uint32_t id = 0; id < cloud.size(); ++id) {
@@ -858,20 +855,19 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
             candidates.push_back(id);
             depths.push_back(d);
         }
-        const auto t_preprocessed = monotonicNow();
-        stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
+        stage_timer.lap(obs::Stage::Preprocess,
+                        &stats.stage.preprocess_ms);
         std::vector<std::uint8_t> flags(candidates.size(), 0);
         renderViewReference(cloud, cam, candidates, depths, 0, 0,
                             cam.width(), cam.height(), image, stats,
                             flags);
         classifyFlags(flags, stats);
-        stats.stage.raster_ms +=
-            msBetween(t_preprocessed, monotonicNow());
+        stage_timer.lap(obs::Stage::Raster, &stats.stage.raster_ms);
         return image;
     }
 
     // ---- Compatibility Mode: scalar 2D spatial binning. ----
-    const auto t_start = monotonicNow();
+    obs::StageTimer stage_timer;
     const int sub = config_.subview_size;
     const int sx = (cam.width() + sub - 1) / sub;
     const int sy = (cam.height() + sub - 1) / sub;
@@ -899,8 +895,7 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
     }
     // Projection and binning are one interleaved loop here; attribute
     // it to preprocess (the breakdown of interest is the fast path's).
-    const auto t_preprocessed = monotonicNow();
-    stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
+    stage_timer.lap(obs::Stage::Preprocess, &stats.stage.preprocess_ms);
 
     std::vector<std::uint8_t> flags_by_id(cloud.size(), 0);
     for (int by = 0; by < sy; ++by) {
@@ -924,7 +919,7 @@ GaussianWiseRenderer::renderReference(const GaussianCloud &cloud,
         }
     }
     classifyFlags(flags_by_id, stats);
-    stats.stage.raster_ms += msBetween(t_preprocessed, monotonicNow());
+    stage_timer.lap(obs::Stage::Raster, &stats.stage.raster_ms);
     return image;
 }
 

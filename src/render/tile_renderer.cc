@@ -8,13 +8,60 @@
 
 #include "gsmath/simd.h"
 #include "gsmath/sort_keys.h"
+#include "obs/metrics_registry.h"
+#include "obs/perf_recorder.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
-#include "runtime/wallclock.h"
 
 namespace gcc3d {
 
 namespace {
+
+/**
+ * Mirrors the deltas a temporal frame applies to its cache-local
+ * TemporalCounters into the global metrics registry, whatever path
+ * the frame exits through.  The per-cache counters stay the source
+ * of truth for stats/equivalence; the registry copies are for fleet
+ * dashboards and --metrics-out.
+ */
+class TemporalCounterMirror
+{
+  public:
+    explicit TemporalCounterMirror(const TemporalCounters &c)
+        : c_(c), before_(c)
+    {
+    }
+
+    ~TemporalCounterMirror()
+    {
+        static obs::Counter &frames =
+            obs::MetricsRegistry::global().counter("render.temporal.frames");
+        static obs::Counter &exact = obs::MetricsRegistry::global().counter(
+            "render.temporal.exact_frames");
+        static obs::Counter &copied = obs::MetricsRegistry::global().counter(
+            "render.temporal.copied_frames");
+        static obs::Counter &warped = obs::MetricsRegistry::global().counter(
+            "render.temporal.warped_frames");
+        static obs::Counter &reused = obs::MetricsRegistry::global().counter(
+            "render.temporal.tiles_reused");
+        static obs::Counter &rastered =
+            obs::MetricsRegistry::global().counter(
+                "render.temporal.tiles_rastered");
+        frames.add(c_.frames - before_.frames);
+        exact.add(c_.exact_frames - before_.exact_frames);
+        copied.add(c_.copied_frames - before_.copied_frames);
+        warped.add(c_.warped_frames - before_.warped_frames);
+        reused.add(c_.tiles_reused - before_.tiles_reused);
+        rastered.add(c_.tiles_rastered - before_.tiles_rastered);
+    }
+
+    TemporalCounterMirror(const TemporalCounterMirror &) = delete;
+    TemporalCounterMirror &operator=(const TemporalCounterMirror &) = delete;
+
+  private:
+    const TemporalCounters &c_;
+    const TemporalCounters before_;
+};
 
 /**
  * Dispatch grain of the per-tile rasterization fan-out: a chunk must
@@ -343,13 +390,12 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         static_cast<std::size_t>(tiles_x) * tiles_y;
 
     // ---- Stage 1: preprocess every Gaussian (decoupled). ----
-    const auto t_start = monotonicNow();
+    obs::StageTimer stage_timer;
     std::vector<Splat> splats = preprocessAll(cloud, cam, stats.pre, pool);
     SplatSoA soa = SplatSoA::build(splats, config_.bounding, tile,
                                    config_.alpha_cutoff, width, height);
     const std::size_t n = soa.size();
-    const auto t_preprocessed = monotonicNow();
-    stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
+    stage_timer.lap(obs::Stage::Preprocess, &stats.stage.preprocess_ms);
 
     // ---- Tile binning: CSR built in two passes over a flat pair
     // list.  Pass 1 walks each splat's coverage exactly once (the
@@ -398,8 +444,7 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         pair_kv.clear();
         pair_kv.shrink_to_fit();
     }
-    const auto t_binned = monotonicNow();
-    stats.stage.binning_ms += msBetween(t_preprocessed, t_binned);
+    stage_timer.lap(obs::Stage::Binning, &stats.stage.binning_ms);
 
     // ---- Stage 2: render tile by tile in scanline order.  Tiles own
     // disjoint pixel regions and disjoint CSR slices, so contiguous
@@ -492,7 +537,7 @@ TileRenderer::render(const GaussianCloud &cloud, const Camera &cam,
         stats.fetched_gaussians += std::popcount(fetched_any[w]);
         stats.rendered_gaussians += std::popcount(contributed_any[w]);
     }
-    stats.stage.raster_ms += msBetween(t_binned, monotonicNow());
+    stage_timer.lap(obs::Stage::Raster, &stats.stage.raster_ms);
     return image;
 }
 
@@ -511,6 +556,7 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
     const std::size_t num_tiles =
         static_cast<std::size_t>(tiles_x) * tiles_y;
     TemporalCounters &tc = cache.counters_;
+    TemporalCounterMirror tc_mirror(tc);
     ++tc.frames;
 
     // ---- Snapshot check: any change of viewport, renderer config or
@@ -551,12 +597,14 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
                 ++tc.copied_frames;
                 return cache.warp_image_;
             }
-            const auto t_warp = monotonicNow();
-            Image out = warpFromExact(cache.exact_camera_,
-                                      cache.exact_image_,
-                                      cache.depth_, cam);
-            stats.stage.warp_ms +=
-                msBetween(t_warp, monotonicNow());
+            Image out;
+            {
+                obs::PerfScope warp_scope(obs::Stage::Warp,
+                                          &stats.stage.warp_ms);
+                out = warpFromExact(cache.exact_camera_,
+                                    cache.exact_image_,
+                                    cache.depth_, cam);
+            }
             ++tc.warped_frames;
             --cache.warp_phase_;
             cache.warp_cached_ = true;
@@ -569,7 +617,7 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
     }
 
     // ---- Exact frame: preprocess + SoA (identical to render()). ----
-    const auto t_start = monotonicNow();
+    obs::StageTimer stage_timer;
     std::vector<Splat> splats = preprocessAll(cloud, cam, stats.pre, pool);
     SplatSoA soa = SplatSoA::build(splats, config_.bounding, tile,
                                    config_.alpha_cutoff, width, height);
@@ -580,8 +628,7 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
         ids[si] = splats[si].id;
         depths[si] = splats[si].depth;
     }
-    const auto t_preprocessed = monotonicNow();
-    stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
+    stage_timer.lap(obs::Stage::Preprocess, &stats.stage.preprocess_ms);
 
     // ---- Per-splat coverage lists (the CSR row inputs): the same
     // walk render()'s pair emission does, kept per splat so next
@@ -766,8 +813,7 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
                            static_cast<std::int64_t>(dirty_tiles.size());
     }
     tc.tiles_rastered += static_cast<std::int64_t>(dirty_tiles.size());
-    const auto t_binned = monotonicNow();
-    stats.stage.binning_ms += msBetween(t_preprocessed, t_binned);
+    stage_timer.lap(obs::Stage::Binning, &stats.stage.binning_ms);
 
     // ---- Re-rasterize only the dirty tiles, straight into the
     // retained composited image (clean tiles keep their pixels).
@@ -841,7 +887,7 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
         stats.fetched_gaussians += std::popcount(fetched_any[w]);
         stats.rendered_gaussians += std::popcount(contributed_any[w]);
     }
-    stats.stage.raster_ms += msBetween(t_binned, monotonicNow());
+    stage_timer.lap(obs::Stage::Raster, &stats.stage.raster_ms);
 
     // ---- Retain this frame's state for the next one. ----
     cache.valid_ = true;
@@ -885,10 +931,9 @@ TileRenderer::renderReference(const GaussianCloud &cloud,
     const int tiles_y = (height + tile - 1) / tile;
 
     // ---- Stage 1: preprocess every Gaussian (decoupled). ----
-    const auto t_start = monotonicNow();
+    obs::StageTimer stage_timer;
     std::vector<Splat> splats = preprocessAll(cloud, cam, stats.pre);
-    const auto t_preprocessed = monotonicNow();
-    stats.stage.preprocess_ms += msBetween(t_start, t_preprocessed);
+    stage_timer.lap(obs::Stage::Preprocess, &stats.stage.preprocess_ms);
 
     // ---- Tile binning: build Gaussian-tile KV pairs. ----
     std::vector<std::vector<std::uint32_t>> tile_lists(
@@ -916,8 +961,7 @@ TileRenderer::renderReference(const GaussianCloud &cloud,
         }
     }
 
-    const auto t_binned = monotonicNow();
-    stats.stage.binning_ms += msBetween(t_preprocessed, t_binned);
+    stage_timer.lap(obs::Stage::Binning, &stats.stage.binning_ms);
 
     // ---- Stage 2: render tile by tile in scanline order. ----
     Image image(width, height);
@@ -1019,7 +1063,7 @@ TileRenderer::renderReference(const GaussianCloud &cloud,
             }
         }
     }
-    stats.stage.raster_ms += msBetween(t_binned, monotonicNow());
+    stage_timer.lap(obs::Stage::Raster, &stats.stage.raster_ms);
     return image;
 }
 

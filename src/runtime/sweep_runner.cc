@@ -5,9 +5,9 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "obs/perf_recorder.h"
 #include "runtime/mutex.h"
 #include "runtime/thread_annotations.h"
-#include "runtime/wallclock.h"
 
 #include "core/accelerator.h"
 #include "gscore/gscore_sim.h"
@@ -132,7 +132,10 @@ SweepRunner::runJob(const SimJob &job, const SceneData &scene)
     const Camera &cam = scene.trajectory.frame(
         static_cast<std::size_t>(job.frame));
 
-    const MonoTime start = monotonicNow();
+    // wall_ms is bench output (BENCH_*.json), so it reads the
+    // behavioral clock — real in GCC3D_OBS=OFF builds; the recorder
+    // sample below is the observability copy.
+    const MonoTime start = obs::tickNow();
     switch (job.backend) {
     case Backend::Gcc: {
         GccAccelerator acc(job.variant.gcc);
@@ -176,7 +179,10 @@ SweepRunner::runJob(const SimJob &job, const SceneData &scene)
         break;
     }
     }
-    r.wall_ms = msSince(start);
+    r.wall_ms = msBetween(start, obs::tickNow());
+    obs::PerfRecorder::global().addSample(
+        obs::Stage::Job, r.wall_ms,
+        obs::SampleTag{-1, job.frame, static_cast<std::uint32_t>(job.id)});
     r.ok = true;
     return r;
 }

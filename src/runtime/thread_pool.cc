@@ -5,6 +5,12 @@
 namespace gcc3d {
 
 ThreadPool::ThreadPool(int workers)
+    : obs_tasks_(obs::MetricsRegistry::global().counter(
+          "runtime.pool.tasks")),
+      obs_depth_(obs::MetricsRegistry::global().gauge(
+          "runtime.pool.queue_depth")),
+      obs_wait_ms_(obs::MetricsRegistry::global().histogram(
+          "runtime.pool.queue_wait_ms"))
 {
     int count = std::max(1, workers);
     workers_.reserve(static_cast<std::size_t>(count));

@@ -30,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics_registry.h"
+#include "obs/perf_recorder.h"
 #include "runtime/mutex.h"
 #include "runtime/thread_annotations.h"
 
@@ -92,7 +94,20 @@ class ThreadPool
             if (stopping_)
                 throw std::runtime_error(
                     "ThreadPool::submit after shutdown began");
+#if GCC3D_OBS_ENABLED
+            // Stamp the enqueue so the dequeuing worker can record
+            // how long the task sat in the queue.
+            const MonoTime enqueued = obs::tickNow();
+            obs::Histogram &wait_ms = obs_wait_ms_;
+            queue_.push([task, enqueued, &wait_ms] {
+                wait_ms.record(msBetween(enqueued, obs::tickNow()));
+                (*task)();
+            });
+            obs_tasks_.add();
+            obs_depth_.set(static_cast<double>(queue_.size()));
+#else
             queue_.push([task] { (*task)(); });
+#endif
         }
         cv_.notifyOne();
         return result;
@@ -113,6 +128,13 @@ class ThreadPool
     CondVar cv_;
     std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
     bool stopping_ GUARDED_BY(mutex_) = false;
+
+    /** Pool instrumentation; registry refs cached at construction so
+     *  submit() never does a by-name lookup (no-ops when compiled
+     *  out).  Updates are lock-free atomics. */
+    obs::Counter &obs_tasks_;
+    obs::Gauge &obs_depth_;
+    obs::Histogram &obs_wait_ms_;
 };
 
 } // namespace gcc3d

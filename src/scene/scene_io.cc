@@ -16,6 +16,8 @@
 
 #include "gsmath/fixed_point.h"
 #include "gsmath/half.h"
+#include "obs/metrics_registry.h"
+#include "obs/perf_recorder.h"
 
 namespace gcc3d {
 
@@ -337,6 +339,8 @@ saveCloud(const GaussianCloud &cloud, std::ostream &os)
 bool
 saveCloudFile(const GaussianCloud &cloud, const std::string &path)
 {
+    obs::PerfScope io_scope(obs::Stage::SceneIo);
+    obs::MetricsRegistry::global().counter("scene.io.writes").add();
     std::ofstream f(path, std::ios::binary);
     if (!f)
         return false;
@@ -363,6 +367,8 @@ loadCloud(std::istream &is)
 GaussianCloud
 loadCloudFile(const std::string &path)
 {
+    obs::PerfScope io_scope(obs::Stage::SceneIo);
+    obs::MetricsRegistry::global().counter("scene.io.reads").add();
     std::ifstream f(path, std::ios::binary);
     if (!f)
         throw std::runtime_error("scene_io: cannot open " + path);
@@ -629,6 +635,8 @@ bool
 saveCloudV2File(const GaussianCloud &cloud, const std::string &path,
                 const GscV2Options &options)
 {
+    obs::PerfScope io_scope(obs::Stage::SceneIo);
+    obs::MetricsRegistry::global().counter("scene.io.writes").add();
     std::ofstream f(path, std::ios::binary);
     if (!f)
         return false;

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "runtime/wallclock.h"
+#include "obs/perf_recorder.h"
 
 namespace gcc3d {
 
@@ -54,7 +54,9 @@ renderSerial(const std::vector<Session> &sessions)
     // sequence to reproduce the same checksums.
     for (const Session &s : sessions)
         s.resetTemporal();
-    const MonoTime start = monotonicNow();
+    // wall_ms feeds fleet_fps (a report field, not a perf sample), so
+    // it reads the behavioral clock — real in GCC3D_OBS=OFF builds.
+    const MonoTime start = obs::tickNow();
     int rendered = 0;
     for (const Session &s : sessions) {
         double sum = 0.0;
@@ -64,7 +66,8 @@ renderSerial(const std::vector<Session> &sessions)
         }
         base.checksums.push_back(sum);
     }
-    base.wall_ms = msSince(start);
+    base.wall_ms = msBetween(start, obs::tickNow());
+    obs::PerfRecorder::global().addSample(obs::Stage::Job, base.wall_ms);
     base.fleet_fps =
         base.wall_ms > 0.0 ? rendered * 1000.0 / base.wall_ms : 0.0;
     return base;

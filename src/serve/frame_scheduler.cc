@@ -6,7 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
-#include "runtime/wallclock.h"
+#include "obs/metrics_registry.h"
+#include "obs/perf_recorder.h"
 
 namespace gcc3d {
 
@@ -89,8 +90,22 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
     for (const Session &s : sessions)
         s.resetTemporal();
 
-    const MonoTime t0 = monotonicNow();
-    auto now_ms = [t0] { return msSince(t0); };
+    // Pacing and SLO accounting are behavior, not observability:
+    // obs::tickNow() stays a real clock read in every build.
+    const MonoTime t0 = obs::tickNow();
+    auto now_ms = [t0] { return msBetween(t0, obs::tickNow()); };
+
+    // Scheduler-level instrumentation.  The registry refs are cached
+    // once per run; the depth profile also feeds the report so tests
+    // see it without the registry.
+    obs::Gauge &depth_gauge =
+        obs::MetricsRegistry::global().gauge("serve.queue_depth");
+    obs::Counter &shed_counter = obs::MetricsRegistry::global().counter(
+        "serve.sheds." + schedulerPolicyName(options_.policy));
+    obs::Histogram &latency_hist =
+        obs::MetricsRegistry::global().histogram("serve.latency_ms");
+    std::vector<double> depth_samples;  // mutex_-guarded (workers)
+    std::int64_t sheds = 0;             // mutex_-guarded (workers)
 
     std::vector<SessionState> states(sessions.size());
     std::uint64_t seq = 0;
@@ -107,13 +122,17 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
                     : std::min(options_.workers, pool.workerCount());
     loops = std::max(loops, 1);
 
-    // Policy choice among admissible sessions; mutex_ held.
-    auto pick = [this, &states](double now) -> SessionState * {
+    // Policy choice among admissible sessions; mutex_ held.  Also
+    // reports the admissible count — the queue depth this dispatch
+    // decision chose from.
+    auto pick = [this, &states](double now, int *depth) -> SessionState * {
         SessionState *best = nullptr;
+        int admissible = 0;
         for (SessionState &s : states) {
             if (s.exhausted() || s.in_flight ||
                 s.releaseMs(s.next_frame) > now)
                 continue;
+            ++admissible;
             if (best == nullptr) {
                 best = &s;
                 continue;
@@ -141,21 +160,25 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
             if (wins)
                 best = &s;
         }
+        if (depth != nullptr)
+            *depth = admissible;
         return best;
     };
 
-    auto worker = [this, &states, &seq, &pick, &now_ms] {
+    auto worker = [this, &states, &seq, &pick, &now_ms, &depth_samples,
+                   &sheds, &depth_gauge, &shed_counter, &latency_hist] {
         bool done = false;
         while (!done) {
             UniqueLock lock(mutex_);
             SessionState *picked = nullptr;
+            int depth = 0;
             while (true) {
                 if (stop_.load(std::memory_order_acquire)) {
                     done = true;
                     break;
                 }
                 double now = now_ms();
-                picked = pick(now);
+                picked = pick(now, &depth);
                 if (picked != nullptr)
                     break;
 
@@ -189,10 +212,17 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
             const double deadline = picked->deadlineMs(frame);
             const double admissible = picked->admissibleMs();
             const double dispatch = now_ms();
+            const obs::SampleTag tag{picked->session->id(), frame, 0};
+
+            // Every dispatch decision samples the depth it chose from.
+            depth_samples.push_back(static_cast<double>(depth));
+            depth_gauge.set(static_cast<double>(depth));
 
             FrameRecord rec;
             rec.frame = frame;
             rec.queue_wait_ms = std::max(0.0, dispatch - admissible);
+            obs::PerfRecorder::global().addSample(obs::Stage::Queue,
+                                                  rec.queue_wait_ms, tag);
 
             if (options_.drop_late && dispatch > deadline) {
                 // Overload shedding: hopelessly late, don't render.
@@ -202,6 +232,8 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
                 picked->next_frame++;
                 picked->ready_ms = dispatch;
                 picked->ready_seq = seq++;
+                ++sheds;
+                shed_counter.add();
                 cv_.notifyAll();
                 continue;
             }
@@ -212,7 +244,7 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
             double checksum = 0.0;
             bool rendered = true;
             try {
-                checksum = picked->session->renderFrame(frame);
+                checksum = picked->session->renderFrame(frame, &rec.cost);
             } catch (const std::exception &) {
                 rendered = false;  // never wedge the fleet on one frame
             }
@@ -231,6 +263,9 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
             rec.latency_ms =
                 complete - (picked->period_ms > 0.0 ? release : admissible);
             rec.deadline_missed = complete > deadline;
+            obs::PerfRecorder::global().addSample(obs::Stage::Frame,
+                                                  rec.render_ms, tag);
+            latency_hist.record(rec.latency_ms);
             picked->records.push_back(rec);
             picked->next_frame++;
             picked->in_flight = false;
@@ -251,6 +286,8 @@ FrameScheduler::run(const std::vector<Session> &sessions, ThreadPool &pool)
     report.policy = schedulerPolicyName(options_.policy);
     report.workers = loops;
     report.wall_ms = now_ms();
+    report.queue_depth = aggregate(std::move(depth_samples));
+    report.sheds = sheds;
     for (const SessionState &s : states)
         if (!s.exhausted())
             report.drained = true;

@@ -42,11 +42,14 @@ summarizeSession(const Session &session, std::vector<FrameRecord> frames,
     for (const FrameRecord &f : frames) {
         if (!f.rendered) {
             ++s.frames_dropped;
+            s.miss_attribution.add(classifyMiss(f));
             continue;
         }
         ++s.frames_rendered;
-        if (f.deadline_missed)
+        if (f.deadline_missed) {
             ++s.deadline_misses;
+            s.miss_attribution.add(classifyMiss(f));
+        }
         s.checksum += f.checksum;  // frame order: deterministic sum
         waits.push_back(f.queue_wait_ms);
         renders.push_back(f.render_ms);
@@ -143,6 +146,15 @@ ServeReport::fleetRenderMs() const
         sessions, [](const FrameRecord &f) { return f.render_ms; }));
 }
 
+MissAttribution
+ServeReport::missAttribution() const
+{
+    MissAttribution fleet;
+    for (const SessionStats &s : sessions)
+        fleet.merge(s.miss_attribution);
+    return fleet;
+}
+
 std::string
 ServeReport::toJson() const
 {
@@ -157,10 +169,13 @@ ServeReport::toJson() const
        << ", \"frames_dropped\": " << framesDropped()
        << ", \"deadline_misses\": " << deadlineMisses()
        << ", \"fleet_fps\": " << fleetFps()
-       << ", \"miss_rate\": " << missRate() << ",\n"
+       << ", \"miss_rate\": " << missRate()
+       << ", \"sheds\": " << sheds << ",\n"
        << "    \"latency_ms\": " << aggregateJson(fleetLatencyMs())
        << ",\n    \"queue_wait_ms\": " << aggregateJson(fleetQueueWaitMs())
        << ",\n    \"render_ms\": " << aggregateJson(fleetRenderMs())
+       << ",\n    \"queue_depth\": " << aggregateJson(queue_depth)
+       << ",\n    \"miss_attribution\": " << missAttribution().toJson()
        << "},\n  \"sessions\": [\n";
     for (std::size_t i = 0; i < sessions.size(); ++i) {
         const SessionStats &s = sessions[i];
@@ -195,6 +210,8 @@ ServeReport::toJson() const
            << ",\n     \"queue_wait_ms\": "
            << aggregateJson(s.queue_wait_ms)
            << ",\n     \"render_ms\": " << aggregateJson(s.render_ms)
+           << ",\n     \"miss_attribution\": "
+           << s.miss_attribution.toJson()
            << "}" << (i + 1 < sessions.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
@@ -230,6 +247,21 @@ ServeReport::print(std::FILE *out) const
                  framesRendered(), framesTotal(), framesDropped(),
                  fleetFps(), 100.0 * missRate(), lat.mean, lat.p50,
                  lat.p90, lat.p99, lat.p999, lat.max);
+    const MissAttribution ma = missAttribution();
+    if (ma.total() > 0) {
+        std::fprintf(out, "fleet miss attribution:");
+        for (int i = 0; i < kMissComponentCount; ++i) {
+            const std::int64_t n =
+                ma.counts[static_cast<std::size_t>(i)];
+            if (n > 0)
+                std::fprintf(
+                    out, " %s %lld",
+                    missComponentName(static_cast<MissComponent>(i)),
+                    static_cast<long long>(n));
+        }
+        std::fprintf(out, " (%.0f%% named)\n",
+                     100.0 * ma.namedFraction());
+    }
 }
 
 } // namespace gcc3d

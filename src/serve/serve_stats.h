@@ -20,6 +20,7 @@
 
 #include "runtime/result_table.h"
 #include "serve/session.h"
+#include "serve/slo_attribution.h"
 
 namespace gcc3d {
 
@@ -59,6 +60,10 @@ struct SessionStats
     int temporal = 0;                 ///< configured every-k (0 = off)
     TemporalCounters temporal_counters;
 
+    /** Dominant-component attribution of this session's SLO misses
+     *  (dropped frames + late renders); see serve/slo_attribution.h. */
+    MissAttribution miss_attribution;
+
     std::vector<FrameRecord> frames;  ///< per-frame detail, frame order
 };
 
@@ -74,6 +79,13 @@ struct ServeReport
     int workers = 0;
     double wall_ms = 0.0;
     bool drained = false; ///< true when stopped before completion
+
+    /** Admissible-session count sampled at every dispatch decision —
+     *  the scheduler's queue-depth profile under this load. */
+    Aggregate queue_depth;
+
+    /** Frames shed by the policy (dropped without rendering). */
+    std::int64_t sheds = 0;
 
     std::vector<SessionStats> sessions;
 
@@ -96,6 +108,9 @@ struct ServeReport
     Aggregate fleetLatencyMs() const;
     Aggregate fleetQueueWaitMs() const;
     Aggregate fleetRenderMs() const;
+
+    /** Fleet-wide SLO miss attribution (merged over sessions). */
+    MissAttribution missAttribution() const;
 
     /** JSON object (fleet summary + per-session entries). */
     std::string toJson() const;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/perf_recorder.h"
 #include "runtime/sweep_runner.h"
 
 namespace gcc3d {
@@ -58,27 +59,53 @@ Session::periodMs() const
 double
 Session::renderFrame(int frame) const
 {
+    return renderFrame(frame, nullptr);
+}
+
+double
+Session::renderFrame(int frame, FrameStageCost *cost) const
+{
     if (frame < 0 || frame >= config_.frames)
         throw std::out_of_range("session frame index out of range");
+    // Recorder samples emitted below (renderer laps, LOD decode,
+    // chunk decodes) carry this session/frame in the trace.
+    obs::FrameTag tag(config_.id, frame);
     const Camera &cam =
         scene_.trajectory->frame(static_cast<std::size_t>(frame));
     // LOD sessions render the camera's cut; resident-cloud sessions
     // render the shared cloud.  Both are pure in (scene, camera).
     GaussianCloud cut;
     const GaussianCloud *cloud = scene_.cloud.get();
+    double decode_ms = 0.0;
     if (scene_.lod) {
+        obs::PerfScope decode_scope(obs::Stage::Decode, &decode_ms);
         cut = scene_.lod->buildCut(cam, config_.lod_cut);
         cloud = &cut;
     }
     if (config_.renderer == SessionRenderer::Tile) {
         StandardFlowStats stats;
-        if (temporal_)
-            return imageChecksum(
-                tile_.renderTemporal(*cloud, cam, stats, *temporal_));
-        return imageChecksum(tile_.render(*cloud, cam, stats));
+        const Image image =
+            temporal_ ? tile_.renderTemporal(*cloud, cam, stats, *temporal_)
+                      : tile_.render(*cloud, cam, stats);
+        if (cost != nullptr) {
+            cost->pre_ms = stats.stage.preprocess_ms;
+            cost->bin_ms = stats.stage.binning_ms;
+            cost->raster_ms = stats.stage.raster_ms;
+            cost->warp_ms = stats.stage.warp_ms;
+            cost->decode_ms = decode_ms;
+        }
+        return imageChecksum(image);
     }
     GaussianWiseStats stats;
-    return imageChecksum(gw_.render(*cloud, cam, stats));
+    const Image image = gw_.render(*cloud, cam, stats);
+    if (cost != nullptr) {
+        cost->pre_ms = stats.stage.preprocess_ms;
+        cost->bin_ms = stats.stage.binning_ms;
+        cost->raster_ms = stats.stage.raster_ms;
+        cost->warp_ms = stats.stage.warp_ms;
+        cost->decode_ms = decode_ms;
+    }
+    return imageChecksum(image);
 }
 
 } // namespace gcc3d

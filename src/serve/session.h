@@ -74,6 +74,23 @@ struct SessionConfig
     int temporal = 0;
 };
 
+/**
+ * Per-stage cost breakdown of one rendered frame, the evidence SLO
+ * miss attribution (serve/slo_attribution.h) argmaxes over.  Filled
+ * by Session::renderFrame from the renderer's StageTimes plus the
+ * session-level LOD cut build; all zeros when the frame was dropped
+ * or the observability hooks are compiled out (GCC3D_OBS=OFF), in
+ * which case misses attribute to queue wait or "unknown".
+ */
+struct FrameStageCost
+{
+    double pre_ms = 0.0;     ///< projection/SH/culling
+    double bin_ms = 0.0;     ///< tile / sub-view binning
+    double raster_ms = 0.0;  ///< rasterization
+    double warp_ms = 0.0;    ///< temporal reprojection
+    double decode_ms = 0.0;  ///< LOD cut build (chunk decodes inside)
+};
+
 /** The outcome of rendering (or dropping) one session frame. */
 struct FrameRecord
 {
@@ -84,6 +101,7 @@ struct FrameRecord
     double render_ms = 0.0;      ///< render call wall time
     double latency_ms = 0.0;     ///< released -> completed (SLO metric)
     double checksum = 0.0;       ///< pixel fingerprint (0 when dropped)
+    FrameStageCost cost;         ///< where render_ms went
 };
 
 /**
@@ -126,6 +144,14 @@ class Session
      * purity guarantee survives budget pressure.
      */
     double renderFrame(int frame) const;
+
+    /**
+     * As above, additionally reporting the frame's per-stage cost
+     * breakdown into @p cost (may be null).  Rendering runs under an
+     * obs::FrameTag, so recorder samples from inside the renderers
+     * carry this session/frame.
+     */
+    double renderFrame(int frame, FrameStageCost *cost) const;
 
     /**
      * The session's temporal cache, or null when config.temporal is

@@ -1,0 +1,89 @@
+#include "serve/slo_attribution.h"
+
+#include <sstream>
+#include <utility>
+
+namespace gcc3d {
+
+const char *
+missComponentName(MissComponent component)
+{
+    switch (component) {
+    case MissComponent::Queue:
+        return "queue";
+    case MissComponent::Preprocess:
+        return "pre";
+    case MissComponent::Binning:
+        return "bin";
+    case MissComponent::Raster:
+        return "raster";
+    case MissComponent::Warp:
+        return "warp";
+    case MissComponent::Decode:
+        return "decode";
+    case MissComponent::Unknown:
+        return "unknown";
+    }
+    return "unknown";
+}
+
+MissComponent
+classifyMiss(const FrameRecord &rec)
+{
+    // A dropped frame never rendered: the only cost it accrued is
+    // sitting in the queue past its deadline.
+    if (!rec.rendered)
+        return MissComponent::Queue;
+
+    const std::array<std::pair<MissComponent, double>, 6> components = {{
+        {MissComponent::Queue, rec.queue_wait_ms},
+        {MissComponent::Preprocess, rec.cost.pre_ms},
+        {MissComponent::Binning, rec.cost.bin_ms},
+        {MissComponent::Raster, rec.cost.raster_ms},
+        {MissComponent::Warp, rec.cost.warp_ms},
+        {MissComponent::Decode, rec.cost.decode_ms},
+    }};
+    MissComponent best = MissComponent::Unknown;
+    double best_ms = 0.0;
+    for (const auto &[component, ms] : components) {
+        if (ms > best_ms) {
+            best = component;
+            best_ms = ms;
+        }
+    }
+    return best;
+}
+
+std::int64_t
+MissAttribution::total() const
+{
+    std::int64_t sum = 0;
+    for (const std::int64_t n : counts)
+        sum += n;
+    return sum;
+}
+
+double
+MissAttribution::namedFraction() const
+{
+    const std::int64_t all = total();
+    if (all == 0)
+        return 1.0;
+    const std::int64_t unknown =
+        counts[static_cast<std::size_t>(MissComponent::Unknown)];
+    return static_cast<double>(all - unknown) / static_cast<double>(all);
+}
+
+std::string
+MissAttribution::toJson() const
+{
+    std::ostringstream os;
+    os << "{";
+    for (int i = 0; i < kMissComponentCount; ++i)
+        os << "\"" << missComponentName(static_cast<MissComponent>(i))
+           << "\": " << counts[static_cast<std::size_t>(i)] << ", ";
+    os << "\"named_fraction\": " << namedFraction() << "}";
+    return os.str();
+}
+
+} // namespace gcc3d

@@ -1,0 +1,32 @@
+// Fixture: direct calls to the sanctioned clock that bypass the
+// observability recorder.  Linted under src/serve/raw_clock.cc.
+// Expected recorder findings: the monotonicNow() call and the
+// msSince() call.  msBetween() (pure arithmetic on timestamps already
+// taken) and the suppressed site must stay clean; so must the same
+// text under src/obs/, runtime/wallclock.h itself, or outside src/.
+#include "runtime/wallclock.h"
+
+namespace gcc3d {
+
+double
+fixtureRawClock()
+{
+    MonoTime t0 = monotonicNow();
+    double waited = msSince(t0);
+
+    // Pure arithmetic on already-taken timestamps is always legal.
+    double between = msBetween(t0, t0);
+
+    // gsc-lint: allow(recorder) — fixture exercising the suppression
+    // path; real code justifies why the recorder must be bypassed.
+    MonoTime suppressed = monotonicNow();
+    (void)suppressed;
+
+    // The identifiers inside a string never fire.
+    const char *label = "monotonicNow() msSince()";
+    (void)label;
+
+    return waited + between;
+}
+
+} // namespace gcc3d

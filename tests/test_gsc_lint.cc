@@ -156,6 +156,65 @@ TEST(GscLint, MutexGuardRequiresGuardedByOrJustifiedAllow)
                            "mutex-guard"));
 }
 
+TEST(GscLint, RecorderFlagsRawClockCallsInSrc)
+{
+    const std::string text = fixture("raw_clock.cc");
+    const std::vector<Finding> rec =
+        withRule(lintSource("src/serve/raw_clock.cc", text), "recorder");
+    ASSERT_EQ(rec.size(), 2u);
+    EXPECT_TRUE(findingAt(rec, lineOf(text, "MonoTime t0"), "recorder"));
+    EXPECT_TRUE(findingAt(rec, lineOf(text, "double waited"), "recorder"));
+    // msBetween is pure arithmetic and always legal.
+    EXPECT_FALSE(
+        findingAt(rec, lineOf(text, "double between"), "recorder"));
+    EXPECT_FALSE(
+        findingAt(rec, lineOf(text, "MonoTime suppressed"), "recorder"));
+    // Identifiers inside a string literal never fire.
+    EXPECT_FALSE(
+        findingAt(rec, lineOf(text, "const char *label"), "recorder"));
+}
+
+TEST(GscLint, RecorderExemptsObsWallclockAndNonSrc)
+{
+    const std::string text = fixture("raw_clock.cc");
+    EXPECT_TRUE(
+        withRule(lintSource("src/obs/perf_recorder.cc", text), "recorder")
+            .empty());
+    EXPECT_TRUE(
+        withRule(lintSource("src/runtime/wallclock.h", text), "recorder")
+            .empty());
+    EXPECT_TRUE(
+        withRule(lintSource("bench/obs_overhead.cpp", text), "recorder")
+            .empty());
+}
+
+TEST(GscLint, RecorderToggleDisablesCheck)
+{
+    const std::string text = fixture("raw_clock.cc");
+    Options off;
+    off.recorder = false;
+    EXPECT_TRUE(
+        withRule(lintSource("src/serve/raw_clock.cc", text, off),
+                 "recorder")
+            .empty());
+}
+
+TEST(GscLint, LayeringRanksObsBesideScene)
+{
+    const std::string text = "#include \"obs/perf_recorder.h\"\n";
+    // Equal and higher ranks may include obs...
+    EXPECT_TRUE(
+        withRule(lintSource("src/scene/x.cc", text), "layering").empty());
+    EXPECT_TRUE(
+        withRule(lintSource("src/render/x.cc", text), "layering").empty());
+    EXPECT_TRUE(
+        withRule(lintSource("src/serve/x.cc", text), "layering").empty());
+    // ...but the math substrate below it may not.
+    EXPECT_EQ(
+        withRule(lintSource("src/gsmath/x.cc", text), "layering").size(),
+        1u);
+}
+
 TEST(GscLint, CleanServeFileProducesNoFindings)
 {
     const std::string text = fixture("clean.cc");

@@ -9,12 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "obs/obs_config.h"
 #include "serve/fleet.h"
 #include "serve/frame_scheduler.h"
+#include "serve/slo_attribution.h"
 #include "test_util.h"
 
 namespace gcc3d {
@@ -255,6 +258,73 @@ TEST(FrameScheduler, DropLateShedsHopelesslyLateFrames)
         for (int f = 0; f < 3; ++f)
             EXPECT_EQ(s.frames[static_cast<std::size_t>(f)].frame, f);
     }
+}
+
+TEST(FrameScheduler, OverloadExposesQueueDepthAndShedCounters)
+{
+    FleetSpec spec = tinyFleet(4, 3);
+    spec.fps_target = 1e6;  // deadlines pass before dispatch
+    SceneRegistry registry;
+    std::vector<Session> fleet = buildFleet(spec, registry);
+
+    ThreadPool pool(2);
+    SchedulerOptions options;
+    options.policy = SchedulerPolicy::Edf;
+    options.drop_late = true;
+    FrameScheduler scheduler(options);
+    ServeReport report = scheduler.run(fleet, pool);
+
+    // Every frame was shed, and every shed was counted.
+    EXPECT_EQ(report.framesDropped(), 4 * 3);
+    EXPECT_EQ(report.sheds, 4 * 3);
+    // One depth sample per dispatch decision; the overloaded start
+    // offers several admissible sessions to choose among.
+    EXPECT_EQ(report.queue_depth.count,
+              static_cast<std::size_t>(4 * 3));
+    EXPECT_GE(report.queue_depth.max, 2.0);
+    // A dispatch decision implies at least one admissible session.
+    EXPECT_GE(report.queue_depth.min, 1.0);
+
+    // Dropped frames never rendered: pure queueing, fully named.
+    MissAttribution attribution = report.missAttribution();
+    EXPECT_EQ(attribution.total(), 4 * 3);
+    EXPECT_EQ(attribution.counts[static_cast<std::size_t>(
+                  MissComponent::Queue)],
+              attribution.total());
+    EXPECT_DOUBLE_EQ(attribution.namedFraction(), 1.0);
+}
+
+TEST(FrameScheduler, MissAttributionNamesOverloadMisses)
+{
+    // Non-drop EDF overload: every frame renders and misses its
+    // microsecond deadline, so every miss must be charged to a
+    // measured cost component.
+    FleetSpec spec = tinyFleet(4, 2);
+    spec.fps_target = 1e6;
+    SceneRegistry registry;
+    std::vector<Session> fleet = buildFleet(spec, registry);
+
+    ThreadPool pool(2);
+    SchedulerOptions options;
+    options.policy = SchedulerPolicy::Edf;
+    FrameScheduler scheduler(options);
+    ServeReport report = scheduler.run(fleet, pool);
+
+    MissAttribution fleet_attribution = report.missAttribution();
+    EXPECT_EQ(fleet_attribution.total(), 4 * 2);
+#if GCC3D_OBS_ENABLED
+    // The acceptance bar: >= 90% of overload misses carry a real
+    // component name.  (With observability compiled out the stage
+    // costs read zero and classification may fall back to queue wait
+    // or Unknown, so the bar only binds in instrumented builds.)
+    EXPECT_GE(fleet_attribution.namedFraction(), 0.9);
+#endif
+
+    // Per-session attributions roll up to the fleet total.
+    std::int64_t session_total = 0;
+    for (const SessionStats &s : report.sessions)
+        session_total += s.miss_attribution.total();
+    EXPECT_EQ(session_total, fleet_attribution.total());
 }
 
 // ---- Graceful drain ----

@@ -91,7 +91,7 @@ main(int argc, char **argv)
 
     gsclint::Options options;
     if (!only_rules.empty()) {
-        options = gsclint::Options{false, false, false, false};
+        options = gsclint::Options{false, false, false, false, false};
         for (const std::string &r : only_rules) {
             bool known = false;
             if (r == "layering")
@@ -102,6 +102,8 @@ main(int argc, char **argv)
                 options.unordered_iter = known = true;
             else if (r == "mutex-guard")
                 options.mutex_guard = known = true;
+            else if (r == "recorder")
+                options.recorder = known = true;
             if (!known) {
                 std::cerr << "gsc_lint: unknown rule " << r
                           << " (see --list-rules)\n";

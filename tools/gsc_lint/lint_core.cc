@@ -25,9 +25,9 @@ const std::map<std::string, int> &
 moduleRanks()
 {
     static const std::map<std::string, int> ranks = {
-        {"gsmath", 0}, {"sim", 0},    {"scene", 1}, {"render", 2},
-        {"lod", 2},    {"core", 3},   {"gscore", 3}, {"gpu", 3},
-        {"runtime", 4}, {"serve", 5},
+        {"gsmath", 0}, {"sim", 0},    {"scene", 1}, {"obs", 1},
+        {"render", 2}, {"lod", 2},    {"core", 3},  {"gscore", 3},
+        {"gpu", 3},    {"runtime", 4}, {"serve", 5},
     };
     return ranks;
 }
@@ -498,13 +498,47 @@ checkMutexGuard(const Source &src, std::vector<Finding> &out)
     }
 }
 
+/**
+ * The observability layer is the single timing path: src/ code reads
+ * the sanctioned clock only through obs (PerfScope/StageTimer for
+ * stage timing, obs::tickNow for behavioral timestamps).  Direct
+ * monotonicNow()/msSince() calls bypass the recorder, so the sample
+ * never shows up in traces or stage summaries.  msBetween stays legal
+ * everywhere — it is pure arithmetic on already-taken timestamps.
+ */
+void
+checkRecorder(const Source &src, std::vector<Finding> &out)
+{
+    if (src.path.rfind("src/", 0) != 0)
+        return;
+    if (src.path.rfind("src/obs/", 0) == 0 ||
+        src.path == "src/runtime/wallclock.h")
+        return;
+    for (std::size_t i = 0; i + 1 < src.tokens.size(); ++i) {
+        const Token &t = src.tokens[i];
+        if (!t.ident ||
+            (t.text != "monotonicNow" && t.text != "msSince"))
+            continue;
+        if (src.tokens[i + 1].text != "(")
+            continue;
+        out.push_back(
+            {src.path, t.line, "recorder",
+             "direct '" + t.text +
+                 "()' call bypasses the observability layer; time "
+                 "stages with obs::PerfScope/obs::StageTimer and take "
+                 "behavioral timestamps via obs::tickNow() so every "
+                 "measurement lands in the recorder"});
+    }
+}
+
 } // namespace
 
 const std::vector<std::string> &
 ruleNames()
 {
     static const std::vector<std::string> names = {
-        "layering", "determinism", "unordered-iter", "mutex-guard"};
+        "layering", "determinism", "unordered-iter", "mutex-guard",
+        "recorder"};
     return names;
 }
 
@@ -522,6 +556,8 @@ lintSource(const std::string &path, std::string_view text,
         checkUnorderedIter(src, findings);
     if (options.mutex_guard)
         checkMutexGuard(src, findings);
+    if (options.recorder)
+        checkRecorder(src, findings);
 
     // Apply suppressions, then order by line.
     std::vector<Finding> kept;

@@ -2,14 +2,15 @@
  * @file
  * gsc_lint — repo-specific static analysis for the gcc3d tree.
  *
- * Off-the-shelf tools check generic C++; this pass checks the four
+ * Off-the-shelf tools check generic C++; this pass checks the five
  * invariants that are specific to this repository's determinism and
  * layering story and therefore invisible to clang-tidy:
  *
  *  - layering        the include DAG between src/ modules
- *                    (gsmath → scene → render/lod → runtime → serve,
- *                    with the sim/core/gscore/gpu cycle-model stack on
- *                    the side; nothing below serve may include serve)
+ *                    (gsmath → scene/obs → render/lod → runtime →
+ *                    serve, with the sim/core/gscore/gpu cycle-model
+ *                    stack on the side; nothing below serve may
+ *                    include serve)
  *  - determinism     no raw wall-clock or randomness tokens in src/ —
  *                    every clock read funnels through
  *                    runtime/wallclock.h so timing can never feed
@@ -20,6 +21,11 @@
  *  - mutex-guard     every std::mutex / gcc3d::Mutex data member must
  *                    guard something: at least one GUARDED_BY(name)
  *                    in the same file
+ *  - recorder        no direct monotonicNow()/msSince() calls in src/
+ *                    outside src/obs/ and runtime/wallclock.h itself —
+ *                    stage timing goes through the observability layer
+ *                    (obs::PerfScope / obs::StageTimer / obs::tickNow)
+ *                    so every measurement lands in one recorder
  *
  * A finding on line L is suppressed by a comment `gsc-lint:
  * allow(<rule>)` on L, or in a comment block immediately above L.
@@ -55,6 +61,7 @@ struct Options
     bool determinism = true;
     bool unordered_iter = true;
     bool mutex_guard = true;
+    bool recorder = true;
 };
 
 /** Every rule name, for --rule validation and --list-rules. */
