@@ -14,6 +14,7 @@
  * rendering (locked in by tests/test_serve.cc and bench/serve_throughput).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -77,6 +78,43 @@ usage(const char *argv0)
         "                    trajectories cover in the same frame\n"
         "                    count (default: 1.0; temporal streams\n"
         "                    use smaller arcs for headset-like steps)\n"
+        "  --open-loop R     open-loop serving: sessions arrive as a\n"
+        "                    Poisson process at R sessions/s instead\n"
+        "                    of all joining at t=0 (--sessions is\n"
+        "                    ignored; --frames caps session length)\n"
+        "  --duration MS     open-loop arrival window (default: 2000)\n"
+        "  --diurnal A       sinusoidal rate modulation amplitude in\n"
+        "                    [0, 1) over --diurnal-period ms\n"
+        "  --diurnal-period MS  (default: 1000)\n"
+        "  --load-seed N     arrival-process seed (default: 1)\n"
+        "  --admission       enable admission control (token bucket +\n"
+        "                    fairness + predictive shed)\n"
+        "  --admission-rate F   bucket refill in renders/s; 0 = no\n"
+        "                    bucket (default: 0)\n"
+        "  --admission-burst F  bucket capacity (default: 4)\n"
+        "  --admission-depth N  queue depth that counts as scarce\n"
+        "                    (default: 0 = off)\n"
+        "  --fair-share F    under scarcity, shed sessions holding\n"
+        "                    more than F x the fleet-average renders\n"
+        "                    (default: 0 = off)\n"
+        "  --degrade         enable the graceful-degradation ladder\n"
+        "                    (full -> warp -> half-res -> coarse LOD\n"
+        "                    -> drop, driven by measured slack)\n"
+        "  --degrade-scale F reduced-resolution tier multiplier in\n"
+        "                    (0, 1) (default: 0.5)\n"
+        "  --degrade-tau F   coarse-LOD tier tau multiplier >= 1\n"
+        "                    (default: 4)\n"
+        "  --chaos SEED      deterministic fault injection; 0 = off.\n"
+        "                    Same seed + same workload = same faults\n"
+        "  --chaos-io-fail R      scene .gsc read failure rate\n"
+        "  --chaos-io-truncate R  scene .gsc truncation rate\n"
+        "  --chaos-decode-fail R  LOD chunk decode failure rate\n"
+        "  --chaos-stall R        worker stall rate\n"
+        "  --chaos-stall-ms MS    stall duration (default: 5)\n"
+        "  --chaos-disconnect R   mid-stream disconnect rate\n"
+        "  --chaos-budget R       residency budget-pressure rate\n"
+        "  --chaos-log FILE  write the canonical chaos event log\n"
+        "                    (byte-identical for a fixed seed)\n"
         "  --json FILE       write the serve report as JSON\n"
         "  --trace FILE      write a Chrome/Perfetto trace-event JSON\n"
         "                    of the run (open in chrome://tracing or\n"
@@ -113,6 +151,22 @@ main(int argc, char **argv)
     bool drop_late = false;
     bool quiet = false;
     float scale = benchScale();
+    double open_loop_rate = 0.0;
+    double duration_ms = 2000.0;
+    double diurnal = 0.0;
+    double diurnal_period = 1000.0;
+    unsigned long long load_seed = 1;
+    bool admission = false;
+    double admission_rate = 0.0;
+    double admission_burst = 4.0;
+    int admission_depth = 0;
+    double fair_share = 0.0;
+    bool degrade = false;
+    double degrade_scale = 0.5;
+    double degrade_tau = 4.0;
+    unsigned long long chaos_seed = 0;
+    serve::ChaosConfig chaos_cfg;
+    std::string chaos_log_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -160,6 +214,50 @@ main(int argc, char **argv)
             temporal = std::atoi(value().c_str());
         } else if (flag == "--traj-arc") {
             traj_arc = std::atof(value().c_str());
+        } else if (flag == "--open-loop") {
+            open_loop_rate = std::atof(value().c_str());
+        } else if (flag == "--duration") {
+            duration_ms = std::atof(value().c_str());
+        } else if (flag == "--diurnal") {
+            diurnal = std::atof(value().c_str());
+        } else if (flag == "--diurnal-period") {
+            diurnal_period = std::atof(value().c_str());
+        } else if (flag == "--load-seed") {
+            load_seed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (flag == "--admission") {
+            admission = true;
+        } else if (flag == "--admission-rate") {
+            admission_rate = std::atof(value().c_str());
+        } else if (flag == "--admission-burst") {
+            admission_burst = std::atof(value().c_str());
+        } else if (flag == "--admission-depth") {
+            admission_depth = std::atoi(value().c_str());
+        } else if (flag == "--fair-share") {
+            fair_share = std::atof(value().c_str());
+        } else if (flag == "--degrade") {
+            degrade = true;
+        } else if (flag == "--degrade-scale") {
+            degrade_scale = std::atof(value().c_str());
+        } else if (flag == "--degrade-tau") {
+            degrade_tau = std::atof(value().c_str());
+        } else if (flag == "--chaos") {
+            chaos_seed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (flag == "--chaos-io-fail") {
+            chaos_cfg.io_fail_rate = std::atof(value().c_str());
+        } else if (flag == "--chaos-io-truncate") {
+            chaos_cfg.io_truncate_rate = std::atof(value().c_str());
+        } else if (flag == "--chaos-decode-fail") {
+            chaos_cfg.decode_fail_rate = std::atof(value().c_str());
+        } else if (flag == "--chaos-stall") {
+            chaos_cfg.stall_rate = std::atof(value().c_str());
+        } else if (flag == "--chaos-stall-ms") {
+            chaos_cfg.stall_ms = std::atof(value().c_str());
+        } else if (flag == "--chaos-disconnect") {
+            chaos_cfg.disconnect_rate = std::atof(value().c_str());
+        } else if (flag == "--chaos-budget") {
+            chaos_cfg.budget_pressure_rate = std::atof(value().c_str());
+        } else if (flag == "--chaos-log") {
+            chaos_log_path = value();
         } else if (flag == "--json") {
             json_path = value();
         } else if (flag == "--trace") {
@@ -186,6 +284,18 @@ main(int argc, char **argv)
                              "in (0, 1]\n");
         return 2;
     }
+    if (open_loop_rate < 0.0 || duration_ms <= 0.0 || diurnal < 0.0 ||
+        diurnal >= 1.0 || diurnal_period <= 0.0) {
+        std::fprintf(stderr, "--open-loop/--duration/--diurnal args "
+                             "out of range\n");
+        return 2;
+    }
+    if (degrade && (degrade_scale <= 0.0 || degrade_scale >= 1.0 ||
+                    degrade_tau < 1.0)) {
+        std::fprintf(stderr, "--degrade-scale must be in (0,1) and "
+                             "--degrade-tau >= 1\n");
+        return 2;
+    }
 
     FleetSpec fleet_spec;
     fleet_spec.sessions = sessions;
@@ -195,9 +305,20 @@ main(int argc, char **argv)
     fleet_spec.gw.subview_size = subview < 0 ? 0 : subview;
     fleet_spec.temporal = temporal;
     fleet_spec.traj_arc = static_cast<float>(traj_arc);
+    fleet_spec.degrade = degrade;
+    fleet_spec.degrade_render_scale = static_cast<float>(degrade_scale);
+    fleet_spec.degrade_tau_factor = static_cast<float>(degrade_tau);
+
+    chaos_cfg.seed = chaos_seed;
 
     SchedulerOptions sched;
     sched.drop_late = drop_late;
+    sched.admission.enabled = admission;
+    sched.admission.rate_hz = admission_rate;
+    sched.admission.burst = admission_burst;
+    sched.admission.max_queue_depth = admission_depth;
+    sched.admission.fair_share = fair_share;
+    sched.degrade.enabled = degrade;
     try {
         sched.policy = schedulerPolicyFromName(policy_arg);
         fleet_spec.renderers.clear();
@@ -251,8 +372,44 @@ main(int argc, char **argv)
                 static_cast<double>(scale));
 
     try {
+        // Chaos is installed before any scene work so .gsc cache
+        // loads are already under fault injection.
+        serve::ChaosEngine chaos_engine(chaos_cfg);
+        serve::ChaosScope chaos_scope(&chaos_engine);
+        if (chaos_cfg.enabled()) {
+            sched.chaos = &chaos_engine;
+            std::printf("chaos: seed %llu (io %.3f/%.3f decode %.3f "
+                        "stall %.3f disconnect %.3f budget %.3f)\n",
+                        static_cast<unsigned long long>(chaos_cfg.seed),
+                        chaos_cfg.io_fail_rate, chaos_cfg.io_truncate_rate,
+                        chaos_cfg.decode_fail_rate, chaos_cfg.stall_rate,
+                        chaos_cfg.disconnect_rate,
+                        chaos_cfg.budget_pressure_rate);
+        }
+
         SceneRegistry registry(cache_dir);
-        std::vector<Session> fleet = buildFleet(fleet_spec, registry);
+        std::vector<Session> fleet;
+        if (open_loop_rate > 0.0) {
+            serve::LoadGenConfig load;
+            load.seed = load_seed;
+            load.base_rate_hz = open_loop_rate;
+            load.duration_ms = duration_ms;
+            load.diurnal_amplitude = diurnal;
+            load.diurnal_period_ms = diurnal_period;
+            load.frames_min = std::max(1, frames / 2);
+            load.frames_max = frames;
+            load.fps_target = static_cast<float>(fps_target);
+            const std::vector<serve::SessionArrival> arrivals =
+                serve::generateArrivals(load);
+            std::printf("open-loop: %zu arrivals over %.0f ms (%.1f "
+                        "sessions/s, %llu offered frames)\n",
+                        arrivals.size(), duration_ms, open_loop_rate,
+                        static_cast<unsigned long long>(
+                            serve::totalOfferedFrames(arrivals)));
+            fleet = buildOpenLoopFleet(fleet_spec, arrivals, registry);
+        } else {
+            fleet = buildFleet(fleet_spec, registry);
+        }
         std::printf("fleet shares %zu distinct scene clouds across %zu "
                     "sessions\n",
                     registry.cloudCount(), fleet.size());
@@ -260,6 +417,19 @@ main(int argc, char **argv)
         ThreadPool pool(workers);
         FrameScheduler scheduler(sched);
         ServeReport report = scheduler.run(fleet, pool);
+
+        if (chaos_cfg.enabled()) {
+            std::printf("chaos: %llu faults fired\n",
+                        static_cast<unsigned long long>(
+                            chaos_engine.totalFired()));
+            if (!chaos_log_path.empty() &&
+                !ResultTable::writeFile(chaos_log_path,
+                                        chaos_engine.eventLogText())) {
+                std::fprintf(stderr, "failed to write %s\n",
+                             chaos_log_path.c_str());
+                return 1;
+            }
+        }
 
         if (!fleet.empty() && fleet.front().scene().lod) {
             const LodScene &lod = *fleet.front().scene().lod;

@@ -32,6 +32,7 @@
  * >= 40 dB PSNR on every frame.  Contract violations fail the run.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -81,12 +82,31 @@ usage(const char *argv0)
         "                   trajectories cover (default: 1.0)\n"
         "  --scale F        population scale in (0,1] (default:\n"
         "                   GCC3D_SCALE env or 1.0)\n"
+        "  --no-overload    skip the open-loop overload sweep\n"
+        "                   (goodput-vs-offered-load curve; ladder vs\n"
+        "                   drop-only shedding)\n"
+        "  --overload-frames N  offered frames per sweep leg\n"
+        "                   (default: 120)\n"
         "  --out FILE       JSON output path (default:\n"
         "                   BENCH_serve.json; '-' disables)\n"
         "  --trace FILE     write a Chrome/Perfetto trace-event JSON\n"
         "                   of the whole run (empty with\n"
         "                   GCC3D_OBS=OFF)\n",
         argv0);
+}
+
+/** Nearest-neighbor upsample, for scoring a reduced-resolution frame
+ *  against its full-resolution reference. */
+Image
+upsampleNearest(const Image &src, int w, int h)
+{
+    Image out(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            out.at(x, y) =
+                src.at(std::min(src.width() - 1, x * src.width() / w),
+                       std::min(src.height() - 1, y * src.height() / h));
+    return out;
 }
 
 /** Compare a scheduled run's per-session checksums to the baseline. */
@@ -125,6 +145,8 @@ main(int argc, char **argv)
     int temporal = 0;
     double traj_arc = 1.0;
     double fps_target = 0.0;
+    bool overload = true;
+    int overload_frames = 120;
     float scale = benchScale();
 
     for (int i = 1; i < argc; ++i) {
@@ -162,6 +184,10 @@ main(int argc, char **argv)
             traj_arc = std::atof(value().c_str());
         } else if (flag == "--scale") {
             scale = static_cast<float>(std::atof(value().c_str()));
+        } else if (flag == "--no-overload") {
+            overload = false;
+        } else if (flag == "--overload-frames") {
+            overload_frames = std::atoi(value().c_str());
         } else if (flag == "--out") {
             out_path = value();
         } else if (flag == "--trace") {
@@ -375,6 +401,177 @@ main(int argc, char **argv)
         paced_json = os.str();
     }
 
+    // ---- Overload sweep: open-loop arrivals at multiples of the
+    // measured Full-render capacity, served twice per leg — drop-only
+    // shedding vs the graceful-degradation ladder.  Goodput (on-time
+    // frames per second) is the overload metric; at >= 2x offered
+    // load the ladder must strictly beat drop-only or the bench exits
+    // non-zero. ----
+    struct OverloadRow
+    {
+        double multiplier = 0.0;
+        double offered_fps = 0.0;
+        std::uint64_t offered_frames = 0;
+        int drop_on_time = 0;
+        int ladder_on_time = 0;
+        double drop_goodput = 0.0;
+        double ladder_goodput = 0.0;
+        double drop_miss = 0.0;
+        double ladder_miss = 0.0;
+        bool ladder_beats_drop = true;  ///< enforced at >= 2x only
+    };
+    std::vector<OverloadRow> overload_rows;
+    std::string degradation_json;
+    double warp_floor_db = std::numeric_limits<double>::infinity();
+    double half_res_db = std::numeric_limits<double>::infinity();
+    bool warp_ok = true;
+    bool overload_ok = true;
+    if (overload && overload_frames > 0) {
+        // Measured Full-tier cost calibrates the offered load, so the
+        // sweep stresses the scheduler identically at any --scale.
+        // Capacity counts real parallelism: --threads beyond the
+        // hardware thread count adds contention, not throughput, and
+        // the sweep legs pin their worker count to match.
+        const int sweep_workers =
+            std::max(1, std::min(workers, ThreadPool::hardwareWorkers()));
+        const double mean_full_ms =
+            base.wall_ms / std::max(1, sessions * frames);
+        const double capacity_fps =
+            sweep_workers * 1000.0 / std::max(1e-6, mean_full_ms);
+        // Deadline = 4 Full renders of slack: tight enough that
+        // overload queueing starves Full, loose enough that the warp
+        // and half-res tiers still fit.
+        const double session_fps = 1000.0 / (4.0 * mean_full_ms);
+        const double multipliers[] = {0.5, 1.0, 2.0, 4.0};
+
+        std::printf("\noverload sweep (capacity %.1f fps, session "
+                    "target %.1f fps, %d offered frames/leg):\n",
+                    capacity_fps, session_fps, overload_frames);
+        std::printf("%-6s %12s %12s %12s %10s %10s\n", "mult",
+                    "offered_fps", "drop_good", "ladder_good",
+                    "drop_miss", "ladd_miss");
+        for (std::size_t leg = 0; leg < 4; ++leg) {
+            const double m = multipliers[leg];
+            OverloadRow row;
+            row.multiplier = m;
+            row.offered_fps = m * capacity_fps;
+
+            serve::LoadGenConfig load;
+            load.seed = 7 + leg;
+            load.base_rate_hz = row.offered_fps / frames;
+            load.duration_ms =
+                1000.0 * overload_frames / row.offered_fps;
+            load.frames_min = frames;
+            load.frames_max = frames;
+            load.fps_target = static_cast<float>(session_fps);
+            const std::vector<serve::SessionArrival> arrivals =
+                serve::generateArrivals(load);
+            if (arrivals.empty())
+                continue;
+            row.offered_frames = serve::totalOfferedFrames(arrivals);
+
+            // Same arrival table through both shedding strategies:
+            // identical offered workload, different survival.
+            auto run_leg = [&](bool ladder) -> ServeReport {
+                FleetSpec spec = fleet_spec;
+                spec.degrade = ladder;
+                std::vector<Session> leg_fleet =
+                    buildOpenLoopFleet(spec, arrivals, registry);
+                SchedulerOptions opt;
+                opt.policy = SchedulerPolicy::Edf;
+                opt.workers = sweep_workers;
+                opt.drop_late = true;
+                opt.degrade.enabled = ladder;
+                FrameScheduler sched(opt);
+                return sched.run(leg_fleet, pool);
+            };
+            const ServeReport drop_report = run_leg(false);
+            const ServeReport ladder_report = run_leg(true);
+
+            row.drop_on_time = drop_report.framesOnTime();
+            row.ladder_on_time = ladder_report.framesOnTime();
+            row.drop_goodput = drop_report.goodputFps();
+            row.ladder_goodput = ladder_report.goodputFps();
+            row.drop_miss = drop_report.missRate();
+            row.ladder_miss = ladder_report.missRate();
+            if (m >= 2.0) {
+                row.ladder_beats_drop =
+                    row.ladder_on_time > row.drop_on_time;
+                overload_ok = overload_ok && row.ladder_beats_drop;
+            }
+            if (m >= 2.0 && degradation_json.empty()) {
+                int tiers[kDegradeTierCount];
+                ladder_report.tierTotals(tiers);
+                std::ostringstream os;
+                os.precision(10);
+                os << "{";
+                for (int t = 0; t < kDegradeTierCount; ++t)
+                    os << "\""
+                       << degradeTierName(static_cast<DegradeTier>(t))
+                       << "\": " << tiers[t] << ", ";
+                os << "\"transitions\": "
+                   << ladder_report.degradeTransitions()
+                   << ", \"sheds\": " << ladder_report.sheds
+                   << ", \"goodput_fps\": " << row.ladder_goodput << "}";
+                degradation_json = os.str();
+            }
+            std::printf(
+                "%5.1fx %12.1f %12.1f %12.1f %9.1f%% %9.1f%%%s\n", m,
+                row.offered_fps, row.drop_goodput, row.ladder_goodput,
+                100.0 * row.drop_miss, 100.0 * row.ladder_miss,
+                row.ladder_beats_drop ? "" : "  LADDER NOT BETTER");
+            overload_rows.push_back(row);
+        }
+
+        // Fidelity floors of the degraded tiers, measured on a
+        // headset-like arc (full-arc presets jump too far per frame
+        // for reprojection to be meaningful): forced warp must hold
+        // the >= 40 dB contract; the reduced-resolution tier's PSNR
+        // is recorded alongside it.
+        {
+            FleetSpec probe = fleet_spec;
+            probe.sessions = 1;
+            probe.frames = 2;
+            probe.renderers = {SessionRenderer::Tile};
+            probe.degrade = true;
+            // Per-step camera delta is arc/frames; 0.0003 over two
+            // frames matches the step size of the CI temporal leg
+            // (arc 0.001 over eight frames) that holds the same
+            // contract.
+            probe.traj_arc = std::min(probe.traj_arc, 0.0003f);
+            std::vector<Session> probe_fleet =
+                buildFleet(probe, registry);
+            const Session &s = probe_fleet.front();
+            TileRenderer renderer(s.config().tile);
+            TemporalCache cache;
+            cache.options.every = 1;
+            cache.options.keep_exact = true;
+            StandardFlowStats st;
+            const Camera &cam0 = s.scene().trajectory->frame(0);
+            const Camera &cam1 = s.scene().trajectory->frame(1);
+            (void)renderer.renderTemporal(*s.scene().cloud, cam0, st,
+                                          cache);
+            const Image cold = renderer.render(*s.scene().cloud, cam1, st);
+            const Image warp = renderer.renderTemporal(
+                *s.scene().cloud, cam1, st, cache, nullptr,
+                /*force_warp=*/true);
+            warp_floor_db = psnrDb(cold, warp);
+            warp_ok = warp_floor_db >= 40.0;
+            const Image half = renderer.render(
+                *s.scene().cloud,
+                cam1.scaledResolution(probe.degrade_render_scale), st);
+            half_res_db = psnrDb(
+                cold, upsampleNearest(half, cold.width(), cold.height()));
+            std::printf("degrade fidelity (%s): warp %.2f dB (floor "
+                        "40) %s, half-res %.2f dB recorded\n",
+                        s.config().spec.name.c_str(),
+                        std::isinf(warp_floor_db) ? 999.0 : warp_floor_db,
+                        warp_ok ? "ok" : "CONTRACT VIOLATED",
+                        std::isinf(half_res_db) ? 999.0 : half_res_db);
+        }
+        all_ok = all_ok && overload_ok && warp_ok;
+    }
+
     // ---- JSON snapshot. ----
     std::ostringstream json;
     json.precision(10);
@@ -425,6 +622,34 @@ main(int argc, char **argv)
         json << "  ]";
     }
     json << paced_json;
+    if (!overload_rows.empty()) {
+        json << ",\n  \"goodput_curve\": [\n";
+        for (std::size_t i = 0; i < overload_rows.size(); ++i) {
+            const OverloadRow &r = overload_rows[i];
+            json << "    {\"offered_multiplier\": " << r.multiplier
+                 << ", \"offered_fps\": " << r.offered_fps
+                 << ", \"offered_frames\": " << r.offered_frames
+                 << ", \"drop_only_goodput_fps\": " << r.drop_goodput
+                 << ", \"ladder_goodput_fps\": " << r.ladder_goodput
+                 << ", \"drop_only_on_time\": " << r.drop_on_time
+                 << ", \"ladder_on_time\": " << r.ladder_on_time
+                 << ", \"drop_only_miss_rate\": " << r.drop_miss
+                 << ", \"ladder_miss_rate\": " << r.ladder_miss
+                 << ", \"ladder_beats_drop\": "
+                 << (r.ladder_beats_drop ? "true" : "false") << "}"
+                 << (i + 1 < overload_rows.size() ? "," : "") << "\n";
+        }
+        json << "  ]";
+        json << ",\n  \"degradation\": "
+             << (degradation_json.empty() ? "{}" : degradation_json);
+        json << ",\n  \"degrade_fidelity\": {\"warp_min_psnr_db\": "
+             << (std::isinf(warp_floor_db) ? 999.0 : warp_floor_db)
+             << ", \"warp_ok\": " << (warp_ok ? "true" : "false")
+             << ", \"half_res_psnr_db\": "
+             << (std::isinf(half_res_db) ? 999.0 : half_res_db)
+             << ", \"overload_ok\": "
+             << (overload_ok ? "true" : "false") << "}";
+    }
     // Per-stage summaries + metrics registry for the whole run (all
     // policies combined).  Empty objects when GCC3D_OBS=OFF.
     json << ",\n  \"observability\": " << obs::observabilityJson();
@@ -452,6 +677,13 @@ main(int argc, char **argv)
     if (!temporal_ok)
         std::fprintf(stderr, "ERROR: temporal mode violated its "
                              "fidelity contract\n");
+    else if (!overload_ok)
+        std::fprintf(stderr,
+                     "ERROR: degradation ladder goodput did not beat "
+                     "drop-only shedding at >= 2x overload\n");
+    else if (!warp_ok)
+        std::fprintf(stderr, "ERROR: forced-warp tier under the 40 dB "
+                             "PSNR floor\n");
     else if (!all_ok)
         std::fprintf(stderr, "ERROR: scheduled checksums diverged from "
                              "the serial baseline\n");

@@ -1,8 +1,13 @@
 #include "lod/lod_scene.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
+
+#include "obs/fault_hooks.h"
+#include "obs/metrics_registry.h"
 
 namespace gcc3d {
 
@@ -82,10 +87,38 @@ LodScene::LodScene(const std::string &path, std::size_t budget_bytes)
 std::shared_ptr<const ResidentChunk>
 LodScene::loadLeaf(std::size_t index)
 {
-    return residency_.acquire(index, [this, index](ResidentChunk &chunk) {
-        MutexLock lock(stream_mutex_);
-        reader_->loadChunk(stream_, index, chunk.gaussians, chunk.indices);
-    });
+    // Bounded retry with exponential backoff: decode failures (real
+    // IO errors or injected ChunkDecode faults) are retried a fixed
+    // number of times, then the exception propagates to buildCut's
+    // proxy fallback.  The attempt number is folded into the fault
+    // key so a transient injected fault clears deterministically.
+    const obs::RetryPolicy retry;
+    for (int attempt = 0;; ++attempt) {
+        try {
+            return residency_.acquire(
+                index, [this, index, attempt](ResidentChunk &chunk) {
+                    const obs::FaultAction fault = obs::faultAt(
+                        obs::FaultSite::ChunkDecode,
+                        (static_cast<std::uint64_t>(index) << 8) +
+                            static_cast<std::uint64_t>(attempt));
+                    if (fault.inject)
+                        throw std::runtime_error(
+                            "lod: chunk decode failed (injected)");
+                    MutexLock lock(stream_mutex_);
+                    reader_->loadChunk(stream_, index, chunk.gaussians,
+                                       chunk.indices);
+                });
+        } catch (const std::exception &) {
+            if (attempt + 1 >= retry.max_attempts)
+                throw;
+            obs::MetricsRegistry::global()
+                .counter("lod.chunk.retries")
+                .add();
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    retry.delayMs(attempt + 1)));
+        }
+    }
 }
 
 GaussianCloud
@@ -101,7 +134,26 @@ LodScene::buildCut(const Camera &camera, const LodCutParams &params,
         int level = selectLevel(cam, info.lo, info.hi, params,
                                 reader_->proxyLevels());
         if (level == 0) {
-            std::shared_ptr<const ResidentChunk> leaf = loadLeaf(i);
+            std::shared_ptr<const ResidentChunk> leaf;
+            try {
+                leaf = loadLeaf(i);
+            } catch (const std::exception &) {
+                // Retries exhausted.  Degrade to the finest resident
+                // proxy instead of failing the frame — a deliberate,
+                // counted pixel deviation that only fault injection
+                // (or real persistent IO corruption) can trigger.
+                if (reader_->proxyLevels() > 0) {
+                    obs::MetricsRegistry::global()
+                        .counter("lod.chunk.proxy_fallbacks")
+                        .add();
+                    ++local.proxy_fallbacks;
+                    for (const Gaussian &g : info.proxies[0])
+                        cut.add(g);
+                    ++local.proxy_chunks;
+                    continue;
+                }
+                throw;  // flat file: nothing to degrade to
+            }
             for (const Gaussian &g : leaf->gaussians)
                 cut.add(g);
             ++local.leaf_chunks;

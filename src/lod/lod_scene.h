@@ -62,6 +62,10 @@ struct LodCutStats
     std::size_t proxy_chunks = 0;     ///< chunks rendered from proxies
     std::size_t cut_gaussians = 0;    ///< Gaussians in the returned cloud
     std::size_t leaf_gaussians = 0;   ///< of which full-detail leaves
+    /** Leaf chunks served from their finest proxy because decode
+     *  retries were exhausted (fault injection / persistent IO
+     *  corruption only; see LodScene::loadLeaf). */
+    std::size_t proxy_fallbacks = 0;
 };
 
 /**

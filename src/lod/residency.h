@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/fault_hooks.h"
 #include "obs/metrics_registry.h"
 #include "obs/perf_recorder.h"
 #include "runtime/mutex.h"
@@ -71,6 +72,7 @@ class ResidencyManager
         std::uint64_t hits = 0;             ///< cache hits
         std::uint64_t evictions = 0;        ///< chunks dropped by LRU
         std::uint64_t transient_loads = 0;  ///< over-budget, never cached
+        std::uint64_t pressure_events = 0;  ///< injected budget squeezes
         std::size_t resident_bytes = 0;     ///< currently cached bytes
         std::size_t peak_resident_bytes = 0;
     };
@@ -88,7 +90,9 @@ class ResidencyManager
           obs_evictions_(obs::MetricsRegistry::global().counter(
               "lod.residency.evictions")),
           obs_transient_(obs::MetricsRegistry::global().counter(
-              "lod.residency.transient_loads"))
+              "lod.residency.transient_loads")),
+          obs_pressure_(obs::MetricsRegistry::global().counter(
+              "lod.residency.pressure_events"))
     {
     }
 
@@ -119,21 +123,40 @@ class ResidencyManager
             loader(*chunk);
         }
 
+        // Chaos hook: an injected budget squeeze shrinks the budget
+        // this load caches under — extra evictions, possibly a
+        // transient load, but the hard budget_ ceiling (and which
+        // chunks a cut renders) is never exceeded or changed.
+        // Probed outside the lock; pure in (seed, index).
+        std::size_t effective_budget = budget_;
+        const obs::FaultAction pressure = obs::faultAt(
+            obs::FaultSite::BudgetPressure,
+            static_cast<std::uint64_t>(index));
+        if (pressure.inject)
+            effective_budget = static_cast<std::size_t>(
+                static_cast<double>(budget_) *
+                std::clamp(pressure.magnitude, 0.0, 1.0));
+
         MutexLock lock(mutex_);
         ++stats_.faults;
         obs_faults_.add();
+        if (pressure.inject) {
+            ++stats_.pressure_events;
+            obs_pressure_.add();
+        }
         auto it = map_.find(index);
         if (it != map_.end()) {
             // Another thread decoded it while we did; keep theirs.
             lru_.splice(lru_.end(), lru_, it->second.lru_it);
             return it->second.chunk;
         }
-        if (chunk->bytes() > budget_) {
+        if (chunk->bytes() > effective_budget) {
             ++stats_.transient_loads;
             obs_transient_.add();
             return chunk;
         }
-        while (stats_.resident_bytes + chunk->bytes() > budget_)
+        while (!lru_.empty() &&
+               stats_.resident_bytes + chunk->bytes() > effective_budget)
             evictOldestLocked();
         lru_.push_back(index);
         map_[index] = Entry{chunk, std::prev(lru_.end())};
@@ -187,6 +210,7 @@ class ResidencyManager
     obs::Counter &obs_faults_;
     obs::Counter &obs_evictions_;
     obs::Counter &obs_transient_;
+    obs::Counter &obs_pressure_;
 
     mutable Mutex mutex_;
     /** front = oldest, back = most recent. */

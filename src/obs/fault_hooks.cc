@@ -1,0 +1,44 @@
+#include "obs/fault_hooks.h"
+
+#include <atomic>
+
+namespace gcc3d::obs {
+
+namespace {
+std::atomic<FaultInjector *> g_injector{nullptr};
+}  // namespace
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+    case FaultSite::SceneRead: return "scene_read";
+    case FaultSite::ChunkDecode: return "chunk_decode";
+    case FaultSite::WorkerStall: return "worker_stall";
+    case FaultSite::Disconnect: return "disconnect";
+    case FaultSite::BudgetPressure: return "budget_pressure";
+    }
+    return "unknown";
+}
+
+void
+setFaultInjector(FaultInjector *injector)
+{
+    g_injector.store(injector, std::memory_order_release);
+}
+
+FaultAction
+faultAt(FaultSite site, std::uint64_t key)
+{
+    FaultInjector *inj = g_injector.load(std::memory_order_acquire);
+    if (!inj) return {};
+    return inj->at(site, key);
+}
+
+bool
+faultInjectionActive()
+{
+    return g_injector.load(std::memory_order_acquire) != nullptr;
+}
+
+}  // namespace gcc3d::obs

@@ -72,6 +72,16 @@ struct TemporalOptions
      */
     float max_warp_translation = std::numeric_limits<float>::infinity();
     float max_warp_rotation = std::numeric_limits<float>::infinity();
+
+    /**
+     * Maintain the tier-3 warp source (exact image snapshot + depth
+     * buffer) even at every == 1.  Costs the per-pixel depth capture
+     * on exact frames, but lets a caller request an on-demand
+     * synthesized frame via renderTemporal(..., force_warp = true) —
+     * the serving degradation ladder's warp tier.  Off by default so
+     * the every == 1 bit-exactness fast path stays untouched.
+     */
+    bool keep_exact = false;
 };
 
 /**

@@ -546,7 +546,8 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
                              const Camera &cam,
                              StandardFlowStats &stats,
                              TemporalCache &cache,
-                             ThreadPool *pool) const
+                             ThreadPool *pool,
+                             bool force_warp) const
 {
     const int width = cam.width();
     const int height = cam.height();
@@ -573,7 +574,7 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
         cache.exact_valid_ = false;
         cache.warp_cached_ = false;
     }
-    if (cache.options.every <= 1) {
+    if (cache.options.every <= 1 && !cache.options.keep_exact) {
         cache.exact_valid_ = false;
         cache.warp_cached_ = false;
     }
@@ -586,9 +587,13 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
     }
 
     // ---- Tier 3: synthesize by reprojection unless the cadence or
-    // the trust region demands an exact frame. ----
-    if (cache.options.every > 1 && cache.exact_valid_ &&
-        cache.warp_phase_ > 0) {
+    // the trust region demands an exact frame.  force_warp asks for
+    // a synthesized frame outside the cadence (degradation ladder);
+    // it still honors the trust region and falls through to exact
+    // rendering when no valid warp source exists. ----
+    if (cache.exact_valid_ &&
+        (force_warp ||
+         (cache.options.every > 1 && cache.warp_phase_ > 0))) {
         const CameraDelta d = cameraDelta(cache.exact_camera_, cam);
         if (d.translation <= cache.options.max_warp_translation &&
             d.rotation_rad <= cache.options.max_warp_rotation) {
@@ -606,7 +611,8 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
                                     cache.depth_, cam);
             }
             ++tc.warped_frames;
-            --cache.warp_phase_;
+            if (cache.warp_phase_ > 0)
+                --cache.warp_phase_;
             cache.warp_cached_ = true;
             cache.warp_camera_ = cam;
             cache.warp_image_ = out;
@@ -662,7 +668,8 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
     // Warp mode additionally maintains the per-pixel depth buffer the
     // reprojection samples; clean tiles keep last frame's depths, so
     // the incremental path also requires a valid buffer to inherit.
-    const bool want_depth = cache.options.every > 1;
+    const bool want_depth =
+        cache.options.every > 1 || cache.options.keep_exact;
 
     // The incremental diff assumes frame-to-frame identity of the
     // splat population (same source Gaussians surviving culling, in
@@ -907,13 +914,13 @@ TileRenderer::renderTemporal(const GaussianCloud &cloud,
     cache.cov_tiles_ = std::move(cov_tiles);
     cache.depth_valid_ = want_depth;
 
-    if (cache.options.every > 1) {
+    if (cache.options.every > 1 || cache.options.keep_exact) {
         // Warp-source snapshot: this exact frame anchors the next
-        // every-1 synthesized frames.
+        // every-1 synthesized frames (or on-demand force_warp ones).
         cache.exact_valid_ = true;
         cache.exact_camera_ = cam;
         cache.exact_image_ = cache.image_;
-        cache.warp_phase_ = cache.options.every - 1;
+        cache.warp_phase_ = std::max(0, cache.options.every - 1);
         cache.warp_cached_ = false;
     }
     return cache.image_;

@@ -112,6 +112,30 @@ class Camera
         return v.x > -lim_x && v.x < lim_x && v.y > -lim_y && v.y < lim_y;
     }
 
+    /**
+     * Copy of this camera rendering to an @p s -scaled viewport: width
+     * and height scale by s (clamped to >= 1 pixel) and the focal
+     * lengths scale by the realized per-axis ratios, so the field of
+     * view — and therefore the framed content — is unchanged.  Used by
+     * the serving degradation ladder's reduced-resolution tier.
+     */
+    Camera
+    scaledResolution(float s) const
+    {
+        if (width_ <= 0 || height_ <= 0 || !(s > 0.0f))
+            return *this;
+        Camera c = *this;
+        c.width_ = std::max(
+            1, static_cast<int>(std::lround(static_cast<float>(width_) * s)));
+        c.height_ = std::max(
+            1, static_cast<int>(std::lround(static_cast<float>(height_) * s)));
+        c.focal_x_ = focal_x_ * static_cast<float>(c.width_) /
+                     static_cast<float>(width_);
+        c.focal_y_ = focal_y_ * static_cast<float>(c.height_) /
+                     static_cast<float>(height_);
+        return c;
+    }
+
   private:
     int width_ = 0;
     int height_ = 0;

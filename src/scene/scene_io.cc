@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -12,10 +13,12 @@
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "gsmath/fixed_point.h"
 #include "gsmath/half.h"
+#include "obs/fault_hooks.h"
 #include "obs/metrics_registry.h"
 #include "obs/perf_recorder.h"
 
@@ -663,16 +666,54 @@ loadOrGenerateScene(const SceneSpec &spec, float scale,
     const std::string path = sceneCachePath(cache_dir, spec, scale);
     std::error_code ec;
     if (std::filesystem::exists(path, ec)) {
-        try {
-            GaussianCloud cloud = loadCloudFile(path);
-            if (cloud.name() == spec.name &&
-                cloud.size() == scaledGaussianCount(spec, scale))
-                return cloud;
-        } catch (const std::exception &) {
-            // Truncated, corrupt or foreign file — whatever the
-            // exception type, a bad cache costs a regeneration, never
-            // the run.
+        // Stable per-path fault key (FNV-1a); the attempt number is
+        // folded in so an injected transient fault clears on retry
+        // while a persistent one exhausts the budget deterministically.
+        std::uint64_t path_key = 0xcbf29ce484222325ULL;
+        for (unsigned char c : path) {
+            path_key ^= c;
+            path_key *= 0x100000001b3ULL;
         }
+        // Bounded retry with exponential backoff: a read racing a
+        // concurrent regeneration (or an injected fault) is usually
+        // transient; a cache that stays corrupt — including one that
+        // turned corrupt between the exists() check and the read, or
+        // truncated again after a regeneration — costs the retry
+        // budget and then one in-memory generation, never a loop and
+        // never the run.
+        const obs::RetryPolicy retry;
+        for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
+            if (attempt > 0) {
+                obs::MetricsRegistry::global()
+                    .counter("scene.io.cache_retries")
+                    .add();
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        retry.delayMs(attempt)));
+            }
+            try {
+                const obs::FaultAction fault = obs::faultAt(
+                    obs::FaultSite::SceneRead,
+                    path_key + static_cast<std::uint64_t>(attempt));
+                if (fault.inject)
+                    throw std::runtime_error(
+                        fault.magnitude >= 2.0
+                            ? "scene_io: cache truncated (injected)"
+                            : "scene_io: cache read failed (injected)");
+                GaussianCloud cloud = loadCloudFile(path);
+                if (cloud.name() == spec.name &&
+                    cloud.size() == scaledGaussianCount(spec, scale))
+                    return cloud;
+                break;  // readable but wrong content: not transient
+            } catch (const std::exception &) {
+                // Truncated, corrupt or foreign file — whatever the
+                // exception type, a bad cache costs a regeneration,
+                // never the run.
+            }
+        }
+        obs::MetricsRegistry::global()
+            .counter("scene.io.cache_fallbacks")
+            .add();
     }
 
     GaussianCloud cloud = generateScene(spec, scale);

@@ -1,0 +1,139 @@
+#include "serve/chaos.h"
+
+#include <cstdio>
+
+namespace gcc3d::serve {
+
+std::uint64_t
+chaosMix(std::uint64_t x)
+{
+    // SplitMix64 finalizer (public domain, Vigna).
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+double
+chaosHash01(std::uint64_t seed, std::uint64_t salt, std::uint64_t key)
+{
+    std::uint64_t h = chaosMix(chaosMix(seed ^ (salt * 0x9e3779b97f4a7c15ULL)) ^ key);
+    // Top 53 bits -> [0,1) with full double precision.
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+chaosKey(const std::string &name)
+{
+    // FNV-1a, stable across platforms.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+double
+ChaosEngine::rateFor(obs::FaultSite site) const
+{
+    switch (site) {
+    case obs::FaultSite::SceneRead:
+        return config_.io_fail_rate + config_.io_truncate_rate;
+    case obs::FaultSite::ChunkDecode: return config_.decode_fail_rate;
+    case obs::FaultSite::WorkerStall: return config_.stall_rate;
+    case obs::FaultSite::Disconnect: return config_.disconnect_rate;
+    case obs::FaultSite::BudgetPressure: return config_.budget_pressure_rate;
+    }
+    return 0.0;
+}
+
+obs::FaultAction
+ChaosEngine::at(obs::FaultSite site, std::uint64_t key)
+{
+    if (!config_.enabled()) return {};
+    const double rate = rateFor(site);
+    if (rate <= 0.0) return {};
+    const auto salt = static_cast<std::uint64_t>(site) + 1;
+    const double u = chaosHash01(config_.seed, salt, key);
+    if (u >= rate) return {};
+
+    obs::FaultAction action;
+    action.inject = true;
+    switch (site) {
+    case obs::FaultSite::SceneRead:
+        // Flavor 1 = read failure, 2 = truncation.
+        action.magnitude = (u < config_.io_fail_rate) ? 1.0 : 2.0;
+        break;
+    case obs::FaultSite::ChunkDecode: action.magnitude = 1.0; break;
+    case obs::FaultSite::WorkerStall: action.magnitude = config_.stall_ms; break;
+    case obs::FaultSite::Disconnect:
+        // Secondary hash: where in the stream the disconnect lands.
+        action.magnitude = chaosHash01(config_.seed, salt + 17, key);
+        break;
+    case obs::FaultSite::BudgetPressure:
+        action.magnitude = config_.budget_pressure_factor;
+        break;
+    }
+
+    {
+        MutexLock lock(mutex_);
+        ChaosEvent &ev = log_[{static_cast<int>(site), key}];
+        ev.site = site;
+        ev.key = key;
+        ev.magnitude = action.magnitude;
+        ++ev.count;
+    }
+    return action;
+}
+
+int
+ChaosEngine::disconnectFrame(std::uint64_t session_key, int frames) const
+{
+    if (!config_.enabled() || config_.disconnect_rate <= 0.0 || frames <= 0)
+        return -1;
+    const auto salt =
+        static_cast<std::uint64_t>(obs::FaultSite::Disconnect) + 1;
+    const double u = chaosHash01(config_.seed, salt, session_key);
+    if (u >= config_.disconnect_rate) return -1;
+    const double where = chaosHash01(config_.seed, salt + 17, session_key);
+    int frame = static_cast<int>(where * frames);
+    if (frame >= frames) frame = frames - 1;
+    return frame;
+}
+
+std::vector<ChaosEvent>
+ChaosEngine::events() const
+{
+    MutexLock lock(mutex_);
+    std::vector<ChaosEvent> out;
+    out.reserve(log_.size());
+    for (const auto &kv : log_) out.push_back(kv.second);
+    return out;
+}
+
+std::string
+ChaosEngine::eventLogText() const
+{
+    std::string out;
+    for (const ChaosEvent &ev : events()) {
+        char line[128];
+        std::snprintf(line, sizeof(line), "%s key=%llu mag=%.6f n=%llu\n",
+                      obs::faultSiteName(ev.site),
+                      static_cast<unsigned long long>(ev.key), ev.magnitude,
+                      static_cast<unsigned long long>(ev.count));
+        out += line;
+    }
+    return out;
+}
+
+std::uint64_t
+ChaosEngine::totalFired() const
+{
+    MutexLock lock(mutex_);
+    std::uint64_t n = 0;
+    for (const auto &kv : log_) n += kv.second.count;
+    return n;
+}
+
+}  // namespace gcc3d::serve

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic, seeded fault-injection harness.
+ *
+ * Every injection decision is a pure hash of (seed, site, key): no
+ * clocks, no global RNG state, no call-order dependence.  Two runs
+ * with the same seed and the same probe keys see the same faults, so
+ * chaos runs are reproducible bug reports, not flaky noise.  Call
+ * sites that retry fold the attempt number into the key, which is
+ * what makes "fails, retries, recovers" a deterministic sequence
+ * instead of an infinite loop.
+ *
+ * The engine records each fired fault in a canonically ordered event
+ * log (keyed map, not arrival order) so multi-worker runs still
+ * export byte-identical logs for a fixed seed and probe set.
+ *
+ * Wiring: construct a ChaosEngine from a ChaosConfig, install it with
+ * a ChaosScope for the duration of the run.  scene/lod code never
+ * sees this header — it probes through obs/fault_hooks.h.
+ */
+
+#ifndef GCC3D_SERVE_CHAOS_H
+#define GCC3D_SERVE_CHAOS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/fault_hooks.h"
+#include "runtime/mutex.h"
+#include "runtime/thread_annotations.h"
+
+namespace gcc3d::serve {
+
+/** Rates are independent per-probe probabilities in [0,1]. */
+struct ChaosConfig
+{
+    std::uint64_t seed = 0;          ///< 0 disables everything
+    double io_fail_rate = 0.0;       ///< scene .gsc read throws
+    double io_truncate_rate = 0.0;   ///< scene .gsc read sees a truncated file
+    double decode_fail_rate = 0.0;   ///< LOD chunk decode throws
+    double stall_rate = 0.0;         ///< worker stalls before rendering
+    double stall_ms = 5.0;           ///< stall duration when it fires
+    double disconnect_rate = 0.0;    ///< session leaves mid-stream
+    double budget_pressure_rate = 0.0;   ///< transient residency budget squeeze
+    double budget_pressure_factor = 0.5; ///< effective budget multiplier when fired
+    obs::RetryPolicy retry;          ///< bounded retry/backoff for load paths
+
+    bool enabled() const { return seed != 0; }
+};
+
+/** One aggregated log entry: a fault class that fired at a key. */
+struct ChaosEvent
+{
+    obs::FaultSite site{};
+    std::uint64_t key = 0;
+    double magnitude = 0.0;
+    std::uint64_t count = 0;  ///< times this exact fault fired
+};
+
+/** SplitMix64 — the repo-sanctioned deterministic bit mixer. */
+std::uint64_t chaosMix(std::uint64_t x);
+
+/** Uniform double in [0,1) from a hash of (seed, site-salt, key). */
+double chaosHash01(std::uint64_t seed, std::uint64_t salt, std::uint64_t key);
+
+class ChaosEngine final : public obs::FaultInjector
+{
+  public:
+    explicit ChaosEngine(const ChaosConfig &config) : config_(config) {}
+
+    const ChaosConfig &config() const { return config_; }
+
+    /** Deterministic verdict for one probe; records fired faults. */
+    obs::FaultAction at(obs::FaultSite site, std::uint64_t key) override;
+
+    /** Frame at which session `session_key` (hash of its id) drops the
+     *  connection, or -1 if it stays for all `frames`.  Pure. */
+    int disconnectFrame(std::uint64_t session_key, int frames) const;
+
+    /** Fired faults in canonical (site, key) order. */
+    std::vector<ChaosEvent> events() const;
+
+    /** Canonical text form of the log — byte-identical across runs
+     *  with the same seed and probe set. */
+    std::string eventLogText() const;
+
+    std::uint64_t totalFired() const;
+
+  private:
+    double rateFor(obs::FaultSite site) const;
+
+    ChaosConfig config_;
+    mutable Mutex mutex_;
+    std::map<std::tuple<int, std::uint64_t>, ChaosEvent> log_ GUARDED_BY(mutex_);
+};
+
+/** Installs the engine into the fault-hook seam for its lifetime. */
+class ChaosScope
+{
+  public:
+    explicit ChaosScope(ChaosEngine *engine)
+    {
+        obs::setFaultInjector(engine && engine->config().enabled() ? engine
+                                                                   : nullptr);
+    }
+    ~ChaosScope() { obs::setFaultInjector(nullptr); }
+    ChaosScope(const ChaosScope &) = delete;
+    ChaosScope &operator=(const ChaosScope &) = delete;
+};
+
+/** Stable 64-bit key for string identifiers (session/scene names). */
+std::uint64_t chaosKey(const std::string &name);
+
+}  // namespace gcc3d::serve
+
+#endif  // GCC3D_SERVE_CHAOS_H

@@ -1,20 +1,43 @@
 #include "serve/fleet.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "obs/perf_recorder.h"
 
 namespace gcc3d {
 
-std::vector<Session>
-buildFleet(const FleetSpec &spec, SceneRegistry &registry)
+void
+validateFleetSpec(const FleetSpec &spec)
 {
     if (spec.sessions < 1)
         throw std::invalid_argument("fleet needs at least one session");
+    if (spec.frames < 1)
+        throw std::invalid_argument("fleet needs at least one frame");
     if (spec.scenes.empty())
         throw std::invalid_argument("fleet needs at least one scene");
     if (spec.renderers.empty())
         throw std::invalid_argument("fleet needs at least one renderer");
+    // Degenerate FPS targets (negative, NaN, inf) would flow into the
+    // EDF release/deadline arithmetic as garbage periods; reject them
+    // here, before any scene work.
+    if (!(spec.fps_target >= 0.0) || !std::isfinite(spec.fps_target))
+        throw std::invalid_argument(
+            "fleet fps_target must be finite and >= 0");
+    if (!(spec.scale > 0.0f) || spec.scale > 1.0f)
+        throw std::invalid_argument("fleet scale must be in (0, 1]");
+    if (spec.degrade &&
+        (!(spec.degrade_render_scale > 0.0f) ||
+         spec.degrade_render_scale >= 1.0f ||
+         !(spec.degrade_tau_factor >= 1.0f)))
+        throw std::invalid_argument("fleet degrade knobs out of range");
+}
+
+std::vector<Session>
+buildFleet(const FleetSpec &spec, SceneRegistry &registry)
+{
+    validateFleetSpec(spec);
 
     std::vector<Session> fleet;
     fleet.reserve(static_cast<std::size_t>(spec.sessions));
@@ -32,6 +55,9 @@ buildFleet(const FleetSpec &spec, SceneRegistry &registry)
         cfg.fps_target = spec.fps_target;
         cfg.lod_cut = spec.lod_cut;
         cfg.temporal = spec.temporal;
+        cfg.degrade = spec.degrade;
+        cfg.degrade_render_scale = spec.degrade_render_scale;
+        cfg.degrade_tau_factor = spec.degrade_tau_factor;
         SceneHandle handle =
             spec.lod_path.empty()
                 ? registry.acquire(cfg.spec, cfg.scale, cfg.frames,
@@ -39,6 +65,54 @@ buildFleet(const FleetSpec &spec, SceneRegistry &registry)
                 : registry.acquireLod(spec.lod_path,
                                       spec.lod_budget_bytes, cfg.spec,
                                       cfg.frames, spec.traj_arc);
+        fleet.emplace_back(std::move(cfg), std::move(handle));
+    }
+    return fleet;
+}
+
+std::vector<Session>
+buildOpenLoopFleet(const FleetSpec &spec,
+                   const std::vector<serve::SessionArrival> &arrivals,
+                   SceneRegistry &registry)
+{
+    if (spec.scenes.empty())
+        throw std::invalid_argument("fleet needs at least one scene");
+    if (spec.renderers.empty())
+        throw std::invalid_argument("fleet needs at least one renderer");
+
+    // One trajectory (per scene) covering the longest session keeps
+    // the registry's dedup effective across heterogeneous lifetimes.
+    int max_frames = 1;
+    for (const serve::SessionArrival &a : arrivals)
+        max_frames = std::max(max_frames, a.frames);
+
+    std::vector<Session> fleet;
+    fleet.reserve(arrivals.size());
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const serve::SessionArrival &a = arrivals[i];
+        SessionConfig cfg;
+        cfg.id = static_cast<int>(i);
+        cfg.spec = spec.scenes[a.scene_slot % spec.scenes.size()];
+        cfg.scale = spec.scale;
+        cfg.frames = std::max(1, a.frames);
+        cfg.renderer =
+            spec.renderers[a.renderer_slot % spec.renderers.size()];
+        cfg.tile = spec.tile;
+        cfg.gw = spec.gw;
+        cfg.fps_target = a.fps_target;
+        cfg.start_ms = a.start_ms;
+        cfg.lod_cut = spec.lod_cut;
+        cfg.temporal = spec.temporal;
+        cfg.degrade = spec.degrade;
+        cfg.degrade_render_scale = spec.degrade_render_scale;
+        cfg.degrade_tau_factor = spec.degrade_tau_factor;
+        SceneHandle handle =
+            spec.lod_path.empty()
+                ? registry.acquire(cfg.spec, cfg.scale, max_frames,
+                                   spec.traj_arc)
+                : registry.acquireLod(spec.lod_path,
+                                      spec.lod_budget_bytes, cfg.spec,
+                                      max_frames, spec.traj_arc);
         fleet.emplace_back(std::move(cfg), std::move(handle));
     }
     return fleet;

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "serve/load_gen.h"
 #include "serve/scene_registry.h"
 #include "serve/session.h"
 
@@ -65,7 +66,23 @@ struct FleetSpec
      * model a headset stream rather than a whirlwind tour.
      */
     float traj_arc = 1.0f;
+
+    /** Opt every session into the graceful-degradation ladder
+     *  (SessionConfig::degrade and its knobs). */
+    bool degrade = false;
+    float degrade_render_scale = 0.5f;
+    float degrade_tau_factor = 4.0f;
 };
+
+/**
+ * Validate and normalize a fleet spec before any scene work: throws
+ * std::invalid_argument on degenerate configs that would otherwise
+ * flow into the EDF deadline math (negative, NaN or infinite
+ * fps_target; sessions/frames < 1; empty scene or renderer lists;
+ * out-of-range scale or degrade knobs).  buildFleet() calls this
+ * first; callers constructing SessionConfigs by hand can reuse it.
+ */
+void validateFleetSpec(const FleetSpec &spec);
 
 /**
  * Resolve @p spec into live sessions (ids 0..sessions-1) sharing
@@ -74,6 +91,20 @@ struct FleetSpec
  */
 std::vector<Session> buildFleet(const FleetSpec &spec,
                                 SceneRegistry &registry);
+
+/**
+ * Resolve an open-loop arrival table (serve/load_gen.h) into live
+ * sessions: one session per arrival, joining at arrival.start_ms
+ * with its own frame count and FPS target; scenes and renderers are
+ * assigned round-robin by arrival slot from @p spec's lists.
+ * @p spec's sessions/frames/fps_target fields are ignored — the
+ * arrival table is the population.  Scene state is shared through
+ * @p registry exactly as in buildFleet.
+ */
+std::vector<Session> buildOpenLoopFleet(
+    const FleetSpec &spec,
+    const std::vector<serve::SessionArrival> &arrivals,
+    SceneRegistry &registry);
 
 /** Outcome of the serial one-session-at-a-time baseline. */
 struct SerialBaseline

@@ -39,6 +39,7 @@
 #include "runtime/mutex.h"
 #include "runtime/thread_annotations.h"
 #include "runtime/thread_pool.h"
+#include "serve/chaos.h"
 #include "serve/serve_stats.h"
 #include "serve/session.h"
 
@@ -58,6 +59,60 @@ std::string schedulerPolicyName(SchedulerPolicy policy);
 /** Parse a policy name ("fifo", "rr", "round-robin", "edf"); throws. */
 SchedulerPolicy schedulerPolicyFromName(const std::string &name);
 
+/**
+ * Admission control, layered on (and strictly earlier than) the
+ * --drop-late shed: where drop_late reacts to a deadline that has
+ * already passed, admission control sheds frames that are *predicted*
+ * hopeless before they burn a worker, caps the aggregate render rate
+ * with a token bucket, and keeps one hot session from starving the
+ * fleet when resources are scarce.  All gates apply only to
+ * deadline-bearing frames; best-effort sessions are never shed.
+ */
+struct AdmissionOptions
+{
+    bool enabled = false;
+
+    /** Global render-token refill rate (tokens/s); 0 disables the
+     *  bucket.  Each dispatched render consumes one token; a frame
+     *  arriving at an empty bucket is shed (ShedReason::Admission). */
+    double rate_hz = 0.0;
+
+    /** Token bucket capacity. */
+    double burst = 4.0;
+
+    /** Queue depth above which resources count as scarce for the
+     *  fairness gate; 0 disables the depth trigger. */
+    int max_queue_depth = 0;
+
+    /** Predictive shed: without the degradation ladder, a frame whose
+     *  remaining slack is below slack_factor × the session's
+     *  predicted Full-tier cost is shed at dispatch. */
+    double slack_factor = 1.0;
+
+    /** Fairness cap: under scarcity (empty bucket or deep queue), a
+     *  session holding more than fair_share × (fleet average + 1)
+     *  dispatched renders yields its slot (ShedReason::Fairness).
+     *  0 disables. */
+    double fair_share = 0.0;
+};
+
+/**
+ * Feedback controller of the graceful-degradation ladder: per session
+ * and tier, an EWMA of measured render cost predicts whether a tier
+ * fits the frame's remaining deadline slack; the scheduler serves the
+ * highest-fidelity tier that fits and falls down the ladder —
+ * Full → Warp → HalfRes → CoarseLod → Drop — as slack shrinks.
+ * Recovery is automatic: when load lightens, slack grows and Full
+ * wins again.  Only sessions with SessionConfig::degrade participate.
+ */
+struct DegradeOptions
+{
+    bool enabled = false;
+
+    /** A tier fits when predicted_ms <= slack × safety. */
+    double safety = 0.9;
+};
+
 /** Execution knobs of a serving run. */
 struct SchedulerOptions
 {
@@ -75,6 +130,17 @@ struct SchedulerOptions
      * default so benchmark runs render every frame.
      */
     bool drop_late = false;
+
+    AdmissionOptions admission;
+    DegradeOptions degrade;
+
+    /**
+     * Fault-injection engine consulted for worker stalls and session
+     * disconnects (null = no injection; scene/LOD-level faults flow
+     * through obs/fault_hooks.h instead).  The caller owns the engine
+     * and keeps it alive for the run.
+     */
+    serve::ChaosEngine *chaos = nullptr;
 };
 
 /**

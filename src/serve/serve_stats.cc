@@ -24,7 +24,7 @@ collectRendered(const std::vector<SessionStats> &sessions, Getter get)
 
 SessionStats
 summarizeSession(const Session &session, std::vector<FrameRecord> frames,
-                 double wall_ms)
+                 double wall_ms, int disconnect_frame)
 {
     const SessionConfig &cfg = session.config();
     SessionStats s;
@@ -33,22 +33,40 @@ summarizeSession(const Session &session, std::vector<FrameRecord> frames,
     s.renderer = sessionRendererName(cfg.renderer);
     s.fps_target = cfg.fps_target;
     s.frames_total = cfg.frames;
+    if (disconnect_frame >= 0) {
+        s.disconnected = true;
+        s.frames_unserved = cfg.frames - disconnect_frame;
+    }
     if (const TemporalCache *tc = session.temporalCache()) {
         s.temporal = cfg.temporal;
         s.temporal_counters = tc->counters();
     }
 
+    bool have_tier = false;
+    DegradeTier last = DegradeTier::Full;
     std::vector<double> waits, renders, latencies;
     for (const FrameRecord &f : frames) {
         if (!f.rendered) {
             ++s.frames_dropped;
+            const int r = static_cast<int>(f.shed_reason);
+            if (r >= 0 && r < kShedReasonCount)
+                ++s.sheds_by_reason[r];
             s.miss_attribution.add(classifyMiss(f));
             continue;
         }
         ++s.frames_rendered;
+        const int t = static_cast<int>(f.tier);
+        if (t >= 0 && t < kDegradeTierCount)
+            ++s.tier_frames[t];
+        if (have_tier && f.tier != last)
+            ++s.degrade_transitions;
+        have_tier = true;
+        last = f.tier;
         if (f.deadline_missed) {
             ++s.deadline_misses;
             s.miss_attribution.add(classifyMiss(f));
+        } else {
+            ++s.frames_on_time;
         }
         s.checksum += f.checksum;  // frame order: deterministic sum
         waits.push_back(f.queue_wait_ms);
@@ -100,10 +118,63 @@ ServeReport::deadlineMisses() const
     return n;
 }
 
+int
+ServeReport::framesOnTime() const
+{
+    int n = 0;
+    for (const SessionStats &s : sessions)
+        n += s.frames_on_time;
+    return n;
+}
+
+int
+ServeReport::disconnects() const
+{
+    int n = 0;
+    for (const SessionStats &s : sessions)
+        n += s.disconnected ? 1 : 0;
+    return n;
+}
+
+int
+ServeReport::degradeTransitions() const
+{
+    int n = 0;
+    for (const SessionStats &s : sessions)
+        n += s.degrade_transitions;
+    return n;
+}
+
+void
+ServeReport::tierTotals(int out[kDegradeTierCount]) const
+{
+    for (int t = 0; t < kDegradeTierCount; ++t)
+        out[t] = 0;
+    for (const SessionStats &s : sessions)
+        for (int t = 0; t < kDegradeTierCount; ++t)
+            out[t] += s.tier_frames[t];
+}
+
+void
+ServeReport::shedTotals(int out[kShedReasonCount]) const
+{
+    for (int r = 0; r < kShedReasonCount; ++r)
+        out[r] = 0;
+    for (const SessionStats &s : sessions)
+        for (int r = 0; r < kShedReasonCount; ++r)
+            out[r] += s.sheds_by_reason[r];
+}
+
 double
 ServeReport::fleetFps() const
 {
     return wall_ms > 0.0 ? framesRendered() * 1000.0 / wall_ms : 0.0;
+}
+
+double
+ServeReport::goodputFps() const
+{
+    return wall_ms > 0.0 ? framesOnTime() * 1000.0 / wall_ms : 0.0;
 }
 
 double
@@ -169,8 +240,24 @@ ServeReport::toJson() const
        << ", \"frames_dropped\": " << framesDropped()
        << ", \"deadline_misses\": " << deadlineMisses()
        << ", \"fleet_fps\": " << fleetFps()
+       << ", \"goodput_fps\": " << goodputFps()
+       << ", \"frames_on_time\": " << framesOnTime()
        << ", \"miss_rate\": " << missRate()
-       << ", \"sheds\": " << sheds << ",\n"
+       << ", \"sheds\": " << sheds << ",\n";
+    int tiers[kDegradeTierCount];
+    tierTotals(tiers);
+    os << "    \"degradation\": {";
+    for (int t = 0; t < kDegradeTierCount; ++t)
+        os << "\"" << degradeTierName(static_cast<DegradeTier>(t))
+           << "\": " << tiers[t] << ", ";
+    os << "\"transitions\": " << degradeTransitions() << "},\n";
+    int reasons[kShedReasonCount];
+    shedTotals(reasons);
+    os << "    \"admission\": {";
+    for (int r = 1; r < kShedReasonCount; ++r)
+        os << "\"" << shedReasonName(static_cast<ShedReason>(r))
+           << "\": " << reasons[r] << (r + 1 < kShedReasonCount ? ", " : "");
+    os << ", \"disconnects\": " << disconnects() << "},\n"
        << "    \"latency_ms\": " << aggregateJson(fleetLatencyMs())
        << ",\n    \"queue_wait_ms\": " << aggregateJson(fleetQueueWaitMs())
        << ",\n    \"render_ms\": " << aggregateJson(fleetRenderMs())
@@ -186,6 +273,10 @@ ServeReport::toJson() const
            << ", \"frames_rendered\": " << s.frames_rendered
            << ", \"frames_dropped\": " << s.frames_dropped
            << ", \"deadline_misses\": " << s.deadline_misses
+           << ", \"frames_on_time\": " << s.frames_on_time
+           << ", \"degrade_transitions\": " << s.degrade_transitions
+           << ", \"disconnected\": " << (s.disconnected ? "true" : "false")
+           << ", \"frames_unserved\": " << s.frames_unserved
            << ", \"achieved_fps\": " << s.achieved_fps
            << ", \"checksum\": " << s.checksum
            << ", \"temporal\": " << s.temporal
@@ -247,6 +338,25 @@ ServeReport::print(std::FILE *out) const
                  framesRendered(), framesTotal(), framesDropped(),
                  fleetFps(), 100.0 * missRate(), lat.mean, lat.p50,
                  lat.p90, lat.p99, lat.p999, lat.max);
+    int tiers[kDegradeTierCount];
+    tierTotals(tiers);
+    if (tiers[1] + tiers[2] + tiers[3] > 0 || degradeTransitions() > 0)
+        std::fprintf(out,
+                     "degradation: full %d warp %d half_res %d "
+                     "coarse_lod %d, %d transitions, goodput %.2f fps\n",
+                     tiers[0], tiers[1], tiers[2], tiers[3],
+                     degradeTransitions(), goodputFps());
+    int reasons[kShedReasonCount];
+    shedTotals(reasons);
+    if (sheds > 0 || disconnects() > 0) {
+        std::fprintf(out, "sheds:");
+        for (int r = 1; r < kShedReasonCount; ++r)
+            if (reasons[r] > 0)
+                std::fprintf(out, " %s %d",
+                             shedReasonName(static_cast<ShedReason>(r)),
+                             reasons[r]);
+        std::fprintf(out, "; disconnects %d\n", disconnects());
+    }
     const MissAttribution ma = missAttribution();
     if (ma.total() > 0) {
         std::fprintf(out, "fleet miss attribution:");

@@ -36,6 +36,22 @@ struct SessionStats
     int frames_rendered = 0;
     int frames_dropped = 0;
     int deadline_misses = 0;    ///< rendered but past deadline
+    int frames_on_time = 0;     ///< rendered within deadline (goodput)
+
+    /** Rendered frames by degradation tier (Drop stays 0 — dropped
+     *  frames are counted in sheds_by_reason / frames_dropped). */
+    int tier_frames[kDegradeTierCount] = {0, 0, 0, 0, 0};
+
+    /** Ladder activity: count of frame-to-frame served-tier changes. */
+    int degrade_transitions = 0;
+
+    /** Dropped frames by shed reason (index ShedReason). */
+    int sheds_by_reason[kShedReasonCount] = {0, 0, 0, 0, 0, 0};
+
+    /** Chaos churn: true when the client disconnected mid-stream;
+     *  frames_unserved counts the frames torn down with it. */
+    bool disconnected = false;
+    int frames_unserved = 0;
 
     /** Rendered frames over the fleet serving wall time. */
     double achieved_fps = 0.0;
@@ -67,10 +83,16 @@ struct SessionStats
     std::vector<FrameRecord> frames;  ///< per-frame detail, frame order
 };
 
-/** Aggregate @p frames (already in frame order) for @p session. */
+/**
+ * Aggregate @p frames (already in frame order) for @p session.
+ * @p disconnect_frame >= 0 marks a chaos-injected mid-stream
+ * disconnect: the session's stream ended there and the remaining
+ * configured frames count as unserved, not dropped.
+ */
 SessionStats summarizeSession(const Session &session,
                               std::vector<FrameRecord> frames,
-                              double wall_ms);
+                              double wall_ms,
+                              int disconnect_frame = -1);
 
 /** The full outcome of one FrameScheduler::run. */
 struct ServeReport
@@ -94,8 +116,28 @@ struct ServeReport
     int framesDropped() const;
     int deadlineMisses() const;
 
+    /** Rendered frames that met their deadline (best-effort frames
+     *  always count — they have no deadline to miss). */
+    int framesOnTime() const;
+
+    /** Chaos churn: sessions that disconnected mid-stream. */
+    int disconnects() const;
+
+    /** Fleet ladder activity, summed over sessions. */
+    int degradeTransitions() const;
+
+    /** Rendered frames by degradation tier, summed over sessions. */
+    void tierTotals(int out[kDegradeTierCount]) const;
+
+    /** Dropped frames by shed reason, summed over sessions. */
+    void shedTotals(int out[kShedReasonCount]) const;
+
     /** Fleet throughput: rendered frames / serving wall time. */
     double fleetFps() const;
+
+    /** Fleet goodput: on-time frames / serving wall time — the
+     *  overload metric (late or dropped frames earn nothing). */
+    double goodputFps() const;
 
     /**
      * SLO violations (late renders + dropped frames) over all served

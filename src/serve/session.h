@@ -39,6 +39,53 @@ std::string sessionRendererName(SessionRenderer renderer);
 /** Parse a renderer name ("tile", "gw", "gaussian-wise"); throws. */
 SessionRenderer sessionRendererFromName(const std::string &name);
 
+/**
+ * The graceful-degradation ladder, cheapest-acceptable-first.  Under
+ * overload the scheduler's feedback controller walks down the ladder
+ * until the predicted frame cost fits the remaining deadline slack:
+ *
+ *   Full      exact full-resolution render (the only tier that exists
+ *             with degradation disabled),
+ *   Warp      temporal reprojection from the session's last exact
+ *             frame (resident-cloud Tile sessions with a temporal
+ *             cache; >= 40 dB PSNR contract, bench-enforced),
+ *   HalfRes   exact render at a reduced resolution
+ *             (SessionConfig::degrade_render_scale),
+ *   CoarseLod LOD sessions only: cut built with tau scaled by
+ *             degrade_tau_factor (coarser proxies, fewer leaves),
+ *   Drop      nothing delivered — the ladder's floor, equivalent to
+ *             an admission shed.
+ */
+enum class DegradeTier
+{
+    Full = 0,
+    Warp,
+    HalfRes,
+    CoarseLod,
+    Drop,
+};
+
+constexpr int kDegradeTierCount = 5;
+
+/** Stable lower-case tier name ("full", "warp", "half_res", ...). */
+const char *degradeTierName(DegradeTier tier);
+
+/** Why the scheduler shed (or served) a frame. */
+enum class ShedReason
+{
+    None = 0,    ///< frame was rendered
+    Late,        ///< past deadline at dispatch (--drop-late)
+    Admission,   ///< token bucket / predicted-late admission control
+    Fairness,    ///< hot session yielded under scarcity
+    Degrade,     ///< ladder walked to Drop: no tier fit the slack
+    Disconnect,  ///< session left before this frame (chaos)
+};
+
+constexpr int kShedReasonCount = 6;
+
+/** Stable lower-case reason name ("late", "admission", ...). */
+const char *shedReasonName(ShedReason reason);
+
 /** Full description of one client's stream. */
 struct SessionConfig
 {
@@ -57,9 +104,33 @@ struct SessionConfig
     /**
      * Per-session FPS target; frame i's deadline is (i+1)/fps_target
      * after serving starts.  0 = best effort (no deadlines, never
-     * counted as missed).
+     * counted as missed).  Must be finite and >= 0 (the constructor
+     * validates, so degenerate targets can never reach the EDF
+     * deadline math).
      */
     double fps_target = 0.0;
+
+    /**
+     * Open-loop arrival offset: the session joins start_ms after
+     * serving starts, so frame i releases at start_ms + i/fps_target
+     * and carries deadline start_ms + (i+1)/fps_target.  0 (the
+     * closed-loop default) preserves the historical timeline.
+     */
+    double start_ms = 0.0;
+
+    /**
+     * Opt into the graceful-degradation ladder: the scheduler may
+     * serve this session Warp/HalfRes/CoarseLod frames when the
+     * deadline slack cannot fit a Full render.  Off by default —
+     * every existing checksum guarantee assumes exact frames.
+     */
+    bool degrade = false;
+
+    /** Resolution multiplier of the HalfRes tier, in (0, 1). */
+    float degrade_render_scale = 0.5f;
+
+    /** Tau multiplier of the CoarseLod tier (> 1 = coarser cut). */
+    float degrade_tau_factor = 4.0f;
 
     /**
      * Temporal-coherence mode for Tile resident-cloud sessions:
@@ -101,6 +172,8 @@ struct FrameRecord
     double render_ms = 0.0;      ///< render call wall time
     double latency_ms = 0.0;     ///< released -> completed (SLO metric)
     double checksum = 0.0;       ///< pixel fingerprint (0 when dropped)
+    DegradeTier tier = DegradeTier::Full;  ///< ladder tier served
+    ShedReason shed_reason = ShedReason::None;  ///< set when !rendered
     FrameStageCost cost;         ///< where render_ms went
 };
 
@@ -152,6 +225,29 @@ class Session
      * carry this session/frame.
      */
     double renderFrame(int frame, FrameStageCost *cost) const;
+
+    /**
+     * True iff this session can serve @p tier at all: Full always,
+     * Warp needs a temporal cache (Tile, resident cloud), HalfRes
+     * needs a valid degrade_render_scale, CoarseLod needs an LOD
+     * scene.  Drop is never "available" — it is the absence of a
+     * frame.
+     */
+    bool tierAvailable(DegradeTier tier) const;
+
+    /**
+     * Render frame @p frame at the requested ladder tier.  Best
+     * effort: a Warp request without a valid warp source (first
+     * frame, trust region exceeded) renders Full instead, and an
+     * unavailable tier falls back to Full; @p served (may be null)
+     * reports the tier actually delivered.  Degraded tiers are
+     * stateless — they never advance the temporal cache, so the
+     * next Full frame is unaffected.  Deterministic in (session
+     * state, frame, tier) like renderFrame.
+     */
+    double renderFrameDegraded(int frame, DegradeTier tier,
+                               FrameStageCost *cost,
+                               DegradeTier *served) const;
 
     /**
      * The session's temporal cache, or null when config.temporal is

@@ -10,9 +10,13 @@
 #include <random>
 #include <vector>
 
+#include <atomic>
+#include <thread>
+
 #include "lod/lod_builder.h"
 #include "lod/lod_scene.h"
 #include "lod/residency.h"
+#include "obs/fault_hooks.h"
 #include "render/metrics.h"
 #include "render/tile_renderer.h"
 #include "runtime/sweep_runner.h"
@@ -421,6 +425,192 @@ TEST(Residency, HandoutSurvivesEviction)
     // The evicted chunk's data is still valid through our handle.
     EXPECT_EQ(held->gaussians.size(), 2u);
     EXPECT_EQ(held->bytes(), 2 * Gaussian::kTotalBytes);
+}
+
+// ---- residency + LOD under fault injection ----
+
+/**
+ * Scripted injector for tests: fixed per-site rules instead of the
+ * seeded hashes of serve/chaos.h, so each test controls exactly which
+ * probes fire (and layering stays clean — no serve include here).
+ */
+struct ScriptedInjector final : obs::FaultInjector
+{
+    bool pressure_all = false;       ///< BudgetPressure on every probe
+    double pressure_factor = 0.5;    ///< its magnitude
+    bool decode_fail_all = false;    ///< ChunkDecode fails every attempt
+    bool decode_fail_first = false;  ///< ...or only attempt 0 per chunk
+    std::atomic<std::uint64_t> probes{0};
+
+    obs::FaultAction
+    at(obs::FaultSite site, std::uint64_t key) override
+    {
+        probes.fetch_add(1, std::memory_order_relaxed);
+        if (site == obs::FaultSite::BudgetPressure && pressure_all)
+            return {true, pressure_factor};
+        if (site == obs::FaultSite::ChunkDecode) {
+            // loadLeaf folds the attempt into the key's low byte.
+            const int attempt = static_cast<int>(key & 0xff);
+            if (decode_fail_all || (decode_fail_first && attempt == 0))
+                return {true, 1.0};
+        }
+        return {false, 0.0};
+    }
+};
+
+/** RAII installer mirroring serve::ChaosScope for the local injector. */
+struct InjectorScope
+{
+    explicit InjectorScope(obs::FaultInjector *inj)
+    {
+        obs::setFaultInjector(inj);
+    }
+    ~InjectorScope() { obs::setFaultInjector(nullptr); }
+};
+
+TEST(Residency, InjectedPressureSqueezesButNeverExceedsBudget)
+{
+    const std::size_t chunk_bytes = 10 * Gaussian::kTotalBytes;
+    ScriptedInjector inj;
+    inj.pressure_all = true;
+    inj.pressure_factor = 0.5;  // loads cache under half the budget
+    InjectorScope scope(&inj);
+
+    ResidencyManager mgr(4 * chunk_bytes);
+    int calls = 0;
+    for (std::size_t i = 0; i < 6; ++i)
+        mgr.acquire(i, CountingLoader{10, &calls});
+
+    ResidencyManager::Stats s = mgr.stats();
+    EXPECT_EQ(s.pressure_events, 6u);
+    // The squeeze halves the effective budget for each load...
+    EXPECT_LE(s.resident_bytes, 2 * chunk_bytes);
+    // ...and the hard ceiling is never exceeded, squeezed or not.
+    EXPECT_LE(s.peak_resident_bytes, mgr.budgetBytes());
+    EXPECT_GT(s.evictions, 0u);
+}
+
+TEST(Residency, ConcurrentChaosAcquiresStayBoundedAndDeadlockFree)
+{
+    const std::size_t chunk_bytes = 10 * Gaussian::kTotalBytes;
+    ScriptedInjector inj;
+    inj.pressure_all = true;
+    InjectorScope scope(&inj);
+
+    ResidencyManager mgr(3 * chunk_bytes);
+    std::atomic<int> calls{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&mgr, &calls, t] {
+            for (int round = 0; round < 8; ++round) {
+                auto chunk = mgr.acquire(
+                    static_cast<std::size_t>((t + round) % 6),
+                    [&calls](ResidentChunk &c) {
+                        calls.fetch_add(1);
+                        c.gaussians.resize(10);
+                        c.indices.resize(10);
+                    });
+                // Handouts are always complete, cached or transient.
+                EXPECT_EQ(chunk->gaussians.size(), 10u);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();  // terminates: no deadlock under injected pressure
+
+    ResidencyManager::Stats s = mgr.stats();
+    EXPECT_LE(s.resident_bytes, mgr.budgetBytes());
+    EXPECT_LE(s.peak_resident_bytes, mgr.budgetBytes());
+    EXPECT_GT(s.faults + s.hits, 0u);
+}
+
+TEST(LodScene, DecodeFaultsRetryTransientAndFallBackWhenPersistent)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(38, 1200), 1.0f);
+    const std::string path = tempLodPath("chaos");
+    LodBuildConfig cfg;
+    cfg.chunk_target = 100;
+    cfg.proxy_levels = 2;
+    cfg.quantize = false;
+    ASSERT_TRUE(buildLodFile(cloud, path, cfg));
+
+    LodCutParams params;
+    params.force_level = 0;
+    Camera cam = test::frontCamera();
+
+    // Transient faults (attempt 0 only): the bounded retry absorbs
+    // them and the cut is exactly the clean leaf cut.
+    {
+        LodScene lod(path, 16u << 20);
+        ScriptedInjector inj;
+        inj.decode_fail_first = true;
+        InjectorScope scope(&inj);
+        LodCutStats stats;
+        GaussianCloud cut = lod.buildCut(cam, params, &stats);
+        EXPECT_EQ(cut.size(), cloud.size());
+        EXPECT_EQ(stats.proxy_fallbacks, 0u);
+        EXPECT_EQ(stats.leaf_chunks, lod.chunkCount());
+        EXPECT_GT(inj.probes.load(), 0u);
+    }
+
+    // Persistent faults: retries exhaust and every leaf chunk
+    // degrades to its finest proxy — a counted deviation, not a
+    // failed frame.
+    {
+        LodScene lod(path, 16u << 20);
+        ScriptedInjector inj;
+        inj.decode_fail_all = true;
+        InjectorScope scope(&inj);
+        LodCutStats stats;
+        GaussianCloud cut = lod.buildCut(cam, params, &stats);
+        EXPECT_GT(cut.size(), 0u);
+        EXPECT_LT(cut.size(), cloud.size());  // proxies, not leaves
+        EXPECT_EQ(stats.proxy_fallbacks, lod.chunkCount());
+        EXPECT_EQ(stats.leaf_gaussians, 0u);
+    }
+
+    std::filesystem::remove(path);
+}
+
+TEST(LodScene, ConcurrentFaultyCutsAgreeAndHonourTheBudget)
+{
+    GaussianCloud cloud = generateScene(test::tinySpec(39, 1500), 1.0f);
+    const std::string path = tempLodPath("chaos-mt");
+    LodBuildConfig cfg;
+    cfg.chunk_target = 64;
+    cfg.proxy_levels = 2;
+    cfg.quantize = false;
+    ASSERT_TRUE(buildLodFile(cloud, path, cfg));
+
+    // Tight budget + transient decode faults + budget pressure, four
+    // concurrent cut builders: every cut must still be the full leaf
+    // cut (retries recover, transient loads cover the squeeze), the
+    // byte budget must hold, and the run must terminate.
+    const std::size_t budget = 128u * 1024;
+    LodScene lod(path, budget);
+    ScriptedInjector inj;
+    inj.decode_fail_first = true;
+    inj.pressure_all = true;
+    InjectorScope scope(&inj);
+
+    LodCutParams params;
+    params.force_level = 0;
+    Camera cam = test::frontCamera();
+    std::vector<std::size_t> sizes(4, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&, t] {
+            sizes[static_cast<std::size_t>(t)] =
+                lod.buildCut(cam, params).size();
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    for (std::size_t size : sizes)
+        EXPECT_EQ(size, cloud.size());
+    EXPECT_LE(lod.residencyStats().peak_resident_bytes, budget);
+    EXPECT_GT(lod.residencyStats().pressure_events, 0u);
+
+    std::filesystem::remove(path);
 }
 
 } // namespace

@@ -9,6 +9,9 @@
 #include <random>
 #include <sstream>
 
+#include "obs/fault_hooks.h"
+#include "obs/metrics_registry.h"
+#include "obs/obs_config.h"
 #include "scene/scene_io.h"
 #include "test_util.h"
 
@@ -512,6 +515,82 @@ TEST(SceneIo, CacheSkipsGenerationAndSurvivesCorruption)
     // Empty cache dir means plain generation, no files written.
     GaussianCloud plain = loadOrGenerateScene(spec, 1.0f, "");
     EXPECT_EQ(plain.size(), fresh.size());
+
+    std::filesystem::remove_all(dir);
+}
+
+/** Fails the first @p fail_first SceneRead probes, then goes quiet —
+ *  models a transient (or, with a large count, persistent) cache
+ *  fault without any serve-layer dependency. */
+struct SceneReadFaulter final : obs::FaultInjector
+{
+    int fail_first = 0;
+    int probes = 0;  // single-threaded test: plain int is fine
+
+    obs::FaultAction
+    at(obs::FaultSite site, std::uint64_t) override
+    {
+        if (site != obs::FaultSite::SceneRead)
+            return {false, 0.0};
+        ++probes;
+        return {probes <= fail_first, 1.0};
+    }
+};
+
+TEST(SceneIo, InjectedCacheFaultsRetryThenFallBackToGeneration)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/gcc3d-cache-chaos";
+    std::filesystem::remove_all(dir);
+    SceneSpec spec = test::tinySpec(12, 120);
+
+    // Seed the cache, then plant a marker so cache reads are
+    // distinguishable from regeneration.
+    GaussianCloud fresh = loadOrGenerateScene(spec, 1.0f, dir);
+    const std::string path = sceneCachePath(dir, spec, 1.0f);
+    GaussianCloud marked = fresh;
+    marked[0].opacity = 0.123456f;
+    ASSERT_TRUE(saveCloudFile(marked, path));
+
+    // Transient fault: the first read attempt fails, the bounded
+    // retry clears it, and the (marked) cache is still served.
+    {
+        SceneReadFaulter inj;
+        inj.fail_first = 1;
+        obs::setFaultInjector(&inj);
+        GaussianCloud cloud = loadOrGenerateScene(spec, 1.0f, dir);
+        obs::setFaultInjector(nullptr);
+        EXPECT_EQ(cloud[0].opacity, 0.123456f);
+        EXPECT_EQ(inj.probes, 2);  // failed once, retried once
+    }
+
+    // Persistent fault: every attempt fails, the retry budget
+    // exhausts, and the scene is regenerated in memory — the call
+    // still succeeds and the cache file is repaired on the way out.
+#if GCC3D_OBS_ENABLED
+    const std::int64_t fallbacks_before =
+        obs::MetricsRegistry::global()
+            .counter("scene.io.cache_fallbacks")
+            .value();
+#endif
+    {
+        SceneReadFaulter inj;
+        inj.fail_first = 1 << 20;
+        obs::setFaultInjector(&inj);
+        GaussianCloud cloud = loadOrGenerateScene(spec, 1.0f, dir);
+        obs::setFaultInjector(nullptr);
+        ASSERT_EQ(cloud.size(), fresh.size());
+        EXPECT_EQ(cloud[0].opacity, fresh[0].opacity);  // regenerated
+        EXPECT_EQ(inj.probes, obs::RetryPolicy{}.max_attempts);
+    }
+    // The repair rewrote the cache: the marker is gone on disk.
+    EXPECT_EQ(loadCloudFile(path)[0].opacity, fresh[0].opacity);
+#if GCC3D_OBS_ENABLED
+    EXPECT_GT(obs::MetricsRegistry::global()
+                  .counter("scene.io.cache_fallbacks")
+                  .value(),
+              fallbacks_before);
+#endif
 
     std::filesystem::remove_all(dir);
 }

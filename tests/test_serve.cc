@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "obs/obs_config.h"
 #include "serve/fleet.h"
 #include "serve/frame_scheduler.h"
+#include "serve/load_gen.h"
 #include "serve/slo_attribution.h"
 #include "test_util.h"
 
@@ -401,6 +404,323 @@ TEST(FrameScheduler, EmptyFleetReturnsEmptyReport)
     EXPECT_EQ(report.framesTotal(), 0);
     EXPECT_FALSE(report.drained);
     EXPECT_DOUBLE_EQ(report.missRate(), 0.0);
+}
+
+// ---- degenerate configs ----
+
+TEST(Serve, FleetSpecValidationRejectsDegenerateConfigs)
+{
+    EXPECT_NO_THROW(validateFleetSpec(tinyFleet()));
+
+    auto rejects = [](void (*mutate)(FleetSpec &)) {
+        FleetSpec bad = tinyFleet();
+        mutate(bad);
+        EXPECT_THROW(validateFleetSpec(bad), std::invalid_argument);
+    };
+    rejects([](FleetSpec &s) { s.sessions = 0; });
+    rejects([](FleetSpec &s) { s.frames = 0; });
+    rejects([](FleetSpec &s) { s.scenes.clear(); });
+    rejects([](FleetSpec &s) { s.renderers.clear(); });
+    rejects([](FleetSpec &s) { s.fps_target = -1.0; });
+    rejects([](FleetSpec &s) {
+        s.fps_target = std::numeric_limits<double>::quiet_NaN();
+    });
+    rejects([](FleetSpec &s) {
+        s.fps_target = std::numeric_limits<double>::infinity();
+    });
+    rejects([](FleetSpec &s) { s.scale = 0.0f; });
+    rejects([](FleetSpec &s) { s.scale = 1.5f; });
+    rejects([](FleetSpec &s) {
+        s.degrade = true;
+        s.degrade_render_scale = 0.0f;
+    });
+    rejects([](FleetSpec &s) {
+        s.degrade = true;
+        s.degrade_render_scale = 1.0f;  // no cheaper than Full
+    });
+    rejects([](FleetSpec &s) {
+        s.degrade = true;
+        s.degrade_tau_factor = 0.5f;  // would *refine* the cut
+    });
+
+    // buildFleet validates before any scene work.
+    SceneRegistry registry;
+    FleetSpec bad = tinyFleet();
+    bad.fps_target = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(buildFleet(bad, registry), std::invalid_argument);
+}
+
+TEST(Serve, SessionRejectsDegeneratePacingAndArrival)
+{
+    SceneRegistry registry;
+    SceneSpec tiny = test::tinySpec();
+    SceneHandle handle = registry.acquire(tiny, 1.0f, 2);
+
+    SessionConfig cfg;
+    cfg.spec = tiny;
+    cfg.frames = 2;
+
+    cfg.fps_target = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(Session(cfg, handle), std::invalid_argument);
+    cfg.fps_target = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(Session(cfg, handle), std::invalid_argument);
+    cfg.fps_target = 0.0;
+
+    cfg.start_ms = -1.0;
+    EXPECT_THROW(Session(cfg, handle), std::invalid_argument);
+    cfg.start_ms = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(Session(cfg, handle), std::invalid_argument);
+    cfg.start_ms = 5.0;
+
+    cfg.degrade = true;
+    cfg.degrade_render_scale = 1.5f;
+    EXPECT_THROW(Session(cfg, handle), std::invalid_argument);
+    cfg.degrade_render_scale = 0.5f;
+    EXPECT_NO_THROW(Session(cfg, handle));
+}
+
+// ---- open-loop fleets ----
+
+TEST(Serve, OpenLoopFleetFollowsTheArrivalTable)
+{
+    FleetSpec spec = tinyFleet();
+    spec.sessions = 99;  // ignored: the arrival table is the population
+    spec.frames = 99;
+
+    std::vector<serve::SessionArrival> arrivals(2);
+    arrivals[0] = {0.0, 2, 0, 0, 0.0f};
+    arrivals[1] = {15.0, 3, 1, 1, 60.0f};
+
+    SceneRegistry registry;
+    std::vector<Session> fleet =
+        buildOpenLoopFleet(spec, arrivals, registry);
+    ASSERT_EQ(fleet.size(), 2u);
+    EXPECT_EQ(fleet[0].config().frames, 2);
+    EXPECT_EQ(fleet[0].config().start_ms, 0.0);
+    EXPECT_EQ(fleet[0].config().fps_target, 0.0);
+    EXPECT_EQ(fleet[0].config().renderer, SessionRenderer::Tile);
+    EXPECT_EQ(fleet[1].config().frames, 3);
+    EXPECT_EQ(fleet[1].config().start_ms, 15.0);
+    EXPECT_EQ(fleet[1].config().fps_target, 60.0);
+    EXPECT_EQ(fleet[1].config().renderer,
+              SessionRenderer::GaussianWise);
+    EXPECT_EQ(fleet[0].config().spec.name, spec.scenes[0].name);
+    EXPECT_EQ(fleet[1].config().spec.name, spec.scenes[1].name);
+
+    // Every arrived session serves to completion.
+    ThreadPool pool(2);
+    FrameScheduler scheduler;
+    ServeReport report = scheduler.run(fleet, pool);
+    EXPECT_EQ(report.framesTotal(), 5);
+    EXPECT_EQ(report.framesRendered(), 5);
+
+    // A zero-session window (no arrivals) is a clean empty run, not
+    // an error.
+    std::vector<Session> nobody = buildOpenLoopFleet(spec, {}, registry);
+    EXPECT_TRUE(nobody.empty());
+    FrameScheduler idle;
+    ServeReport quiet = idle.run(nobody, pool);
+    EXPECT_EQ(quiet.framesTotal(), 0);
+    EXPECT_FALSE(quiet.drained);
+}
+
+// ---- admission control ----
+
+TEST(FrameScheduler, AdmissionTokenBucketShedsWhenExhausted)
+{
+    // An effectively non-refilling bucket with one token, and roomy
+    // deadlines (so the predictive hopeless-slack gate stays out of
+    // the way): exactly one frame renders; every later
+    // deadline-bearing frame is shed with ShedReason::Admission.
+    FleetSpec spec = tinyFleet(2, 3);
+    spec.fps_target = 5.0;  // 200 ms of slack: only the bucket sheds
+    SceneRegistry registry;
+    std::vector<Session> fleet = buildFleet(spec, registry);
+
+    SchedulerOptions options;
+    options.policy = SchedulerPolicy::Edf;
+    options.admission.enabled = true;
+    options.admission.rate_hz = 1e-9;
+    options.admission.burst = 1.0;
+    ThreadPool pool(2);
+    FrameScheduler scheduler(options);
+    ServeReport report = scheduler.run(fleet, pool);
+
+    EXPECT_EQ(report.framesRendered(), 1);
+    EXPECT_EQ(report.framesDropped(), 5);
+    int sheds[kShedReasonCount];
+    report.shedTotals(sheds);
+    EXPECT_EQ(sheds[static_cast<int>(ShedReason::Admission)], 5);
+    for (const SessionStats &s : report.sessions) {
+        for (const FrameRecord &f : s.frames) {
+            if (!f.rendered) {
+                EXPECT_EQ(f.shed_reason, ShedReason::Admission);
+                EXPECT_EQ(f.tier, DegradeTier::Drop);
+            }
+        }
+    }
+    // Shed frames count as SLO misses — shedding can't game the rate.
+    EXPECT_GE(report.missRate(), 5.0 / 6.0);
+}
+
+TEST(FrameScheduler, AdmissionFairnessYieldsTheHotSession)
+{
+    // Under scarcity (bucket empty after the single token), the
+    // session that already rendered is shed for fairness; the one
+    // that never got a turn is shed by admission — both starve, but
+    // the fairness gate names the hot one.
+    FleetSpec spec = tinyFleet(2, 3);
+    spec.fps_target = 5.0;
+    SceneRegistry registry;
+    std::vector<Session> fleet = buildFleet(spec, registry);
+
+    SchedulerOptions options;
+    options.admission.enabled = true;
+    options.admission.rate_hz = 1e-9;
+    options.admission.burst = 1.0;
+    options.admission.fair_share = 0.01;
+    ThreadPool pool(2);
+    FrameScheduler scheduler(options);
+    ServeReport report = scheduler.run(fleet, pool);
+
+    EXPECT_EQ(report.framesRendered(), 1);
+    int sheds[kShedReasonCount];
+    report.shedTotals(sheds);
+    EXPECT_EQ(sheds[static_cast<int>(ShedReason::Fairness)], 2);
+    EXPECT_EQ(sheds[static_cast<int>(ShedReason::Admission)], 3);
+    // The fairness sheds land on the session that rendered.
+    for (const SessionStats &s : report.sessions) {
+        const int fair =
+            s.sheds_by_reason[static_cast<int>(ShedReason::Fairness)];
+        EXPECT_EQ(fair > 0, s.frames_rendered > 0);
+    }
+}
+
+TEST(FrameScheduler, BestEffortSessionsAreNeverShedOrDegraded)
+{
+    // Every gate (admission, fairness, predictive shed, the ladder)
+    // applies only to deadline-bearing frames: a best-effort fleet
+    // under the most aggressive settings still renders everything at
+    // Full, bit-identical to serial.
+    FleetSpec spec = tinyFleet(3, 2);
+    spec.degrade = true;  // opted in, but no deadline -> never used
+    SceneRegistry registry;
+    std::vector<Session> fleet = buildFleet(spec, registry);
+    SerialBaseline base = renderSerial(fleet);
+
+    SchedulerOptions options;
+    options.drop_late = true;
+    options.admission.enabled = true;
+    options.admission.rate_hz = 1e-9;
+    options.admission.burst = 0.0;
+    options.admission.fair_share = 0.01;
+    options.admission.max_queue_depth = 1;
+    options.degrade.enabled = true;
+    ThreadPool pool(2);
+    FrameScheduler scheduler(options);
+    ServeReport report = scheduler.run(fleet, pool);
+
+    EXPECT_EQ(report.framesRendered(), 3 * 2);
+    EXPECT_EQ(report.framesDropped(), 0);
+    int tiers[kDegradeTierCount];
+    report.tierTotals(tiers);
+    EXPECT_EQ(tiers[static_cast<int>(DegradeTier::Full)], 3 * 2);
+    EXPECT_EQ(report.degradeTransitions(), 0);
+    ASSERT_EQ(report.sessions.size(), fleet.size());
+    for (std::size_t i = 0; i < fleet.size(); ++i)
+        EXPECT_EQ(report.sessions[i].checksum, base.checksums[i]);
+}
+
+// ---- graceful degradation ladder ----
+
+TEST(FrameScheduler, DegradeLadderDropsWhenNoTierFits)
+{
+    // Microsecond deadlines: slack is already negative at dispatch, so
+    // no ladder tier can fit and every frame is a counted Degrade
+    // drop — the ladder's floor behaves like drop_late, with its own
+    // attribution.
+    FleetSpec spec = tinyFleet(2, 3);
+    spec.fps_target = 1e6;
+    spec.degrade = true;
+    SceneRegistry registry;
+    std::vector<Session> fleet = buildFleet(spec, registry);
+
+    SchedulerOptions options;
+    options.policy = SchedulerPolicy::Edf;
+    options.degrade.enabled = true;
+    ThreadPool pool(2);
+    FrameScheduler scheduler(options);
+    ServeReport report = scheduler.run(fleet, pool);
+
+    EXPECT_EQ(report.framesRendered(), 0);
+    EXPECT_EQ(report.framesDropped(), 6);
+    EXPECT_EQ(report.framesOnTime(), 0);
+    EXPECT_DOUBLE_EQ(report.goodputFps(), 0.0);
+    int sheds[kShedReasonCount];
+    report.shedTotals(sheds);
+    EXPECT_EQ(sheds[static_cast<int>(ShedReason::Degrade)], 6);
+    for (const SessionStats &s : report.sessions)
+        for (const FrameRecord &f : s.frames) {
+            EXPECT_FALSE(f.rendered);
+            EXPECT_EQ(f.tier, DegradeTier::Drop);
+            EXPECT_EQ(f.shed_reason, ShedReason::Degrade);
+            EXPECT_TRUE(f.deadline_missed);
+        }
+}
+
+TEST(Serve, DegradedTiersRenderAndReportTheServedTier)
+{
+    // Unit-level ladder contract: each cheaper tier renders a valid
+    // frame and reports what was actually served, falling back to
+    // Full when the tier is unavailable.
+    FleetSpec spec = tinyFleet(2, 3);
+    spec.temporal = 1;  // Tile sessions get a warp-capable cache
+    spec.degrade = true;
+    SceneRegistry registry;
+    std::vector<Session> fleet = buildFleet(spec, registry);
+    const Session &tile = fleet[0];
+    const Session &gw = fleet[1];
+    ASSERT_EQ(tile.config().renderer, SessionRenderer::Tile);
+    ASSERT_EQ(gw.config().renderer, SessionRenderer::GaussianWise);
+
+    EXPECT_TRUE(tile.tierAvailable(DegradeTier::Full));
+    EXPECT_TRUE(tile.tierAvailable(DegradeTier::Warp));
+    EXPECT_TRUE(tile.tierAvailable(DegradeTier::HalfRes));
+    EXPECT_FALSE(tile.tierAvailable(DegradeTier::CoarseLod));  // no LOD
+    EXPECT_FALSE(tile.tierAvailable(DegradeTier::Drop));
+    EXPECT_FALSE(gw.tierAvailable(DegradeTier::Warp));  // no cache
+
+    DegradeTier served = DegradeTier::Drop;
+    // First warp request may fall back to an exact render (nothing to
+    // warp from yet) — which primes the cache for the next one.
+    double sum = tile.renderFrameDegraded(0, DegradeTier::Warp,
+                                          nullptr, &served);
+    EXPECT_GT(sum, 0.0);
+    sum = tile.renderFrameDegraded(1, DegradeTier::Warp, nullptr,
+                                   &served);
+    EXPECT_GT(sum, 0.0);
+    EXPECT_EQ(served, DegradeTier::Warp);
+
+    sum = tile.renderFrameDegraded(2, DegradeTier::HalfRes, nullptr,
+                                   &served);
+    EXPECT_GT(sum, 0.0);
+    EXPECT_EQ(served, DegradeTier::HalfRes);
+
+    // Unavailable tier: serves Full instead and says so.
+    sum = tile.renderFrameDegraded(2, DegradeTier::CoarseLod, nullptr,
+                                   &served);
+    EXPECT_GT(sum, 0.0);
+    EXPECT_EQ(served, DegradeTier::Full);
+    sum = gw.renderFrameDegraded(0, DegradeTier::Warp, nullptr,
+                                 &served);
+    EXPECT_GT(sum, 0.0);
+    EXPECT_EQ(served, DegradeTier::Full);
+
+    // Tier and shed-reason names are stable and round-trip-able.
+    EXPECT_STREQ(degradeTierName(DegradeTier::Warp), "warp");
+    EXPECT_STREQ(degradeTierName(DegradeTier::Drop), "drop");
+    EXPECT_STREQ(shedReasonName(ShedReason::Admission), "admission");
+    EXPECT_STREQ(shedReasonName(ShedReason::Degrade), "degrade");
 }
 
 } // namespace
